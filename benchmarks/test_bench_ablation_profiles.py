@@ -1,0 +1,72 @@
+"""Ablation: profile representation used for planning.
+
+The paper allows the controller to consume measured tables or regression
+models.  This ablation plans the same deployment with (a) the ground-truth
+latency model, (b) a measured table profile, and (c) a linear-regression
+profile, then evaluates every plan on the ground truth.  The linear profile
+hides the nonlinear staircase, so its plan should be no better — this is the
+mechanism behind AOFL's misallocation.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import EPISODES, run_once
+from repro.core.distredge import DistrEdge, DistrEdgeConfig
+from repro.core.osds import OSDSConfig
+from repro.devices.profiler import LatencyProfiler
+from repro.devices.profiles import LinearProfile, TabularProfile
+from repro.experiments.scenarios import ScenarioCatalog
+from repro.nn import model_zoo
+from repro.runtime.evaluator import PlanEvaluator
+from repro.runtime.oracles import profiles_by_device
+
+
+def test_ablation_profile_representation(benchmark):
+    def run():
+        model = model_zoo.vgg16()
+        scenario = ScenarioCatalog.table1_groups(50.0)["DB"]
+        devices, network = scenario.build(seed=0)
+        truth_evaluator = PlanEvaluator(devices, network)
+
+        per_type_points = {}
+        for device in devices:
+            if device.type_name in per_type_points:
+                continue
+            profiler = LatencyProfiler(device.dtype, noise_std=0.02, repeats=20, seed=0)
+            per_type_points[device.type_name] = profiler.profile_model(
+                model, heights_per_layer=16
+            )
+
+        variants = {
+            "ground_truth": None,
+            "tabular_profile": profiles_by_device(
+                devices,
+                {k: TabularProfile.from_points(v) for k, v in per_type_points.items()},
+            ),
+            "linear_profile": profiles_by_device(
+                devices,
+                {k: LinearProfile.from_points(v) for k, v in per_type_points.items()},
+            ),
+        }
+        episodes = max(EPISODES // 2, 30)
+        out = {}
+        for label, profiles in variants.items():
+            planner = DistrEdge(
+                DistrEdgeConfig(
+                    num_random_splits=15,
+                    osds=OSDSConfig(max_episodes=episodes, seed=0),
+                    seed=0,
+                )
+            )
+            plan = planner.plan(model, devices, network, profiles=profiles)
+            out[label] = truth_evaluator.evaluate(plan).end_to_end_ms
+        return out
+
+    data = run_once(benchmark, run)
+    print("\n=== Ablation: planning profile representation (DB, 50 Mbps, VGG-16) ===")
+    for label, latency in data.items():
+        print(f"  {label:16s} true latency {latency:7.1f} ms ({1000.0 / latency:5.2f} IPS)")
+    # Planning against an accurate table lands close to planning against the
+    # ground truth; the coarse linear fit cannot do better than the table.
+    assert data["tabular_profile"] <= data["ground_truth"] * 1.3
+    assert data["linear_profile"] >= data["tabular_profile"] * 0.8

@@ -1,0 +1,18 @@
+"""Fig. 4: sampled WiFi throughput traces at 50/100/200/300 Mbps."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_fig04_wifi_traces(benchmark):
+    data = run_once(benchmark, lambda: figures.figure4(duration_s=3600.0, seed=0))
+    print("\n=== Fig. 4: shaped WiFi traces (1 hour) ===")
+    for name, stats in data.items():
+        print(f"  {name:8s} mean={stats['mean_mbps']:6.1f}  std={stats['std_mbps']:5.1f}  "
+              f"range=[{stats['min_mbps']:.1f}, {stats['max_mbps']:.1f}]")
+    for stats in data.values():
+        # Shaped links stay within a narrow band around the nominal rate.
+        assert abs(stats["mean_mbps"] - stats["nominal_mbps"]) / stats["nominal_mbps"] < 0.1
+        assert stats["std_mbps"] < 0.15 * stats["nominal_mbps"]

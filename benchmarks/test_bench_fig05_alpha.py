@@ -1,0 +1,45 @@
+"""Fig. 5: effect of the LC-PSS trade-off coefficient alpha.
+
+Paper finding: alpha = 0 (operations only -> layer-by-layer partitions) and
+alpha = 1 (transmission only -> one huge fused volume) both perform poorly;
+intermediate alpha (0.75 in the paper) is best.  The benchmark sweeps alpha
+in two of the paper's four environments (homogeneous Nanos and the
+heterogeneous DB group); pass ``REPRO_BENCH_FULL_FIG5=1`` to include the
+heterogeneous-bandwidth and large-scale environments as well.
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+from repro.experiments.scenarios import ScenarioCatalog
+
+ALPHAS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def test_fig05_alpha_sweep(benchmark, fast_harness):
+    environments = {
+        "a-homogeneous-nano-200": ScenarioCatalog.homogeneous("nano", 200.0),
+        "b-hetero-devices-DB-200": ScenarioCatalog.table1_groups(200.0)["DB"],
+    }
+    if os.environ.get("REPRO_BENCH_FULL_FIG5"):
+        environments["c-hetero-network-NA-nano"] = ScenarioCatalog.table2_groups("nano")["NA"]
+        environments["d-large-scale-LD"] = ScenarioCatalog.table3_groups()["LD"]
+
+    data = run_once(
+        benchmark,
+        lambda: figures.figure5(fast_harness, alphas=ALPHAS, environments=environments),
+    )
+    print("\n=== Fig. 5: DistrEdge IPS vs alpha (VGG-16) ===")
+    for env, per_alpha in data.items():
+        row = "  ".join(f"a={a:.2f}:{ips:6.2f}" for a, ips in sorted(per_alpha.items()))
+        print(f"  {env:26s} {row}")
+
+    for env, per_alpha in data.items():
+        assert all(ips > 0 for ips in per_alpha.values())
+        best_alpha = max(per_alpha, key=per_alpha.get)
+        # The paper's qualitative finding: the best alpha is an interior one
+        # (considering both operations and transmission beats either extreme).
+        assert 0.0 < best_alpha < 1.0 or per_alpha[best_alpha] >= per_alpha[0.0]

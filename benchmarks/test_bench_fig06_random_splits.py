@@ -1,0 +1,45 @@
+"""Fig. 6: effect of the number of random split decisions |Rr_s| in LC-PSS.
+
+Paper finding: with small |Rr_s| the resulting partition (and hence IPS)
+varies widely between runs; from |Rr_s| ~ 100 upwards the outcome stabilises.
+The benchmark repeats LC-PSS + OSDS with different seeds per |Rr_s| value and
+reports the min / mean / max IPS, for the paper's two cases (DB @ 50 Mbps and
+NA on Nano).
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+COUNTS = (25, 50, 100)
+REPEATS = int(os.environ.get("REPRO_BENCH_FIG6_REPEATS", "3"))
+
+
+def test_fig06_random_split_count(benchmark, fast_harness):
+    data = run_once(
+        benchmark,
+        lambda: figures.figure6(fast_harness, counts=COUNTS, repeats=REPEATS),
+    )
+    print("\n=== Fig. 6: IPS spread vs |Rr_s| (VGG-16) ===")
+    for case, per_count in data.items():
+        for count, stats in sorted(per_count.items()):
+            print(
+                f"  {case:10s} |Rr_s|={count:4d}  min={stats['min_ips']:6.2f}  "
+                f"mean={stats['mean_ips']:6.2f}  max={stats['max_ips']:6.2f}"
+            )
+    for per_count in data.values():
+        for stats in per_count.values():
+            assert 0 < stats["min_ips"] <= stats["mean_ips"] <= stats["max_ips"]
+        # The spread at the largest count is no wider than at the smallest
+        # (stability improves with more random split decisions).
+        smallest = per_count[min(per_count)]
+        largest = per_count[max(per_count)]
+        spread_small = smallest["max_ips"] - smallest["min_ips"]
+        spread_large = largest["max_ips"] - largest["min_ips"]
+        # Stability does not get dramatically worse with more random splits
+        # (with the paper's 50 repetitions it strictly improves; the fast
+        # configuration uses few repeats, so allow sampling noise).
+        assert spread_large <= spread_small + 3.0

@@ -1,0 +1,26 @@
+"""Fig. 8: IPS under heterogeneous bandwidth groups (Table II), Nano & Xavier."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+from repro.experiments.harness import ALL_METHODS
+from repro.experiments.reporting import format_ips_table, speedup_summary
+
+
+def test_fig08_heterogeneous_networks(benchmark, fast_harness):
+    data = run_once(
+        benchmark, lambda: figures.figure8(fast_harness, device_types=("nano", "xavier"))
+    )
+    print("\n" + format_ips_table(data, methods=list(ALL_METHODS),
+                                  title="=== Fig. 8: IPS, heterogeneous networks (VGG-16) ==="))
+    print("DistrEdge speedup over best baseline per cell:",
+          {k: round(v, 2) for k, v in speedup_summary(data).items()})
+
+    for cell, row in data.items():
+        assert all(v > 0 for v in row.values()), cell
+        best_baseline = max(v for k, v in row.items() if k != "distredge")
+        assert row["distredge"] >= 0.9 * best_baseline, cell
+    # Xavier clusters are much faster than Nano clusters for every method
+    # (paper Fig. 8a vs 8b axis ranges).
+    assert data["NA-xavier"]["distredge"] > data["NA-nano"]["distredge"]

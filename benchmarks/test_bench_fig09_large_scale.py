@@ -1,0 +1,25 @@
+"""Fig. 9: IPS with 16 service providers (Table III groups LA-LD)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+from repro.experiments.harness import ALL_METHODS
+from repro.experiments.reporting import format_ips_table, speedup_summary
+
+
+def test_fig09_large_scale(benchmark, large_scale_harness):
+    data = run_once(benchmark, lambda: figures.figure9(large_scale_harness))
+    print("\n" + format_ips_table(data, methods=list(ALL_METHODS),
+                                  title="=== Fig. 9: IPS, 16 providers (VGG-16) ==="))
+    print("DistrEdge speedup over best baseline per group:",
+          {k: round(v, 2) for k, v in speedup_summary(data).items()})
+
+    for group, row in data.items():
+        assert all(v > 0 for v in row.values()), group
+        best_baseline = max(v for k, v in row.items() if k != "distredge")
+        assert row["distredge"] >= 0.85 * best_baseline, group
+    # Equal-split methods drop below ~1-2 IPS whenever Pi3s take equal shares
+    # (the "<1" annotations of the paper's Fig. 9).
+    assert data["LB"]["deeperthings"] < 2.0
+    assert data["LD"]["deeperthings"] < 2.0

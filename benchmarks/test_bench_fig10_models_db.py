@@ -1,0 +1,32 @@
+"""Fig. 10: IPS of seven further CNN models on Group DB at 50 Mbps."""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+from repro.experiments.harness import ALL_METHODS
+from repro.experiments.reporting import format_ips_table, speedup_summary
+
+#: Subset used by default to keep the bench fast; set REPRO_BENCH_ALL_MODELS=1
+#: to sweep all seven extra models as in the paper.
+DEFAULT_MODELS = ("resnet50", "yolov2", "openpose")
+
+
+def _models():
+    if os.environ.get("REPRO_BENCH_ALL_MODELS"):
+        return figures.EXTRA_MODELS
+    return DEFAULT_MODELS
+
+
+def test_fig10_models_on_db_50mbps(benchmark, model_sweep_harness):
+    data = run_once(benchmark, lambda: figures.figure10(model_sweep_harness, models=_models()))
+    print("\n" + format_ips_table(data, methods=list(ALL_METHODS),
+                                  title="=== Fig. 10: IPS per model (DB, 50 Mbps) ==="))
+    print("DistrEdge speedup over best baseline per model:",
+          {k: round(v, 2) for k, v in speedup_summary(data).items()})
+    for model, row in data.items():
+        assert all(v > 0 for v in row.values()), model
+        best_baseline = max(v for k, v in row.items() if k != "distredge")
+        assert row["distredge"] >= 0.85 * best_baseline, model

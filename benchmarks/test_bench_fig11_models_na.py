@@ -1,0 +1,30 @@
+"""Fig. 11: IPS of seven further CNN models on Group NA with Nano providers."""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+from repro.experiments.harness import ALL_METHODS
+from repro.experiments.reporting import format_ips_table, speedup_summary
+
+DEFAULT_MODELS = ("resnet50", "ssd_vgg16", "voxelnet")
+
+
+def _models():
+    if os.environ.get("REPRO_BENCH_ALL_MODELS"):
+        return figures.EXTRA_MODELS
+    return DEFAULT_MODELS
+
+
+def test_fig11_models_on_na_nano(benchmark, model_sweep_harness):
+    data = run_once(benchmark, lambda: figures.figure11(model_sweep_harness, models=_models()))
+    print("\n" + format_ips_table(data, methods=list(ALL_METHODS),
+                                  title="=== Fig. 11: IPS per model (NA, Nano) ==="))
+    print("DistrEdge speedup over best baseline per model:",
+          {k: round(v, 2) for k, v in speedup_summary(data).items()})
+    for model, row in data.items():
+        assert all(v > 0 for v in row.values()), model
+        best_baseline = max(v for k, v in row.items() if k != "distredge")
+        assert row["distredge"] >= 0.85 * best_baseline, model

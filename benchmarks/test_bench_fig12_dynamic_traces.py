@@ -1,0 +1,18 @@
+"""Fig. 12: highly dynamic per-device throughput traces (40-100 Mbps)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_fig12_dynamic_traces(benchmark):
+    data = run_once(benchmark, lambda: figures.figure12(duration_s=3600.0, seed=0))
+    print("\n=== Fig. 12: highly dynamic traces (1 hour, per device) ===")
+    for name, stats in data.items():
+        print(f"  {name}: mean={stats['mean_mbps']:5.1f} std={stats['std_mbps']:5.1f} "
+              f"range=[{stats['min_mbps']:.1f}, {stats['max_mbps']:.1f}]")
+    for stats in data.values():
+        assert 40.0 <= stats["min_mbps"] and stats["max_mbps"] <= 100.0
+        # High volatility is the defining property versus Fig. 4.
+        assert stats["std_mbps"] > 5.0

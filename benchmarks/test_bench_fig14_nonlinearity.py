@@ -1,0 +1,38 @@
+"""Fig. 14: computing latency versus output size of a ten-layer layer-volume.
+
+The relationship is strongly nonlinear (tile staircase + launch overheads +
+halo recomputation), which is the premise behind replacing linear split
+ratios with a learned policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_fig14_latency_nonlinearity(benchmark):
+    def run():
+        return {
+            device: figures.figure14(device_type=device, volume_range=(0, 10))
+            for device in ("nano", "tx2", "xavier")
+        }
+
+    data = run_once(benchmark, run)
+    print("\n=== Fig. 14: latency vs output rows of a 10-layer volume (VGG-16) ===")
+    for device, series in data.items():
+        rows, lat = series["output_rows"], series["latency_ms"]
+        picks = [0, len(rows) // 4, len(rows) // 2, -1]
+        summary = ", ".join(f"{rows[i]:3d} rows -> {lat[i]:7.1f} ms" for i in picks)
+        print(f"  {device:7s} {summary}")
+
+    for series in data.values():
+        rows, lat = series["output_rows"], series["latency_ms"]
+        # Latency is monotone non-decreasing but clearly super-linear at small
+        # sizes: half of the rows costs much more than half of the latency.
+        assert np.all(np.diff(lat) >= -1e-9)
+        quarter = max(len(rows) // 4, 1)
+        linear_estimate = lat[-1] * rows[quarter] / rows[-1]
+        assert lat[quarter] > 1.15 * linear_estimate

@@ -1,0 +1,33 @@
+"""Fig. 15: max transmission vs max compute latency per method (DB, 50 Mbps).
+
+Expected shape (paper): layer-by-layer methods (CoEdge/MoDNN/MeDNN) have the
+largest transmission component; equal-split methods (DeepThings/DeeperThings)
+have the largest compute component (the slow Nanos get half the rows);
+DistrEdge keeps both in check.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_fig15_latency_breakdown(benchmark, fast_harness):
+    data = run_once(benchmark, lambda: figures.figure15(fast_harness))
+    print("\n=== Fig. 15: latency breakdown (DB, 50 Mbps, VGG-16) ===")
+    for method, row in data.items():
+        print(
+            f"  {method:13s} max_trans={row['max_transmission_ms']:7.1f} ms  "
+            f"max_comp={row['max_compute_ms']:7.1f} ms  e2e={row['end_to_end_ms']:7.1f} ms  "
+            f"({row['ips']:.2f} IPS)"
+        )
+
+    # Layer-by-layer methods transmit more than fused-volume methods.
+    assert data["coedge"]["max_transmission_ms"] > data["distredge"]["max_transmission_ms"]
+    assert data["modnn"]["max_transmission_ms"] > data["aofl"]["max_transmission_ms"]
+    # Equal-split methods leave the slowest device with more compute than
+    # DistrEdge does.
+    assert data["deeperthings"]["max_compute_ms"] > data["distredge"]["max_compute_ms"]
+    # DistrEdge has the lowest (or tied-lowest) end-to-end latency.
+    best = min(row["end_to_end_ms"] for row in data.values())
+    assert data["distredge"]["end_to_end_ms"] <= best * 1.1

@@ -1,0 +1,37 @@
+"""Tables I-III: the scenario catalogue underlying every evaluation figure.
+
+The paper's tables define device/bandwidth groups rather than results; this
+benchmark materialises every group and reports its composition plus the
+single-device Offload IPS for reference (the cheapest method), verifying the
+whole catalogue is buildable end to end.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.scenarios import ScenarioCatalog
+
+
+def test_tables_1_2_3_catalog(benchmark, fast_harness):
+    def run():
+        rows = {}
+        catalog = {}
+        catalog.update(ScenarioCatalog.table1_groups(200.0))
+        catalog.update({f"{k}-nano": v for k, v in ScenarioCatalog.table2_groups("nano").items()})
+        catalog.update(ScenarioCatalog.table3_groups())
+        for name, scenario in catalog.items():
+            result = fast_harness.run("offload", scenario, model_name="vgg16")
+            rows[name] = {
+                "devices": len(scenario.device_specs),
+                "types": "+".join(sorted(set(scenario.device_types))),
+                "offload_ips": round(result.ips, 2),
+            }
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\n=== Tables I-III scenario catalogue (offload reference) ===")
+    for name, row in rows.items():
+        print(f"  {name:10s} devices={row['devices']:2d} types={row['types']:22s} "
+              f"offload={row['offload_ips']:6.2f} IPS")
+    assert len(rows) == 11
+    assert all(row["offload_ips"] > 0 for row in rows.values())

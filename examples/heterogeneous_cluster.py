@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Compare all eight distribution methods on a heterogeneous cluster.
+
+Reproduces a slice of the paper's Fig. 7: the heterogeneous device group DB
+(Xavier x2 + Nano x2) evaluated at both 50 Mbps and 300 Mbps WiFi, with all
+seven baselines plus DistrEdge.  The expected shape (not the absolute
+numbers): layer-by-layer methods (CoEdge/MoDNN/MeDNN) suffer at low
+bandwidth, equal-split methods (DeepThings/DeeperThings) suffer from the slow
+Nanos, AOFL's linear ratios misallocate work, and DistrEdge matches or beats
+the best of them in every column.
+
+Run:  python examples/heterogeneous_cluster.py  [--episodes N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import ExperimentHarness, HarnessConfig, ScenarioCatalog
+from repro.experiments.harness import ALL_METHODS
+from repro.experiments.reporting import format_ips_table, speedup_summary
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=150)
+    parser.add_argument("--group", default="DB", choices=["DA", "DB", "DC"])
+    parser.add_argument("--model", default="vgg16")
+    args = parser.parse_args()
+
+    harness = ExperimentHarness(
+        HarnessConfig(osds_episodes=args.episodes, num_random_splits=20, seed=0)
+    )
+    results = {}
+    for mbps in (50.0, 300.0):
+        scenario = ScenarioCatalog.table1_groups(mbps)[args.group].with_bandwidth(
+            mbps, suffix=f"{mbps:g}"
+        )
+        comparison = harness.compare(scenario, ALL_METHODS, args.model)
+        results[scenario.name] = harness.ips_table(comparison)
+
+    print(format_ips_table(results, methods=list(ALL_METHODS),
+                           title=f"IPS on group {args.group} ({args.model})"))
+    print("\nDistrEdge speedup over the best baseline per scenario:")
+    for name, speedup in speedup_summary(results).items():
+        print(f"  {name}: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Survey the model zoo: split correctness and distribution across models.
+
+Part 1 verifies, numerically, that vertically splitting a layer-volume and
+merging the per-device outputs reproduces whole-model execution exactly —
+the property that lets DistrEdge distribute *unmodified* CNNs with no
+accuracy loss.
+
+Part 2 plans three of the paper's models (per Figs. 10-11) on the
+heterogeneous-bandwidth group NA with Nano providers and reports IPS for
+DistrEdge, AOFL and Offload.
+
+Run:  python examples/model_zoo_survey.py
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import model_zoo
+from repro.experiments import ExperimentHarness, HarnessConfig, ScenarioCatalog
+from repro.experiments.scenarios import Scenario
+from repro.nn.execution import ModelExecutor, SplitExecutor
+from repro.nn.splitting import SplitDecision
+
+
+def verify_split_correctness() -> None:
+    """Exact equality of split execution and whole execution on a small CNN."""
+    model = model_zoo.small_vgg(64)
+    executor = ModelExecutor(model, seed=7)
+    splitter = SplitExecutor(executor)
+    volume = model.volume(0, 6)
+    x = executor.random_input()
+    whole = executor.run_volume(volume, x)
+    decision = SplitDecision.from_fractions([0.45, 0.3, 0.15, 0.1], volume.output_height)
+    merged, parts = splitter.run_split(volume, decision, x)
+    max_diff = float(np.abs(whole - merged).max())
+    print("Part 1 — split-and-merge correctness on small_vgg")
+    print(f"  parts: {[p.out_rows for p in parts]}")
+    print(f"  max |whole - merged| = {max_diff:.2e}  (lossless up to float32 rounding)")
+
+
+def survey_models(models, episodes: int) -> None:
+    harness = ExperimentHarness(
+        HarnessConfig(osds_episodes=episodes, num_random_splits=15, seed=0)
+    )
+    base = ScenarioCatalog.table2_groups("nano")["NA"]
+    scenario = Scenario("NA-nano", base.device_specs, base.description)
+    methods = ("aofl", "offload", "distredge")
+    print("\nPart 2 — IPS on group NA (Nano providers)")
+    print(f"{'model':14s} " + " ".join(f"{m:>10s}" for m in methods))
+    for name in models:
+        row = harness.compare(scenario, methods, name)
+        print(f"{name:14s} " + " ".join(f"{row[m].ips:10.1f}" for m in methods))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=100)
+    parser.add_argument(
+        "--models", nargs="+", default=["resnet50", "yolov2", "openpose"],
+        choices=model_zoo.list_models(),
+    )
+    args = parser.parse_args()
+    verify_split_correctness()
+    survey_models(args.models, args.episodes)
+
+
+if __name__ == "__main__":
+    main()

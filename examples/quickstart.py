@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Quickstart: distribute VGG-16 inference over a small heterogeneous cluster.
+
+This example walks the full DistrEdge pipeline on a simulated testbed of two
+Jetson Xaviers and two Jetson Nanos connected over 300 Mbps WiFi:
+
+1. build the model and the cluster,
+2. run LC-PSS (Algorithm 1) to partition the model into layer-volumes,
+3. run OSDS (Algorithm 2, DDPG) to split every volume across the providers,
+4. evaluate the resulting plan and compare it against single-device offload.
+
+Run:  python examples/quickstart.py  [--episodes N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import (
+    DistrEdge,
+    DistrEdgeConfig,
+    DistributionPlan,
+    NetworkModel,
+    PlanEvaluator,
+    make_cluster,
+    model_zoo,
+)
+from repro.core import OSDSConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--episodes", type=int, default=200, help="OSDS training episodes (paper: 4000)"
+    )
+    parser.add_argument("--model", default="vgg16", choices=model_zoo.list_models())
+    parser.add_argument("--bandwidth", type=float, default=300.0, help="WiFi Mbps per device")
+    args = parser.parse_args()
+
+    model = model_zoo.get(args.model)
+    print(f"Model: {model.name} — {model.num_spatial_layers} spatial layers, "
+          f"{model.backbone_macs / 1e9:.1f} GMACs backbone")
+
+    devices = make_cluster(
+        [("xavier", args.bandwidth), ("xavier", args.bandwidth),
+         ("nano", args.bandwidth), ("nano", args.bandwidth)]
+    )
+    network = NetworkModel.constant_from_devices(devices)
+    evaluator = PlanEvaluator(devices, network)
+    print("Cluster:", ", ".join(str(d) for d in devices))
+
+    # Baseline: offload everything to the fastest device.
+    offload = DistributionPlan.single_device(model, devices, 0, method="offload")
+    offload_eval = evaluator.evaluate(offload)
+    print(f"\nOffload to {devices[0].device_id}: "
+          f"{offload_eval.end_to_end_ms:.1f} ms/image ({offload_eval.ips:.1f} IPS)")
+
+    # DistrEdge: LC-PSS + OSDS.
+    config = DistrEdgeConfig(
+        num_random_splits=30,
+        osds=OSDSConfig(max_episodes=args.episodes, seed=0),
+        seed=0,
+    )
+    planner = DistrEdge(config)
+    start = time.time()
+    result = planner.plan_detailed(model, devices, network)
+    elapsed = time.time() - start
+
+    print(f"\nDistrEdge planning took {elapsed:.1f}s "
+          f"({result.osds.episodes_run} OSDS episodes)")
+    print(f"LC-PSS partition boundaries (alpha={config.alpha}): {result.lcpss.boundaries}")
+    print(result.plan.describe())
+
+    final = evaluator.evaluate(result.plan)
+    print(f"\nDistrEdge: {final.end_to_end_ms:.1f} ms/image ({final.ips:.1f} IPS)")
+    print(f"Speedup over offload: {offload_eval.end_to_end_ms / final.end_to_end_ms:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Baseline CNN-inference-distribution methods (Section V-B).
+
+Seven baselines are reproduced, each returning the same
+:class:`~repro.runtime.plan.DistributionPlan` type as DistrEdge so all
+methods run through the identical runtime:
+
+================  ==========================================================
+CoEdge            linear device+network models, layer-by-layer split
+MoDNN             linear device model, layer-by-layer split
+MeDNN             linear device model with pruning of weak devices,
+                  layer-by-layer split
+DeepThings        one fused layer-volume (early layers) split equally, the
+                  remaining layers on the gateway device
+DeeperThings      multiple fused layer-volumes, equal split
+AOFL              linear device+network models, brute-force fused-layer
+                  partition search, proportional split
+Offload           the whole model on the single best provider
+================  ==========================================================
+"""
+
+from repro.baselines.base import BaselinePlanner, capability_vector
+from repro.baselines.linear_model import LinearLatencyModel
+from repro.baselines.offload import OffloadPlanner
+from repro.baselines.modnn import MoDNNPlanner
+from repro.baselines.mednn import MeDNNPlanner
+from repro.baselines.coedge import CoEdgePlanner
+from repro.baselines.deepthings import DeepThingsPlanner
+from repro.baselines.deeperthings import DeeperThingsPlanner
+from repro.baselines.aofl import AOFLPlanner
+
+#: All baseline planner classes keyed by their method name.
+BASELINE_REGISTRY = {
+    cls.method_name: cls
+    for cls in (
+        CoEdgePlanner,
+        MoDNNPlanner,
+        MeDNNPlanner,
+        DeepThingsPlanner,
+        DeeperThingsPlanner,
+        AOFLPlanner,
+        OffloadPlanner,
+    )
+}
+
+__all__ = [
+    "BaselinePlanner",
+    "capability_vector",
+    "LinearLatencyModel",
+    "OffloadPlanner",
+    "MoDNNPlanner",
+    "MeDNNPlanner",
+    "CoEdgePlanner",
+    "DeepThingsPlanner",
+    "DeeperThingsPlanner",
+    "AOFLPlanner",
+    "BASELINE_REGISTRY",
+]

@@ -1,0 +1,106 @@
+"""Shared infrastructure for the baseline planners.
+
+Every baseline implements :class:`BaselinePlanner` — the same ``plan()``
+signature as :class:`~repro.core.distredge.DistrEdge` — so the experiment
+harness treats all methods uniformly.
+
+The linear-model baselines reduce each device to a scalar *computing
+capability* (operations per second).  When latency profiles are supplied the
+capability is estimated from them (exactly what those papers do with their
+own profiling runs); otherwise the device catalogue's peak throughput is
+used.  Either way, the capability deliberately ignores the tile-quantisation
+staircase, per-layer launch overheads and memory-bound behaviour of the true
+latency model — that omission *is* the baselines' documented assumption and
+the source of the gap DistrEdge exploits.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.devices.profiles import LatencyProfile, estimate_capability
+from repro.devices.specs import DeviceInstance
+from repro.network.topology import NetworkModel
+from repro.nn.graph import ModelSpec
+from repro.runtime.plan import DistributionPlan
+
+
+def capability_vector(
+    model: ModelSpec,
+    devices: Sequence[DeviceInstance],
+    profiles: Optional[Sequence[LatencyProfile]] = None,
+) -> np.ndarray:
+    """Per-device computing capability in MACs/second (the linear model).
+
+    With profiles the capability is the backbone MAC count divided by the
+    profile-predicted full-backbone latency; without profiles it falls back
+    to the catalogue's peak throughput.
+    """
+    if profiles is not None:
+        if len(profiles) != len(devices):
+            raise ValueError(
+                f"{len(devices)} devices but {len(profiles)} profiles were provided"
+            )
+        return np.array(
+            [
+                estimate_capability(model, profile, device_type=d.type_name).macs_per_second
+                for d, profile in zip(devices, profiles)
+            ],
+            dtype=float,
+        )
+    return np.array([d.dtype.peak_macs_per_s for d in devices], dtype=float)
+
+
+def bandwidth_vector(devices: Sequence[DeviceInstance], network: NetworkModel) -> np.ndarray:
+    """Nominal per-provider bandwidth (Mbps) as seen by the planners."""
+    return np.array(
+        [network.nominal_mbps(i) for i in range(len(devices))],
+        dtype=float,
+    )
+
+
+class BaselinePlanner(abc.ABC):
+    """Interface shared by every distribution method."""
+
+    #: Short identifier used in result tables (e.g. ``"coedge"``).
+    method_name: str = "baseline"
+
+    @abc.abstractmethod
+    def plan(
+        self,
+        model: ModelSpec,
+        devices: Sequence[DeviceInstance],
+        network: NetworkModel,
+        profiles: Optional[Sequence[LatencyProfile]] = None,
+    ) -> DistributionPlan:
+        """Produce a distribution plan for the given deployment."""
+
+    # Convenience -------------------------------------------------------- #
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(method={self.method_name!r})"
+
+
+def pool_boundaries(model: ModelSpec) -> List[int]:
+    """Partition boundaries after every pooling layer (a natural fusion grid).
+
+    Always includes 0 and the number of spatial layers; consecutive
+    duplicates are removed (e.g. when the model ends with a pooling layer).
+    """
+    bounds = [0]
+    spatial = model.spatial_layers
+    for idx, layer in enumerate(spatial):
+        if type(layer).__name__ == "PoolSpec" and idx + 1 < len(spatial):
+            bounds.append(idx + 1)
+    bounds.append(len(spatial))
+    return sorted(set(bounds))
+
+
+__all__ = [
+    "BaselinePlanner",
+    "capability_vector",
+    "bandwidth_vector",
+    "pool_boundaries",
+]

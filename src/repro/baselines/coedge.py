@@ -1,0 +1,63 @@
+"""CoEdge (Zeng et al., ToN 2020): layer-by-layer split with linear
+device *and* network models.
+
+CoEdge chooses, for every layer, the workload share that equalises each
+device's (linear) compute time plus the time to receive its share of the
+input over its link.  It therefore reacts to bandwidth differences — unlike
+MoDNN/MeDNN — but still assumes latency is proportional to assigned rows and
+still transmits between every pair of consecutive layers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.base import BaselinePlanner, capability_vector
+from repro.baselines.linear_model import LinearLatencyModel
+from repro.devices.profiles import LatencyProfile
+from repro.devices.specs import DeviceInstance
+from repro.network.topology import NetworkModel
+from repro.nn.graph import ModelSpec
+from repro.nn.splitting import SplitDecision
+from repro.runtime.plan import DistributionPlan
+from repro.utils.units import FP16_BYTES
+
+
+class CoEdgePlanner(BaselinePlanner):
+    """Layer-by-layer splitting balancing linear compute + transmission time."""
+
+    method_name = "coedge"
+
+    def plan(
+        self,
+        model: ModelSpec,
+        devices: Sequence[DeviceInstance],
+        network: NetworkModel,
+        profiles: Optional[Sequence[LatencyProfile]] = None,
+    ) -> DistributionPlan:
+        capabilities = capability_vector(model, devices, profiles)
+        linear = LinearLatencyModel(model, devices, network, capabilities)
+        boundaries = model.layer_by_layer_partition()
+        volumes = model.partition(boundaries)
+        decisions = []
+        for volume in volumes:
+            macs_per_row = volume.macs / max(volume.output_height, 1)
+            # Bytes a device must pull per assigned output row: the matching
+            # rows of the layer's input tensor (stride-scaled).
+            row_bytes = (
+                volume.first.in_w * volume.first.in_c * FP16_BYTES * volume.first.stride
+            )
+            fractions = linear.proportional_fractions(
+                macs_per_row, volume_row_bytes=row_bytes, use_network=True
+            )
+            decisions.append(SplitDecision.from_fractions(fractions, volume.output_height))
+        return DistributionPlan(
+            model=model,
+            devices=devices,
+            boundaries=boundaries,
+            decisions=decisions,
+            method=self.method_name,
+        )
+
+
+__all__ = ["CoEdgePlanner"]

@@ -1,0 +1,53 @@
+"""DeeperThings (Stahl et al., IJPP 2021): multiple fused blocks, equal split.
+
+DeeperThings extends DeepThings by fusing *all* layers of the network into a
+sequence of fused blocks (including the fully-connected layers via filter
+splitting) so that no single device ever has to hold the whole model.  For
+the latency-oriented comparison of the paper, the relevant behaviour is:
+multiple fused layer-volumes covering the entire spatial prefix, each split
+*equally* across the devices (homogeneous-cluster assumption retained).
+
+The fusion grid follows the model's pooling boundaries, which is how the
+original partitions convolutional stacks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.base import BaselinePlanner, pool_boundaries
+from repro.devices.profiles import LatencyProfile
+from repro.devices.specs import DeviceInstance
+from repro.network.topology import NetworkModel
+from repro.nn.graph import ModelSpec
+from repro.nn.splitting import SplitDecision
+from repro.runtime.plan import DistributionPlan
+
+
+class DeeperThingsPlanner(BaselinePlanner):
+    """Equal split of every pool-bounded fused block."""
+
+    method_name = "deeperthings"
+
+    def plan(
+        self,
+        model: ModelSpec,
+        devices: Sequence[DeviceInstance],
+        network: NetworkModel,
+        profiles: Optional[Sequence[LatencyProfile]] = None,
+    ) -> DistributionPlan:
+        boundaries = pool_boundaries(model)
+        volumes = model.partition(boundaries)
+        decisions = [
+            SplitDecision.equal(len(devices), volume.output_height) for volume in volumes
+        ]
+        return DistributionPlan(
+            model=model,
+            devices=devices,
+            boundaries=boundaries,
+            decisions=decisions,
+            method=self.method_name,
+        )
+
+
+__all__ = ["DeeperThingsPlanner"]

@@ -1,0 +1,90 @@
+"""DeepThings (Zhao et al., TCAD 2018): fused tile partitioning, equal split.
+
+DeepThings fuses the early convolutional layers into a single fused block
+(Fused Tile Partitioning) whose output grid is divided *equally* among the
+participating devices; the remaining layers are executed on the gateway
+device.  The equal split reflects DeepThings' homogeneous-cluster assumption
+— the limitation the paper highlights for heterogeneous testbeds.
+
+In this reproduction the fused block covers the spatial prefix up to the
+point where the feature-map height has shrunk to ``fuse_until_height_ratio``
+of the input height (default one quarter, matching DeepThings' use of the
+early, activation-heavy layers), and the gateway is the most capable
+provider.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaselinePlanner, capability_vector
+from repro.devices.profiles import LatencyProfile
+from repro.devices.specs import DeviceInstance
+from repro.network.topology import NetworkModel
+from repro.nn.graph import ModelSpec
+from repro.nn.splitting import SplitDecision
+from repro.runtime.plan import DistributionPlan
+
+
+class DeepThingsPlanner(BaselinePlanner):
+    """One fused layer-volume split equally + remaining layers on the gateway."""
+
+    method_name = "deepthings"
+
+    def __init__(self, fuse_until_height_ratio: float = 0.25) -> None:
+        if not 0.0 < fuse_until_height_ratio <= 1.0:
+            raise ValueError(
+                f"fuse_until_height_ratio must be in (0, 1], got {fuse_until_height_ratio}"
+            )
+        self.fuse_until_height_ratio = float(fuse_until_height_ratio)
+
+    # ------------------------------------------------------------------ #
+    def fused_prefix_length(self, model: ModelSpec) -> int:
+        """Number of leading spatial layers included in the fused block."""
+        spatial = model.spatial_layers
+        input_height = spatial[0].in_h
+        threshold = input_height * self.fuse_until_height_ratio
+        end = len(spatial)
+        for idx, layer in enumerate(spatial):
+            if layer.out_h <= threshold:
+                end = idx + 1
+                break
+        return max(1, min(end, len(spatial)))
+
+    def plan(
+        self,
+        model: ModelSpec,
+        devices: Sequence[DeviceInstance],
+        network: NetworkModel,
+        profiles: Optional[Sequence[LatencyProfile]] = None,
+    ) -> DistributionPlan:
+        capabilities = capability_vector(model, devices, profiles)
+        gateway = int(np.argmax(capabilities))
+        prefix = self.fused_prefix_length(model)
+        n_spatial = model.num_spatial_layers
+        num_devices = len(devices)
+
+        if prefix >= n_spatial:
+            boundaries = [0, n_spatial]
+            volumes = model.partition(boundaries)
+            decisions = [SplitDecision.equal(num_devices, volumes[0].output_height)]
+        else:
+            boundaries = [0, prefix, n_spatial]
+            volumes = model.partition(boundaries)
+            decisions = [
+                SplitDecision.equal(num_devices, volumes[0].output_height),
+                SplitDecision.single_device(gateway, num_devices, volumes[1].output_height),
+            ]
+        return DistributionPlan(
+            model=model,
+            devices=devices,
+            boundaries=boundaries,
+            decisions=decisions,
+            head_device=gateway,
+            method=self.method_name,
+        )
+
+
+__all__ = ["DeepThingsPlanner"]

@@ -1,0 +1,136 @@
+"""The linear latency model assumed by CoEdge / MoDNN / MeDNN / AOFL.
+
+These baselines predict the latency of a candidate distribution as
+
+    compute_i  = MACs_i / capability_i
+    transmit_i = bytes_i / bandwidth_i
+    volume_l   = max_i (compute_i + transmit_i)
+    total      = sum_l volume_l
+
+— a model that is linear in the amount of work and data assigned to each
+device and that ignores tile quantisation, per-layer launch overheads,
+memory-bound layers and I/O fixed costs.  The model is used *only for the
+baselines' own planning decisions*; every method is evaluated on the true
+nonlinear simulator, which is exactly the setting of the paper (the
+baselines' assumptions are what DistrEdge relaxes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.devices.specs import DeviceInstance
+from repro.network.topology import NetworkModel
+from repro.nn.graph import ModelSpec
+from repro.nn.splitting import SplitDecision, split_volume
+from repro.runtime.plan import redistribution_bytes
+from repro.utils.units import FP16_BYTES, bytes_per_second
+
+
+class LinearLatencyModel:
+    """Latency predictions under the baselines' linear assumptions."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        devices: Sequence[DeviceInstance],
+        network: NetworkModel,
+        capabilities: np.ndarray,
+        input_bytes_per_element: float = 0.4,
+    ) -> None:
+        if len(capabilities) != len(devices):
+            raise ValueError("capabilities must have one entry per device")
+        self.model = model
+        self.devices = list(devices)
+        self.network = network
+        self.capabilities = np.asarray(capabilities, dtype=float)
+        self.input_bytes_per_element = float(input_bytes_per_element)
+
+    # ------------------------------------------------------------------ #
+    def _bandwidths_mbps(self) -> np.ndarray:
+        return np.array(
+            [self.network.nominal_mbps(i) for i in range(len(self.devices))], dtype=float
+        )
+
+    def predict_plan_latency_ms(
+        self,
+        boundaries: Sequence[int],
+        decisions: Sequence[SplitDecision],
+    ) -> float:
+        """Linear-model end-to-end latency of a candidate plan (ms)."""
+        volumes = self.model.partition(boundaries)
+        if len(volumes) != len(decisions):
+            raise ValueError("one split decision per volume is required")
+        bandwidths = self._bandwidths_mbps()
+        total_ms = 0.0
+        prev_parts = None
+        for volume, decision in zip(volumes, decisions):
+            parts = split_volume(volume, decision)
+            compute_ms = np.zeros(len(self.devices))
+            transmit_ms = np.zeros(len(self.devices))
+            for part in parts:
+                if part.is_empty:
+                    continue
+                i = part.device_index
+                compute_ms[i] = part.macs / self.capabilities[i] * 1000.0
+            if prev_parts is None:
+                in_w, in_c = volume.first.in_w, volume.first.in_c
+                for part in parts:
+                    if part.is_empty:
+                        continue
+                    i = part.device_index
+                    n_bytes = part.num_input_rows * in_w * in_c * self.input_bytes_per_element
+                    transmit_ms[i] = n_bytes / bytes_per_second(bandwidths[i]) * 1000.0
+            else:
+                row_bytes = volume.first.in_w * volume.first.in_c * FP16_BYTES
+                for (src, dst), n_bytes in redistribution_bytes(
+                    prev_parts, parts, row_bytes
+                ).items():
+                    rate = min(bandwidths[src], bandwidths[dst])
+                    transmit_ms[dst] += n_bytes / bytes_per_second(rate) * 1000.0
+            total_ms += float(np.max(compute_ms + transmit_ms))
+            prev_parts = parts
+        # Final gather of the last volume's output to the requester/head.
+        last_parts = prev_parts or []
+        gather_ms = 0.0
+        for part in last_parts:
+            if part.is_empty:
+                continue
+            rate = bandwidths[part.device_index]
+            gather_ms = max(
+                gather_ms, part.output_bytes / bytes_per_second(rate) * 1000.0
+            )
+        return total_ms + gather_ms
+
+    # ------------------------------------------------------------------ #
+    def proportional_fractions(
+        self,
+        volume_macs_per_row: float,
+        volume_row_bytes: float,
+        use_network: bool = True,
+        active: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-device fractions that equalise the linear per-row cost.
+
+        ``use_network=False`` reproduces MoDNN/MeDNN (compute-capability
+        ratio only); ``True`` reproduces CoEdge/AOFL (compute plus the
+        device's link time for the rows it must receive).  ``active`` masks
+        devices that should receive no work.
+        """
+        n = len(self.devices)
+        bandwidths = self._bandwidths_mbps()
+        seconds_per_row = volume_macs_per_row / self.capabilities
+        if use_network:
+            link_bytes_per_s = np.array([bytes_per_second(b) for b in bandwidths])
+            seconds_per_row = seconds_per_row + volume_row_bytes / link_bytes_per_s
+        rates = 1.0 / np.maximum(seconds_per_row, 1e-12)
+        if active is not None:
+            rates = np.where(active, rates, 0.0)
+        if rates.sum() <= 0:
+            rates = np.ones(n)
+        return rates / rates.sum()
+
+
+__all__ = ["LinearLatencyModel"]

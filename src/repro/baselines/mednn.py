@@ -1,0 +1,70 @@
+"""MeDNN (Mao et al., ICCAD 2017): MoDNN with enhanced partition/deployment.
+
+MeDNN keeps MoDNN's linear capability model and layer-by-layer splitting but
+adds a deployment-pruning step: devices whose capability share is too small
+to amortise their coordination overhead are excluded and their share is
+redistributed over the remaining devices.  (In the original system this is
+the "greedy two-dimensional partition" plus its deployment heuristics; the
+pruning captures the behaviour that matters for heterogeneous clusters —
+e.g. a Raspberry Pi alongside Jetson boards no longer receives a sliver of
+every layer.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaselinePlanner, capability_vector
+from repro.baselines.linear_model import LinearLatencyModel
+from repro.devices.profiles import LatencyProfile
+from repro.devices.specs import DeviceInstance
+from repro.network.topology import NetworkModel
+from repro.nn.graph import ModelSpec
+from repro.nn.splitting import SplitDecision
+from repro.runtime.plan import DistributionPlan
+
+
+class MeDNNPlanner(BaselinePlanner):
+    """Layer-by-layer capability-proportional split with weak-device pruning."""
+
+    method_name = "mednn"
+
+    def __init__(self, prune_threshold: float = 0.05) -> None:
+        if not 0.0 <= prune_threshold < 1.0:
+            raise ValueError(f"prune_threshold must be in [0, 1), got {prune_threshold}")
+        self.prune_threshold = float(prune_threshold)
+
+    def plan(
+        self,
+        model: ModelSpec,
+        devices: Sequence[DeviceInstance],
+        network: NetworkModel,
+        profiles: Optional[Sequence[LatencyProfile]] = None,
+    ) -> DistributionPlan:
+        capabilities = capability_vector(model, devices, profiles)
+        share = capabilities / capabilities.sum()
+        active = share >= self.prune_threshold
+        if not np.any(active):
+            active = share == share.max()
+        linear = LinearLatencyModel(model, devices, network, capabilities)
+        boundaries = model.layer_by_layer_partition()
+        volumes = model.partition(boundaries)
+        decisions = []
+        for volume in volumes:
+            macs_per_row = volume.macs / max(volume.output_height, 1)
+            fractions = linear.proportional_fractions(
+                macs_per_row, volume_row_bytes=0.0, use_network=False, active=active
+            )
+            decisions.append(SplitDecision.from_fractions(fractions, volume.output_height))
+        return DistributionPlan(
+            model=model,
+            devices=devices,
+            boundaries=boundaries,
+            decisions=decisions,
+            method=self.method_name,
+        )
+
+
+__all__ = ["MeDNNPlanner"]

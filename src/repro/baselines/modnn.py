@@ -1,0 +1,55 @@
+"""MoDNN (Mao et al., DATE 2017): layer-by-layer, capability-proportional split.
+
+MoDNN partitions every layer independently across the participating devices,
+with each device's share proportional to its (assumed linear) computing
+capability.  Network conditions are not taken into account when choosing the
+split ratios — one of the stated limitations the paper addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.base import BaselinePlanner, capability_vector
+from repro.baselines.linear_model import LinearLatencyModel
+from repro.devices.profiles import LatencyProfile
+from repro.devices.specs import DeviceInstance
+from repro.network.topology import NetworkModel
+from repro.nn.graph import ModelSpec
+from repro.nn.splitting import SplitDecision
+from repro.runtime.plan import DistributionPlan
+
+
+class MoDNNPlanner(BaselinePlanner):
+    """Layer-by-layer splitting proportional to compute capability only."""
+
+    method_name = "modnn"
+
+    def plan(
+        self,
+        model: ModelSpec,
+        devices: Sequence[DeviceInstance],
+        network: NetworkModel,
+        profiles: Optional[Sequence[LatencyProfile]] = None,
+    ) -> DistributionPlan:
+        capabilities = capability_vector(model, devices, profiles)
+        linear = LinearLatencyModel(model, devices, network, capabilities)
+        boundaries = model.layer_by_layer_partition()
+        volumes = model.partition(boundaries)
+        decisions = []
+        for volume in volumes:
+            macs_per_row = volume.macs / max(volume.output_height, 1)
+            fractions = linear.proportional_fractions(
+                macs_per_row, volume_row_bytes=0.0, use_network=False
+            )
+            decisions.append(SplitDecision.from_fractions(fractions, volume.output_height))
+        return DistributionPlan(
+            model=model,
+            devices=devices,
+            boundaries=boundaries,
+            decisions=decisions,
+            method=self.method_name,
+        )
+
+
+__all__ = ["MoDNNPlanner"]

@@ -1,0 +1,40 @@
+"""Offload baseline: run the whole model on the single best provider.
+
+Section V-B: "We select the service provider with the best computing
+hardware (e.g., the best GPU) to offload the CNN inference."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaselinePlanner, capability_vector
+from repro.devices.profiles import LatencyProfile
+from repro.devices.specs import DeviceInstance
+from repro.network.topology import NetworkModel
+from repro.nn.graph import ModelSpec
+from repro.runtime.plan import DistributionPlan
+
+
+class OffloadPlanner(BaselinePlanner):
+    """Single-device offloading to the most capable provider."""
+
+    method_name = "offload"
+
+    def plan(
+        self,
+        model: ModelSpec,
+        devices: Sequence[DeviceInstance],
+        network: NetworkModel,
+        profiles: Optional[Sequence[LatencyProfile]] = None,
+    ) -> DistributionPlan:
+        capabilities = capability_vector(model, devices, profiles)
+        best = int(np.argmax(capabilities))
+        return DistributionPlan.single_device(
+            model, devices, best, method=self.method_name
+        )
+
+
+__all__ = ["OffloadPlanner"]

@@ -1,0 +1,170 @@
+"""Command-line interface for the DistrEdge reproduction.
+
+Three subcommands cover the common workflows without writing Python:
+
+``plan``
+    Run a distribution method (DistrEdge or any baseline) on a named model
+    and an ad-hoc cluster specification, print the resulting strategy and its
+    predicted IPS, and optionally save the plan to JSON.
+``evaluate``
+    Load a saved plan and evaluate it under a (possibly different) bandwidth,
+    reporting latency, IPS and the per-device breakdown.
+``compare``
+    Run every method on one scenario from the paper's catalogue and print the
+    IPS table (a single cell of Figs. 7-9).
+
+Examples
+--------
+::
+
+    python -m repro.cli plan --model vgg16 --devices xavier:300 nano:300 \
+        --method distredge --episodes 200 --output plan.json
+    python -m repro.cli evaluate plan.json --bandwidth 50
+    python -m repro.cli compare --scenario DB --bandwidth 300 --episodes 150
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.baselines import BASELINE_REGISTRY
+from repro.core.distredge import DistrEdge, DistrEdgeConfig
+from repro.core.osds import OSDSConfig
+from repro.devices.specs import DeviceInstance, make_cluster
+from repro.experiments.harness import ALL_METHODS, ExperimentHarness, HarnessConfig
+from repro.experiments.reporting import format_ips_table
+from repro.experiments.scenarios import ScenarioCatalog
+from repro.network.topology import NetworkModel
+from repro.nn import model_zoo
+from repro.runtime.evaluator import PlanEvaluator
+from repro.runtime.serialization import evaluation_to_dict, load_plan, save_plan
+
+
+def _parse_device_specs(specs: Sequence[str]) -> List[tuple]:
+    """Parse ``type[:bandwidth]`` strings into make_cluster entries."""
+    out = []
+    for spec in specs:
+        if ":" in spec:
+            name, bandwidth = spec.split(":", 1)
+            out.append((name, float(bandwidth)))
+        else:
+            out.append((spec, 300.0))
+    return out
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    model = model_zoo.get(args.model)
+    devices = make_cluster(_parse_device_specs(args.devices))
+    network = NetworkModel.constant_from_devices(devices)
+    if args.method == "distredge":
+        planner = DistrEdge(
+            DistrEdgeConfig(
+                alpha=args.alpha,
+                num_random_splits=args.random_splits,
+                osds=OSDSConfig(max_episodes=args.episodes, seed=args.seed),
+                seed=args.seed,
+            )
+        )
+        plan = planner.plan(model, devices, network)
+    else:
+        plan = BASELINE_REGISTRY[args.method]().plan(model, devices, network)
+    print(plan.describe())
+    result = PlanEvaluator(devices, network).evaluate(plan)
+    print(f"predicted latency: {result.end_to_end_ms:.1f} ms ({result.ips:.2f} IPS)")
+    if args.output:
+        path = save_plan(plan, args.output)
+        print(f"plan written to {path}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.runtime.serialization import plan_from_dict
+
+    data = json.loads(Path(args.plan).read_text())
+    if args.bandwidth is not None:
+        for entry in data["devices"]:
+            entry["bandwidth_mbps"] = float(args.bandwidth)
+    plan = plan_from_dict(data)
+    devices = plan.devices
+    network = NetworkModel.constant_from_devices(devices)
+    result = PlanEvaluator(devices, network).evaluate(plan)
+    summary = evaluation_to_dict(result)
+    print(f"method: {plan.method}  model: {plan.model.name}")
+    print(f"latency: {summary['end_to_end_ms']:.1f} ms   IPS: {summary['ips']:.2f}")
+    print(f"max compute: {summary['max_compute_ms']:.1f} ms   "
+          f"max transmission: {summary['max_transmission_ms']:.1f} ms")
+    for device, compute in zip(devices, summary["per_device_compute_ms"]):
+        print(f"  {device.device_id:12s} compute {compute:8.1f} ms")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    groups = ScenarioCatalog.table1_groups(args.bandwidth)
+    groups.update({f"{k}-nano": v for k, v in ScenarioCatalog.table2_groups("nano").items()})
+    groups.update(ScenarioCatalog.table3_groups())
+    if args.scenario not in groups:
+        print(f"unknown scenario {args.scenario!r}; choose from {sorted(groups)}", file=sys.stderr)
+        return 2
+    scenario = groups[args.scenario]
+    harness = ExperimentHarness(
+        HarnessConfig(
+            osds_episodes=args.episodes,
+            num_random_splits=args.random_splits,
+            seed=args.seed,
+        )
+    )
+    results = harness.compare(scenario, methods=ALL_METHODS, model_name=args.model)
+    print(format_ips_table({scenario.name: harness.ips_table(results)}, methods=list(ALL_METHODS)))
+    print(f"DistrEdge speedup over best baseline: "
+          f"{harness.speedup_over_best_baseline(results):.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_plan = sub.add_parser("plan", help="plan a distribution strategy")
+    p_plan.add_argument("--model", default="vgg16", choices=model_zoo.list_models())
+    p_plan.add_argument("--devices", nargs="+", required=True,
+                        help="device specs like xavier:300 nano:50")
+    p_plan.add_argument("--method", default="distredge",
+                        choices=["distredge", *sorted(BASELINE_REGISTRY)])
+    p_plan.add_argument("--episodes", type=int, default=200)
+    p_plan.add_argument("--alpha", type=float, default=0.75)
+    p_plan.add_argument("--random-splits", type=int, default=30)
+    p_plan.add_argument("--seed", type=int, default=0)
+    p_plan.add_argument("--output", default=None, help="write the plan to this JSON file")
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_eval = sub.add_parser("evaluate", help="evaluate a saved plan")
+    p_eval.add_argument("plan", help="path to a plan JSON file")
+    p_eval.add_argument("--bandwidth", type=float, default=None,
+                        help="override every provider's bandwidth (Mbps)")
+    p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_cmp = sub.add_parser("compare", help="compare all methods on a paper scenario")
+    p_cmp.add_argument("--scenario", default="DB",
+                       help="DA/DB/DC, NA-nano..ND-nano, LA..LD")
+    p_cmp.add_argument("--bandwidth", type=float, default=300.0)
+    p_cmp.add_argument("--model", default="vgg16", choices=model_zoo.list_models())
+    p_cmp.add_argument("--episodes", type=int, default=150)
+    p_cmp.add_argument("--random-splits", type=int, default=20)
+    p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

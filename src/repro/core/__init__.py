@@ -1,0 +1,49 @@
+"""DistrEdge core algorithms.
+
+* :mod:`repro.core.cost` — the partition score ``Cp = alpha*T + (1-alpha)*O``
+  (Eq. 3) with the operation-count and transmission-volume accounting.
+* :mod:`repro.core.partitioner` — LC-PSS, the greedy Layer-Configuration
+  based Partition Scheme Search (Algorithm 1).
+* :mod:`repro.core.mdp` — the layer-volume splitting MDP (Eqs. 6-9).
+* :mod:`repro.core.networks` / :mod:`repro.core.replay` /
+  :mod:`repro.core.ddpg` — a from-scratch NumPy DDPG agent (actor-critic,
+  target networks, replay buffer, Adam).
+* :mod:`repro.core.osds` — OSDS, the Optimal Split Decision Search
+  (Algorithm 2) driving DDPG over the MDP.
+* :mod:`repro.core.distredge` — the :class:`DistrEdge` facade combining
+  LC-PSS and OSDS into a planner with the same interface as the baselines.
+* :mod:`repro.core.online` — the online adaptation controller used in the
+  highly-dynamic-network experiment (Section V-F / Fig. 13).
+"""
+
+from repro.core.cost import PartitionCostModel, partition_score
+from repro.core.partitioner import LCPSS, LCPSSResult
+from repro.core.mdp import SplitAction, SplitMDP, SplitState
+from repro.core.networks import MLP, Adam
+from repro.core.replay import ReplayBuffer, Transition
+from repro.core.ddpg import DDPGAgent, DDPGConfig
+from repro.core.osds import OSDS, OSDSConfig, OSDSResult
+from repro.core.distredge import DistrEdge, DistrEdgeConfig
+from repro.core.online import OnlineDistrEdgeController
+
+__all__ = [
+    "PartitionCostModel",
+    "partition_score",
+    "LCPSS",
+    "LCPSSResult",
+    "SplitMDP",
+    "SplitState",
+    "SplitAction",
+    "MLP",
+    "Adam",
+    "ReplayBuffer",
+    "Transition",
+    "DDPGAgent",
+    "DDPGConfig",
+    "OSDS",
+    "OSDSConfig",
+    "OSDSResult",
+    "DistrEdge",
+    "DistrEdgeConfig",
+    "OnlineDistrEdgeController",
+]

@@ -1,0 +1,203 @@
+"""Partition cost model: the ``Cp`` score of Eq. 3.
+
+LC-PSS scores a candidate partition scheme ``Rp`` by
+
+    Cp = alpha * T + (1 - alpha) * O                                 (Eq. 3)
+
+averaged over a set of *random split decisions* ``Rr_s`` (Eq. 4), where
+
+* ``O`` is the total number of operations performed by all split-parts —
+  including the recomputation caused by the halo overlap of fused
+  layer-volumes (this is what penalises overly coarse partitions), and
+* ``T`` is the total amount of data transmitted between endpoints for one
+  inference — the requester's scatter, every volume-boundary redistribution
+  and the final gather (this is what penalises overly fine partitions).
+
+Both terms are normalised before mixing (operations by the single-device
+backbone MAC count, transmission by the total activation footprint of the
+model) so that ``alpha`` is a dimensionless trade-off knob, as in the paper
+where ``alpha`` ranges over [0, 1] and 0.75 works best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.graph import ModelSpec
+from repro.nn.splitting import SplitDecision, split_volume
+from repro.runtime.plan import redistribution_bytes, scatter_bytes
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.units import FP16_BYTES
+from repro.utils.validation import check_fraction
+
+
+def random_split_decisions(
+    num_devices: int,
+    output_height: int,
+    count: int,
+    rng: np.random.Generator,
+) -> List[SplitDecision]:
+    """Draw ``count`` random split decisions for one layer-volume.
+
+    Decisions are uniform random fractions over the devices, occasionally
+    zeroing a device, mimicking the diversity of splits OSDS may later
+    choose.  The same random fractions are reused across candidate partitions
+    by seeding the generator once per LC-PSS run.
+    """
+    decisions = []
+    for _ in range(count):
+        fractions = rng.random(num_devices)
+        drop = rng.random(num_devices) < 0.2
+        fractions = np.where(drop, 0.0, fractions)
+        if fractions.sum() <= 0:
+            fractions[int(rng.integers(num_devices))] = 1.0
+        decisions.append(SplitDecision.from_fractions(fractions, output_height))
+    return decisions
+
+
+@dataclass
+class PartitionCost:
+    """Breakdown of the cost of one (partition, split-decision) sample."""
+
+    operations: float
+    transmission_bytes: float
+    normalized_operations: float
+    normalized_transmission: float
+
+    def score(self, alpha: float) -> float:
+        """``Cp`` for a given alpha (Eq. 3, on the normalised terms)."""
+        check_fraction(alpha, "alpha")
+        return alpha * self.normalized_transmission + (1.0 - alpha) * self.normalized_operations
+
+
+class PartitionCostModel:
+    """Computes ``Cp`` for candidate partition schemes of one model.
+
+    Parameters
+    ----------
+    model:
+        The CNN model being partitioned.
+    num_devices:
+        Number of service providers (determines the split-decision arity).
+    num_random_splits:
+        ``|Rr_s|`` in the paper — how many random split decisions are
+        averaged per candidate partition (paper default: 100).
+    input_bytes_per_element:
+        Encoding of the requester's input scatter (matches the evaluator's
+        notion; see :class:`repro.runtime.evaluator.PlanEvaluator`).
+    seed:
+        Seed for the random split decisions.
+    """
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        num_devices: int,
+        num_random_splits: int = 100,
+        input_bytes_per_element: float = 0.4,
+        seed: SeedLike = 0,
+    ) -> None:
+        if num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+        if num_random_splits < 1:
+            raise ValueError(f"num_random_splits must be >= 1, got {num_random_splits}")
+        self.model = model
+        self.num_devices = int(num_devices)
+        self.num_random_splits = int(num_random_splits)
+        self.input_bytes_per_element = float(input_bytes_per_element)
+        self.seed = seed
+        # Normalisation constants: single-device operation count and the
+        # total activation footprint over the spatial prefix.
+        self._ops_norm = float(max(model.backbone_macs, 1))
+        activation_bytes = model.input_bytes + sum(l.output_bytes for l in model.spatial_layers)
+        self._bytes_norm = float(max(activation_bytes, 1))
+
+    # ------------------------------------------------------------------ #
+    def _fresh_rng(self) -> np.random.Generator:
+        # A fresh generator per scoring pass keeps the random split set
+        # identical across candidate partitions within one LC-PSS run,
+        # matching the paper where Rr_s is drawn once.
+        return as_rng(self.seed)
+
+    def sample_cost(
+        self,
+        boundaries: Sequence[int],
+        decisions_per_volume: Sequence[SplitDecision],
+    ) -> PartitionCost:
+        """Cost of one concrete (partition, split decisions) combination."""
+        volumes = self.model.partition(boundaries)
+        if len(volumes) != len(decisions_per_volume):
+            raise ValueError(
+                f"{len(volumes)} volumes but {len(decisions_per_volume)} split decisions"
+            )
+        parts_per_volume = [
+            split_volume(v, d) for v, d in zip(volumes, decisions_per_volume)
+        ]
+        operations = float(
+            sum(p.macs for parts in parts_per_volume for p in parts)
+        )
+        # Transmission: requester scatter (encoded image) ...
+        first_volume = volumes[0]
+        scatter_elements = sum(
+            p.num_input_rows * first_volume.first.in_w * first_volume.first.in_c
+            for p in parts_per_volume[0]
+            if not p.is_empty
+        )
+        transmission = scatter_elements * self.input_bytes_per_element
+        # ... plus every volume-boundary redistribution (FP16 activations) ...
+        for prev_parts, cur_volume, cur_parts in zip(
+            parts_per_volume, volumes[1:], parts_per_volume[1:]
+        ):
+            row_bytes = cur_volume.first.in_w * cur_volume.first.in_c * FP16_BYTES
+            transfers = redistribution_bytes(prev_parts, cur_parts, row_bytes)
+            transmission += float(sum(transfers.values()))
+        # ... plus the final gather of the last volume's output.
+        transmission += float(
+            sum(p.output_bytes for p in parts_per_volume[-1] if not p.is_empty)
+        )
+        return PartitionCost(
+            operations=operations,
+            transmission_bytes=transmission,
+            normalized_operations=operations / self._ops_norm,
+            normalized_transmission=transmission / self._bytes_norm,
+        )
+
+    def mean_score(self, boundaries: Sequence[int], alpha: float) -> float:
+        """Average ``Cp`` over ``|Rr_s|`` random split decisions (Eq. 4)."""
+        check_fraction(alpha, "alpha")
+        rng = self._fresh_rng()
+        volumes = self.model.partition(boundaries)
+        total = 0.0
+        for _ in range(self.num_random_splits):
+            decisions = [
+                random_split_decisions(self.num_devices, v.output_height, 1, rng)[0]
+                for v in volumes
+            ]
+            total += self.sample_cost(boundaries, decisions).score(alpha)
+        return total / self.num_random_splits
+
+
+def partition_score(
+    model: ModelSpec,
+    boundaries: Sequence[int],
+    num_devices: int,
+    alpha: float = 0.75,
+    num_random_splits: int = 100,
+    seed: SeedLike = 0,
+) -> float:
+    """Convenience wrapper: mean ``Cp`` of a partition scheme."""
+    cost_model = PartitionCostModel(
+        model, num_devices, num_random_splits=num_random_splits, seed=seed
+    )
+    return cost_model.mean_score(boundaries, alpha)
+
+
+__all__ = [
+    "PartitionCost",
+    "PartitionCostModel",
+    "partition_score",
+    "random_split_decisions",
+]

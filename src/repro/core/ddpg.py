@@ -1,0 +1,190 @@
+"""DDPG: Deep Deterministic Policy Gradient agent (Lillicrap et al. 2015).
+
+This is the continuous-action actor-critic algorithm the paper selects for
+the layer-volume splitter (Section IV-C2): discrete split decisions would
+need an action space whose dimension changes per volume and explodes with
+``H_l``, so the agent instead emits ``|D|-1`` continuous values in [-1, 1]
+that are later sorted and mapped onto integer cut points (Eq. 9).
+
+Hyper-parameter defaults follow the paper: actor learning rate 1e-4, critic
+learning rate 1e-3, discount 0.99, minibatch 64, Gaussian exploration noise
+with sigma^2 = 0.1, actor hidden layers {400, 200, 100}, critic hidden layers
+{400, 200, 100, 100}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.networks import MLP, Adam
+from repro.core.replay import ReplayBuffer, Transition
+from repro.utils.rng import SeedLike, as_rng, spawn_rng
+
+
+@dataclass
+class DDPGConfig:
+    """Hyper-parameters of the DDPG agent (paper defaults)."""
+
+    actor_hidden: Tuple[int, ...] = (400, 200, 100)
+    critic_hidden: Tuple[int, ...] = (400, 200, 100, 100)
+    actor_lr: float = 1e-4
+    critic_lr: float = 1e-3
+    gamma: float = 0.99
+    batch_size: int = 64
+    noise_sigma: float = np.sqrt(0.1)
+    tau: float = 0.01
+    buffer_capacity: int = 100_000
+    warmup_transitions: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {self.gamma}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if not 0.0 < self.tau <= 1.0:
+            raise ValueError(f"tau must be in (0, 1], got {self.tau}")
+        if self.noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be >= 0, got {self.noise_sigma}")
+
+
+class DDPGAgent:
+    """Actor-critic agent with target networks and experience replay.
+
+    The actor maps a state to an action in ``[-1, 1]^action_dim`` (tanh
+    output, matching the action-boundary ``[A, B]`` of Eq. 9); the critic
+    scores ``(state, action)`` pairs.
+    """
+
+    def __init__(
+        self,
+        state_dim: int,
+        action_dim: int,
+        config: Optional[DDPGConfig] = None,
+        seed: SeedLike = 0,
+    ) -> None:
+        if state_dim < 1 or action_dim < 1:
+            raise ValueError("state_dim and action_dim must be >= 1")
+        self.state_dim = int(state_dim)
+        self.action_dim = int(action_dim)
+        self.config = config or DDPGConfig()
+        rng = as_rng(seed)
+        net_rngs = spawn_rng(rng, 4)
+        self._rng = rng
+
+        cfg = self.config
+        self.actor = MLP(
+            [state_dim, *cfg.actor_hidden, action_dim], output_activation="tanh", seed=net_rngs[0]
+        )
+        self.critic = MLP([state_dim + action_dim, *cfg.critic_hidden, 1], seed=net_rngs[1])
+        self.target_actor = MLP(
+            [state_dim, *cfg.actor_hidden, action_dim], output_activation="tanh", seed=net_rngs[2]
+        )
+        self.target_critic = MLP([state_dim + action_dim, *cfg.critic_hidden, 1], seed=net_rngs[3])
+        self.target_actor.copy_from(self.actor)
+        self.target_critic.copy_from(self.critic)
+
+        self.actor_optimizer = Adam(learning_rate=cfg.actor_lr)
+        self.critic_optimizer = Adam(learning_rate=cfg.critic_lr)
+        self.buffer = ReplayBuffer(capacity=cfg.buffer_capacity, seed=rng.integers(2**31 - 1))
+        self.updates = 0
+
+    # ------------------------------------------------------------------ #
+    def act(self, state: np.ndarray, noise: bool = False) -> np.ndarray:
+        """Deterministic policy output, optionally with Gaussian exploration noise.
+
+        The result is clipped to the actor's [-1, 1] range so the action
+        mapping (Eq. 9) always receives in-range values.
+        """
+        action = self.actor.forward(state)[0]
+        if noise and self.config.noise_sigma > 0:
+            action = action + self._rng.normal(0.0, self.config.noise_sigma, size=action.shape)
+        return np.clip(action, -1.0, 1.0).astype(np.float32)
+
+    def random_action(self) -> np.ndarray:
+        """Uniform random action in [-1, 1] (pure exploration)."""
+        return self._rng.uniform(-1.0, 1.0, size=self.action_dim).astype(np.float32)
+
+    def remember(
+        self,
+        state: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool,
+    ) -> None:
+        """Store a transition (with the raw, unsorted action)."""
+        self.buffer.add(
+            Transition(
+                state=np.asarray(state, dtype=np.float32),
+                action=np.asarray(action, dtype=np.float32),
+                reward=float(reward),
+                next_state=np.asarray(next_state, dtype=np.float32),
+                done=bool(done),
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    def update(self) -> Optional[Tuple[float, float]]:
+        """One gradient step on critic and actor plus target soft-updates.
+
+        Returns ``(critic_loss, actor_objective)`` or ``None`` when the
+        replay buffer has not reached the warm-up size yet.
+        """
+        cfg = self.config
+        if len(self.buffer) < cfg.warmup_transitions:
+            return None
+        states, actions, rewards, next_states, dones = self.buffer.sample(cfg.batch_size)
+        batch = states.shape[0]
+
+        # --- critic update: y = r + gamma * Q'(s', mu'(s')) (0 at terminal)
+        next_actions = self.target_actor.forward(next_states)
+        target_q = self.target_critic.forward(
+            np.concatenate([next_states, next_actions], axis=1)
+        )
+        y = rewards + cfg.gamma * (1.0 - dones) * target_q
+        critic_in = np.concatenate([states, actions], axis=1)
+        q = self.critic.forward(critic_in, cache=True)
+        td_error = q - y
+        critic_loss = float(np.mean(td_error**2))
+        grad_q = (2.0 / batch) * td_error
+        critic_grads, _ = self.critic.backward(grad_q)
+        self.critic_optimizer.step(self.critic.parameters(), critic_grads)
+
+        # --- actor update: maximise Q(s, mu(s)) => gradient ascent
+        actor_actions = self.actor.forward(states, cache=True)
+        critic_in2 = np.concatenate([states, actor_actions], axis=1)
+        q_actor = self.critic.forward(critic_in2, cache=True)
+        actor_objective = float(np.mean(q_actor))
+        # dJ/da through the critic; only the action part of the input grad.
+        _, grad_input = self.critic.backward(np.full_like(q_actor, 1.0 / batch))
+        grad_action = grad_input[:, self.state_dim :]
+        # Ascend: pass -dJ/da as the "loss" gradient to the actor.
+        actor_grads, _ = self.actor.backward(-grad_action)
+        self.actor_optimizer.step(self.actor.parameters(), actor_grads)
+
+        # --- target networks
+        self.target_actor.soft_update_from(self.actor, cfg.tau)
+        self.target_critic.soft_update_from(self.critic, cfg.tau)
+        self.updates += 1
+        return critic_loss, actor_objective
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """Copy of actor/critic parameters (used to store the best policy)."""
+        return {
+            "actor": [p.copy() for p in self.actor.parameters()],
+            "critic": [p.copy() for p in self.critic.parameters()],
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Restore parameters produced by :meth:`snapshot`."""
+        self.actor.set_parameters(snapshot["actor"])
+        self.critic.set_parameters(snapshot["critic"])
+        self.target_actor.copy_from(self.actor)
+        self.target_critic.copy_from(self.critic)
+
+
+__all__ = ["DDPGConfig", "DDPGAgent"]

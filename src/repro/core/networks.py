@@ -1,0 +1,206 @@
+"""Minimal NumPy neural-network toolkit for the DDPG agent.
+
+No deep-learning framework is available offline, so the actor and critic are
+implemented directly on NumPy: fully-connected layers with ReLU hidden
+activations, an optional bounded (tanh) output, reverse-mode gradients, and
+an Adam optimiser.  The implementation is deliberately small — dense layers
+only, float32, batch-first — because that is all DDPG over a handful of
+state/action dimensions needs, and it keeps each training step a few matrix
+multiplications (BLAS-bound, per the HPC guides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+Array = np.ndarray
+
+
+def _relu(x: Array) -> Array:
+    return np.maximum(x, 0.0)
+
+
+def _relu_grad(x: Array) -> Array:
+    return (x > 0.0).astype(x.dtype)
+
+
+def _tanh(x: Array) -> Array:
+    return np.tanh(x)
+
+
+def _tanh_grad(y: Array) -> Array:
+    # Gradient expressed in terms of the *output* y = tanh(x).
+    return 1.0 - y * y
+
+
+class MLP:
+    """A fully-connected network ``in -> hidden... -> out``.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Sizes including input and output, e.g. ``[8, 400, 200, 100, 3]``.
+    output_activation:
+        ``None`` for a linear head (critic) or ``"tanh"`` for a bounded head
+        (actor, range [-1, 1] matching the action-mapping Eq. 9).
+    seed:
+        Seed for the (He-style) weight initialisation.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        output_activation: Optional[str] = None,
+        seed: SeedLike = 0,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("layer_sizes needs at least an input and an output size")
+        if output_activation not in (None, "tanh"):
+            raise ValueError(f"unsupported output activation {output_activation!r}")
+        rng = as_rng(seed)
+        self.layer_sizes = [int(s) for s in layer_sizes]
+        self.output_activation = output_activation
+        self.weights: List[Array] = []
+        self.biases: List[Array] = []
+        for fan_in, fan_out in zip(self.layer_sizes[:-1], self.layer_sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(
+                rng.normal(0.0, scale, size=(fan_in, fan_out)).astype(np.float32)
+            )
+            self.biases.append(np.zeros(fan_out, dtype=np.float32))
+        # Final layer: small uniform init, standard for DDPG output layers.
+        self.weights[-1] = rng.uniform(
+            -3e-3, 3e-3, size=self.weights[-1].shape
+        ).astype(np.float32)
+        self._cache: Optional[List[Array]] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_layers(self) -> int:
+        return len(self.weights)
+
+    def parameters(self) -> List[Array]:
+        """Flat list of parameter arrays (weights then biases, layer order)."""
+        params: List[Array] = []
+        for w, b in zip(self.weights, self.biases):
+            params.extend((w, b))
+        return params
+
+    def set_parameters(self, params: Sequence[Array]) -> None:
+        """Load parameters produced by :meth:`parameters` (copies values)."""
+        expected = 2 * self.num_layers
+        if len(params) != expected:
+            raise ValueError(f"expected {expected} parameter arrays, got {len(params)}")
+        it = iter(params)
+        for i in range(self.num_layers):
+            w = next(it)
+            b = next(it)
+            if w.shape != self.weights[i].shape or b.shape != self.biases[i].shape:
+                raise ValueError("parameter shape mismatch")
+            self.weights[i] = w.astype(np.float32).copy()
+            self.biases[i] = b.astype(np.float32).copy()
+
+    def copy_from(self, other: "MLP") -> None:
+        """Hard-copy another network's parameters into this one."""
+        self.set_parameters(other.parameters())
+
+    def soft_update_from(self, other: "MLP", tau: float) -> None:
+        """Polyak update ``theta <- tau * other + (1 - tau) * theta``."""
+        if not 0.0 <= tau <= 1.0:
+            raise ValueError(f"tau must be in [0, 1], got {tau}")
+        for i in range(self.num_layers):
+            self.weights[i] = (tau * other.weights[i] + (1.0 - tau) * self.weights[i]).astype(
+                np.float32
+            )
+            self.biases[i] = (tau * other.biases[i] + (1.0 - tau) * self.biases[i]).astype(
+                np.float32
+            )
+
+    # ------------------------------------------------------------------ #
+    def forward(self, x: Array, cache: bool = False) -> Array:
+        """Forward pass on a ``(batch, in)`` array (a single vector is promoted)."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float32))
+        activations = [x]
+        h = x
+        for i in range(self.num_layers):
+            z = h @ self.weights[i] + self.biases[i]
+            if i < self.num_layers - 1:
+                h = _relu(z)
+            elif self.output_activation == "tanh":
+                h = _tanh(z)
+            else:
+                h = z
+            activations.append(h)
+        if cache:
+            self._cache = activations
+        return h
+
+    def __call__(self, x: Array) -> Array:
+        return self.forward(x)
+
+    def backward(self, grad_output: Array) -> Tuple[List[Array], Array]:
+        """Back-propagate ``dL/d(output)`` through the cached forward pass.
+
+        Returns ``(parameter_gradients, grad_input)`` where the parameter
+        gradients follow the layout of :meth:`parameters` and ``grad_input``
+        is ``dL/d(input)`` (needed for the DDPG actor update, where the loss
+        gradient flows through the critic's action input).
+        """
+        if self._cache is None:
+            raise RuntimeError("backward called without a cached forward pass")
+        activations = self._cache
+        grad = np.atleast_2d(np.asarray(grad_output, dtype=np.float32))
+        weight_grads: List[Array] = [np.zeros_like(w) for w in self.weights]
+        bias_grads: List[Array] = [np.zeros_like(b) for b in self.biases]
+        for i in range(self.num_layers - 1, -1, -1):
+            out_i = activations[i + 1]
+            in_i = activations[i]
+            if i == self.num_layers - 1:
+                if self.output_activation == "tanh":
+                    grad = grad * _tanh_grad(out_i)
+            else:
+                grad = grad * _relu_grad(out_i)
+            weight_grads[i] = in_i.T @ grad
+            bias_grads[i] = grad.sum(axis=0)
+            grad = grad @ self.weights[i].T
+        param_grads: List[Array] = []
+        for wg, bg in zip(weight_grads, bias_grads):
+            param_grads.extend((wg, bg))
+        return param_grads, grad
+
+
+@dataclass
+class Adam:
+    """Adam optimiser over a fixed list of parameter arrays."""
+
+    learning_rate: float = 1e-3
+    beta1: float = 0.9
+    beta2: float = 0.999
+    epsilon: float = 1e-8
+    _m: List[Array] = field(default_factory=list)
+    _v: List[Array] = field(default_factory=list)
+    _t: int = 0
+
+    def step(self, params: List[Array], grads: List[Array]) -> None:
+        """Apply one in-place Adam update to ``params`` given ``grads``."""
+        if len(params) != len(grads):
+            raise ValueError("params and grads must have matching lengths")
+        if not self._m:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        self._t += 1
+        lr_t = self.learning_rate * np.sqrt(1 - self.beta2**self._t) / (1 - self.beta1**self._t)
+        for p, g, m, v in zip(params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * (g * g)
+            p -= lr_t * m / (np.sqrt(v) + self.epsilon)
+
+
+__all__ = ["MLP", "Adam"]

@@ -1,0 +1,214 @@
+"""OSDS: Optimal Split Decision Search (Algorithm 2).
+
+OSDS trains a DDPG agent on the splitting MDP for ``Max_ep`` episodes.  Each
+episode walks all layer-volumes, choosing per-volume split decisions either
+from the actor (exploitation) or from the actor plus Gaussian noise
+(exploration, gated by the schedule ``epsilon = 1 - (episode * delta_eps)^2``
+of Algorithm 2 line 8).  The raw actions are stored in the replay buffer;
+the networks are updated once per step.  The best split decisions ever
+observed — together with the actor/critic parameters at that point — are
+recorded and returned (lines 23-26), so OSDS degrades gracefully into a
+guided random search even before the policy converges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.ddpg import DDPGAgent, DDPGConfig
+from repro.core.mdp import SplitMDP
+from repro.nn.splitting import SplitDecision
+from repro.runtime.plan import DistributionPlan
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass
+class OSDSConfig:
+    """Hyper-parameters of Algorithm 2 (paper defaults in parentheses).
+
+    ``max_episodes`` (4000) and ``delta_epsilon`` (1/250) control the length
+    of training and the decay of the exploration gate; ``sigma_squared``
+    (0.1 for four providers, 1.0 for sixteen) is the exploration noise
+    variance.  Reduced episode counts are used by the fast test/bench
+    configurations; the defaults match the paper.
+    """
+
+    max_episodes: int = 4000
+    delta_epsilon: float = 1.0 / 250.0
+    sigma_squared: float = 0.1
+    ddpg: DDPGConfig = field(default_factory=DDPGConfig)
+    updates_per_step: int = 1
+    seed: SeedLike = 0
+    #: Stop early when the best latency has not improved for this many
+    #: episodes (None disables early stopping; the paper trains a fixed
+    #: number of episodes).
+    patience: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_episodes < 1:
+            raise ValueError(f"max_episodes must be >= 1, got {self.max_episodes}")
+        if self.delta_epsilon <= 0:
+            raise ValueError(f"delta_epsilon must be > 0, got {self.delta_epsilon}")
+        if self.sigma_squared < 0:
+            raise ValueError(f"sigma_squared must be >= 0, got {self.sigma_squared}")
+        if self.updates_per_step < 0:
+            raise ValueError(f"updates_per_step must be >= 0, got {self.updates_per_step}")
+
+
+@dataclass
+class OSDSResult:
+    """Outcome of an OSDS run."""
+
+    best_latency_ms: float
+    best_decisions: List[SplitDecision]
+    best_plan: DistributionPlan
+    episode_latencies_ms: np.ndarray
+    episodes_run: int
+    agent: DDPGAgent
+    best_snapshot: dict
+
+    @property
+    def best_ips(self) -> float:
+        return 1000.0 / self.best_latency_ms if self.best_latency_ms > 0 else float("inf")
+
+
+class OSDS:
+    """Runs Algorithm 2 over a :class:`~repro.core.mdp.SplitMDP`."""
+
+    def __init__(self, env: SplitMDP, config: Optional[OSDSConfig] = None) -> None:
+        self.env = env
+        self.config = config or OSDSConfig()
+        cfg = self.config
+        ddpg_cfg = cfg.ddpg
+        # The exploration noise of Algorithm 2 is sigma^2; DDPGConfig carries
+        # the standard deviation, so propagate the paper's value here.
+        ddpg_cfg = DDPGConfig(
+            actor_hidden=ddpg_cfg.actor_hidden,
+            critic_hidden=ddpg_cfg.critic_hidden,
+            actor_lr=ddpg_cfg.actor_lr,
+            critic_lr=ddpg_cfg.critic_lr,
+            gamma=ddpg_cfg.gamma,
+            batch_size=ddpg_cfg.batch_size,
+            noise_sigma=float(np.sqrt(cfg.sigma_squared)),
+            tau=ddpg_cfg.tau,
+            buffer_capacity=ddpg_cfg.buffer_capacity,
+            warmup_transitions=ddpg_cfg.warmup_transitions,
+        )
+        self.agent = DDPGAgent(
+            state_dim=env.state_dim,
+            action_dim=env.action_dim,
+            config=ddpg_cfg,
+            seed=cfg.seed,
+        )
+        self._rng = as_rng(cfg.seed)
+
+    # ------------------------------------------------------------------ #
+    def epsilon(self, episode: int) -> float:
+        """Exploration gate of Algorithm 2 line 8 (clipped at 0)."""
+        eps = 1.0 - (episode * self.config.delta_epsilon) ** 2
+        return float(max(eps, 0.0))
+
+    def run(
+        self,
+        train: bool = True,
+        initial_decisions: Optional[Sequence[Sequence[np.ndarray]]] = None,
+    ) -> OSDSResult:
+        """Train for ``max_episodes`` episodes and return the best plan found.
+
+        ``train=False`` skips the network updates (pure rollout of the
+        current policy plus exploration), which the online controller uses
+        when it only wants fresh split decisions from an already-trained
+        actor.  ``initial_decisions`` optionally seeds the first episodes
+        with externally provided raw action sequences (e.g. the linear-ratio
+        heuristic), which both warm-starts the replay buffer and guarantees
+        the search never returns anything worse than those seeds.
+        """
+        cfg = self.config
+        env = self.env
+        agent = self.agent
+
+        best_latency = float("inf")
+        best_decisions: Optional[List[SplitDecision]] = None
+        best_plan: Optional[DistributionPlan] = None
+        best_snapshot = agent.snapshot()
+        episode_latencies: List[float] = []
+        since_improvement = 0
+
+        seeds = list(initial_decisions or [])
+
+        for episode in range(cfg.max_episodes):
+            obs = env.reset()
+            eps = self.epsilon(episode)
+            forced_actions = seeds[episode] if episode < len(seeds) else None
+            episode_latency = None
+            for step in range(env.num_volumes):
+                if forced_actions is not None:
+                    raw_action = np.asarray(forced_actions[step], dtype=np.float32)
+                elif self._rng.random() < eps:
+                    raw_action = agent.act(obs, noise=True)
+                else:
+                    raw_action = agent.act(obs, noise=False)
+                next_obs, reward, done, info = env.step(raw_action)
+                if train:
+                    agent.remember(obs, raw_action, reward, next_obs, done)
+                    for _ in range(cfg.updates_per_step):
+                        agent.update()
+                obs = next_obs
+                if done:
+                    episode_latency = info["end_to_end_ms"]
+                    if episode_latency < best_latency:
+                        best_latency = episode_latency
+                        best_decisions = info["decisions"]
+                        best_plan = info["plan"]
+                        best_snapshot = agent.snapshot()
+                        since_improvement = 0
+                    else:
+                        since_improvement += 1
+            assert episode_latency is not None
+            episode_latencies.append(episode_latency)
+            if cfg.patience is not None and since_improvement >= cfg.patience:
+                break
+
+        assert best_decisions is not None and best_plan is not None
+        return OSDSResult(
+            best_latency_ms=best_latency,
+            best_decisions=best_decisions,
+            best_plan=best_plan,
+            episode_latencies_ms=np.asarray(episode_latencies),
+            episodes_run=len(episode_latencies),
+            agent=agent,
+            best_snapshot=best_snapshot,
+        )
+
+    # ------------------------------------------------------------------ #
+    def greedy_rollout(self) -> OSDSResult:
+        """Single noise-free rollout of the current policy (no training)."""
+        env = self.env
+        agent = self.agent
+        obs = env.reset()
+        decisions: List[SplitDecision] = []
+        latency = None
+        plan = None
+        for _ in range(env.num_volumes):
+            action = agent.act(obs, noise=False)
+            obs, _, done, info = env.step(action)
+            if done:
+                latency = info["end_to_end_ms"]
+                decisions = info["decisions"]
+                plan = info["plan"]
+        assert latency is not None and plan is not None
+        return OSDSResult(
+            best_latency_ms=latency,
+            best_decisions=decisions,
+            best_plan=plan,
+            episode_latencies_ms=np.asarray([latency]),
+            episodes_run=1,
+            agent=agent,
+            best_snapshot=agent.snapshot(),
+        )
+
+
+__all__ = ["OSDS", "OSDSConfig", "OSDSResult"]

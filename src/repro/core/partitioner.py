@@ -1,0 +1,138 @@
+"""LC-PSS: Layer-Configuration based Partition Scheme Search (Algorithm 1).
+
+The partitioner decides *where* to cut the CNN into layer-volumes before any
+split decision is made.  It greedily refines the partition: starting from the
+trivial single-volume scheme, each pass tries — for every current volume —
+every possible additional partition location inside it, keeps the location
+that minimises the mean ``Cp`` score over a set of random split decisions
+(Eq. 4), and stops when no volume benefits from a further cut.
+
+As the paper notes, the greedy loop visits at most ``O(|M|^2)`` candidate
+schemes versus the factorial cost of brute force, while still recovering
+layer-by-layer partitioning in the limit ``alpha -> 0`` (transmission cost
+ignored) and very coarse fusion in the limit ``alpha -> 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.cost import PartitionCostModel
+from repro.nn.graph import ModelSpec
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_fraction
+
+
+@dataclass
+class LCPSSResult:
+    """Outcome of a partition-scheme search."""
+
+    boundaries: List[int]
+    score: float
+    alpha: float
+    num_random_splits: int
+    passes: int
+    history: List[float] = field(default_factory=list)
+
+    @property
+    def num_volumes(self) -> int:
+        return len(self.boundaries) - 1
+
+
+class LCPSS:
+    """Greedy partition-scheme search driven by the ``Cp`` cost model.
+
+    Parameters
+    ----------
+    model:
+        The CNN model to partition.
+    num_devices:
+        Number of service providers (needed by the random split decisions).
+    alpha:
+        Trade-off between transmission volume and operation count in ``Cp``
+        (paper default 0.75).
+    num_random_splits:
+        ``|Rr_s|``, the number of random split decisions averaged per
+        candidate (paper default 100).
+    seed:
+        Seed for the random split decisions; two searches with the same seed
+        evaluate candidates against the same split set.
+    max_passes:
+        Safety limit on refinement passes (the algorithm naturally stops far
+        earlier; the bound is ``num_spatial_layers``).
+    """
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        num_devices: int,
+        alpha: float = 0.75,
+        num_random_splits: int = 100,
+        seed: SeedLike = 0,
+        max_passes: Optional[int] = None,
+        input_bytes_per_element: float = 0.4,
+    ) -> None:
+        check_fraction(alpha, "alpha")
+        self.model = model
+        self.num_devices = int(num_devices)
+        self.alpha = float(alpha)
+        self.num_random_splits = int(num_random_splits)
+        self.seed = seed
+        self.max_passes = max_passes if max_passes is not None else model.num_spatial_layers
+        self.cost_model = PartitionCostModel(
+            model,
+            num_devices,
+            num_random_splits=num_random_splits,
+            input_bytes_per_element=input_bytes_per_element,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    def score(self, boundaries: Sequence[int]) -> float:
+        """Mean ``Cp`` of a candidate partition (Eq. 4)."""
+        return self.cost_model.mean_score(boundaries, self.alpha)
+
+    def search(self) -> LCPSSResult:
+        """Run the greedy search and return the best partition scheme found."""
+        n = self.model.num_spatial_layers
+        boundaries = [0, n]
+        best_score = self.score(boundaries)
+        history = [best_score]
+        passes = 0
+
+        while passes < self.max_passes:
+            passes += 1
+            additions: List[int] = []
+            # For every current volume, find the best interior cut (if any).
+            for i in range(len(boundaries) - 1):
+                lo, hi = boundaries[i], boundaries[i + 1]
+                if hi - lo <= 1:
+                    continue  # single-layer volume cannot be cut further
+                best_j: Optional[int] = None
+                best_j_score = self.score(boundaries)
+                for j in range(lo + 1, hi):
+                    candidate = sorted(set(boundaries) | {j})
+                    candidate_score = self.score(candidate)
+                    if candidate_score < best_j_score:
+                        best_j_score = candidate_score
+                        best_j = j
+                if best_j is not None:
+                    additions.append(best_j)
+            if not additions:
+                break
+            boundaries = sorted(set(boundaries) | set(additions))
+            best_score = self.score(boundaries)
+            history.append(best_score)
+
+        return LCPSSResult(
+            boundaries=boundaries,
+            score=best_score,
+            alpha=self.alpha,
+            num_random_splits=self.num_random_splits,
+            passes=passes,
+            history=history,
+        )
+
+
+__all__ = ["LCPSS", "LCPSSResult"]

@@ -1,0 +1,72 @@
+"""Experience replay buffer for DDPG (Algorithm 2, lines 18-19)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One MDP transition ``(s, a, r, s', done)``.
+
+    ``action`` stores the *raw* actor output (before sorting/mapping), as in
+    Algorithm 2 line 18, so that the critic learns in the space the actor
+    produces.
+    """
+
+    state: np.ndarray
+    action: np.ndarray
+    reward: float
+    next_state: np.ndarray
+    done: bool
+
+
+class ReplayBuffer:
+    """Fixed-capacity circular replay buffer with uniform sampling."""
+
+    def __init__(self, capacity: int = 100_000, seed: SeedLike = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._rng = as_rng(seed)
+        self._storage: list[Transition] = []
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    def add(self, transition: Transition) -> None:
+        """Insert a transition, overwriting the oldest once at capacity."""
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._cursor] = transition
+            self._cursor = (self._cursor + 1) % self.capacity
+
+    def sample(
+        self, batch_size: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Sample a uniform minibatch as stacked float32 arrays.
+
+        Returns ``(states, actions, rewards, next_states, dones)`` where
+        rewards and dones have shape ``(batch, 1)``.
+        """
+        if not self._storage:
+            raise ValueError("cannot sample from an empty replay buffer")
+        batch_size = min(batch_size, len(self._storage))
+        indices = self._rng.integers(0, len(self._storage), size=batch_size)
+        batch = [self._storage[i] for i in indices]
+        states = np.stack([t.state for t in batch]).astype(np.float32)
+        actions = np.stack([t.action for t in batch]).astype(np.float32)
+        rewards = np.array([[t.reward] for t in batch], dtype=np.float32)
+        next_states = np.stack([t.next_state for t in batch]).astype(np.float32)
+        dones = np.array([[1.0 if t.done else 0.0] for t in batch], dtype=np.float32)
+        return states, actions, rewards, next_states, dones
+
+
+__all__ = ["Transition", "ReplayBuffer"]

@@ -1,0 +1,54 @@
+"""Edge-device models: catalogue, nonlinear latency models, profiler.
+
+The paper's testbed uses four device types — Raspberry Pi 3, NVIDIA Jetson
+Nano, Jetson TX2 and Jetson Xavier — whose computing-latency behaviour versus
+layer configuration is *nonlinear* (Fig. 14; FastDeepIoT).  This subpackage
+replaces the physical boards with parametric latency models that preserve
+that character, plus a profiler producing the same artefacts (lookup tables
+or regression models) that the paper's controller consumes.
+"""
+
+from repro.devices.specs import (
+    DEVICE_CATALOG,
+    DeviceInstance,
+    DeviceType,
+    get_device_type,
+    make_cluster,
+)
+from repro.devices.latency_model import (
+    ComputeLatencyModel,
+    layer_compute_latency_ms,
+    part_compute_latency_ms,
+    volume_compute_latency_ms,
+)
+from repro.devices.profiler import LatencyProfiler, ProfiledLatency
+from repro.devices.profiles import (
+    DeviceCapability,
+    KNNProfile,
+    LatencyProfile,
+    LinearProfile,
+    PiecewiseLinearProfile,
+    TabularProfile,
+    estimate_capability,
+)
+
+__all__ = [
+    "DeviceType",
+    "DeviceInstance",
+    "DEVICE_CATALOG",
+    "get_device_type",
+    "make_cluster",
+    "ComputeLatencyModel",
+    "layer_compute_latency_ms",
+    "part_compute_latency_ms",
+    "volume_compute_latency_ms",
+    "LatencyProfiler",
+    "ProfiledLatency",
+    "LatencyProfile",
+    "TabularProfile",
+    "LinearProfile",
+    "PiecewiseLinearProfile",
+    "KNNProfile",
+    "DeviceCapability",
+    "estimate_capability",
+]

@@ -1,0 +1,139 @@
+"""Latency profiling, mirroring the paper's measurement procedure.
+
+Section V-A: *"we profile the computing latency on each type of device ...
+against the height of each layer in a CNN model (granularity as 1) ...  Each
+measurement point is repeated 100 times, and we then compute the mean values
+as the profiled latencies."*
+
+:class:`LatencyProfiler` reproduces that procedure against the simulated
+devices: for every layer of a model and every candidate output height it
+"measures" the compute latency (ground-truth model plus multiplicative
+measurement noise), repeats, and averages.  The result feeds the profile
+representations in :mod:`repro.devices.profiles`, which is the only view of
+device behaviour the planners get — planners never touch the ground-truth
+latency model directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.devices.latency_model import ComputeLatencyModel
+from repro.devices.specs import DeviceType
+from repro.nn.graph import ModelSpec
+from repro.nn.layers import LayerSpec
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass(frozen=True)
+class ProfiledLatency:
+    """Mean measured latency for one (layer, output-rows) point."""
+
+    layer_name: str
+    out_rows: int
+    latency_ms: float
+    repeats: int
+
+
+class LatencyProfiler:
+    """Profiles compute latency of a model's layers on a device type.
+
+    Parameters
+    ----------
+    dtype:
+        The device type to profile.
+    noise_std:
+        Relative standard deviation of the multiplicative measurement noise
+        applied to each individual measurement (defaults to 2%, in line with
+        the jitter of repeated TensorRT profiler runs).
+    repeats:
+        Number of repetitions averaged per point (paper: 100).
+    seed:
+        Seed for the measurement noise.
+    """
+
+    def __init__(
+        self,
+        dtype: DeviceType,
+        noise_std: float = 0.02,
+        repeats: int = 100,
+        seed: SeedLike = 0,
+    ) -> None:
+        if noise_std < 0:
+            raise ValueError(f"noise_std must be >= 0, got {noise_std}")
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        self.dtype = dtype
+        self.noise_std = float(noise_std)
+        self.repeats = int(repeats)
+        self._rng = as_rng(seed)
+        self._oracle = ComputeLatencyModel(dtype)
+
+    # ------------------------------------------------------------------ #
+    def measure_layer(self, layer: LayerSpec, out_rows: int) -> ProfiledLatency:
+        """Measure one (layer, rows) point: mean of ``repeats`` noisy samples."""
+        true_ms = self._oracle.layer(layer, out_rows)
+        if self.noise_std == 0 or true_ms == 0:
+            mean = true_ms
+        else:
+            noise = self._rng.normal(1.0, self.noise_std, size=self.repeats)
+            # Latency cannot be negative no matter how noisy the measurement.
+            samples = np.maximum(true_ms * noise, 0.0)
+            mean = float(samples.mean())
+        return ProfiledLatency(
+            layer_name=layer.name,
+            out_rows=int(out_rows),
+            latency_ms=float(mean),
+            repeats=self.repeats,
+        )
+
+    def profile_layer(
+        self,
+        layer: LayerSpec,
+        heights: Optional[Sequence[int]] = None,
+    ) -> List[ProfiledLatency]:
+        """Profile a layer across output heights.
+
+        ``heights=None`` profiles every height from 1 to the layer's full
+        output height (granularity 1, as in the paper).  Passing an explicit
+        list of heights supports the coarser grids used in the fast test
+        configurations.
+        """
+        if not layer.is_spatial:
+            return [self.measure_layer(layer, 1)]
+        if heights is None:
+            heights = range(1, layer.out_h + 1)
+        points: List[ProfiledLatency] = []
+        for h in heights:
+            if h < 1 or h > layer.out_h:
+                continue
+            points.append(self.measure_layer(layer, int(h)))
+        return points
+
+    def profile_model(
+        self,
+        model: ModelSpec,
+        heights_per_layer: Optional[int] = None,
+    ) -> Dict[str, List[ProfiledLatency]]:
+        """Profile every spatial layer of a model.
+
+        ``heights_per_layer`` limits the number of measured heights per layer
+        (an evenly spaced grid including 1 and the full height); ``None``
+        profiles every height, as the paper does.
+        """
+        results: Dict[str, List[ProfiledLatency]] = {}
+        for layer in model.spatial_layers:
+            if heights_per_layer is None or heights_per_layer >= layer.out_h:
+                heights: Optional[Sequence[int]] = None
+            else:
+                heights = np.unique(
+                    np.linspace(1, layer.out_h, heights_per_layer).round().astype(int)
+                )
+            results[layer.name] = self.profile_layer(layer, heights)
+        return results
+
+
+__all__ = ["LatencyProfiler", "ProfiledLatency"]

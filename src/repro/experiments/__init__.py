@@ -1,0 +1,27 @@
+"""Experiment harness reproducing the paper's evaluation section.
+
+* :mod:`repro.experiments.scenarios` — the device/bandwidth groups of
+  Tables I, II and III plus the four environments of Fig. 5.
+* :mod:`repro.experiments.harness` — runs any method on any scenario and
+  returns IPS / latency / breakdowns; owns the fast-vs-paper-scale knobs.
+* :mod:`repro.experiments.figures` — one function per evaluation artefact
+  (Fig. 4 through Fig. 15), each returning the rows/series the paper plots.
+* :mod:`repro.experiments.reporting` — formatting helpers used by the
+  benchmark harness to print paper-style tables.
+"""
+
+from repro.experiments.scenarios import Scenario, ScenarioCatalog
+from repro.experiments.harness import ExperimentHarness, HarnessConfig, MethodResult
+from repro.experiments import figures
+from repro.experiments.reporting import format_ips_table, format_series
+
+__all__ = [
+    "Scenario",
+    "ScenarioCatalog",
+    "ExperimentHarness",
+    "HarnessConfig",
+    "MethodResult",
+    "figures",
+    "format_ips_table",
+    "format_series",
+]

@@ -1,0 +1,239 @@
+"""Experiment harness: run any method on any scenario and report IPS.
+
+The harness owns the knobs that trade fidelity for runtime (OSDS episode
+count, LC-PSS random-split count, profile granularity, streamed image count)
+so that the same figure-generation code can run in a "fast" configuration on
+a laptop and in the paper-scale configuration when time allows.  Plans are
+cached per (method, scenario, model) within a harness instance, because
+several figures share cells (e.g. Fig. 7's DB @ 50 Mbps column reappears in
+Fig. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines import BASELINE_REGISTRY
+from repro.core.distredge import DistrEdge, DistrEdgeConfig
+from repro.core.osds import OSDSConfig
+from repro.devices.profiler import LatencyProfiler
+from repro.devices.profiles import TabularProfile
+from repro.devices.specs import DeviceInstance
+from repro.experiments.scenarios import Scenario
+from repro.network.topology import NetworkModel
+from repro.nn import model_zoo
+from repro.nn.graph import ModelSpec
+from repro.runtime.evaluator import EvaluationResult, PlanEvaluator
+from repro.runtime.oracles import profiles_by_device
+from repro.runtime.plan import DistributionPlan
+from repro.runtime.streaming import StreamingSimulator
+
+#: Canonical method order used in the paper's bar charts.
+ALL_METHODS: Tuple[str, ...] = (
+    "coedge",
+    "modnn",
+    "mednn",
+    "deepthings",
+    "deeperthings",
+    "aofl",
+    "distredge",
+    "offload",
+)
+
+
+@dataclass
+class HarnessConfig:
+    """Runtime/fidelity knobs of the experiment harness."""
+
+    #: OSDS training episodes (paper: 4000; fast default keeps benches quick).
+    osds_episodes: int = 150
+    #: |Rr_s| for LC-PSS (paper: 100).
+    num_random_splits: int = 30
+    #: LC-PSS trade-off coefficient (paper: 0.75).
+    alpha: float = 0.75
+    #: Use per-device-type latency profiles for planning (True) or let the
+    #: planners query the ground-truth latency model directly (False).
+    use_profiles: bool = False
+    #: Measured heights per layer when profiling (None = granularity 1).
+    profile_heights_per_layer: Optional[int] = 16
+    #: Number of streamed images for IPS measurement; 0 evaluates a single
+    #: inference (the two coincide under the paper's one-in-flight protocol
+    #: on a stationary network).
+    num_images: int = 0
+    #: Seed for every stochastic component.
+    seed: int = 0
+    #: Input image encoding (bytes per input element).
+    input_bytes_per_element: float = 0.4
+
+    def osds_config(self, num_devices: int) -> OSDSConfig:
+        """OSDS configuration; sigma^2 is raised for large clusters (paper)."""
+        sigma_squared = 1.0 if num_devices > 8 else 0.1
+        return OSDSConfig(
+            max_episodes=self.osds_episodes,
+            sigma_squared=sigma_squared,
+            seed=self.seed,
+        )
+
+    def distredge_config(self, num_devices: int) -> DistrEdgeConfig:
+        return DistrEdgeConfig(
+            alpha=self.alpha,
+            num_random_splits=self.num_random_splits,
+            osds=self.osds_config(num_devices),
+            seed=self.seed,
+            input_bytes_per_element=self.input_bytes_per_element,
+        )
+
+
+@dataclass
+class MethodResult:
+    """IPS and latency of one method on one scenario."""
+
+    method: str
+    scenario: str
+    model: str
+    ips: float
+    latency_ms: float
+    max_compute_ms: float
+    max_transmission_ms: float
+    plan: DistributionPlan
+    evaluation: EvaluationResult
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "method": self.method,
+            "scenario": self.scenario,
+            "model": self.model,
+            "ips": self.ips,
+            "latency_ms": self.latency_ms,
+        }
+
+
+class ExperimentHarness:
+    """Runs distribution methods on scenarios and evaluates the outcome."""
+
+    def __init__(self, config: Optional[HarnessConfig] = None) -> None:
+        self.config = config or HarnessConfig()
+        self._models: Dict[str, ModelSpec] = {}
+        self._profile_cache: Dict[Tuple[str, str], TabularProfile] = {}
+        self._result_cache: Dict[Tuple[str, str, str], MethodResult] = {}
+
+    # ------------------------------------------------------------------ #
+    def model(self, name: str) -> ModelSpec:
+        if name not in self._models:
+            self._models[name] = model_zoo.get(name)
+        return self._models[name]
+
+    def _profiles_for(
+        self, model: ModelSpec, devices: Sequence[DeviceInstance]
+    ) -> Optional[List[TabularProfile]]:
+        if not self.config.use_profiles:
+            return None
+        per_type: Dict[str, TabularProfile] = {}
+        for device in devices:
+            key = (model.name, device.type_name)
+            if key not in self._profile_cache:
+                profiler = LatencyProfiler(device.dtype, seed=self.config.seed)
+                points = profiler.profile_model(
+                    model, heights_per_layer=self.config.profile_heights_per_layer
+                )
+                self._profile_cache[key] = TabularProfile.from_points(points)
+            per_type[device.type_name] = self._profile_cache[key]
+        return profiles_by_device(devices, per_type)
+
+    def evaluator_for(
+        self, devices: Sequence[DeviceInstance], network: NetworkModel
+    ) -> PlanEvaluator:
+        """Ground-truth evaluator ("real execution") used for reported IPS."""
+        return PlanEvaluator(
+            devices, network, input_bytes_per_element=self.config.input_bytes_per_element
+        )
+
+    # ------------------------------------------------------------------ #
+    def plan_for(
+        self,
+        method: str,
+        model: ModelSpec,
+        devices: Sequence[DeviceInstance],
+        network: NetworkModel,
+    ) -> DistributionPlan:
+        """Run one method's planner and return its distribution plan."""
+        profiles = self._profiles_for(model, devices)
+        if method == "distredge":
+            planner = DistrEdge(self.config.distredge_config(len(devices)))
+            return planner.plan(model, devices, network, profiles)
+        if method in BASELINE_REGISTRY:
+            return BASELINE_REGISTRY[method]().plan(model, devices, network, profiles)
+        raise KeyError(
+            f"unknown method {method!r}; known: distredge, {', '.join(BASELINE_REGISTRY)}"
+        )
+
+    def run(
+        self,
+        method: str,
+        scenario: Scenario,
+        model_name: str = "vgg16",
+        use_cache: bool = True,
+    ) -> MethodResult:
+        """Plan + evaluate one method on one scenario."""
+        cache_key = (method, scenario.name, model_name)
+        if use_cache and cache_key in self._result_cache:
+            return self._result_cache[cache_key]
+        model = self.model(model_name)
+        devices, network = scenario.build(seed=self.config.seed)
+        plan = self.plan_for(method, model, devices, network)
+        evaluator = self.evaluator_for(devices, network)
+        if self.config.num_images > 0:
+            simulator = StreamingSimulator(evaluator)
+            stream = simulator.run(plan, num_images=self.config.num_images)
+            latency_ms = stream.mean_latency_ms
+            ips = stream.ips
+            evaluation = evaluator.evaluate(plan)
+        else:
+            evaluation = evaluator.evaluate(plan)
+            latency_ms = evaluation.end_to_end_ms
+            ips = evaluation.ips
+        result = MethodResult(
+            method=method,
+            scenario=scenario.name,
+            model=model_name,
+            ips=float(ips),
+            latency_ms=float(latency_ms),
+            max_compute_ms=evaluation.max_compute_ms,
+            max_transmission_ms=evaluation.max_transmission_ms,
+            plan=plan,
+            evaluation=evaluation,
+        )
+        if use_cache:
+            self._result_cache[cache_key] = result
+        return result
+
+    def compare(
+        self,
+        scenario: Scenario,
+        methods: Sequence[str] = ALL_METHODS,
+        model_name: str = "vgg16",
+    ) -> Dict[str, MethodResult]:
+        """Run several methods on one scenario."""
+        return {m: self.run(m, scenario, model_name) for m in methods}
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def speedup_over_best_baseline(results: Dict[str, MethodResult]) -> float:
+        """DistrEdge IPS divided by the best non-DistrEdge IPS."""
+        if "distredge" not in results:
+            raise KeyError("results must include a 'distredge' entry")
+        baselines = [r.ips for name, r in results.items() if name != "distredge"]
+        if not baselines:
+            raise ValueError("no baseline results to compare against")
+        return results["distredge"].ips / max(baselines)
+
+    @staticmethod
+    def ips_table(results: Dict[str, MethodResult]) -> Dict[str, float]:
+        """Plain {method: IPS} mapping."""
+        return {name: r.ips for name, r in results.items()}
+
+
+__all__ = ["HarnessConfig", "ExperimentHarness", "MethodResult", "ALL_METHODS"]

@@ -1,0 +1,59 @@
+"""Formatting helpers for printing paper-style result tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+
+def format_ips_table(
+    results: Mapping[str, Mapping[str, float]],
+    methods: Sequence[str] | None = None,
+    title: str = "",
+) -> str:
+    """Format a {scenario: {method: IPS}} mapping as an aligned text table."""
+    if not results:
+        return "(no results)"
+    if methods is None:
+        methods = sorted({m for row in results.values() for m in row})
+    header = ["scenario"] + list(methods)
+    rows = []
+    for scenario, row in results.items():
+        rows.append([scenario] + [f"{row.get(m, float('nan')):.1f}" for m in methods])
+    widths = [max(len(str(r[i])) for r in [header] + rows) for i in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, Mapping], title: str = "") -> str:
+    """Format nested {name: {x: value}} series as text."""
+    lines = [title] if title else []
+    for name, values in series.items():
+        parts = []
+        for key, value in values.items():
+            if isinstance(value, float):
+                parts.append(f"{key}={value:.2f}")
+            else:
+                parts.append(f"{key}={value}")
+        lines.append(f"{name}: " + ", ".join(parts))
+    return "\n".join(lines)
+
+
+def speedup_summary(results: Mapping[str, Mapping[str, float]]) -> Dict[str, float]:
+    """Per-scenario DistrEdge speedup over the best baseline."""
+    out: Dict[str, float] = {}
+    for scenario, row in results.items():
+        if "distredge" not in row:
+            continue
+        baselines = [v for k, v in row.items() if k != "distredge"]
+        if baselines:
+            out[scenario] = row["distredge"] / max(baselines)
+    return out
+
+
+__all__ = ["format_ips_table", "format_series", "speedup_summary"]

@@ -1,0 +1,203 @@
+"""Scenario catalogue: the device/bandwidth groups of the paper.
+
+Table I (heterogeneous device types), Table II (heterogeneous bandwidths),
+Table III (large-scale, 16 providers), plus the homogeneous environment used
+by the alpha study (Fig. 5a).  A :class:`Scenario` is a declarative
+description; :meth:`Scenario.build` materialises the provider list and the
+network model so harness code never hand-assembles clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.devices.specs import DeviceInstance, make_cluster
+from repro.network.topology import NetworkModel
+from repro.utils.rng import SeedLike
+
+#: (device type, bandwidth in Mbps) pair.
+DeviceSpec = Tuple[str, float]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named deployment: providers with their nominal bandwidths."""
+
+    name: str
+    device_specs: Tuple[DeviceSpec, ...]
+    description: str = ""
+    trace_kind: str = "constant"  # "constant", "wifi" or "dynamic"
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.device_specs)
+
+    @property
+    def device_types(self) -> List[str]:
+        return [t for t, _ in self.device_specs]
+
+    @property
+    def bandwidths_mbps(self) -> List[float]:
+        return [b for _, b in self.device_specs]
+
+    def with_bandwidth(self, mbps: float, suffix: Optional[str] = None) -> "Scenario":
+        """Same devices, every link re-shaped to ``mbps`` (Fig. 7's 50/300 sweep)."""
+        specs = tuple((t, float(mbps)) for t, _ in self.device_specs)
+        name = f"{self.name}-{suffix or f'{mbps:g}Mbps'}"
+        return Scenario(
+            name=name,
+            device_specs=specs,
+            description=f"{self.description} @ {mbps:g} Mbps",
+            trace_kind=self.trace_kind,
+        )
+
+    def with_device_type(self, device_type: str, suffix: Optional[str] = None) -> "Scenario":
+        """Same bandwidths, every provider replaced by ``device_type`` (Fig. 8)."""
+        specs = tuple((device_type, b) for _, b in self.device_specs)
+        name = f"{self.name}-{suffix or device_type}"
+        return Scenario(
+            name=name,
+            device_specs=specs,
+            description=f"{self.description} on {device_type}",
+            trace_kind=self.trace_kind,
+        )
+
+    def build(
+        self, seed: SeedLike = 0, trace_kind: Optional[str] = None
+    ) -> Tuple[List[DeviceInstance], NetworkModel]:
+        """Materialise the provider list and the network model."""
+        devices = make_cluster(list(self.device_specs))
+        kind = trace_kind or self.trace_kind
+        if kind == "constant":
+            network = NetworkModel.constant_from_devices(devices)
+        else:
+            network = NetworkModel.from_devices(devices, kind=kind, seed=seed)
+        return devices, network
+
+
+def _repeat(pattern: Sequence[DeviceSpec], times: int) -> Tuple[DeviceSpec, ...]:
+    return tuple(pattern) * times
+
+
+class ScenarioCatalog:
+    """All named scenarios used in the paper's evaluation."""
+
+    DEFAULT_BANDWIDTH = 200.0
+
+    # ------------------------------------------------------------------ #
+    # Table I: heterogeneous device types (bandwidth applied per experiment)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def table1_groups(bandwidth_mbps: float = 200.0) -> Dict[str, Scenario]:
+        """Groups DA / DB / DC of Table I at a common bandwidth."""
+        b = float(bandwidth_mbps)
+        return {
+            "DA": Scenario(
+                "DA",
+                (("tx2", b), ("tx2", b), ("nano", b), ("nano", b)),
+                "TX2 x2 + Nano x2 (Table I)",
+            ),
+            "DB": Scenario(
+                "DB",
+                (("xavier", b), ("xavier", b), ("nano", b), ("nano", b)),
+                "Xavier x2 + Nano x2 (Table I)",
+            ),
+            "DC": Scenario(
+                "DC",
+                (("xavier", b), ("tx2", b), ("nano", b), ("pi3", b)),
+                "Xavier + TX2 + Nano + Pi3 (Table I)",
+            ),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Table II: heterogeneous bandwidths (device type applied per experiment)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def table2_groups(device_type: str = "nano") -> Dict[str, Scenario]:
+        """Groups NA / NB / NC / ND of Table II for one device type."""
+        d = device_type
+        return {
+            "NA": Scenario(
+                "NA", ((d, 50), (d, 50), (d, 200), (d, 200)), "50x2 + 200x2 Mbps (Table II)"
+            ),
+            "NB": Scenario(
+                "NB", ((d, 100), (d, 100), (d, 200), (d, 200)), "100x2 + 200x2 Mbps (Table II)"
+            ),
+            "NC": Scenario(
+                "NC", ((d, 200), (d, 200), (d, 300), (d, 300)), "200x2 + 300x2 Mbps (Table II)"
+            ),
+            "ND": Scenario(
+                "ND", ((d, 50), (d, 100), (d, 200), (d, 300)), "50+100+200+300 Mbps (Table II)"
+            ),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Table III: large-scale groups (16 providers)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def table3_groups() -> Dict[str, Scenario]:
+        """Groups LA / LB / LC / LD of Table III (16 service providers)."""
+        return {
+            "LA": Scenario(
+                "LA",
+                _repeat((("nano", 300), ("nano", 200), ("nano", 100), ("nano", 50)), 4),
+                "{(300,Nano),(200,Nano),(100,Nano),(50,Nano)} x4 (Table III)",
+            ),
+            "LB": Scenario(
+                "LB",
+                _repeat((("pi3", 300), ("nano", 200), ("tx2", 100), ("xavier", 50)), 4),
+                "{(300,Pi3),(200,Nano),(100,TX2),(50,Xavier)} x4 (Table III)",
+            ),
+            "LC": Scenario(
+                "LC",
+                _repeat((("pi3", 200), ("nano", 200), ("tx2", 200), ("xavier", 200)), 4),
+                "{(200,Pi3),(200,Nano),(200,TX2),(200,Xavier)} x4 (Table III)",
+            ),
+            "LD": Scenario(
+                "LD",
+                _repeat((("pi3", 50), ("nano", 100), ("tx2", 200), ("xavier", 300)), 4),
+                "{(50,Pi3),(100,Nano),(200,TX2),(300,Xavier)} x4 (Table III)",
+            ),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Fig. 5: the four environments of the alpha study
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def homogeneous(device_type: str = "nano", bandwidth_mbps: float = 200.0, count: int = 4) -> Scenario:
+        """Homogeneous providers at a single bandwidth (Fig. 5a)."""
+        return Scenario(
+            f"homog-{device_type}-{bandwidth_mbps:g}",
+            tuple((device_type, float(bandwidth_mbps)) for _ in range(count)),
+            f"{count} x {device_type} @ {bandwidth_mbps:g} Mbps",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fig. 12/13: highly dynamic network on four Nanos
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def dynamic_nano(count: int = 4, mid_mbps: float = 70.0) -> Scenario:
+        """Four Nano providers on highly dynamic 40-100 Mbps links (Fig. 12)."""
+        return Scenario(
+            "dynamic-nano",
+            tuple(("nano", float(mid_mbps)) for _ in range(count)),
+            "Nano x4 under highly dynamic throughput (Section V-F)",
+            trace_kind="dynamic",
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def all_named(cls) -> Dict[str, Scenario]:
+        """Every scenario the benchmark suite may reference, keyed by name."""
+        catalog: Dict[str, Scenario] = {}
+        catalog.update(cls.table1_groups())
+        catalog.update({f"{k}-nano": v for k, v in cls.table2_groups("nano").items()})
+        catalog.update({f"{k}-xavier": v for k, v in cls.table2_groups("xavier").items()})
+        catalog.update(cls.table3_groups())
+        catalog["homog-nano"] = cls.homogeneous()
+        catalog["dynamic-nano"] = cls.dynamic_nano()
+        return catalog
+
+
+__all__ = ["Scenario", "ScenarioCatalog", "DeviceSpec"]

@@ -1,0 +1,34 @@
+"""Network substrate: WiFi bandwidth traces and transmission-latency model.
+
+The paper's testbed connects every device to a Linksys AC1900 router over
+5 GHz WiFi; the router's OpenWrt firmware shapes each device's bandwidth to
+the level under study (50/100/200/300 Mbps for the stable experiments of
+Fig. 4, and the highly dynamic 40-100 Mbps traces of Fig. 12).  Transmission
+latency is measured end-to-end "from the time when the data are read from the
+computing unit on the sending device to the time when the data are loaded to
+the memory on the receiving device", i.e. it includes I/O reading/writing in
+addition to the air time — which is exactly why the paper argues a pure
+``bytes / throughput`` model (CoEdge, AOFL) is inaccurate.
+"""
+
+from repro.network.bandwidth import (
+    BandwidthTrace,
+    ConstantTrace,
+    DynamicTrace,
+    WiFiTrace,
+    make_trace,
+)
+from repro.network.link import Link, TransmissionModel
+from repro.network.topology import REQUESTER, NetworkModel
+
+__all__ = [
+    "BandwidthTrace",
+    "ConstantTrace",
+    "WiFiTrace",
+    "DynamicTrace",
+    "make_trace",
+    "TransmissionModel",
+    "Link",
+    "NetworkModel",
+    "REQUESTER",
+]

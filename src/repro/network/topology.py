@@ -1,0 +1,135 @@
+"""Star (WiFi-router) network topology connecting requester and providers.
+
+All devices — the service requester, the controller and every service
+provider — associate with a single WiFi router (Fig. 3).  A transfer from
+device *i* to device *j* therefore traverses *i*'s uplink and *j*'s downlink;
+its achievable rate is the minimum of the two shaped rates at that moment.
+
+Device addressing: providers are integers ``0..N-1`` in the order of the
+provider list; the requester is the sentinel :data:`REQUESTER`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.devices.specs import DeviceInstance
+from repro.network.bandwidth import BandwidthTrace, ConstantTrace, make_trace
+from repro.network.link import Link, TransmissionModel
+from repro.utils.rng import SeedLike, as_rng, spawn_rng
+
+#: Sentinel endpoint identifier for the service requester (the mobile phone).
+REQUESTER: int = -1
+
+Endpoint = int
+
+
+@dataclass
+class NetworkModel:
+    """Network view of a cluster: one link per provider plus the requester link.
+
+    Parameters
+    ----------
+    provider_links:
+        One :class:`~repro.network.link.Link` per service provider, indexed
+        like the provider list.
+    requester_link:
+        The requester's own link (defaults to an unshaped 300 Mbps WiFi link,
+        matching the phone in the testbed which is never the bottleneck).
+    """
+
+    provider_links: List[Link]
+    requester_link: Link = field(default_factory=lambda: Link.constant(300.0))
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_devices(
+        cls,
+        devices: Sequence[DeviceInstance],
+        kind: str = "wifi",
+        seed: SeedLike = 0,
+        transmission: Optional[TransmissionModel] = None,
+        requester_mbps: float = 300.0,
+    ) -> "NetworkModel":
+        """Build link objects from device nominal bandwidths.
+
+        ``kind`` selects the trace family (``"constant"``, ``"wifi"`` or
+        ``"dynamic"``); each provider gets an independent trace seeded from
+        ``seed`` so traces are uncorrelated but reproducible.
+        """
+        rng = as_rng(seed)
+        child_rngs = spawn_rng(rng, len(devices) + 1)
+        tm = transmission or TransmissionModel()
+        links = [
+            Link(trace=make_trace(d.bandwidth_mbps, kind=kind, seed=r), model=tm)
+            for d, r in zip(devices, child_rngs[:-1])
+        ]
+        requester_link = Link(
+            trace=make_trace(requester_mbps, kind=kind, seed=child_rngs[-1]), model=tm
+        )
+        return cls(provider_links=links, requester_link=requester_link)
+
+    @classmethod
+    def constant_from_devices(
+        cls,
+        devices: Sequence[DeviceInstance],
+        transmission: Optional[TransmissionModel] = None,
+        requester_mbps: float = 300.0,
+    ) -> "NetworkModel":
+        """Idealised constant-rate variant (used by planners and fast tests)."""
+        tm = transmission or TransmissionModel()
+        links = [Link(trace=ConstantTrace(d.bandwidth_mbps), model=tm) for d in devices]
+        return cls(
+            provider_links=links,
+            requester_link=Link(trace=ConstantTrace(requester_mbps), model=tm),
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_providers(self) -> int:
+        return len(self.provider_links)
+
+    def link_of(self, endpoint: Endpoint) -> Link:
+        """The link attached to ``endpoint`` (provider index or REQUESTER)."""
+        if endpoint == REQUESTER:
+            return self.requester_link
+        if not 0 <= endpoint < len(self.provider_links):
+            raise IndexError(f"unknown endpoint {endpoint}")
+        return self.provider_links[endpoint]
+
+    def throughput_mbps(self, src: Endpoint, dst: Endpoint, t_seconds: float = 0.0) -> float:
+        """Achievable rate between two endpoints at time ``t_seconds``."""
+        if src == dst:
+            raise ValueError("source and destination endpoints must differ")
+        return min(
+            self.link_of(src).throughput_mbps(t_seconds),
+            self.link_of(dst).throughput_mbps(t_seconds),
+        )
+
+    def transfer_latency_ms(
+        self,
+        src: Endpoint,
+        dst: Endpoint,
+        n_bytes: float,
+        t_seconds: float = 0.0,
+    ) -> float:
+        """End-to-end latency of moving ``n_bytes`` from ``src`` to ``dst``.
+
+        Local "transfers" (same endpoint) are free: the data already sits in
+        the device's memory, which is exactly why fused layer-volumes save
+        transmission.
+        """
+        if src == dst:
+            return 0.0
+        if n_bytes == 0:
+            return 0.0
+        model = self.link_of(src).model
+        return model.transfer_latency_ms(n_bytes, self.throughput_mbps(src, dst, t_seconds))
+
+    def nominal_mbps(self, endpoint: Endpoint) -> float:
+        """Nominal (configured) bandwidth of an endpoint's link."""
+        return self.link_of(endpoint).trace.nominal_mbps
+
+
+__all__ = ["NetworkModel", "REQUESTER", "Endpoint"]

@@ -1,0 +1,56 @@
+"""NumPy CNN substrate.
+
+This subpackage provides everything the distribution algorithms need from the
+neural-network side:
+
+* layer configuration dataclasses (:mod:`repro.nn.layers`),
+* NumPy reference implementations of the operators
+  (:mod:`repro.nn.tensor_ops`),
+* a sequential model container with shape validation and op/byte accounting
+  (:mod:`repro.nn.graph`),
+* the Vertical-Splitting Law and exact row-range arithmetic used to split
+  layer-volumes along the height dimension (:mod:`repro.nn.splitting`),
+* numerical execution of whole models and of split-parts, used to verify that
+  distributed execution is lossless (:mod:`repro.nn.execution`),
+* a model zoo with the eight CNN architectures evaluated in the paper
+  (:mod:`repro.nn.model_zoo`).
+"""
+
+from repro.nn.layers import (
+    ConvSpec,
+    DenseSpec,
+    LayerSpec,
+    PoolSpec,
+)
+from repro.nn.graph import LayerVolume, ModelBuilder, ModelSpec
+from repro.nn.splitting import (
+    SplitDecision,
+    SplitPart,
+    propagate_output_height,
+    required_input_rows,
+    required_input_rows_chain,
+    split_volume,
+    vsl_input_height,
+)
+from repro.nn.execution import ModelExecutor, SplitExecutor
+from repro.nn import model_zoo
+
+__all__ = [
+    "LayerSpec",
+    "ConvSpec",
+    "PoolSpec",
+    "DenseSpec",
+    "ModelSpec",
+    "ModelBuilder",
+    "LayerVolume",
+    "SplitDecision",
+    "SplitPart",
+    "split_volume",
+    "vsl_input_height",
+    "propagate_output_height",
+    "required_input_rows",
+    "required_input_rows_chain",
+    "ModelExecutor",
+    "SplitExecutor",
+    "model_zoo",
+]

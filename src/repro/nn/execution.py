@@ -1,0 +1,280 @@
+"""Numerical execution of whole models and of vertically split layer-volumes.
+
+DistrEdge distributes *unmodified* CNN models, so its accuracy is exactly the
+single-device accuracy; the property that makes this true is that splitting a
+layer-volume by output height and concatenating the per-device results
+reproduces the original output bit-for-bit.  :class:`SplitExecutor` provides
+that check, and the test-suite uses it as the core correctness invariant of
+the whole reproduction.
+
+Weights are synthesised deterministically from a seed (the distribution
+algorithms never look at weight values, only at shapes), so executing the
+same model twice — whole or split — always produces identical tensors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.graph import LayerVolume, ModelSpec
+from repro.nn.layers import ConvSpec, DenseSpec, LayerSpec, PoolSpec
+from repro.nn.splitting import SplitDecision, SplitPart, split_volume
+from repro.nn.tensor_ops import conv2d, dense, pool2d
+from repro.utils.rng import as_rng
+
+
+class ModelExecutor:
+    """Executes a :class:`~repro.nn.graph.ModelSpec` with synthetic weights.
+
+    Parameters
+    ----------
+    model:
+        The model specification.
+    seed:
+        Seed for weight synthesis.  The same ``(model, seed)`` pair always
+        yields the same weights, which keeps split-vs-whole comparisons and
+        regression tests deterministic.
+    weight_scale:
+        Standard deviation of the synthetic Gaussian weights.  Kept small so
+        deep models do not overflow float32 during verification runs.
+    """
+
+    def __init__(self, model: ModelSpec, seed: int = 0, weight_scale: float = 0.05) -> None:
+        self.model = model
+        self.seed = seed
+        self.weight_scale = float(weight_scale)
+        self._weights: Dict[str, Tuple[np.ndarray, Optional[np.ndarray]]] = {}
+        self._materialize()
+
+    # ------------------------------------------------------------------ #
+    def _materialize(self) -> None:
+        rng = as_rng(self.seed)
+        for layer in self.model.layers:
+            if isinstance(layer, ConvSpec):
+                w = rng.normal(
+                    0.0,
+                    self.weight_scale,
+                    size=(
+                        layer.kernel_size,
+                        layer.kernel_size,
+                        layer.in_c // layer.groups,
+                        layer.out_c,
+                    ),
+                ).astype(np.float32)
+                b = (
+                    rng.normal(0.0, self.weight_scale, size=(layer.out_c,)).astype(np.float32)
+                    if layer.has_bias
+                    else None
+                )
+                self._weights[layer.name] = (w, b)
+            elif isinstance(layer, DenseSpec):
+                w = rng.normal(
+                    0.0, self.weight_scale, size=(layer.in_features, layer.out_features)
+                ).astype(np.float32)
+                b = (
+                    rng.normal(0.0, self.weight_scale, size=(layer.out_features,)).astype(
+                        np.float32
+                    )
+                    if layer.has_bias
+                    else None
+                )
+                self._weights[layer.name] = (w, b)
+            # Pooling layers have no weights.
+
+    def weights_for(self, layer: LayerSpec) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Return ``(weights, bias)`` for a parameterised layer."""
+        if layer.name not in self._weights:
+            raise KeyError(f"layer {layer.name!r} has no weights")
+        return self._weights[layer.name]
+
+    # ------------------------------------------------------------------ #
+    def random_input(self, seed: Optional[int] = None) -> np.ndarray:
+        """Draw a deterministic random input tensor of the model's input shape."""
+        rng = as_rng(self.seed + 104729 if seed is None else seed)
+        return rng.normal(0.0, 1.0, size=self.model.input_shape).astype(np.float32)
+
+    def _forward_conv(
+        self,
+        layer: ConvSpec,
+        x: np.ndarray,
+        pad_top: int,
+        pad_bottom: int,
+        pad_left: int,
+        pad_right: int,
+    ) -> np.ndarray:
+        w, b = self.weights_for(layer)
+        if layer.groups == 1:
+            return conv2d(
+                x, w, b, layer.stride_size, pad_top, pad_bottom, pad_left, pad_right, layer.activation
+            )
+        # Grouped convolution: run each channel group independently and
+        # concatenate along the output-channel axis.
+        in_per_group = layer.in_c // layer.groups
+        out_per_group = layer.out_c // layer.groups
+        outputs: List[np.ndarray] = []
+        for g in range(layer.groups):
+            xg = x[:, :, g * in_per_group : (g + 1) * in_per_group]
+            wg = w[:, :, :, g * out_per_group : (g + 1) * out_per_group]
+            bg = b[g * out_per_group : (g + 1) * out_per_group] if b is not None else None
+            outputs.append(
+                conv2d(
+                    xg,
+                    wg,
+                    bg,
+                    layer.stride_size,
+                    pad_top,
+                    pad_bottom,
+                    pad_left,
+                    pad_right,
+                    layer.activation,
+                )
+            )
+        return np.concatenate(outputs, axis=2)
+
+    def forward_layer(self, layer: LayerSpec, x: np.ndarray) -> np.ndarray:
+        """Run a single layer on a full (unsplit) input tensor."""
+        if isinstance(layer, ConvSpec):
+            p = layer.padding_size
+            return self._forward_conv(layer, x, p, p, p, p)
+        if isinstance(layer, PoolSpec):
+            p = layer.padding_size
+            return pool2d(x, layer.kernel_size, layer.stride_size, p, p, p, p, layer.mode)
+        if isinstance(layer, DenseSpec):
+            w, b = self.weights_for(layer)
+            return dense(x, w, b, layer.activation)
+        raise TypeError(f"unsupported layer type {type(layer).__name__}")
+
+    def run(self, x: np.ndarray, upto: Optional[int] = None) -> np.ndarray:
+        """Run the model (optionally only the first ``upto`` layers) on ``x``."""
+        layers = self.model.layers if upto is None else self.model.layers[:upto]
+        out = np.asarray(x, dtype=np.float32)
+        for layer in layers:
+            out = self.forward_layer(layer, out)
+        return out
+
+    def run_volume(self, volume: LayerVolume, x: np.ndarray) -> np.ndarray:
+        """Run every layer of a layer-volume on a full-width/height input."""
+        out = np.asarray(x, dtype=np.float32)
+        for layer in volume.layers:
+            out = self.forward_layer(layer, out)
+        return out
+
+
+class SplitExecutor:
+    """Executes vertically split layer-volumes and merges the results.
+
+    The executor takes the same :class:`ModelExecutor` used for whole-model
+    runs so both paths share identical weights.
+    """
+
+    def __init__(self, executor: ModelExecutor) -> None:
+        self.executor = executor
+
+    # ------------------------------------------------------------------ #
+    def run_part(self, volume: LayerVolume, part: SplitPart, volume_input: np.ndarray) -> np.ndarray:
+        """Run one split-part given the *full* input tensor of the volume.
+
+        ``volume_input`` is the complete ``(H, W, C)`` tensor entering the
+        volume; the part slices out the rows it needs (``part.in_rows``),
+        which mirrors the real system where only those rows are transmitted
+        to the provider.
+        """
+        if part.is_empty:
+            last = volume.last
+            return np.zeros((0, last.out_w, last.out_c), dtype=np.float32)
+        x = np.asarray(volume_input, dtype=np.float32)
+        if x.shape != volume.first.input_shape:
+            raise ValueError(
+                f"volume input shape {x.shape} does not match expected {volume.first.input_shape}"
+            )
+        current = x[part.in_rows[0] : part.in_rows[1], :, :]
+        for layer, (a, b) in zip(volume.layers, part.layer_out_rows):
+            if b <= a:
+                raise ValueError(
+                    f"degenerate row range {(a, b)} for layer {layer.name!r} in non-empty part"
+                )
+            stride = layer.stride
+            kernel = layer.kernel
+            padding = layer.padding
+            # Top/bottom padding is only real at the true tensor edges; the
+            # interior cut boundaries receive actual neighbouring rows, which
+            # the row-range arithmetic already included in ``current``.
+            pad_top = max(0, padding - a * stride)
+            unclipped_hi = (b - 1) * stride + kernel - padding
+            pad_bottom = max(0, unclipped_hi - layer.in_h)
+            if isinstance(layer, ConvSpec):
+                current = self.executor._forward_conv(
+                    layer, current, pad_top, pad_bottom, padding, padding
+                )
+            elif isinstance(layer, PoolSpec):
+                current = pool2d(
+                    current,
+                    layer.kernel_size,
+                    layer.stride_size,
+                    pad_top,
+                    pad_bottom,
+                    padding,
+                    padding,
+                    layer.mode,
+                )
+            else:  # pragma: no cover - guarded by LayerVolume validation
+                raise TypeError(f"non-spatial layer {layer.name!r} inside a volume")
+            expected_rows = b - a
+            if current.shape[0] != expected_rows:
+                raise AssertionError(
+                    f"layer {layer.name!r} produced {current.shape[0]} rows, expected {expected_rows}"
+                )
+        return current
+
+    def run_split(
+        self,
+        volume: LayerVolume,
+        decision: SplitDecision,
+        volume_input: np.ndarray,
+    ) -> Tuple[np.ndarray, List[SplitPart]]:
+        """Split a volume, run every part, and merge the outputs by height.
+
+        Returns the merged output tensor (identical to whole-volume execution)
+        and the list of parts for inspection.
+        """
+        parts = split_volume(volume, decision)
+        outputs = []
+        for part in parts:
+            out = self.run_part(volume, part, volume_input)
+            if not part.is_empty:
+                outputs.append((part.out_rows[0], out))
+        outputs.sort(key=lambda item: item[0])
+        merged = np.concatenate([o for _, o in outputs], axis=0)
+        expected_shape = volume.last.output_shape
+        if merged.shape != expected_shape:
+            raise AssertionError(
+                f"merged split output shape {merged.shape} != expected {expected_shape}"
+            )
+        return merged, parts
+
+    def run_plan_volumes(
+        self,
+        volumes: Sequence[LayerVolume],
+        decisions: Sequence[SplitDecision],
+        model_input: np.ndarray,
+    ) -> np.ndarray:
+        """Run a whole partitioned backbone with per-volume split decisions.
+
+        Each volume is split, executed part-by-part, merged, and the merged
+        tensor feeds the next volume — exactly the data flow of the
+        distributed system (merge happens implicitly through the
+        redistribution step between volumes).
+        """
+        if len(volumes) != len(decisions):
+            raise ValueError(
+                f"got {len(volumes)} volumes but {len(decisions)} split decisions"
+            )
+        current = np.asarray(model_input, dtype=np.float32)
+        for volume, decision in zip(volumes, decisions):
+            current, _ = self.run_split(volume, decision, current)
+        return current
+
+
+__all__ = ["ModelExecutor", "SplitExecutor"]

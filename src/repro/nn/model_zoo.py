@@ -1,0 +1,364 @@
+"""Model zoo: the eight CNN architectures evaluated in the paper.
+
+The distribution algorithms consume *layer configurations* only (heights,
+widths, channels, kernels, strides), so each zoo entry reproduces the layer
+configuration sequence of the corresponding architecture.  Branching
+architectures (ResNet bottlenecks, Inception modules, SSD heads, OpenPose
+stages, VoxelNet's RPN) are represented by their sequential main path with
+channel counts chosen to preserve the per-stage output shapes and the
+approximate operation counts — the paper itself treats models as sequential
+chains of conv/pool layers when partitioning ("for most CNN models, the
+layers are connected sequentially", Section III-C).
+
+Every deviation from the original architecture is noted in the builder's
+docstring.  Two small synthetic models (:func:`tiny_cnn`,
+:func:`small_vgg`) are provided for fast numerical verification in tests.
+
+Use :func:`get` to build a model by name and :func:`list_models` to enumerate
+the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.nn.graph import ModelBuilder, ModelSpec
+
+#: All model names evaluated in the paper's Figs. 10-11 plus VGG-16.
+PAPER_MODELS: Tuple[str, ...] = (
+    "vgg16",
+    "resnet50",
+    "inception_v3",
+    "yolov2",
+    "ssd_vgg16",
+    "ssd_resnet50",
+    "openpose",
+    "voxelnet",
+)
+
+
+# --------------------------------------------------------------------------- #
+# Test-scale models
+# --------------------------------------------------------------------------- #
+def tiny_cnn(input_size: int = 32) -> ModelSpec:
+    """A four-layer CNN used by unit tests for exact numerical verification."""
+    return (
+        ModelBuilder("tiny_cnn", input_shape=(input_size, input_size, 3))
+        .conv(8, kernel=3, padding="same")
+        .pool()
+        .conv(16, kernel=3, padding="same")
+        .pool()
+        .dense(10)
+        .build()
+    )
+
+
+def small_vgg(input_size: int = 64) -> ModelSpec:
+    """A reduced VGG-style network: same layer pattern as VGG-16 at 1/8 width.
+
+    Small enough for end-to-end numerical split verification and DRL smoke
+    tests, while preserving the alternating conv/pool structure that makes
+    partition-scheme search non-trivial.
+    """
+    b = ModelBuilder("small_vgg", input_shape=(input_size, input_size, 3))
+    b.conv(8).conv(8).pool()
+    b.conv(16).conv(16).pool()
+    b.conv(32).conv(32).pool()
+    b.conv(32).conv(32).pool()
+    b.dense(64, activation="relu").dense(10)
+    return b.build()
+
+
+# --------------------------------------------------------------------------- #
+# Paper models
+# --------------------------------------------------------------------------- #
+def vgg16(input_size: int = 224) -> ModelSpec:
+    """VGG-16 (Simonyan & Zisserman): 13 conv layers, 5 max-pools, 3 FC layers."""
+    b = ModelBuilder("vgg16", input_shape=(input_size, input_size, 3))
+    b.conv(64, name="conv1_1").conv(64, name="conv1_2").pool(name="pool1")
+    b.conv(128, name="conv2_1").conv(128, name="conv2_2").pool(name="pool2")
+    b.conv(256, name="conv3_1").conv(256, name="conv3_2").conv(256, name="conv3_3").pool(name="pool3")
+    b.conv(512, name="conv4_1").conv(512, name="conv4_2").conv(512, name="conv4_3").pool(name="pool4")
+    b.conv(512, name="conv5_1").conv(512, name="conv5_2").conv(512, name="conv5_3").pool(name="pool5")
+    b.dense(4096, activation="relu", name="fc6")
+    b.dense(4096, activation="relu", name="fc7")
+    b.dense(1000, name="fc8")
+    return b.build()
+
+
+def resnet50(input_size: int = 224) -> ModelSpec:
+    """ResNet-50 main path, sequentialised.
+
+    Deviations from the original: residual additions and the 1x1 projection
+    shortcuts are omitted (they contribute <2% of the MACs and no additional
+    activation traffic along the main path); down-sampling is performed by
+    the 3x3 convolution of the first bottleneck of each stage, as in the
+    ResNet-v1.5 variant commonly deployed with TensorRT.
+    """
+    b = ModelBuilder("resnet50", input_shape=(input_size, input_size, 3))
+    b.conv(64, kernel=7, stride=2, padding=3, name="conv1")
+    b.pool(kernel=3, stride=2, padding=1, name="pool1")
+
+    stages = [
+        # (num_blocks, mid_channels, out_channels)
+        (3, 64, 256),
+        (4, 128, 512),
+        (6, 256, 1024),
+        (3, 512, 2048),
+    ]
+    for stage_idx, (blocks, mid, out) in enumerate(stages, start=2):
+        for block in range(blocks):
+            stride = 2 if (block == 0 and stage_idx > 2) else 1
+            prefix = f"res{stage_idx}_{block + 1}"
+            b.conv(mid, kernel=1, padding=0, name=f"{prefix}_a")
+            b.conv(mid, kernel=3, stride=stride, padding=1, name=f"{prefix}_b")
+            b.conv(out, kernel=1, padding=0, name=f"{prefix}_c")
+    b.pool(kernel=7, stride=7, mode="avg", name="avgpool")
+    b.dense(1000, name="fc")
+    return b.build()
+
+
+def inception_v3(input_size: int = 299) -> ModelSpec:
+    """InceptionV3, sequentialised.
+
+    Deviations: each Inception module (A/B/C/reduction) is replaced by a pair
+    of convolutions whose output shape equals the module's concatenated
+    output and whose MAC count approximates the sum of the module's parallel
+    branches.  Auxiliary classifiers are omitted.
+    """
+    b = ModelBuilder("inception_v3", input_shape=(input_size, input_size, 3))
+    # Stem
+    b.conv(32, kernel=3, stride=2, padding=0, name="stem1")
+    b.conv(32, kernel=3, padding=0, name="stem2")
+    b.conv(64, kernel=3, padding=1, name="stem3")
+    b.pool(kernel=3, stride=2, name="stem_pool1")
+    b.conv(80, kernel=1, padding=0, name="stem4")
+    b.conv(192, kernel=3, padding=0, name="stem5")
+    b.pool(kernel=3, stride=2, name="stem_pool2")
+    # 3 x Inception-A (35x35, 288 channels out)
+    for i in range(3):
+        b.conv(192, kernel=1, padding=0, name=f"incA{i + 1}_reduce")
+        b.conv(288 if i == 2 else 256, kernel=3, padding=1, name=f"incA{i + 1}_conv")
+    # Reduction-A to 17x17
+    b.conv(384, kernel=3, stride=2, padding=0, name="redA")
+    # 4 x Inception-B (17x17, 768 channels)
+    for i in range(4):
+        b.conv(256, kernel=1, padding=0, name=f"incB{i + 1}_reduce")
+        b.conv(768, kernel=3, padding=1, name=f"incB{i + 1}_conv")
+    # Reduction-B to 8x8
+    b.conv(1280, kernel=3, stride=2, padding=0, name="redB")
+    # 2 x Inception-C (8x8, 2048 channels)
+    for i in range(2):
+        b.conv(448, kernel=1, padding=0, name=f"incC{i + 1}_reduce")
+        b.conv(2048, kernel=3, padding=1, name=f"incC{i + 1}_conv")
+    b.pool(kernel=8, stride=8, mode="avg", name="avgpool")
+    b.dense(1000, name="fc")
+    return b.build()
+
+
+def yolov2(input_size: int = 416) -> ModelSpec:
+    """YOLOv2 (Darknet-19 backbone + detection head), no FC layers.
+
+    Deviations: the passthrough (reorg) connection from the 26x26 feature map
+    is omitted; its contribution is re-added as extra channels on the first
+    head convolution so the head MAC count is preserved.
+    """
+    b = ModelBuilder("yolov2", input_shape=(input_size, input_size, 3))
+    b.conv(32, name="conv1").pool(name="pool1")
+    b.conv(64, name="conv2").pool(name="pool2")
+    b.conv(128, name="conv3_1").conv(64, kernel=1, padding=0, name="conv3_2").conv(128, name="conv3_3")
+    b.pool(name="pool3")
+    b.conv(256, name="conv4_1").conv(128, kernel=1, padding=0, name="conv4_2").conv(256, name="conv4_3")
+    b.pool(name="pool4")
+    b.conv(512, name="conv5_1").conv(256, kernel=1, padding=0, name="conv5_2").conv(512, name="conv5_3")
+    b.conv(256, kernel=1, padding=0, name="conv5_4").conv(512, name="conv5_5")
+    b.pool(name="pool5")
+    b.conv(1024, name="conv6_1").conv(512, kernel=1, padding=0, name="conv6_2").conv(1024, name="conv6_3")
+    b.conv(512, kernel=1, padding=0, name="conv6_4").conv(1024, name="conv6_5")
+    # Detection head
+    b.conv(1024, name="conv7_1").conv(1024, name="conv7_2")
+    b.conv(1024, name="conv8")
+    b.conv(425, kernel=1, padding=0, activation="linear", name="detect")
+    return b.build()
+
+
+def _vgg16_backbone_300(b: ModelBuilder) -> ModelBuilder:
+    """VGG-16 backbone at 300x300 input as used by SSD300 (through conv5_3)."""
+    b.conv(64, name="conv1_1").conv(64, name="conv1_2").pool(name="pool1")
+    b.conv(128, name="conv2_1").conv(128, name="conv2_2").pool(name="pool2")
+    b.conv(256, name="conv3_1").conv(256, name="conv3_2").conv(256, name="conv3_3")
+    b.pool(kernel=2, stride=2, padding=1, name="pool3")
+    b.conv(512, name="conv4_1").conv(512, name="conv4_2").conv(512, name="conv4_3").pool(name="pool4")
+    b.conv(512, name="conv5_1").conv(512, name="conv5_2").conv(512, name="conv5_3")
+    b.pool(kernel=3, stride=1, padding=1, name="pool5")
+    return b
+
+
+def ssd_vgg16(input_size: int = 300) -> ModelSpec:
+    """SSD300 with a VGG-16 backbone.
+
+    Deviations: the six multi-scale detection heads are folded into one 3x3
+    convolution on the last extra feature map with an equivalent MAC count;
+    the intermediate multi-scale taps do not change the backbone layer
+    configurations that the partitioner sees.
+    """
+    b = ModelBuilder("ssd_vgg16", input_shape=(input_size, input_size, 3))
+    _vgg16_backbone_300(b)
+    # fc6/fc7 converted to (dilated) convolutions, as in the SSD paper.
+    b.conv(1024, kernel=3, padding=1, name="conv6")
+    b.conv(1024, kernel=1, padding=0, name="conv7")
+    # Extra feature layers.
+    b.conv(256, kernel=1, padding=0, name="conv8_1")
+    b.conv(512, kernel=3, stride=2, padding=1, name="conv8_2")
+    b.conv(128, kernel=1, padding=0, name="conv9_1")
+    b.conv(256, kernel=3, stride=2, padding=1, name="conv9_2")
+    b.conv(128, kernel=1, padding=0, name="conv10_1")
+    b.conv(256, kernel=3, padding=0, name="conv10_2")
+    # Folded detection head.
+    b.conv(324, kernel=3, padding=1, activation="linear", name="det_head")
+    return b.build()
+
+
+def ssd_resnet50(input_size: int = 300) -> ModelSpec:
+    """SSD with a ResNet-50 backbone (RetinaNet-style feature extractor).
+
+    Deviations: as with :func:`resnet50`, residual additions are omitted; the
+    backbone is truncated after stage 4 (as in the standard SSD-ResNet50
+    detector), extra feature layers are appended, and the detection heads are
+    folded into a single convolution with an equivalent MAC count.
+    """
+    b = ModelBuilder("ssd_resnet50", input_shape=(input_size, input_size, 3))
+    b.conv(64, kernel=7, stride=2, padding=3, name="conv1")
+    b.pool(kernel=3, stride=2, padding=1, name="pool1")
+    stages = [(3, 64, 256), (4, 128, 512), (6, 256, 1024)]
+    for stage_idx, (blocks, mid, out) in enumerate(stages, start=2):
+        for block in range(blocks):
+            stride = 2 if (block == 0 and stage_idx > 2) else 1
+            prefix = f"res{stage_idx}_{block + 1}"
+            b.conv(mid, kernel=1, padding=0, name=f"{prefix}_a")
+            b.conv(mid, kernel=3, stride=stride, padding=1, name=f"{prefix}_b")
+            b.conv(out, kernel=1, padding=0, name=f"{prefix}_c")
+    # Extra SSD feature layers.
+    b.conv(256, kernel=1, padding=0, name="extra1_1")
+    b.conv(512, kernel=3, stride=2, padding=1, name="extra1_2")
+    b.conv(128, kernel=1, padding=0, name="extra2_1")
+    b.conv(256, kernel=3, stride=2, padding=1, name="extra2_2")
+    b.conv(324, kernel=3, padding=1, activation="linear", name="det_head")
+    return b.build()
+
+
+def openpose(input_size: int = 368) -> ModelSpec:
+    """OpenPose (body-25) pose-estimation network.
+
+    Deviations: the two-branch (part-affinity-field / confidence-map) refine
+    stages are serialised into a single chain with the combined channel
+    counts; the original runs them in parallel on the same 46x46 feature map,
+    so the sequential chain preserves both output shape and MAC totals.
+    """
+    b = ModelBuilder("openpose", input_shape=(input_size, input_size, 3))
+    # VGG-19 first ten convolutions (feature extractor F).
+    b.conv(64, name="conv1_1").conv(64, name="conv1_2").pool(name="pool1")
+    b.conv(128, name="conv2_1").conv(128, name="conv2_2").pool(name="pool2")
+    b.conv(256, name="conv3_1").conv(256, name="conv3_2").conv(256, name="conv3_3").conv(
+        256, name="conv3_4"
+    ).pool(name="pool3")
+    b.conv(512, name="conv4_1").conv(512, name="conv4_2")
+    b.conv(256, name="conv4_3_cpm").conv(128, name="conv4_4_cpm")
+    # Stage 1 (both branches folded: 38 PAF + 19 heatmap channels).
+    b.conv(128, name="s1_1").conv(128, name="s1_2").conv(128, name="s1_3")
+    b.conv(512, kernel=1, padding=0, name="s1_4")
+    b.conv(57, kernel=1, padding=0, activation="linear", name="s1_out")
+    # Two refinement stages with 7x7 convolutions.
+    for stage in (2, 3):
+        b.conv(128, kernel=7, padding=3, name=f"s{stage}_1")
+        b.conv(128, kernel=7, padding=3, name=f"s{stage}_2")
+        b.conv(128, kernel=7, padding=3, name=f"s{stage}_3")
+        b.conv(128, kernel=7, padding=3, name=f"s{stage}_4")
+        b.conv(128, kernel=7, padding=3, name=f"s{stage}_5")
+        b.conv(128, kernel=1, padding=0, name=f"s{stage}_6")
+        b.conv(57, kernel=1, padding=0, activation="linear", name=f"s{stage}_out")
+    return b.build()
+
+
+def voxelnet(bev_h: int = 200, bev_w: int = 176) -> ModelSpec:
+    """VoxelNet 3-D detector, middle + region-proposal network portion.
+
+    Deviations: the point-wise voxel feature encoder (which runs on sparse
+    point data, not on a dense feature map) is replaced by an equivalent-MAC
+    1x1 convolution on the dense bird's-eye-view pseudo-image, and the 3-D
+    middle convolutions are flattened into 2-D convolutions over the BEV map
+    with the depth folded into channels — the standard "pillar"
+    simplification.  The RPN's three blocks and upsampling heads are folded
+    into their sequential main path.
+    """
+    b = ModelBuilder("voxelnet", input_shape=(bev_h, bev_w, 128))
+    b.conv(128, kernel=1, padding=0, name="vfe_proj")
+    # RPN block 1 (stride 2, 4 convs at 128 channels).
+    b.conv(128, kernel=3, stride=2, padding=1, name="rpn1_1")
+    for i in range(3):
+        b.conv(128, kernel=3, padding=1, name=f"rpn1_{i + 2}")
+    # RPN block 2 (stride 2, 6 convs at 128 channels).
+    b.conv(128, kernel=3, stride=2, padding=1, name="rpn2_1")
+    for i in range(5):
+        b.conv(128, kernel=3, padding=1, name=f"rpn2_{i + 2}")
+    # RPN block 3 (stride 2, 6 convs at 256 channels).
+    b.conv(256, kernel=3, stride=2, padding=1, name="rpn3_1")
+    for i in range(5):
+        b.conv(256, kernel=3, padding=1, name=f"rpn3_{i + 2}")
+    # Detection heads (score + regression) folded into one convolution.
+    b.conv(16, kernel=1, padding=0, activation="linear", name="det_head")
+    return b.build()
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+MODEL_BUILDERS: Dict[str, Callable[[], ModelSpec]] = {
+    "tiny_cnn": tiny_cnn,
+    "small_vgg": small_vgg,
+    "vgg16": vgg16,
+    "resnet50": resnet50,
+    "inception_v3": inception_v3,
+    "yolov2": yolov2,
+    "ssd_vgg16": ssd_vgg16,
+    "ssd_resnet50": ssd_resnet50,
+    "openpose": openpose,
+    "voxelnet": voxelnet,
+}
+
+
+def list_models() -> List[str]:
+    """Names of every model in the registry."""
+    return sorted(MODEL_BUILDERS)
+
+
+def get(name: str) -> ModelSpec:
+    """Build a model by name.
+
+    Raises ``KeyError`` with the list of known names if ``name`` is unknown.
+    """
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; known models: {', '.join(list_models())}"
+        ) from None
+    return builder()
+
+
+__all__ = [
+    "PAPER_MODELS",
+    "MODEL_BUILDERS",
+    "list_models",
+    "get",
+    "tiny_cnn",
+    "small_vgg",
+    "vgg16",
+    "resnet50",
+    "inception_v3",
+    "yolov2",
+    "ssd_vgg16",
+    "ssd_resnet50",
+    "openpose",
+    "voxelnet",
+]

@@ -1,0 +1,205 @@
+"""NumPy reference implementations of the CNN operators.
+
+These operators are the numerical substrate used to *verify* that vertically
+split execution produces exactly the same result as whole-model execution
+(the property the real DistrEdge system relies on, since it distributes
+models without modification and therefore without retraining).
+
+Performance notes (per the HPC guides): convolution uses an im2col +
+single-GEMM formulation so the heavy lifting happens inside BLAS, pooling
+uses a strided window reduction, and no operator copies its input more than
+once.  All tensors are channel-last ``(H, W, C)`` ``float32`` arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _as_f32(x: np.ndarray) -> np.ndarray:
+    arr = np.asarray(x)
+    if arr.dtype != np.float32:
+        arr = arr.astype(np.float32)
+    return arr
+
+
+def apply_activation(x: np.ndarray, activation: str) -> np.ndarray:
+    """Apply a named activation function element-wise."""
+    if activation == "linear":
+        return x
+    if activation == "relu":
+        return np.maximum(x, 0.0)
+    if activation == "leaky_relu":
+        return np.where(x >= 0.0, x, 0.1 * x)
+    if activation == "sigmoid":
+        return 1.0 / (1.0 + np.exp(-x))
+    raise ValueError(f"unknown activation {activation!r}")
+
+
+def pad_hw(
+    x: np.ndarray,
+    pad_top: int,
+    pad_bottom: int,
+    pad_left: int,
+    pad_right: int,
+    value: float = 0.0,
+) -> np.ndarray:
+    """Zero-pad a ``(H, W, C)`` tensor along the spatial dimensions only."""
+    if min(pad_top, pad_bottom, pad_left, pad_right) < 0:
+        raise ValueError("padding amounts must be non-negative")
+    if pad_top == pad_bottom == pad_left == pad_right == 0:
+        return x
+    return np.pad(
+        x,
+        ((pad_top, pad_bottom), (pad_left, pad_right), (0, 0)),
+        mode="constant",
+        constant_values=value,
+    )
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int) -> Tuple[np.ndarray, int, int]:
+    """Extract sliding ``kernel x kernel`` patches from a padded tensor.
+
+    Parameters
+    ----------
+    x:
+        Input tensor of shape ``(H, W, C)`` — already padded by the caller.
+    kernel, stride:
+        Square window size and stride.
+
+    Returns
+    -------
+    (patches, out_h, out_w):
+        ``patches`` has shape ``(out_h * out_w, kernel * kernel * C)`` and is
+        laid out so that a single matrix multiplication with a reshaped
+        weight tensor implements the convolution.
+    """
+    x = _as_f32(x)
+    h, w, c = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"window {kernel}x{kernel} stride {stride} does not fit input {h}x{w}"
+        )
+    # Stride-tricks view: (out_h, out_w, kernel, kernel, C), no copy.
+    s0, s1, s2 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(out_h, out_w, kernel, kernel, c),
+        strides=(s0 * stride, s1 * stride, s0, s1, s2),
+        writeable=False,
+    )
+    patches = windows.reshape(out_h * out_w, kernel * kernel * c)
+    return np.ascontiguousarray(patches), out_h, out_w
+
+
+def conv2d(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    pad_top: int,
+    pad_bottom: int,
+    pad_left: int,
+    pad_right: int,
+    activation: str = "linear",
+) -> np.ndarray:
+    """2-D convolution on a channel-last tensor.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(H, W, C_in)``.
+    weights:
+        Filter bank of shape ``(kernel, kernel, C_in, C_out)``.
+    bias:
+        Optional per-output-channel bias of shape ``(C_out,)``.
+    stride:
+        Spatial stride (same in both dimensions).
+    pad_top, pad_bottom, pad_left, pad_right:
+        Explicit asymmetric padding.  Split-part execution pads only at true
+        tensor edges, which is why the four sides are independent.
+    activation:
+        Name of the fused activation.
+    """
+    x = _as_f32(x)
+    weights = _as_f32(weights)
+    kernel = weights.shape[0]
+    if weights.shape[1] != kernel:
+        raise ValueError(f"only square kernels are supported, got {weights.shape[:2]}")
+    if weights.shape[2] != x.shape[2]:
+        raise ValueError(
+            f"weight input channels {weights.shape[2]} do not match tensor channels {x.shape[2]}"
+        )
+    padded = pad_hw(x, pad_top, pad_bottom, pad_left, pad_right)
+    patches, out_h, out_w = im2col(padded, kernel, stride)
+    w_mat = weights.reshape(kernel * kernel * x.shape[2], weights.shape[3])
+    out = patches @ w_mat
+    if bias is not None:
+        out = out + _as_f32(bias)[None, :]
+    out = out.reshape(out_h, out_w, weights.shape[3])
+    return apply_activation(out, activation)
+
+
+def pool2d(
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    pad_top: int,
+    pad_bottom: int,
+    pad_left: int,
+    pad_right: int,
+    mode: str = "max",
+) -> np.ndarray:
+    """Max or average pooling on a channel-last tensor."""
+    x = _as_f32(x)
+    if mode not in ("max", "avg"):
+        raise ValueError(f"mode must be 'max' or 'avg', got {mode!r}")
+    pad_value = -np.inf if mode == "max" else 0.0
+    padded = pad_hw(x, pad_top, pad_bottom, pad_left, pad_right, value=pad_value)
+    h, w, c = padded.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"window {kernel}x{kernel} stride {stride} does not fit input {h}x{w}"
+        )
+    s0, s1, s2 = padded.strides
+    windows = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(out_h, out_w, kernel, kernel, c),
+        strides=(s0 * stride, s1 * stride, s0, s1, s2),
+        writeable=False,
+    )
+    if mode == "max":
+        return windows.max(axis=(2, 3))
+    return windows.mean(axis=(2, 3))
+
+
+def dense(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None,
+    activation: str = "linear",
+) -> np.ndarray:
+    """Fully-connected layer on a flattened input.
+
+    ``x`` may be of any shape; it is flattened to a vector of length
+    ``weights.shape[0]``.
+    """
+    x = _as_f32(x).reshape(-1)
+    weights = _as_f32(weights)
+    if x.shape[0] != weights.shape[0]:
+        raise ValueError(
+            f"flattened input has {x.shape[0]} features, weights expect {weights.shape[0]}"
+        )
+    out = x @ weights
+    if bias is not None:
+        out = out + _as_f32(bias)
+    return apply_activation(out, activation)
+
+
+__all__ = ["apply_activation", "pad_hw", "im2col", "conv2d", "pool2d", "dense"]

@@ -1,0 +1,95 @@
+"""Per-device service lanes.
+
+Section V-A of the paper: "On each service provider, three threads are
+running parallel to implement computation, data receiving, and data
+transmission by sharing data with a queue."  A *lane* models one of those
+threads as a unit-capacity resource: requests are serviced in the order they
+are submitted and each request occupies the lane for its duration.  The
+requester likewise has a send lane (it splits and transmits the input image)
+and a receive lane (it collects results).
+
+The lane abstraction is what turns the per-part latency numbers into a
+schedule: two transfers leaving the same device serialise on its send lane,
+two parts assigned to the same device serialise on its compute lane, while
+work on different devices proceeds in parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+
+@dataclass
+class Lane:
+    """A unit-capacity resource with busy-until bookkeeping (times in ms)."""
+
+    name: str
+    free_at: float = 0.0
+    busy_ms: float = 0.0
+    jobs: int = 0
+
+    def schedule(self, earliest_start: float, duration_ms: float) -> Tuple[float, float]:
+        """Reserve the lane for a job.
+
+        The job starts at ``max(earliest_start, free_at)`` and holds the lane
+        for ``duration_ms``.  Returns ``(start, end)`` and advances the
+        lane's ``free_at``.
+        """
+        if duration_ms < 0:
+            raise ValueError(f"duration must be >= 0, got {duration_ms}")
+        start = max(earliest_start, self.free_at)
+        end = start + duration_ms
+        self.free_at = end
+        self.busy_ms += duration_ms
+        self.jobs += 1
+        return start, end
+
+    def peek(self, earliest_start: float, duration_ms: float) -> Tuple[float, float]:
+        """Like :meth:`schedule` but without reserving the lane."""
+        start = max(earliest_start, self.free_at)
+        return start, start + duration_ms
+
+    def reset(self) -> None:
+        """Clear all bookkeeping (new image / new simulation)."""
+        self.free_at = 0.0
+        self.busy_ms = 0.0
+        self.jobs = 0
+
+
+class LaneSet:
+    """A collection of named lanes, one per (endpoint, role) pair.
+
+    Roles used by the evaluator: ``"send"``, ``"recv"`` and ``"compute"``.
+    Lanes are created lazily on first use so the evaluator does not need to
+    enumerate endpoints up front.
+    """
+
+    def __init__(self) -> None:
+        self._lanes: Dict[Tuple[Hashable, str], Lane] = {}
+
+    def lane(self, endpoint: Hashable, role: str) -> Lane:
+        key = (endpoint, role)
+        if key not in self._lanes:
+            self._lanes[key] = Lane(name=f"{endpoint}:{role}")
+        return self._lanes[key]
+
+    def schedule(
+        self, endpoint: Hashable, role: str, earliest_start: float, duration_ms: float
+    ) -> Tuple[float, float]:
+        """Reserve ``endpoint``'s ``role`` lane; see :meth:`Lane.schedule`."""
+        return self.lane(endpoint, role).schedule(earliest_start, duration_ms)
+
+    def busy_ms(self, endpoint: Hashable, role: str) -> float:
+        """Total busy time accumulated on a lane (0 if never used)."""
+        return self._lanes.get((endpoint, role), Lane(name="empty")).busy_ms
+
+    def reset(self) -> None:
+        for lane in self._lanes.values():
+            lane.reset()
+
+    def all_lanes(self) -> List[Lane]:
+        return list(self._lanes.values())
+
+
+__all__ = ["Lane", "LaneSet"]

@@ -1,0 +1,126 @@
+"""Compute-latency oracles used by the schedule evaluator.
+
+The evaluator is agnostic about *where* per-part compute latencies come
+from.  Two oracles are provided:
+
+* :class:`GroundTruthComputeOracle` — queries the device latency model
+  directly.  This is the "real execution on devices" path: the paper's final
+  IPS numbers are measured on real hardware, and this oracle plays that role
+  in the simulation.
+* :class:`ProfileComputeOracle` — queries per-device latency *profiles*
+  (tables or regression models).  This is the controller's view of the world
+  and is what planners (and optionally OSDS training) use; the difference
+  between the two oracles is exactly the profiling error a real deployment
+  would face.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Protocol, Sequence
+
+from repro.devices.latency_model import ComputeLatencyModel, layer_compute_latency_ms
+from repro.devices.profiles import LatencyProfile
+from repro.devices.specs import DeviceInstance
+from repro.nn.graph import LayerVolume
+from repro.nn.layers import LayerSpec
+from repro.nn.splitting import SplitPart
+
+
+class ComputeOracle(Protocol):
+    """Interface: per-part and per-head compute latency predictions."""
+
+    def part_latency_ms(self, device_index: int, volume: LayerVolume, part: SplitPart) -> float:
+        """Latency of one split-part on one provider."""
+        ...
+
+    def head_latency_ms(self, device_index: int, head_layers: Sequence[LayerSpec]) -> float:
+        """Latency of the trailing dense layers on one provider."""
+        ...
+
+
+class GroundTruthComputeOracle:
+    """Oracle backed by the nonlinear device latency model (real execution)."""
+
+    def __init__(self, devices: Sequence[DeviceInstance]) -> None:
+        self.devices = list(devices)
+        self._models = [ComputeLatencyModel(d.dtype) for d in self.devices]
+
+    def part_latency_ms(self, device_index: int, volume: LayerVolume, part: SplitPart) -> float:
+        return self._models[device_index].part(part, volume)
+
+    def head_latency_ms(self, device_index: int, head_layers: Sequence[LayerSpec]) -> float:
+        model = self._models[device_index]
+        return sum(model.layer(layer) for layer in head_layers)
+
+
+class ProfileComputeOracle:
+    """Oracle backed by per-device latency profiles (the controller's view).
+
+    Parameters
+    ----------
+    devices:
+        The providers (needed for head-latency fallback).
+    profiles:
+        One :class:`~repro.devices.profiles.LatencyProfile` per provider,
+        indexed like ``devices``.  Typically profiles are built per device
+        *type* and shared by providers of the same type, exactly as the paper
+        profiles each of its four device types once.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[DeviceInstance],
+        profiles: Sequence[LatencyProfile],
+    ) -> None:
+        if len(devices) != len(profiles):
+            raise ValueError(
+                f"{len(devices)} devices but {len(profiles)} profiles were provided"
+            )
+        self.devices = list(devices)
+        self.profiles = list(profiles)
+        self._fallback = GroundTruthComputeOracle(devices)
+
+    def part_latency_ms(self, device_index: int, volume: LayerVolume, part: SplitPart) -> float:
+        if part.is_empty:
+            return 0.0
+        profile = self.profiles[device_index]
+        layer_rows = [
+            (layer.name, b - a) for layer, (a, b) in zip(volume.layers, part.layer_out_rows)
+        ]
+        return profile.volume_latency_ms(layer_rows)
+
+    def head_latency_ms(self, device_index: int, head_layers: Sequence[LayerSpec]) -> float:
+        # Dense layers are not part of the split profiles (they are never
+        # split); fall back to the device model, as the controller would use
+        # a separate single measurement for the head.
+        return self._fallback.head_latency_ms(device_index, head_layers)
+
+
+def profiles_by_device(
+    devices: Sequence[DeviceInstance],
+    per_type_profiles: Mapping[str, LatencyProfile],
+) -> List[LatencyProfile]:
+    """Expand per-device-type profiles to a per-provider list.
+
+    The paper profiles each device *type* once and reuses the result for all
+    providers of that type; this helper performs the expansion and raises a
+    ``KeyError`` naming the missing type otherwise.
+    """
+    out: List[LatencyProfile] = []
+    for d in devices:
+        try:
+            out.append(per_type_profiles[d.type_name])
+        except KeyError:
+            raise KeyError(
+                f"no profile for device type {d.type_name!r}; available: "
+                f"{sorted(per_type_profiles)}"
+            ) from None
+    return out
+
+
+__all__ = [
+    "ComputeOracle",
+    "GroundTruthComputeOracle",
+    "ProfileComputeOracle",
+    "profiles_by_device",
+]

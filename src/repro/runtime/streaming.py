@@ -1,0 +1,147 @@
+"""Image-stream simulation: the paper's IPS measurement protocol.
+
+Section V-A: *"we stream 5000 images from the service requester to the
+service providers.  An image will not be sent until the result of its
+previous image is received by the service requester.  We measure the overall
+latency in processing the 5000 images and compute averaged FPS."*
+
+:class:`StreamingSimulator` reproduces that protocol: images are processed
+strictly one at a time, each image's end-to-end latency is evaluated under
+the network conditions at its start time (bandwidth traces are functions of
+wall-clock time), and the averaged images-per-second is reported.  An
+optional *adaptation hook* lets a controller observe recent latencies and
+swap in a new plan between images — the mechanism behind the dynamic-network
+experiment (Fig. 13), where CoEdge/AOFL/DistrEdge re-plan online.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.runtime.evaluator import EvaluationResult, PlanEvaluator
+from repro.runtime.plan import DistributionPlan
+
+#: Adaptation hook signature: called before each image with
+#: ``(time_seconds, image_index, current_plan, latency_history_ms)`` and may
+#: return a replacement plan (or ``None`` to keep the current one).
+AdaptationHook = Callable[[float, int, DistributionPlan, List[float]], Optional[DistributionPlan]]
+
+
+@dataclass
+class StreamingResult:
+    """Outcome of streaming a batch of images through a plan."""
+
+    per_image_latency_ms: np.ndarray
+    image_start_s: np.ndarray
+    total_time_s: float
+    method: str = "unspecified"
+    replan_times_s: List[float] = field(default_factory=list)
+
+    @property
+    def num_images(self) -> int:
+        return int(self.per_image_latency_ms.size)
+
+    @property
+    def ips(self) -> float:
+        """Averaged images per second over the whole stream."""
+        if self.total_time_s <= 0:
+            return float("inf")
+        return self.num_images / self.total_time_s
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return float(self.per_image_latency_ms.mean()) if self.num_images else 0.0
+
+    @property
+    def p95_latency_ms(self) -> float:
+        return float(np.percentile(self.per_image_latency_ms, 95)) if self.num_images else 0.0
+
+    def latency_series(self) -> np.ndarray:
+        """``(N, 2)`` array of (start time s, latency ms) rows, for Fig. 13-style plots."""
+        return np.column_stack([self.image_start_s, self.per_image_latency_ms])
+
+
+class StreamingSimulator:
+    """Streams images through a distribution plan, one at a time.
+
+    Parameters
+    ----------
+    evaluator:
+        The plan evaluator bound to the cluster and network under test.
+    extra_gap_ms:
+        Idle time between receiving a result and sending the next image
+        (camera frame interval / application think time); 0 reproduces the
+        paper's back-to-back streaming.
+    """
+
+    def __init__(self, evaluator: PlanEvaluator, extra_gap_ms: float = 0.0) -> None:
+        if extra_gap_ms < 0:
+            raise ValueError(f"extra_gap_ms must be >= 0, got {extra_gap_ms}")
+        self.evaluator = evaluator
+        self.extra_gap_ms = float(extra_gap_ms)
+
+    def run(
+        self,
+        plan: DistributionPlan,
+        num_images: int = 5000,
+        start_time_s: float = 0.0,
+        adaptation_hook: Optional[AdaptationHook] = None,
+        max_duration_s: Optional[float] = None,
+    ) -> StreamingResult:
+        """Stream ``num_images`` images and return the latency/IPS summary.
+
+        ``max_duration_s`` optionally truncates the stream once the simulated
+        wall clock exceeds the limit (useful for fixed-duration dynamic-
+        network experiments, e.g. "one hour of service").
+        """
+        if num_images < 1:
+            raise ValueError(f"num_images must be >= 1, got {num_images}")
+        latencies: List[float] = []
+        starts: List[float] = []
+        replans: List[float] = []
+        current_plan = plan
+        t = float(start_time_s)
+        for index in range(num_images):
+            if adaptation_hook is not None:
+                replacement = adaptation_hook(t, index, current_plan, latencies)
+                if replacement is not None and replacement is not current_plan:
+                    current_plan = replacement
+                    replans.append(t)
+            result = self.evaluator.evaluate(current_plan, t_seconds=t)
+            latencies.append(result.end_to_end_ms)
+            starts.append(t)
+            t += (result.end_to_end_ms + self.extra_gap_ms) / 1000.0
+            if max_duration_s is not None and (t - start_time_s) >= max_duration_s:
+                break
+        return StreamingResult(
+            per_image_latency_ms=np.asarray(latencies),
+            image_start_s=np.asarray(starts),
+            total_time_s=t - start_time_s,
+            method=current_plan.method,
+            replan_times_s=replans,
+        )
+
+    def run_duration(
+        self,
+        plan: DistributionPlan,
+        duration_s: float,
+        start_time_s: float = 0.0,
+        adaptation_hook: Optional[AdaptationHook] = None,
+        max_images: int = 1_000_000,
+    ) -> StreamingResult:
+        """Stream for a fixed simulated duration rather than an image count."""
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0, got {duration_s}")
+        return self.run(
+            plan,
+            num_images=max_images,
+            start_time_s=start_time_s,
+            adaptation_hook=adaptation_hook,
+            max_duration_s=duration_s,
+        )
+
+
+__all__ = ["StreamingSimulator", "StreamingResult", "AdaptationHook"]

@@ -1,0 +1,52 @@
+"""Random-number-generator helpers.
+
+Every stochastic component in the package (bandwidth traces, random split
+decisions in LC-PSS, DDPG exploration, workload generators) accepts either a
+seed or a :class:`numpy.random.Generator`.  Funnelling construction through
+:func:`as_rng` keeps experiments reproducible and lets callers fork
+independent streams with :func:`spawn_rng`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, a ``SeedSequence`` or an
+        existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, n: int = 1) -> list[np.random.Generator]:
+    """Fork ``n`` statistically independent generators from ``rng``.
+
+    The child streams do not perturb the parent stream, which makes
+    experiment components independent of the order in which they draw.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Draw a single integer seed from ``rng`` (for labelling/reporting)."""
+    return int(rng.integers(0, 2**31 - 1))
+
+
+__all__ = ["SeedLike", "as_rng", "spawn_rng", "derive_seed"]

@@ -1,0 +1,61 @@
+"""Unit conversions used across the simulator.
+
+Conventions
+-----------
+* Time is carried in **milliseconds** inside latency models and the runtime
+  simulator (the paper reports per-image latency in ms), and in **seconds**
+  inside bandwidth traces (trace time slots are minutes-long).
+* Data sizes are carried in **bytes**.
+* Bandwidths are specified in **Mbps** (the paper's unit) and converted to
+  bytes/second at the link layer.
+"""
+
+from __future__ import annotations
+
+#: One megabit per second, expressed in bits per second.
+MBPS: float = 1.0e6
+
+#: Bytes occupied by one FP16 tensor element (the paper runs TensorRT FP16).
+FP16_BYTES: int = 2
+
+#: Bytes occupied by one FP32 tensor element.
+FP32_BYTES: int = 4
+
+
+def megabits_to_bytes(megabits: float) -> float:
+    """Convert a size in megabits to bytes."""
+    return megabits * MBPS / 8.0
+
+
+def bytes_per_second(mbps: float) -> float:
+    """Convert a bandwidth in Mbps to bytes per second."""
+    if mbps < 0:
+        raise ValueError(f"bandwidth must be non-negative, got {mbps}")
+    return mbps * MBPS / 8.0
+
+
+def ms_to_s(milliseconds: float) -> float:
+    """Convert milliseconds to seconds."""
+    return milliseconds / 1000.0
+
+
+def s_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * 1000.0
+
+
+def bytes_to_megabytes(n_bytes: float) -> float:
+    """Convert bytes to megabytes (1 MB = 1e6 bytes)."""
+    return n_bytes / 1.0e6
+
+
+__all__ = [
+    "MBPS",
+    "FP16_BYTES",
+    "FP32_BYTES",
+    "megabits_to_bytes",
+    "bytes_per_second",
+    "ms_to_s",
+    "s_to_ms",
+    "bytes_to_megabytes",
+]

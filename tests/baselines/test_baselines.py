@@ -1,0 +1,229 @@
+"""Tests for the seven baseline planners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AOFLPlanner,
+    BASELINE_REGISTRY,
+    CoEdgePlanner,
+    DeeperThingsPlanner,
+    DeepThingsPlanner,
+    MeDNNPlanner,
+    MoDNNPlanner,
+    OffloadPlanner,
+)
+from repro.baselines.base import bandwidth_vector, capability_vector, pool_boundaries
+from repro.baselines.linear_model import LinearLatencyModel
+from repro.devices.specs import make_cluster
+from repro.network.topology import NetworkModel
+from repro.nn import model_zoo
+from repro.nn.splitting import SplitDecision
+from repro.runtime.evaluator import PlanEvaluator
+from repro.runtime.plan import DistributionPlan
+
+
+@pytest.fixture(scope="module")
+def model():
+    return model_zoo.vgg16()
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return make_cluster([("xavier", 300), ("tx2", 200), ("nano", 100), ("pi3", 50)])
+
+
+@pytest.fixture(scope="module")
+def network(cluster):
+    return NetworkModel.constant_from_devices(cluster)
+
+
+@pytest.fixture(scope="module")
+def evaluator(cluster, network):
+    return PlanEvaluator(cluster, network)
+
+
+class TestRegistry:
+    def test_registry_has_all_seven_baselines(self):
+        assert set(BASELINE_REGISTRY) == {
+            "coedge",
+            "modnn",
+            "mednn",
+            "deepthings",
+            "deeperthings",
+            "aofl",
+            "offload",
+        }
+
+    @pytest.mark.parametrize("name", sorted(BASELINE_REGISTRY))
+    def test_every_baseline_produces_valid_evaluable_plan(
+        self, name, model, cluster, network, evaluator
+    ):
+        plan = BASELINE_REGISTRY[name]().plan(model, cluster, network)
+        assert isinstance(plan, DistributionPlan)
+        assert plan.method == name
+        assert plan.num_devices == len(cluster)
+        result = evaluator.evaluate(plan)
+        assert result.end_to_end_ms > 0
+        assert np.isfinite(result.ips)
+
+
+class TestHelpers:
+    def test_capability_vector_from_catalog(self, model, cluster):
+        caps = capability_vector(model, cluster)
+        assert caps.shape == (4,)
+        assert caps[0] > caps[1] > caps[2] > caps[3]
+
+    def test_bandwidth_vector(self, cluster, network):
+        bws = bandwidth_vector(cluster, network)
+        np.testing.assert_allclose(bws, [300, 200, 100, 50])
+
+    def test_pool_boundaries_vgg(self, model):
+        bounds = pool_boundaries(model)
+        assert bounds[0] == 0 and bounds[-1] == model.num_spatial_layers
+        assert bounds == sorted(set(bounds))
+        # VGG-16 has 5 pools, the last one ending the backbone.
+        assert len(bounds) == 6
+
+
+class TestOffload:
+    def test_selects_most_capable_device(self, model, cluster, network):
+        plan = OffloadPlanner().plan(model, cluster, network)
+        rows = plan.assignment(0).decision.rows_per_device()
+        assert rows[0] == plan.assignment(0).decision.output_height
+        assert plan.head_device == 0
+
+
+class TestLayerByLayerBaselines:
+    def test_modnn_layer_by_layer_partition(self, model, cluster, network):
+        plan = MoDNNPlanner().plan(model, cluster, network)
+        assert plan.num_volumes == model.num_spatial_layers
+
+    def test_modnn_split_follows_capability(self, model, cluster, network):
+        plan = MoDNNPlanner().plan(model, cluster, network)
+        rows = np.array(plan.assignment(0).decision.rows_per_device(), dtype=float)
+        caps = capability_vector(model, cluster)
+        # Shares ordered like capabilities (xavier most, pi3 least).
+        assert rows[0] >= rows[1] >= rows[2] >= rows[3]
+        assert rows[0] > 0
+
+    def test_modnn_ignores_bandwidth(self, model, cluster):
+        fast_net = NetworkModel.constant_from_devices(cluster)
+        slow_first = make_cluster([("xavier", 5), ("tx2", 200), ("nano", 100), ("pi3", 50)])
+        slow_net = NetworkModel.constant_from_devices(slow_first)
+        a = MoDNNPlanner().plan(model, cluster, fast_net)
+        b = MoDNNPlanner().plan(model, slow_first, slow_net)
+        assert a.assignment(0).decision.cuts == b.assignment(0).decision.cuts
+
+    def test_mednn_prunes_weak_devices(self, model, cluster, network):
+        plan = MeDNNPlanner(prune_threshold=0.05).plan(model, cluster, network)
+        for assignment in plan.assignments:
+            assert assignment.decision.rows_per_device()[3] == 0  # pi3 excluded
+
+    def test_mednn_keeps_at_least_one_device(self, model, network):
+        uniform = make_cluster([("nano", 100)] * 4)
+        net = NetworkModel.constant_from_devices(uniform)
+        plan = MeDNNPlanner(prune_threshold=0.9).plan(model, uniform, net)
+        assert sum(plan.assignment(0).decision.rows_per_device()) > 0
+
+    def test_mednn_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            MeDNNPlanner(prune_threshold=1.0)
+
+    def test_coedge_reacts_to_bandwidth(self, model):
+        devices_fast = make_cluster([("nano", 300), ("nano", 300)])
+        devices_skew = make_cluster([("nano", 300), ("nano", 20)])
+        plan_fast = CoEdgePlanner().plan(
+            model, devices_fast, NetworkModel.constant_from_devices(devices_fast)
+        )
+        plan_skew = CoEdgePlanner().plan(
+            model, devices_skew, NetworkModel.constant_from_devices(devices_skew)
+        )
+        rows_fast = plan_fast.assignment(0).decision.rows_per_device()
+        rows_skew = plan_skew.assignment(0).decision.rows_per_device()
+        # With equal devices the split is even; a starved link shifts rows away.
+        assert abs(rows_fast[0] - rows_fast[1]) <= 1
+        assert rows_skew[0] > rows_skew[1]
+
+
+class TestFusedBaselines:
+    def test_deepthings_structure(self, model, cluster, network):
+        planner = DeepThingsPlanner()
+        plan = planner.plan(model, cluster, network)
+        assert plan.num_volumes == 2
+        first = plan.assignment(0).decision.rows_per_device()
+        # Equal split of the fused block (within rounding).
+        assert max(first) - min(first) <= 1
+        # Remaining layers all on the gateway (most capable device).
+        second = plan.assignment(1).decision.rows_per_device()
+        assert second[0] == plan.assignment(1).decision.output_height
+
+    def test_deepthings_fused_prefix_threshold(self, model):
+        planner = DeepThingsPlanner(fuse_until_height_ratio=0.25)
+        prefix = planner.fused_prefix_length(model)
+        spatial = model.spatial_layers
+        assert spatial[prefix - 1].out_h <= spatial[0].in_h * 0.25
+
+    def test_deepthings_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            DeepThingsPlanner(fuse_until_height_ratio=0.0)
+
+    def test_deeperthings_equal_split_everywhere(self, model, cluster, network):
+        plan = DeeperThingsPlanner().plan(model, cluster, network)
+        assert plan.num_volumes == len(pool_boundaries(model)) - 1
+        for assignment in plan.assignments:
+            rows = assignment.decision.rows_per_device()
+            assert max(rows) - min(rows) <= 1
+
+    def test_aofl_splits_are_not_equal_on_heterogeneous_cluster(self, model, cluster, network):
+        plan = AOFLPlanner().plan(model, cluster, network)
+        rows = plan.assignment(0).decision.rows_per_device()
+        assert rows[0] > rows[2]  # xavier gets more than nano
+
+    def test_aofl_beats_equal_split_on_heterogeneous_cluster(
+        self, model, cluster, network, evaluator
+    ):
+        aofl = evaluator.evaluate(AOFLPlanner().plan(model, cluster, network))
+        deeper = evaluator.evaluate(DeeperThingsPlanner().plan(model, cluster, network))
+        assert aofl.ips > deeper.ips
+
+    def test_aofl_candidate_cap(self, model, cluster, network):
+        plan = AOFLPlanner(max_candidate_boundaries=0).plan(model, cluster, network)
+        assert plan.num_volumes == 1
+
+
+class TestLinearLatencyModel:
+    def test_predicts_lower_latency_for_faster_network(self, model, cluster):
+        caps = capability_vector(model, cluster)
+        fast = LinearLatencyModel(model, cluster, NetworkModel.constant_from_devices(cluster), caps)
+        slow_devices = make_cluster([("xavier", 10), ("tx2", 10), ("nano", 10), ("pi3", 10)])
+        slow = LinearLatencyModel(
+            model, slow_devices, NetworkModel.constant_from_devices(slow_devices), caps
+        )
+        boundaries = pool_boundaries(model)
+        decisions = [
+            SplitDecision.equal(4, v.output_height) for v in model.partition(boundaries)
+        ]
+        assert fast.predict_plan_latency_ms(boundaries, decisions) < slow.predict_plan_latency_ms(
+            boundaries, decisions
+        )
+
+    def test_linear_model_underestimates_true_latency(self, model, cluster, network, evaluator):
+        """The linear model ignores launch overheads, tiles and I/O costs, so
+        it is optimistic — precisely the gap DistrEdge exploits."""
+        caps = capability_vector(model, cluster)
+        linear = LinearLatencyModel(model, cluster, network, caps)
+        boundaries = pool_boundaries(model)
+        decisions = [
+            SplitDecision.equal(4, v.output_height) for v in model.partition(boundaries)
+        ]
+        predicted = linear.predict_plan_latency_ms(boundaries, decisions)
+        plan = DistributionPlan(model, cluster, boundaries, decisions)
+        actual = evaluator.evaluate(plan).end_to_end_ms
+        assert predicted < actual
+
+    def test_capability_length_checked(self, model, cluster, network):
+        with pytest.raises(ValueError):
+            LinearLatencyModel(model, cluster, network, np.ones(2))

@@ -1,0 +1,111 @@
+"""Tests for the Cp partition cost model (Eq. 3 / Eq. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cost import PartitionCostModel, partition_score, random_split_decisions
+from repro.nn import model_zoo
+from repro.nn.splitting import SplitDecision
+from repro.utils.rng import as_rng
+
+
+@pytest.fixture(scope="module")
+def model():
+    return model_zoo.small_vgg(64)
+
+
+@pytest.fixture(scope="module")
+def cost_model(model):
+    return PartitionCostModel(model, num_devices=3, num_random_splits=10, seed=0)
+
+
+class TestRandomSplitDecisions:
+    def test_count_and_type(self):
+        decisions = random_split_decisions(4, 32, 5, as_rng(0))
+        assert len(decisions) == 5
+        assert all(isinstance(d, SplitDecision) for d in decisions)
+        assert all(sum(d.rows_per_device()) == 32 for d in decisions)
+
+    def test_reproducible(self):
+        a = random_split_decisions(3, 20, 4, as_rng(7))
+        b = random_split_decisions(3, 20, 4, as_rng(7))
+        assert [d.cuts for d in a] == [d.cuts for d in b]
+
+
+class TestSampleCost:
+    def test_single_device_has_no_overhead(self, model, cost_model):
+        boundaries = model.single_volume_partition()
+        volume = model.partition(boundaries)[0]
+        decision = SplitDecision.single_device(0, 3, volume.output_height)
+        cost = cost_model.sample_cost(boundaries, [decision])
+        assert cost.operations == pytest.approx(model.backbone_macs)
+        assert cost.normalized_operations == pytest.approx(1.0)
+
+    def test_equal_split_increases_operations(self, model, cost_model):
+        boundaries = model.single_volume_partition()
+        volume = model.partition(boundaries)[0]
+        decision = SplitDecision.equal(3, volume.output_height)
+        cost = cost_model.sample_cost(boundaries, [decision])
+        assert cost.normalized_operations > 1.0
+
+    def test_layer_by_layer_increases_transmission(self, model, cost_model):
+        coarse = [0, 6, model.num_spatial_layers]
+        fine = model.layer_by_layer_partition()
+
+        def mean_transmission(boundaries):
+            rng = as_rng(0)
+            volumes = model.partition(boundaries)
+            total = 0.0
+            for _ in range(5):
+                decisions = [
+                    random_split_decisions(3, v.output_height, 1, rng)[0] for v in volumes
+                ]
+                total += cost_model.sample_cost(boundaries, decisions).transmission_bytes
+            return total
+
+        assert mean_transmission(fine) > mean_transmission(coarse)
+
+    def test_score_interpolates_alpha(self, model, cost_model):
+        boundaries = [0, 6, model.num_spatial_layers]
+        volumes = model.partition(boundaries)
+        decisions = [SplitDecision.equal(3, v.output_height) for v in volumes]
+        cost = cost_model.sample_cost(boundaries, decisions)
+        assert cost.score(0.0) == pytest.approx(cost.normalized_operations)
+        assert cost.score(1.0) == pytest.approx(cost.normalized_transmission)
+        mid = cost.score(0.5)
+        assert min(cost.normalized_operations, cost.normalized_transmission) <= mid
+        assert mid <= max(cost.normalized_operations, cost.normalized_transmission)
+
+    def test_decision_count_mismatch(self, model, cost_model):
+        with pytest.raises(ValueError):
+            cost_model.sample_cost([0, model.num_spatial_layers], [])
+
+
+class TestMeanScore:
+    def test_deterministic_given_seed(self, model):
+        a = PartitionCostModel(model, 3, num_random_splits=8, seed=1).mean_score([0, 6, 12], 0.75)
+        b = PartitionCostModel(model, 3, num_random_splits=8, seed=1).mean_score([0, 6, 12], 0.75)
+        assert a == pytest.approx(b)
+
+    def test_same_random_set_across_candidates(self, model):
+        """Two calls on the same model instance reuse the same Rr_s draw."""
+        cm = PartitionCostModel(model, 3, num_random_splits=6, seed=2)
+        s1 = cm.mean_score([0, 6, 12], 0.75)
+        s2 = cm.mean_score([0, 6, 12], 0.75)
+        assert s1 == pytest.approx(s2)
+
+    def test_alpha_validated(self, model, cost_model):
+        with pytest.raises(ValueError):
+            cost_model.mean_score([0, 12], 1.5)
+
+    def test_partition_score_wrapper(self, model):
+        score = partition_score(model, [0, 6, 12], num_devices=3, num_random_splits=5)
+        assert score > 0
+
+    def test_invalid_constructor_args(self, model):
+        with pytest.raises(ValueError):
+            PartitionCostModel(model, 0)
+        with pytest.raises(ValueError):
+            PartitionCostModel(model, 2, num_random_splits=0)

@@ -1,0 +1,106 @@
+"""Tests for the DDPG agent."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ddpg import DDPGAgent, DDPGConfig
+
+
+@pytest.fixture()
+def agent(fast_ddpg_config):
+    return DDPGAgent(state_dim=4, action_dim=2, config=fast_ddpg_config, seed=0)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = DDPGConfig()
+        assert cfg.actor_lr == pytest.approx(1e-4)
+        assert cfg.critic_lr == pytest.approx(1e-3)
+        assert cfg.gamma == pytest.approx(0.99)
+        assert cfg.batch_size == 64
+        assert cfg.actor_hidden == (400, 200, 100)
+        assert cfg.critic_hidden == (400, 200, 100, 100)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DDPGConfig(gamma=0.0)
+        with pytest.raises(ValueError):
+            DDPGConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            DDPGConfig(tau=0.0)
+        with pytest.raises(ValueError):
+            DDPGConfig(noise_sigma=-1)
+
+
+class TestAgent:
+    def test_action_bounds(self, agent):
+        state = np.random.default_rng(0).normal(size=4).astype(np.float32)
+        for noise in (False, True):
+            action = agent.act(state, noise=noise)
+            assert action.shape == (2,)
+            assert np.all(np.abs(action) <= 1.0)
+
+    def test_deterministic_without_noise(self, agent):
+        state = np.ones(4, dtype=np.float32)
+        np.testing.assert_array_equal(agent.act(state), agent.act(state))
+
+    def test_random_action_in_range(self, agent):
+        action = agent.random_action()
+        assert action.shape == (2,)
+        assert np.all(np.abs(action) <= 1.0)
+
+    def test_update_requires_warmup(self, agent):
+        assert agent.update() is None
+
+    def test_update_runs_after_warmup(self, agent, fast_ddpg_config):
+        rng = np.random.default_rng(0)
+        for _ in range(fast_ddpg_config.warmup_transitions + 4):
+            s = rng.normal(size=4)
+            a = rng.uniform(-1, 1, size=2)
+            agent.remember(s, a, rng.random(), rng.normal(size=4), False)
+        out = agent.update()
+        assert out is not None
+        critic_loss, actor_objective = out
+        assert critic_loss >= 0.0
+        assert np.isfinite(actor_objective)
+        assert agent.updates == 1
+
+    def test_learning_improves_on_simple_bandit(self):
+        """One-step problem: reward = -|a - 0.5|; the policy should move
+        towards 0.5 after training."""
+        config = DDPGConfig(
+            actor_hidden=(32, 32),
+            critic_hidden=(32, 32),
+            actor_lr=1e-3,
+            critic_lr=3e-3,
+            batch_size=32,
+            warmup_transitions=32,
+        )
+        agent = DDPGAgent(state_dim=2, action_dim=1, config=config, seed=1)
+        rng = np.random.default_rng(0)
+        state = np.zeros(2, dtype=np.float32)
+        initial = float(agent.act(state)[0])
+        for _ in range(800):
+            action = np.clip(agent.act(state, noise=True) + rng.normal(0, 0.3, 1), -1, 1)
+            reward = -abs(float(action[0]) - 0.5)
+            agent.remember(state, action, reward, state, True)
+            agent.update()
+        final = float(agent.act(state)[0])
+        assert abs(final - 0.5) < abs(initial - 0.5) or abs(final - 0.5) < 0.2
+        assert abs(final - 0.5) < 0.4
+
+    def test_snapshot_restore_roundtrip(self, agent):
+        state = np.ones(4, dtype=np.float32)
+        snapshot = agent.snapshot()
+        before = agent.act(state).copy()
+        # Perturb the actor.
+        agent.actor.weights[0] += 1.0
+        assert not np.allclose(agent.act(state), before)
+        agent.restore(snapshot)
+        np.testing.assert_allclose(agent.act(state), before, atol=1e-6)
+
+    def test_invalid_dims(self, fast_ddpg_config):
+        with pytest.raises(ValueError):
+            DDPGAgent(0, 2, config=fast_ddpg_config)

@@ -1,0 +1,94 @@
+"""Tests for the DistrEdge planner facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distredge import DistrEdge, DistrEdgeConfig
+from repro.core.mdp import map_action_to_cuts
+from repro.core.osds import OSDSConfig
+from repro.devices.profiler import LatencyProfiler
+from repro.devices.profiles import TabularProfile
+from repro.runtime.oracles import profiles_by_device
+from repro.runtime.plan import DistributionPlan
+
+
+@pytest.fixture()
+def planner(fast_ddpg_config):
+    config = DistrEdgeConfig(
+        alpha=0.75,
+        num_random_splits=6,
+        osds=OSDSConfig(max_episodes=6, ddpg=fast_ddpg_config, seed=0),
+        seed=0,
+    )
+    return DistrEdge(config)
+
+
+class TestCutsToRaw:
+    def test_roundtrip_through_action_mapping(self):
+        cuts = (3, 9, 12)
+        raw = DistrEdge._cuts_to_raw(cuts, 16)
+        assert map_action_to_cuts(raw, 16) == cuts
+
+    def test_extreme_cuts(self):
+        raw = DistrEdge._cuts_to_raw((0, 16), 16)
+        assert map_action_to_cuts(raw, 16) == (0, 16)
+
+
+class TestPlanning:
+    def test_plan_detailed_structure(self, planner, small_model, duo_cluster, duo_network):
+        result = planner.plan_detailed(small_model, duo_cluster, duo_network)
+        assert isinstance(result.plan, DistributionPlan)
+        assert result.plan.method == "distredge"
+        assert result.plan.boundaries == result.lcpss.boundaries
+        assert result.predicted_latency_ms == pytest.approx(result.osds.best_latency_ms)
+        assert result.predicted_ips == pytest.approx(1000.0 / result.predicted_latency_ms)
+
+    def test_plan_never_worse_than_offload(
+        self, planner, small_model, duo_cluster, duo_network, duo_evaluator
+    ):
+        """With heuristic seeding the search space includes the offload
+        corner, so DistrEdge cannot lose to single-device offloading."""
+        plan = planner.plan(small_model, duo_cluster, duo_network)
+        distredge_ms = duo_evaluator.evaluate(plan).end_to_end_ms
+        offload_ms = min(
+            duo_evaluator.evaluate(
+                DistributionPlan.single_device(small_model, duo_cluster, i)
+            ).end_to_end_ms
+            for i in range(len(duo_cluster))
+        )
+        assert distredge_ms <= offload_ms * 1.02
+
+    def test_partition_only_stage(self, planner, small_model, duo_cluster):
+        result = planner.partition(small_model, duo_cluster)
+        assert result.boundaries[0] == 0
+        assert result.boundaries[-1] == small_model.num_spatial_layers
+
+    def test_split_only_stage(self, planner, small_model, duo_cluster, duo_network):
+        boundaries = [0, 6, small_model.num_spatial_layers]
+        result = planner.split(small_model, boundaries, duo_cluster, duo_network)
+        assert len(result.best_decisions) == 2
+
+    def test_planning_with_profiles(self, planner, small_model, duo_cluster, duo_network):
+        per_type = {}
+        for device in duo_cluster:
+            profiler = LatencyProfiler(device.dtype, noise_std=0.0)
+            per_type[device.type_name] = TabularProfile.from_points(
+                profiler.profile_model(small_model, heights_per_layer=8)
+            )
+        profiles = profiles_by_device(duo_cluster, per_type)
+        plan = planner.plan(small_model, duo_cluster, duo_network, profiles=profiles)
+        assert isinstance(plan, DistributionPlan)
+
+    def test_heuristic_seeding_can_be_disabled(
+        self, small_model, duo_cluster, duo_network, fast_ddpg_config
+    ):
+        config = DistrEdgeConfig(
+            num_random_splits=5,
+            osds=OSDSConfig(max_episodes=4, ddpg=fast_ddpg_config, seed=0),
+            seed=0,
+            seed_with_heuristics=False,
+        )
+        plan = DistrEdge(config).plan(small_model, duo_cluster, duo_network)
+        assert isinstance(plan, DistributionPlan)

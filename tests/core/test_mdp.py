@@ -1,0 +1,108 @@
+"""Tests for the layer-volume splitting MDP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mdp import SplitMDP, map_action_to_cuts
+from repro.runtime.plan import DistributionPlan
+
+
+@pytest.fixture()
+def env(small_model, duo_cluster, duo_evaluator):
+    boundaries = [0, 4, 8, small_model.num_spatial_layers]
+    return SplitMDP(small_model, boundaries, duo_cluster, duo_evaluator)
+
+
+class TestActionMapping:
+    def test_extremes_map_to_bounds(self):
+        assert map_action_to_cuts(np.array([-1.0]), 20) == (0,)
+        assert map_action_to_cuts(np.array([1.0]), 20) == (20,)
+
+    def test_midpoint(self):
+        assert map_action_to_cuts(np.array([0.0]), 20) == (10,)
+
+    def test_sorted_before_mapping(self):
+        cuts = map_action_to_cuts(np.array([0.5, -0.5, 0.0]), 100)
+        assert cuts == (25, 50, 75)
+
+    def test_out_of_range_clipped(self):
+        assert map_action_to_cuts(np.array([5.0, -5.0]), 10) == (0, 10)
+
+
+class TestSplitMDP:
+    def test_dimensions(self, env, duo_cluster):
+        assert env.action_dim == len(duo_cluster) - 1
+        assert env.state_dim == len(duo_cluster) + 4
+        assert env.num_volumes == 3
+
+    def test_reset_observation_shape_and_normalisation(self, env):
+        obs = env.reset()
+        assert obs.shape == (env.state_dim,)
+        assert np.all(np.isfinite(obs))
+        # Initial accumulated latencies are zero.
+        assert np.allclose(obs[: env.num_devices], 0.0)
+
+    def test_step_before_reset_raises(self, small_model, duo_cluster, duo_evaluator):
+        env = SplitMDP(small_model, [0, small_model.num_spatial_layers], duo_cluster, duo_evaluator)
+        with pytest.raises(RuntimeError):
+            env.step(np.zeros(env.action_dim))
+
+    def test_episode_runs_to_terminal(self, env):
+        env.reset()
+        total_reward = 0.0
+        for step in range(env.num_volumes):
+            obs, reward, done, info = env.step(np.zeros(env.action_dim))
+            total_reward += reward
+            if step < env.num_volumes - 1:
+                assert not done
+                assert reward == 0.0
+            else:
+                assert done
+                assert reward > 0.0
+                assert "end_to_end_ms" in info and "plan" in info
+                assert isinstance(info["plan"], DistributionPlan)
+        # Terminal reward equals IPS of the produced plan.
+        assert total_reward == pytest.approx(1000.0 / info["end_to_end_ms"])
+
+    def test_step_after_done_raises(self, env):
+        env.reset()
+        for _ in range(env.num_volumes):
+            env.step(np.zeros(env.action_dim))
+        with pytest.raises(RuntimeError):
+            env.step(np.zeros(env.action_dim))
+
+    def test_accumulated_latencies_in_state(self, env):
+        env.reset()
+        env.step(np.zeros(env.action_dim))
+        obs = env.observation()
+        assert np.any(obs.accumulated_ms > 0)
+
+    def test_rollout_matches_plan_evaluation(self, env, duo_evaluator):
+        actions = [np.array([0.0]) for _ in range(env.num_volumes)]
+        latency, plan = env.rollout(actions)
+        direct = duo_evaluator.evaluate(plan).end_to_end_ms
+        assert latency == pytest.approx(direct, rel=1e-9)
+
+    def test_rollout_wrong_length(self, env):
+        with pytest.raises(ValueError):
+            env.rollout([np.array([0.0])])
+
+    def test_all_to_one_device_matches_offload(self, env, small_model, duo_cluster, duo_evaluator):
+        """Pushing every cut to +1 gives the single-device (offload) corner."""
+        actions = [np.array([1.0]) for _ in range(env.num_volumes)]
+        latency, plan = env.rollout(actions)
+        offload = duo_evaluator.evaluate(
+            DistributionPlan.single_device(small_model, duo_cluster, 0)
+        ).end_to_end_ms
+        assert latency == pytest.approx(offload, rel=0.02)
+
+    def test_latency_scale_is_best_offload(self, env, small_model, duo_cluster, duo_evaluator):
+        best = min(
+            duo_evaluator.evaluate(
+                DistributionPlan.single_device(small_model, duo_cluster, i)
+            ).end_to_end_ms
+            for i in range(len(duo_cluster))
+        )
+        assert env.latency_scale_ms == pytest.approx(best)

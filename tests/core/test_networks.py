@@ -1,0 +1,139 @@
+"""Tests for the NumPy MLP / Adam toolkit (gradient correctness included)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.networks import MLP, Adam
+
+
+def numerical_gradient(f, x, eps=1e-4):
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        f_plus = f()
+        x[idx] = orig - eps
+        f_minus = f()
+        x[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestMLPForward:
+    def test_output_shape(self):
+        net = MLP([4, 8, 3], seed=0)
+        out = net.forward(np.zeros((5, 4), dtype=np.float32))
+        assert out.shape == (5, 3)
+
+    def test_single_vector_promoted(self):
+        net = MLP([4, 8, 2], seed=0)
+        assert net.forward(np.zeros(4, dtype=np.float32)).shape == (1, 2)
+
+    def test_tanh_output_bounded(self):
+        net = MLP([3, 16, 4], output_activation="tanh", seed=1)
+        out = net.forward(np.random.default_rng(0).normal(size=(10, 3)) * 100)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_deterministic_init(self):
+        a = MLP([4, 8, 2], seed=5).forward(np.ones((1, 4)))
+        b = MLP([4, 8, 2], seed=5).forward(np.ones((1, 4)))
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_configurations(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+        with pytest.raises(ValueError):
+            MLP([4, 2], output_activation="relu")
+
+
+class TestMLPBackward:
+    def test_weight_gradients_match_numerical(self):
+        rng = np.random.default_rng(0)
+        net = MLP([3, 6, 2], seed=2)
+        x = rng.normal(size=(4, 3)).astype(np.float32)
+        target = rng.normal(size=(4, 2)).astype(np.float32)
+
+        def loss():
+            out = net.forward(x)
+            return float(np.sum((out - target) ** 2))
+
+        out = net.forward(x, cache=True)
+        grads, _ = net.backward(2.0 * (out - target))
+        params = net.parameters()
+        for p, g in zip(params, grads):
+            numeric = numerical_gradient(loss, p)
+            np.testing.assert_allclose(g, numeric, rtol=1e-2, atol=1e-2)
+
+    def test_input_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        net = MLP([3, 5, 1], seed=3)
+        x = rng.normal(size=(1, 3)).astype(np.float32)
+
+        def value():
+            return float(net.forward(x).sum())
+
+        net.forward(x, cache=True)
+        _, grad_in = net.backward(np.ones((1, 1), dtype=np.float32))
+        numeric = numerical_gradient(value, x)
+        np.testing.assert_allclose(grad_in, numeric, rtol=1e-2, atol=1e-2)
+
+    def test_backward_without_forward_raises(self):
+        net = MLP([2, 3, 1], seed=0)
+        with pytest.raises(RuntimeError):
+            net.backward(np.ones((1, 1)))
+
+
+class TestParameterManagement:
+    def test_copy_from_matches_outputs(self):
+        a = MLP([3, 8, 2], seed=0)
+        b = MLP([3, 8, 2], seed=99)
+        b.copy_from(a)
+        x = np.ones((2, 3), dtype=np.float32)
+        np.testing.assert_array_equal(a.forward(x), b.forward(x))
+
+    def test_soft_update_moves_towards_source(self):
+        a = MLP([3, 4, 1], seed=0)
+        b = MLP([3, 4, 1], seed=1)
+        before = np.abs(a.weights[0] - b.weights[0]).sum()
+        b.soft_update_from(a, tau=0.5)
+        after = np.abs(a.weights[0] - b.weights[0]).sum()
+        assert after < before
+
+    def test_soft_update_tau_one_copies(self):
+        a = MLP([3, 4, 1], seed=0)
+        b = MLP([3, 4, 1], seed=1)
+        b.soft_update_from(a, tau=1.0)
+        np.testing.assert_allclose(a.weights[0], b.weights[0], rtol=1e-6)
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            MLP([2, 2], seed=0).soft_update_from(MLP([2, 2], seed=1), tau=2.0)
+
+    def test_set_parameters_shape_check(self):
+        net = MLP([3, 4, 1], seed=0)
+        with pytest.raises(ValueError):
+            net.set_parameters([np.zeros((2, 2))])
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        params = [np.array([5.0, -3.0])]
+        adam = Adam(learning_rate=0.1)
+        for _ in range(500):
+            grads = [2 * params[0]]
+            adam.step(params, grads)
+        assert np.all(np.abs(params[0]) < 0.05)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Adam().step([np.zeros(2)], [])
+
+    def test_step_changes_parameters(self):
+        params = [np.ones(3)]
+        Adam(learning_rate=0.01).step(params, [np.ones(3)])
+        assert not np.allclose(params[0], 1.0)

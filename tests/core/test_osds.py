@@ -1,0 +1,89 @@
+"""Tests for OSDS (Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mdp import SplitMDP
+from repro.core.osds import OSDS, OSDSConfig
+from repro.runtime.plan import DistributionPlan
+
+
+@pytest.fixture()
+def env(small_model, duo_cluster, duo_evaluator):
+    return SplitMDP(small_model, [0, 4, 8, small_model.num_spatial_layers], duo_cluster, duo_evaluator)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = OSDSConfig()
+        assert cfg.max_episodes == 4000
+        assert cfg.delta_epsilon == pytest.approx(1.0 / 250.0)
+        assert cfg.sigma_squared == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OSDSConfig(max_episodes=0)
+        with pytest.raises(ValueError):
+            OSDSConfig(delta_epsilon=0)
+        with pytest.raises(ValueError):
+            OSDSConfig(sigma_squared=-1)
+
+
+class TestEpsilonSchedule:
+    def test_epsilon_decay(self, env, fast_osds_config):
+        osds = OSDS(env, fast_osds_config)
+        assert osds.epsilon(0) == pytest.approx(1.0)
+        assert osds.epsilon(125) == pytest.approx(1.0 - 0.25)
+        assert osds.epsilon(250) == pytest.approx(0.0)
+        assert osds.epsilon(1000) == 0.0  # clipped, never negative
+
+
+class TestRun:
+    def test_run_returns_valid_plan(self, env, fast_osds_config):
+        result = OSDS(env, fast_osds_config).run()
+        assert isinstance(result.best_plan, DistributionPlan)
+        assert result.best_latency_ms > 0
+        assert result.episodes_run == fast_osds_config.max_episodes
+        assert len(result.best_decisions) == env.num_volumes
+        assert result.episode_latencies_ms.shape == (fast_osds_config.max_episodes,)
+
+    def test_best_is_minimum_of_episodes(self, env, fast_osds_config):
+        result = OSDS(env, fast_osds_config).run()
+        assert result.best_latency_ms == pytest.approx(result.episode_latencies_ms.min())
+
+    def test_seeded_search_never_worse_than_seeds(self, env, fast_osds_config):
+        """Seed episodes are replayed verbatim, so the best result is at
+        least as good as the best seed (here: the offload corner)."""
+        offload_actions = [np.array([1.0], dtype=np.float32) for _ in range(env.num_volumes)]
+        seed_latency, _ = env.rollout(offload_actions)
+        result = OSDS(env, fast_osds_config).run(initial_decisions=[offload_actions])
+        assert result.best_latency_ms <= seed_latency + 1e-6
+
+    def test_reproducible_given_seed(self, env, small_model, duo_cluster, duo_evaluator, fast_ddpg_config):
+        def run_once():
+            fresh_env = SplitMDP(
+                small_model, [0, 4, 8, small_model.num_spatial_layers], duo_cluster, duo_evaluator
+            )
+            cfg = OSDSConfig(max_episodes=5, ddpg=fast_ddpg_config, seed=11)
+            return OSDS(fresh_env, cfg).run().best_latency_ms
+
+        assert run_once() == pytest.approx(run_once())
+
+    def test_patience_stops_early(self, env, fast_ddpg_config):
+        cfg = OSDSConfig(max_episodes=50, ddpg=fast_ddpg_config, seed=0, patience=3)
+        result = OSDS(env, cfg).run()
+        assert result.episodes_run <= 50
+
+    def test_greedy_rollout(self, env, fast_osds_config):
+        osds = OSDS(env, fast_osds_config)
+        osds.run()
+        rollout = osds.greedy_rollout()
+        assert rollout.best_latency_ms > 0
+        assert len(rollout.best_decisions) == env.num_volumes
+
+    def test_no_train_mode_skips_updates(self, env, fast_osds_config):
+        osds = OSDS(env, fast_osds_config)
+        osds.run(train=False)
+        assert osds.agent.updates == 0

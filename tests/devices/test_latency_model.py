@@ -1,0 +1,146 @@
+"""Tests for the nonlinear compute-latency model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.latency_model import (
+    ComputeLatencyModel,
+    layer_compute_latency_ms,
+    part_compute_latency_ms,
+    volume_compute_latency_ms,
+)
+from repro.devices.specs import DEVICE_CATALOG
+from repro.nn import model_zoo
+from repro.nn.splitting import SplitDecision, split_volume
+
+
+@pytest.fixture(scope="module")
+def vgg():
+    return model_zoo.vgg16()
+
+
+@pytest.fixture(scope="module")
+def conv(vgg):
+    return vgg.spatial_layers[3]  # conv2_1 at 112x112 (compute-bound)
+
+
+class TestLayerLatency:
+    def test_zero_rows_is_free(self, conv):
+        assert layer_compute_latency_ms(DEVICE_CATALOG["nano"], conv, 0) == 0.0
+
+    def test_full_layer_default(self, conv):
+        full = layer_compute_latency_ms(DEVICE_CATALOG["nano"], conv)
+        explicit = layer_compute_latency_ms(DEVICE_CATALOG["nano"], conv, conv.out_h)
+        assert full == pytest.approx(explicit)
+
+    def test_monotone_nondecreasing_in_rows(self, conv):
+        dtype = DEVICE_CATALOG["nano"]
+        lats = [layer_compute_latency_ms(dtype, conv, r) for r in range(1, conv.out_h + 1)]
+        assert all(b >= a - 1e-9 for a, b in zip(lats, lats[1:]))
+
+    def test_faster_device_is_faster(self, vgg, conv):
+        nano = layer_compute_latency_ms(DEVICE_CATALOG["nano"], conv)
+        xavier = layer_compute_latency_ms(DEVICE_CATALOG["xavier"], conv)
+        assert xavier < nano
+
+    def test_staircase_on_gpu(self, conv):
+        """Latency is flat within a tile and jumps at tile boundaries."""
+        dtype = DEVICE_CATALOG["xavier"]
+        tile = dtype.tile_rows
+        inside = layer_compute_latency_ms(dtype, conv, tile - 1)
+        at_tile = layer_compute_latency_ms(dtype, conv, tile)
+        just_over = layer_compute_latency_ms(dtype, conv, tile + 1)
+        assert inside == pytest.approx(at_tile)
+        assert just_over > at_tile
+
+    def test_cpu_has_no_staircase(self, conv):
+        dtype = DEVICE_CATALOG["pi3"]
+        l5 = layer_compute_latency_ms(dtype, conv, 5)
+        l6 = layer_compute_latency_ms(dtype, conv, 6)
+        assert l6 > l5
+
+    def test_launch_overhead_floor(self, conv):
+        dtype = DEVICE_CATALOG["xavier"]
+        assert layer_compute_latency_ms(dtype, conv, 1) >= dtype.launch_overhead_ms
+
+    def test_nonlinearity_vs_linear_model(self, conv):
+        """Half the rows costs clearly more than half the full-layer latency."""
+        dtype = DEVICE_CATALOG["nano"]
+        full = layer_compute_latency_ms(dtype, conv, conv.out_h)
+        quarter = layer_compute_latency_ms(dtype, conv, max(conv.out_h // 4, 1))
+        assert quarter > full / 4
+
+    def test_negative_rows_rejected(self, conv):
+        with pytest.raises(ValueError):
+            layer_compute_latency_ms(DEVICE_CATALOG["nano"], conv, -1)
+
+    @given(rows=st.integers(1, 112))
+    @settings(max_examples=20)
+    def test_latency_always_positive(self, rows, conv):
+        assert layer_compute_latency_ms(DEVICE_CATALOG["tx2"], conv, rows) > 0
+
+
+class TestVolumeAndPartLatency:
+    def test_volume_latency_sums_layers(self, vgg):
+        dtype = DEVICE_CATALOG["xavier"]
+        volume = vgg.volume(0, 3)
+        full = volume_compute_latency_ms(dtype, list(volume.layers), volume.output_height)
+        manual = sum(
+            layer_compute_latency_ms(dtype, layer) for layer in volume.layers
+        )
+        assert full == pytest.approx(manual, rel=0.05)
+
+    def test_zero_rows_volume(self, vgg):
+        volume = vgg.volume(0, 3)
+        assert volume_compute_latency_ms(DEVICE_CATALOG["nano"], list(volume.layers), 0) == 0.0
+
+    def test_part_latency_consistent_with_volume(self, vgg):
+        dtype = DEVICE_CATALOG["nano"]
+        volume = vgg.volume(0, 3)
+        decision = SplitDecision.single_device(0, 2, volume.output_height)
+        parts = split_volume(volume, decision)
+        via_part = part_compute_latency_ms(dtype, parts[0], volume)
+        via_volume = volume_compute_latency_ms(dtype, list(volume.layers), volume.output_height)
+        assert via_part == pytest.approx(via_volume, rel=1e-6)
+        assert part_compute_latency_ms(dtype, parts[1], volume) == 0.0
+
+    def test_split_part_sum_exceeds_whole(self, vgg):
+        """Fused splitting recomputes halo rows, so parts cost more in total."""
+        dtype = DEVICE_CATALOG["xavier"]
+        volume = vgg.volume(6, 10)
+        decision = SplitDecision.equal(4, volume.output_height)
+        parts = split_volume(volume, decision)
+        whole = volume_compute_latency_ms(dtype, list(volume.layers), volume.output_height)
+        split_total = sum(part_compute_latency_ms(dtype, p, volume) for p in parts)
+        assert split_total > whole
+
+
+class TestComputeLatencyModel:
+    def test_full_model_ordering_matches_paper(self, vgg):
+        layers = vgg.spatial_layers
+        latencies = {
+            name: ComputeLatencyModel(DEVICE_CATALOG[name]).full_model(layers)
+            for name in ("pi3", "nano", "tx2", "xavier")
+        }
+        assert latencies["xavier"] < latencies["tx2"] < latencies["nano"] < latencies["pi3"]
+        # Pi3 is more than an order of magnitude slower than any Jetson.
+        assert latencies["pi3"] > 10 * latencies["nano"]
+
+    def test_vgg16_absolute_calibration(self, vgg):
+        """Backbone latencies stay in the calibrated ballpark (see DESIGN.md)."""
+        layers = vgg.spatial_layers
+        xavier = ComputeLatencyModel(DEVICE_CATALOG["xavier"]).full_model(layers)
+        nano = ComputeLatencyModel(DEVICE_CATALOG["nano"]).full_model(layers)
+        assert 30 < xavier < 90
+        assert 180 < nano < 450
+
+    def test_wrapper_methods_agree(self, vgg):
+        model = ComputeLatencyModel(DEVICE_CATALOG["tx2"])
+        conv = vgg.spatial_layers[0]
+        assert model.layer(conv, 10) == pytest.approx(
+            layer_compute_latency_ms(DEVICE_CATALOG["tx2"], conv, 10)
+        )

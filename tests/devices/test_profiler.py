@@ -1,0 +1,71 @@
+"""Tests for the latency profiler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices.latency_model import layer_compute_latency_ms
+from repro.devices.profiler import LatencyProfiler
+from repro.devices.specs import DEVICE_CATALOG
+from repro.nn import model_zoo
+
+
+@pytest.fixture(scope="module")
+def model():
+    return model_zoo.small_vgg(64)
+
+
+class TestLatencyProfiler:
+    def test_noiseless_profile_matches_ground_truth(self, model):
+        profiler = LatencyProfiler(DEVICE_CATALOG["nano"], noise_std=0.0, repeats=1)
+        layer = model.spatial_layers[0]
+        point = profiler.measure_layer(layer, 10)
+        assert point.latency_ms == pytest.approx(
+            layer_compute_latency_ms(DEVICE_CATALOG["nano"], layer, 10)
+        )
+
+    def test_noisy_profile_is_close_to_ground_truth(self, model):
+        profiler = LatencyProfiler(DEVICE_CATALOG["nano"], noise_std=0.02, repeats=100, seed=0)
+        layer = model.spatial_layers[0]
+        truth = layer_compute_latency_ms(DEVICE_CATALOG["nano"], layer, 20)
+        point = profiler.measure_layer(layer, 20)
+        assert abs(point.latency_ms - truth) / truth < 0.05
+
+    def test_profile_layer_full_granularity(self, model):
+        profiler = LatencyProfiler(DEVICE_CATALOG["tx2"], noise_std=0.0)
+        layer = model.spatial_layers[0]
+        points = profiler.profile_layer(layer)
+        assert len(points) == layer.out_h
+        assert [p.out_rows for p in points] == list(range(1, layer.out_h + 1))
+
+    def test_profile_layer_height_subset(self, model):
+        profiler = LatencyProfiler(DEVICE_CATALOG["tx2"], noise_std=0.0)
+        layer = model.spatial_layers[0]
+        points = profiler.profile_layer(layer, heights=[1, 8, 999])
+        assert [p.out_rows for p in points] == [1, 8]
+
+    def test_profile_model_covers_spatial_layers(self, model):
+        profiler = LatencyProfiler(DEVICE_CATALOG["xavier"], noise_std=0.0)
+        results = profiler.profile_model(model, heights_per_layer=6)
+        assert set(results) == {l.name for l in model.spatial_layers}
+        for points in results.values():
+            assert 1 <= len(points) <= 6
+
+    def test_dense_layer_single_point(self, model):
+        profiler = LatencyProfiler(DEVICE_CATALOG["xavier"], noise_std=0.0)
+        dense = model.head_layers[0]
+        points = profiler.profile_layer(dense)
+        assert len(points) == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyProfiler(DEVICE_CATALOG["nano"], noise_std=-0.1)
+        with pytest.raises(ValueError):
+            LatencyProfiler(DEVICE_CATALOG["nano"], repeats=0)
+
+    def test_profiles_are_reproducible(self, model):
+        layer = model.spatial_layers[1]
+        a = LatencyProfiler(DEVICE_CATALOG["nano"], seed=5).measure_layer(layer, 12)
+        b = LatencyProfiler(DEVICE_CATALOG["nano"], seed=5).measure_layer(layer, 12)
+        assert a.latency_ms == b.latency_ms

@@ -1,0 +1,124 @@
+"""Tests for the profile representations (table / linear / piecewise / kNN)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices.latency_model import layer_compute_latency_ms
+from repro.devices.profiler import LatencyProfiler
+from repro.devices.profiles import (
+    DeviceCapability,
+    KNNProfile,
+    LinearProfile,
+    PiecewiseLinearProfile,
+    TabularProfile,
+    estimate_capability,
+)
+from repro.devices.specs import DEVICE_CATALOG
+from repro.nn import model_zoo
+
+
+@pytest.fixture(scope="module")
+def model():
+    return model_zoo.small_vgg(64)
+
+
+@pytest.fixture(scope="module")
+def points(model):
+    profiler = LatencyProfiler(DEVICE_CATALOG["nano"], noise_std=0.0)
+    return profiler.profile_model(model, heights_per_layer=None)
+
+
+class TestTabularProfile:
+    def test_exact_on_measured_heights(self, model, points):
+        profile = TabularProfile.from_points(points)
+        layer = model.spatial_layers[0]
+        truth = layer_compute_latency_ms(DEVICE_CATALOG["nano"], layer, 7)
+        assert profile.latency_ms(layer.name, 7) == pytest.approx(truth, rel=1e-6)
+
+    def test_zero_rows_free(self, points):
+        profile = TabularProfile.from_points(points)
+        assert profile.latency_ms(next(iter(points)), 0) == 0.0
+
+    def test_unknown_layer_raises(self, points):
+        profile = TabularProfile.from_points(points)
+        with pytest.raises(KeyError):
+            profile.latency_ms("missing_layer", 5)
+
+    def test_layers_listing(self, model, points):
+        profile = TabularProfile.from_points(points)
+        assert set(profile.layers()) == {l.name for l in model.spatial_layers}
+
+    def test_volume_latency_sums(self, model, points):
+        profile = TabularProfile.from_points(points)
+        names = [l.name for l in model.spatial_layers[:3]]
+        total = profile.volume_latency_ms([(n, 8) for n in names])
+        assert total == pytest.approx(sum(profile.latency_ms(n, 8) for n in names))
+
+
+class TestLinearProfile:
+    def test_linear_fit_misses_staircase(self, model, points):
+        """The linear fit smooths out the tile staircase — the systematic
+        error the linear-model baselines make."""
+        tabular = TabularProfile.from_points(points)
+        linear = LinearProfile.from_points(points)
+        layer = model.spatial_layers[0]
+        errors = [
+            abs(linear.latency_ms(layer.name, r) - tabular.latency_ms(layer.name, r))
+            for r in range(1, layer.out_h + 1)
+        ]
+        assert max(errors) > 0.0
+
+    def test_prediction_non_negative(self, points):
+        linear = LinearProfile.from_points(points)
+        for name in linear.layers():
+            assert linear.latency_ms(name, 1) >= 0.0
+
+    def test_unknown_layer(self, points):
+        linear = LinearProfile.from_points(points)
+        with pytest.raises(KeyError):
+            linear.latency_ms("nope", 3)
+
+
+class TestPiecewiseAndKNN:
+    def test_piecewise_reduces_to_knots(self, points):
+        profile = PiecewiseLinearProfile.from_points(points, num_knots=4)
+        for heights, _ in profile.knots.values():
+            assert len(heights) <= 4
+
+    def test_piecewise_needs_two_knots(self, points):
+        with pytest.raises(ValueError):
+            PiecewiseLinearProfile.from_points(points, num_knots=1)
+
+    def test_knn_interpolates_close_to_table(self, model, points):
+        tabular = TabularProfile.from_points(points)
+        knn = KNNProfile.from_points(points, k=1)
+        layer = model.spatial_layers[1]
+        assert knn.latency_ms(layer.name, 9) == pytest.approx(
+            tabular.latency_ms(layer.name, 9), rel=1e-6
+        )
+
+    def test_knn_invalid_k(self, points):
+        with pytest.raises(ValueError):
+            KNNProfile.from_points(points, k=0)
+
+
+class TestCapability:
+    def test_capability_latency_inverse(self):
+        cap = DeviceCapability("nano", macs_per_second=1e9)
+        assert cap.latency_ms(1e9) == pytest.approx(1000.0)
+        assert cap.latency_ms(0) == 0.0
+
+    def test_estimate_capability_orders_devices(self, model):
+        caps = {}
+        for name in ("nano", "xavier"):
+            profiler = LatencyProfiler(DEVICE_CATALOG[name], noise_std=0.0)
+            pts = profiler.profile_model(model, heights_per_layer=8)
+            caps[name] = estimate_capability(model, TabularProfile.from_points(pts), name)
+        assert caps["xavier"].macs_per_second > caps["nano"].macs_per_second
+
+    def test_estimate_capability_below_peak(self, model, points):
+        """Effective capability includes overheads, so it is below the peak."""
+        cap = estimate_capability(model, TabularProfile.from_points(points), "nano")
+        assert cap.macs_per_second < DEVICE_CATALOG["nano"].peak_macs_per_s

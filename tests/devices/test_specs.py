@@ -1,0 +1,81 @@
+"""Tests for the device catalogue and cluster construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.specs import DEVICE_CATALOG, DeviceInstance, DeviceType, get_device_type, make_cluster
+
+
+class TestCatalog:
+    def test_contains_all_paper_devices(self):
+        assert set(DEVICE_CATALOG) == {"pi3", "nano", "tx2", "xavier"}
+
+    def test_ordering_of_compute_power(self):
+        # Paper: Pi3 << Nano < TX2 < Xavier.
+        assert (
+            DEVICE_CATALOG["pi3"].peak_macs_per_s
+            < DEVICE_CATALOG["nano"].peak_macs_per_s
+            < DEVICE_CATALOG["tx2"].peak_macs_per_s
+            < DEVICE_CATALOG["xavier"].peak_macs_per_s
+        )
+
+    def test_pi3_is_cpu_others_gpu(self):
+        assert DEVICE_CATALOG["pi3"].kind == "cpu"
+        for name in ("nano", "tx2", "xavier"):
+            assert DEVICE_CATALOG[name].kind == "gpu"
+
+    def test_get_device_type_case_insensitive(self):
+        assert get_device_type("XAVIER") is DEVICE_CATALOG["xavier"]
+
+    def test_get_device_type_unknown(self):
+        with pytest.raises(KeyError):
+            get_device_type("orin")
+
+    def test_device_type_validation(self):
+        with pytest.raises(ValueError):
+            DeviceType(
+                name="bad", kind="tpu", peak_macs_per_s=1, tile_rows=1,
+                launch_overhead_ms=0, mem_bandwidth_bytes_per_s=1,
+            )
+        with pytest.raises(ValueError):
+            DeviceType(
+                name="bad", kind="gpu", peak_macs_per_s=-1, tile_rows=1,
+                launch_overhead_ms=0, mem_bandwidth_bytes_per_s=1,
+            )
+
+
+class TestDeviceInstance:
+    def test_type_name(self):
+        device = DeviceInstance("x0", DEVICE_CATALOG["xavier"], 300)
+        assert device.type_name == "xavier"
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceInstance("x0", DEVICE_CATALOG["xavier"], -1)
+
+    def test_str_mentions_type_and_bandwidth(self):
+        device = DeviceInstance("x0", DEVICE_CATALOG["nano"], 50)
+        assert "nano" in str(device) and "50" in str(device)
+
+
+class TestMakeCluster:
+    def test_ids_are_unique_and_ordered(self):
+        cluster = make_cluster([("xavier", 300), ("nano", 50), ("nano", 50)])
+        assert [d.device_id for d in cluster] == ["xavier0", "nano1", "nano2"]
+
+    def test_tuple_and_string_entries(self):
+        cluster = make_cluster(["xavier", ("nano",), ("tx2", 100)], default_bandwidth_mbps=200)
+        assert cluster[0].bandwidth_mbps == 200
+        assert cluster[1].bandwidth_mbps == 200
+        assert cluster[2].bandwidth_mbps == 100
+
+    def test_sixteen_device_cluster(self):
+        spec = [("pi3", 50), ("nano", 100), ("tx2", 200), ("xavier", 300)] * 4
+        cluster = make_cluster(spec)
+        assert len(cluster) == 16
+        assert len({d.device_id for d in cluster}) == 16
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(KeyError):
+            make_cluster([("gpu9000", 10)])

@@ -1,0 +1,87 @@
+"""Tests for the figure-regeneration functions (tiny configurations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.harness import ExperimentHarness, HarnessConfig
+from repro.experiments.reporting import format_ips_table, format_series, speedup_summary
+from repro.experiments.scenarios import Scenario, ScenarioCatalog
+
+
+@pytest.fixture()
+def harness():
+    return ExperimentHarness(HarnessConfig(osds_episodes=4, num_random_splits=4, seed=0))
+
+
+class TestTraceFigures:
+    def test_figure4_levels(self):
+        data = figures.figure4(duration_s=600.0)
+        assert set(data) == {"50Mbps", "100Mbps", "200Mbps", "300Mbps"}
+        for key, stats in data.items():
+            nominal = stats["nominal_mbps"]
+            assert abs(stats["mean_mbps"] - nominal) / nominal < 0.1
+
+    def test_figure12_dynamic_range(self):
+        data = figures.figure12(duration_s=1800.0)
+        assert len(data) == 4
+        for stats in data.values():
+            assert 40 <= stats["min_mbps"] <= stats["max_mbps"] <= 100
+
+    def test_figure14_nonlinear(self):
+        data = figures.figure14(device_type="nano", volume_range=(0, 6))
+        rows, lat = data["output_rows"], data["latency_ms"]
+        assert rows.shape == lat.shape
+        assert np.all(np.diff(lat) >= -1e-9)
+        # Latency at half the rows is more than half the full latency.
+        half_idx = len(rows) // 2
+        assert lat[half_idx] > 0.5 * lat[-1] * (rows[half_idx] / rows[-1])
+
+
+class TestHarnessFigures:
+    def test_figure5_small(self, harness):
+        envs = {"duo": Scenario("duo-f5", (("xavier", 100), ("nano", 100)))}
+        data = figures.figure5(harness, alphas=(0.0, 1.0), environments=envs, model_name="small_vgg")
+        assert set(data) == {"duo"}
+        assert set(data["duo"]) == {0.0, 1.0}
+        assert all(v > 0 for v in data["duo"].values())
+
+    def test_figure6_small(self, harness):
+        cases = {"duo": Scenario("duo-f6", (("xavier", 100), ("nano", 100)))}
+        data = figures.figure6(harness, counts=(5, 10), repeats=2, cases=cases, model_name="small_vgg")
+        stats = data["duo"][5]
+        assert stats["min_ips"] <= stats["mean_ips"] <= stats["max_ips"]
+
+    def test_figure15_breakdown(self, harness):
+        data = figures.figure15(harness, methods=("offload", "deeperthings"), model_name="small_vgg")
+        assert set(data) == {"offload", "deeperthings"}
+        for row in data.values():
+            assert row["end_to_end_ms"] > 0
+            assert row["max_compute_ms"] >= 0
+
+    def test_figure7_subset(self, harness):
+        data = figures.figure7(
+            harness, bandwidths=(100.0,), methods=("offload", "aofl"), model_name="small_vgg"
+        )
+        assert set(data) == {"DA-100Mbps", "DB-100Mbps", "DC-100Mbps"}
+        for row in data.values():
+            assert set(row) == {"offload", "aofl"}
+
+
+class TestReporting:
+    def test_format_ips_table(self):
+        text = format_ips_table({"DB-50": {"aofl": 5.0, "distredge": 9.0}})
+        assert "DB-50" in text and "9.0" in text
+
+    def test_format_ips_table_empty(self):
+        assert format_ips_table({}) == "(no results)"
+
+    def test_format_series(self):
+        text = format_series({"a": {"x": 1.0}}, title="T")
+        assert text.startswith("T")
+
+    def test_speedup_summary(self):
+        out = speedup_summary({"s": {"aofl": 5.0, "offload": 8.0, "distredge": 12.0}})
+        assert out["s"] == pytest.approx(1.5)

@@ -1,0 +1,81 @@
+"""Tests for the experiment harness (fast configuration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import ALL_METHODS, ExperimentHarness, HarnessConfig
+from repro.experiments.scenarios import Scenario
+
+
+@pytest.fixture()
+def harness():
+    return ExperimentHarness(HarnessConfig(osds_episodes=5, num_random_splits=5, seed=0))
+
+
+@pytest.fixture()
+def small_scenario():
+    return Scenario("duo", (("xavier", 100), ("nano", 100)), "two devices")
+
+
+class TestHarness:
+    def test_run_baseline_method(self, harness, small_scenario):
+        result = harness.run("offload", small_scenario, model_name="small_vgg")
+        assert result.method == "offload"
+        assert result.ips > 0
+        assert result.latency_ms == pytest.approx(1000.0 / result.ips)
+
+    def test_unknown_method_rejected(self, harness, small_scenario):
+        with pytest.raises(KeyError):
+            harness.run("magic", small_scenario, model_name="small_vgg")
+
+    def test_result_caching(self, harness, small_scenario):
+        a = harness.run("aofl", small_scenario, model_name="small_vgg")
+        b = harness.run("aofl", small_scenario, model_name="small_vgg")
+        assert a is b
+        c = harness.run("aofl", small_scenario, model_name="small_vgg", use_cache=False)
+        assert c is not a
+
+    def test_compare_and_speedup(self, harness, small_scenario):
+        results = harness.compare(
+            small_scenario, methods=("offload", "aofl", "distredge"), model_name="small_vgg"
+        )
+        assert set(results) == {"offload", "aofl", "distredge"}
+        speedup = harness.speedup_over_best_baseline(results)
+        assert speedup > 0.5
+        table = harness.ips_table(results)
+        assert table["distredge"] == pytest.approx(results["distredge"].ips)
+
+    def test_speedup_requires_distredge(self, harness, small_scenario):
+        results = harness.compare(small_scenario, methods=("offload",), model_name="small_vgg")
+        with pytest.raises(KeyError):
+            harness.speedup_over_best_baseline(results)
+
+    def test_streaming_mode(self, small_scenario):
+        harness = ExperimentHarness(
+            HarnessConfig(osds_episodes=3, num_random_splits=4, num_images=5, seed=0)
+        )
+        result = harness.run("offload", small_scenario, model_name="small_vgg")
+        assert result.ips > 0
+
+    def test_profiles_mode(self, small_scenario):
+        harness = ExperimentHarness(
+            HarnessConfig(
+                osds_episodes=3,
+                num_random_splits=4,
+                use_profiles=True,
+                profile_heights_per_layer=6,
+                seed=0,
+            )
+        )
+        result = harness.run("aofl", small_scenario, model_name="small_vgg")
+        assert result.ips > 0
+
+    def test_osds_config_sigma_scales_with_cluster(self):
+        config = HarnessConfig()
+        assert config.osds_config(4).sigma_squared == pytest.approx(0.1)
+        assert config.osds_config(16).sigma_squared == pytest.approx(1.0)
+
+    def test_all_methods_constant(self):
+        assert "distredge" in ALL_METHODS and "offload" in ALL_METHODS
+        assert len(ALL_METHODS) == 8

@@ -1,0 +1,83 @@
+"""Tests for the scenario catalogue (Tables I-III)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenarios import Scenario, ScenarioCatalog
+from repro.network.topology import NetworkModel
+
+
+class TestTable1:
+    def test_groups_and_compositions(self):
+        groups = ScenarioCatalog.table1_groups(200.0)
+        assert set(groups) == {"DA", "DB", "DC"}
+        assert groups["DA"].device_types == ["tx2", "tx2", "nano", "nano"]
+        assert groups["DB"].device_types == ["xavier", "xavier", "nano", "nano"]
+        assert groups["DC"].device_types == ["xavier", "tx2", "nano", "pi3"]
+
+    def test_bandwidth_applied(self):
+        groups = ScenarioCatalog.table1_groups(50.0)
+        assert all(b == 50.0 for b in groups["DB"].bandwidths_mbps)
+
+
+class TestTable2:
+    def test_groups_and_bandwidths(self):
+        groups = ScenarioCatalog.table2_groups("nano")
+        assert set(groups) == {"NA", "NB", "NC", "ND"}
+        assert sorted(groups["NA"].bandwidths_mbps) == [50, 50, 200, 200]
+        assert sorted(groups["ND"].bandwidths_mbps) == [50, 100, 200, 300]
+
+    def test_device_type_applied(self):
+        groups = ScenarioCatalog.table2_groups("xavier")
+        assert all(t == "xavier" for t in groups["NC"].device_types)
+
+
+class TestTable3:
+    def test_sixteen_devices_each(self):
+        groups = ScenarioCatalog.table3_groups()
+        assert set(groups) == {"LA", "LB", "LC", "LD"}
+        for scenario in groups.values():
+            assert scenario.num_devices == 16
+
+    def test_lb_pairs_fast_device_with_slow_link(self):
+        lb = ScenarioCatalog.table3_groups()["LB"]
+        pairs = set(lb.device_specs)
+        assert ("xavier", 50) in pairs and ("pi3", 300) in pairs
+
+    def test_ld_pairs_fast_device_with_fast_link(self):
+        ld = ScenarioCatalog.table3_groups()["LD"]
+        pairs = set(ld.device_specs)
+        assert ("xavier", 300) in pairs and ("pi3", 50) in pairs
+
+
+class TestScenarioHelpers:
+    def test_with_bandwidth_renames(self):
+        scenario = ScenarioCatalog.table1_groups(200.0)["DB"].with_bandwidth(50.0)
+        assert all(b == 50.0 for b in scenario.bandwidths_mbps)
+        assert "DB" in scenario.name and "50" in scenario.name
+
+    def test_with_device_type(self):
+        scenario = ScenarioCatalog.table2_groups("nano")["NA"].with_device_type("tx2")
+        assert all(t == "tx2" for t in scenario.device_types)
+
+    def test_build_constant(self):
+        devices, network = ScenarioCatalog.table1_groups(100.0)["DA"].build()
+        assert len(devices) == 4
+        assert isinstance(network, NetworkModel)
+        assert network.nominal_mbps(0) == 100.0
+
+    def test_build_dynamic_trace_kind(self):
+        scenario = ScenarioCatalog.dynamic_nano()
+        devices, network = scenario.build(seed=0)
+        assert scenario.trace_kind == "dynamic"
+        assert len(devices) == 4
+
+    def test_homogeneous(self):
+        scenario = ScenarioCatalog.homogeneous("tx2", 300.0, count=3)
+        assert scenario.device_types == ["tx2"] * 3
+
+    def test_all_named_unique(self):
+        catalog = ScenarioCatalog.all_named()
+        assert len(catalog) >= 14
+        assert "DB" in catalog and "LD" in catalog and "NA-xavier" in catalog

@@ -1,0 +1,64 @@
+"""Tests for the transmission-latency model and links."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network.bandwidth import ConstantTrace
+from repro.network.link import Link, TransmissionModel
+
+
+class TestTransmissionModel:
+    def test_zero_bytes_is_free(self):
+        model = TransmissionModel()
+        assert model.transfer_latency_ms(0, 100) == 0.0
+        assert model.io_overhead_ms(0) == 0.0
+
+    def test_includes_io_overhead(self):
+        """Latency exceeds the pure bytes/throughput air time (paper's point
+        against CoEdge/AOFL-style transmission models)."""
+        model = TransmissionModel()
+        n_bytes = 100_000
+        air = model.air_time_ms(n_bytes, 100)
+        total = model.transfer_latency_ms(n_bytes, 100)
+        assert total > air
+        assert total == pytest.approx(air + model.io_overhead_ms(n_bytes))
+
+    def test_air_time_formula(self):
+        model = TransmissionModel()
+        # 1 Mbit at 100 Mbps = 10 ms.
+        assert model.air_time_ms(125_000, 100) == pytest.approx(10.0)
+
+    def test_faster_link_is_faster(self):
+        model = TransmissionModel()
+        assert model.transfer_latency_ms(1e6, 300) < model.transfer_latency_ms(1e6, 50)
+
+    def test_invalid_throughput(self):
+        with pytest.raises(ValueError):
+            TransmissionModel().air_time_ms(10, 0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TransmissionModel(io_fixed_ms=-1)
+        with pytest.raises(ValueError):
+            TransmissionModel(io_bytes_per_second=0)
+
+    @given(n_bytes=st.integers(1, 10_000_000), mbps=st.floats(1, 1000))
+    def test_latency_positive_and_monotone_in_bytes(self, n_bytes, mbps):
+        model = TransmissionModel()
+        lat = model.transfer_latency_ms(n_bytes, mbps)
+        assert lat > 0
+        assert model.transfer_latency_ms(n_bytes * 2, mbps) > lat
+
+
+class TestLink:
+    def test_constant_constructor(self):
+        link = Link.constant(200.0)
+        assert link.throughput_mbps(123.0) == 200.0
+
+    def test_transfer_latency_uses_trace(self):
+        link = Link(trace=ConstantTrace(100.0))
+        slow = Link(trace=ConstantTrace(10.0))
+        assert link.transfer_latency_ms(1e6) < slow.transfer_latency_ms(1e6)

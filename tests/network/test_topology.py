@@ -1,0 +1,72 @@
+"""Tests for the star-topology network model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.specs import make_cluster
+from repro.network.topology import REQUESTER, NetworkModel
+
+
+@pytest.fixture()
+def devices():
+    return make_cluster([("xavier", 300), ("nano", 50), ("tx2", 100)])
+
+
+class TestNetworkModel:
+    def test_constant_from_devices_uses_nominal(self, devices):
+        net = NetworkModel.constant_from_devices(devices)
+        assert net.nominal_mbps(0) == 300
+        assert net.nominal_mbps(1) == 50
+        assert net.num_providers == 3
+
+    def test_requester_link_default(self, devices):
+        net = NetworkModel.constant_from_devices(devices)
+        assert net.nominal_mbps(REQUESTER) == 300
+
+    def test_pair_rate_is_min_of_links(self, devices):
+        net = NetworkModel.constant_from_devices(devices)
+        assert net.throughput_mbps(0, 1) == 50
+        assert net.throughput_mbps(REQUESTER, 2) == 100
+
+    def test_same_endpoint_transfer_is_free(self, devices):
+        net = NetworkModel.constant_from_devices(devices)
+        assert net.transfer_latency_ms(1, 1, 1e6) == 0.0
+
+    def test_same_endpoint_throughput_rejected(self, devices):
+        net = NetworkModel.constant_from_devices(devices)
+        with pytest.raises(ValueError):
+            net.throughput_mbps(2, 2)
+
+    def test_zero_bytes_free(self, devices):
+        net = NetworkModel.constant_from_devices(devices)
+        assert net.transfer_latency_ms(0, 1, 0) == 0.0
+
+    def test_transfer_latency_slower_on_slow_link(self, devices):
+        net = NetworkModel.constant_from_devices(devices)
+        fast = net.transfer_latency_ms(REQUESTER, 0, 1e6)
+        slow = net.transfer_latency_ms(REQUESTER, 1, 1e6)
+        assert slow > fast
+
+    def test_unknown_endpoint(self, devices):
+        net = NetworkModel.constant_from_devices(devices)
+        with pytest.raises(IndexError):
+            net.link_of(7)
+
+    def test_from_devices_wifi_traces_fluctuate(self, devices):
+        net = NetworkModel.from_devices(devices, kind="wifi", seed=0)
+        r0 = net.throughput_mbps(REQUESTER, 0, 0.0)
+        r1 = net.throughput_mbps(REQUESTER, 0, 500.0)
+        assert r0 > 0 and r1 > 0
+
+    def test_from_devices_reproducible(self, devices):
+        a = NetworkModel.from_devices(devices, kind="dynamic", seed=3)
+        b = NetworkModel.from_devices(devices, kind="dynamic", seed=3)
+        assert a.throughput_mbps(0, 1, 100.0) == b.throughput_mbps(0, 1, 100.0)
+
+    def test_provider_count_mismatch_detected_by_evaluator(self, devices):
+        from repro.runtime.evaluator import PlanEvaluator
+
+        net = NetworkModel.constant_from_devices(devices[:2])
+        with pytest.raises(ValueError):
+            PlanEvaluator(devices, net)

@@ -1,0 +1,142 @@
+"""Numerical correctness of split execution — the core invariant.
+
+DistrEdge distributes unmodified models, so any vertical split of any
+layer-volume, executed part-by-part and merged, must reproduce whole-model
+execution exactly.  These tests check that invariant for hand-picked and
+property-generated split decisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import model_zoo
+from repro.nn.execution import ModelExecutor, SplitExecutor
+from repro.nn.splitting import SplitDecision
+
+
+class TestModelExecutor:
+    def test_deterministic_weights(self, tiny_model):
+        a = ModelExecutor(tiny_model, seed=1)
+        b = ModelExecutor(tiny_model, seed=1)
+        x = a.random_input()
+        np.testing.assert_array_equal(a.run(x), b.run(x))
+
+    def test_different_seeds_differ(self, tiny_model):
+        a = ModelExecutor(tiny_model, seed=1)
+        b = ModelExecutor(tiny_model, seed=2)
+        x = a.random_input(seed=0)
+        assert not np.allclose(a.run(x), b.run(x))
+
+    def test_output_shape_matches_spec(self, tiny_model, tiny_executor):
+        x = tiny_executor.random_input()
+        out = tiny_executor.run(x)
+        assert out.shape == (tiny_model.layers[-1].out_features,)
+
+    def test_layer_shapes_along_the_way(self, tiny_model, tiny_executor):
+        x = tiny_executor.random_input()
+        out = x
+        for layer in tiny_model.spatial_layers:
+            out = tiny_executor.forward_layer(layer, out)
+            assert out.shape == layer.output_shape
+
+    def test_upto_partial_execution(self, tiny_model, tiny_executor):
+        x = tiny_executor.random_input()
+        partial = tiny_executor.run(x, upto=2)
+        assert partial.shape == tiny_model.layers[1].output_shape
+
+    def test_weights_for_unknown_layer(self, tiny_executor):
+        with pytest.raises(KeyError):
+            tiny_executor.weights_for(
+                type(tiny_executor.model.layers[0])(
+                    name="ghost", in_h=8, in_w=8, in_c=3, out_channels=4, padding_size=1
+                )
+            )
+
+    def test_pool_layer_has_no_weights(self, tiny_model, tiny_executor):
+        pool = [l for l in tiny_model.layers if type(l).__name__ == "PoolSpec"][0]
+        with pytest.raises(KeyError):
+            tiny_executor.weights_for(pool)
+
+
+class TestSplitMatchesWhole:
+    def test_two_way_split_exact(self, tiny_model, tiny_executor):
+        splitter = SplitExecutor(tiny_executor)
+        volume = tiny_model.volume(0, tiny_model.num_spatial_layers)
+        x = tiny_executor.random_input()
+        whole = tiny_executor.run_volume(volume, x)
+        decision = SplitDecision.from_fractions([0.6, 0.4], volume.output_height)
+        merged, parts = splitter.run_split(volume, decision, x)
+        np.testing.assert_allclose(whole, merged, rtol=1e-4, atol=1e-5)
+        assert len(parts) == 2
+
+    def test_four_way_split_exact(self, small_model, small_executor):
+        splitter = SplitExecutor(small_executor)
+        volume = small_model.volume(0, 6)
+        x = small_executor.random_input()
+        whole = small_executor.run_volume(volume, x)
+        decision = SplitDecision.from_fractions([0.4, 0.3, 0.2, 0.1], volume.output_height)
+        merged, _ = splitter.run_split(volume, decision, x)
+        np.testing.assert_allclose(whole, merged, rtol=1e-4, atol=1e-5)
+
+    def test_split_with_empty_device(self, small_model, small_executor):
+        splitter = SplitExecutor(small_executor)
+        volume = small_model.volume(0, 4)
+        x = small_executor.random_input()
+        whole = small_executor.run_volume(volume, x)
+        decision = SplitDecision.from_fractions([0.5, 0.0, 0.5], volume.output_height)
+        merged, parts = splitter.run_split(volume, decision, x)
+        np.testing.assert_allclose(whole, merged, rtol=1e-4, atol=1e-5)
+        assert parts[1].is_empty
+
+    def test_chained_volumes_match_whole_backbone(self, small_model, small_executor):
+        splitter = SplitExecutor(small_executor)
+        boundaries = [0, 3, 6, small_model.num_spatial_layers]
+        volumes = small_model.partition(boundaries)
+        decisions = [
+            SplitDecision.from_fractions([0.5, 0.3, 0.2], v.output_height) for v in volumes
+        ]
+        x = small_executor.random_input()
+        whole = small_executor.run(x, upto=small_model.num_spatial_layers)
+        chained = splitter.run_plan_volumes(volumes, decisions, x)
+        np.testing.assert_allclose(whole, chained, rtol=1e-4, atol=1e-5)
+
+    def test_run_part_rejects_wrong_input_shape(self, tiny_model, tiny_executor):
+        splitter = SplitExecutor(tiny_executor)
+        volume = tiny_model.volume(0, 2)
+        decision = SplitDecision.equal(2, volume.output_height)
+        from repro.nn.splitting import split_volume
+
+        part = split_volume(volume, decision)[0]
+        with pytest.raises(ValueError):
+            splitter.run_part(volume, part, np.zeros((4, 4, 3), dtype=np.float32))
+
+    def test_mismatched_decision_count_rejected(self, small_model, small_executor):
+        splitter = SplitExecutor(small_executor)
+        volumes = small_model.partition([0, 4, small_model.num_spatial_layers])
+        with pytest.raises(ValueError):
+            splitter.run_plan_volumes(volumes, [], small_executor.random_input())
+
+    @given(
+        frac=st.lists(st.floats(0.0, 1.0), min_size=2, max_size=5),
+        start=st.integers(0, 3),
+        length=st.integers(1, 4),
+    )
+    @settings(max_examples=15)
+    def test_property_any_split_is_lossless(self, frac, start, length, small_model, small_executor):
+        if sum(frac) == 0:
+            frac = [1.0] * len(frac)
+        end = min(start + length, small_model.num_spatial_layers)
+        if end <= start:
+            return
+        volume = small_model.volume(start, end)
+        x_full = small_executor.random_input()
+        # Build the true input of this volume by running the prefix.
+        x = small_executor.run(x_full, upto=start) if start > 0 else x_full
+        whole = small_executor.run_volume(volume, x)
+        decision = SplitDecision.from_fractions(frac, volume.output_height)
+        merged, _ = SplitExecutor(small_executor).run_split(volume, decision, x)
+        np.testing.assert_allclose(whole, merged, rtol=1e-4, atol=1e-5)

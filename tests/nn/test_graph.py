@@ -1,0 +1,162 @@
+"""Tests for ModelSpec / ModelBuilder / LayerVolume."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nn.graph import LayerVolume, ModelBuilder, ModelSpec
+from repro.nn.layers import ConvSpec, DenseSpec
+
+
+def build_small():
+    return (
+        ModelBuilder("m", input_shape=(16, 16, 3))
+        .conv(8)
+        .conv(8)
+        .pool()
+        .conv(16)
+        .pool()
+        .dense(10)
+        .build()
+    )
+
+
+class TestModelBuilder:
+    def test_builds_valid_model(self):
+        model = build_small()
+        assert model.num_spatial_layers == 5
+        assert len(model.head_layers) == 1
+
+    def test_auto_names_unique(self):
+        model = build_small()
+        names = [l.name for l in model.layers]
+        assert len(names) == len(set(names))
+
+    def test_same_padding_string(self):
+        model = ModelBuilder("m", (16, 16, 3)).conv(4, kernel=5, padding="same").build()
+        assert model.layers[0].out_h == 16
+
+    def test_valid_padding_string(self):
+        model = ModelBuilder("m", (16, 16, 3)).conv(4, kernel=5, padding="valid").build()
+        assert model.layers[0].out_h == 12
+
+    def test_unknown_padding_rejected(self):
+        with pytest.raises(ValueError):
+            ModelBuilder("m", (16, 16, 3)).conv(4, padding="full")
+
+    def test_shapes_chain(self):
+        model = build_small()
+        for prev, cur in zip(model.spatial_layers, model.spatial_layers[1:]):
+            assert cur.input_shape == prev.output_shape
+
+
+class TestModelSpecValidation:
+    def test_input_shape_mismatch_rejected(self):
+        layer = ConvSpec(name="c", in_h=8, in_w=8, in_c=3, out_channels=4, padding_size=1)
+        with pytest.raises(ValueError):
+            ModelSpec("bad", [layer], input_shape=(16, 16, 3))
+
+    def test_duplicate_names_rejected(self):
+        l1 = ConvSpec(name="c", in_h=8, in_w=8, in_c=3, out_channels=3, padding_size=1)
+        l2 = ConvSpec(name="c", in_h=8, in_w=8, in_c=3, out_channels=3, padding_size=1)
+        with pytest.raises(ValueError):
+            ModelSpec("bad", [l1, l2], input_shape=(8, 8, 3))
+
+    def test_shape_chain_mismatch_rejected(self):
+        l1 = ConvSpec(name="a", in_h=8, in_w=8, in_c=3, out_channels=4, padding_size=1)
+        l2 = ConvSpec(name="b", in_h=8, in_w=8, in_c=8, out_channels=4, padding_size=1)
+        with pytest.raises(ValueError):
+            ModelSpec("bad", [l1, l2], input_shape=(8, 8, 3))
+
+    def test_spatial_after_dense_rejected(self):
+        conv = ConvSpec(name="a", in_h=8, in_w=8, in_c=3, out_channels=4, padding_size=1)
+        fc = DenseSpec(name="fc", in_h=8, in_w=8, in_c=4, out_features=16)
+        conv2 = ConvSpec(name="b", in_h=4, in_w=4, in_c=1, out_channels=4, padding_size=1)
+        with pytest.raises(ValueError):
+            ModelSpec("bad", [conv, fc, conv2], input_shape=(8, 8, 3))
+
+    def test_dense_feature_mismatch_rejected(self):
+        conv = ConvSpec(name="a", in_h=8, in_w=8, in_c=3, out_channels=4, padding_size=1)
+        fc = DenseSpec(name="fc", in_h=4, in_w=4, in_c=4, out_features=16)
+        with pytest.raises(ValueError):
+            ModelSpec("bad", [conv, fc], input_shape=(8, 8, 3))
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            ModelSpec("bad", [], input_shape=(8, 8, 3))
+
+
+class TestAccounting:
+    def test_total_macs_sum(self):
+        model = build_small()
+        assert model.total_macs == sum(l.macs for l in model.layers)
+
+    def test_backbone_plus_head(self):
+        model = build_small()
+        assert model.total_macs == model.backbone_macs + model.head_macs
+
+    def test_layer_lists_lengths(self):
+        model = build_small()
+        assert len(model.layer_macs()) == model.num_spatial_layers
+        assert len(model.layer_output_bytes()) == model.num_spatial_layers
+
+    def test_input_bytes(self):
+        model = build_small()
+        assert model.input_bytes == 16 * 16 * 3 * 2
+
+
+class TestPartitioning:
+    def test_volume_basic(self):
+        model = build_small()
+        volume = model.volume(0, 3)
+        assert len(volume) == 3
+        assert volume.first.name == model.spatial_layers[0].name
+        assert volume.last.name == model.spatial_layers[2].name
+
+    def test_volume_invalid_range(self):
+        model = build_small()
+        with pytest.raises(ValueError):
+            model.volume(3, 3)
+        with pytest.raises(ValueError):
+            model.volume(0, 99)
+
+    def test_partition_round_trip(self):
+        model = build_small()
+        volumes = model.partition([0, 2, 5])
+        assert [len(v) for v in volumes] == [2, 3]
+        assert volumes[0].input_shape == (16, 16, 3)
+
+    def test_partition_requires_full_coverage(self):
+        model = build_small()
+        with pytest.raises(ValueError):
+            model.partition([0, 2])
+        with pytest.raises(ValueError):
+            model.partition([1, 5])
+
+    def test_partition_rejects_unsorted(self):
+        model = build_small()
+        with pytest.raises(ValueError):
+            model.partition([0, 3, 2, 5])
+
+    def test_single_volume_partition(self):
+        model = build_small()
+        assert model.single_volume_partition() == [0, 5]
+
+    def test_layer_by_layer_partition(self):
+        model = build_small()
+        assert model.layer_by_layer_partition() == [0, 1, 2, 3, 4, 5]
+
+    def test_volume_rejects_dense_layers(self):
+        fc = DenseSpec(name="fc", in_h=2, in_w=2, in_c=4, out_features=8)
+        with pytest.raises(ValueError):
+            LayerVolume(layers=(fc,), start=0, end=1)
+
+    def test_volume_describe_mentions_range(self):
+        model = build_small()
+        desc = model.volume(0, 2).describe()
+        assert "[0:2]" in desc
+
+    def test_volume_macs_sum(self):
+        model = build_small()
+        volume = model.volume(0, 3)
+        assert volume.macs == sum(l.macs for l in model.spatial_layers[:3])

@@ -1,0 +1,193 @@
+"""Tests for layer configuration dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nn.layers import (
+    ConvSpec,
+    DenseSpec,
+    PoolSpec,
+    conv_output_size,
+    same_padding,
+)
+from repro.utils.units import FP16_BYTES
+
+
+def make_conv(**overrides):
+    params = dict(
+        name="conv",
+        in_h=32,
+        in_w=32,
+        in_c=3,
+        out_channels=16,
+        kernel_size=3,
+        stride_size=1,
+        padding_size=1,
+    )
+    params.update(overrides)
+    return ConvSpec(**params)
+
+
+class TestConvOutputSize:
+    def test_same_padding_keeps_size(self):
+        assert conv_output_size(224, 3, 1, 1) == 224
+
+    def test_valid_conv_shrinks(self):
+        assert conv_output_size(224, 3, 1, 0) == 222
+
+    def test_stride_two_halves(self):
+        assert conv_output_size(224, 2, 2, 0) == 112
+
+    def test_rejects_kernel_larger_than_input(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+    @given(
+        size=st.integers(8, 256),
+        kernel=st.integers(1, 7),
+        stride=st.integers(1, 3),
+        padding=st.integers(0, 3),
+    )
+    def test_output_positive_and_bounded(self, size, kernel, stride, padding):
+        if size + 2 * padding < kernel:
+            return
+        out = conv_output_size(size, kernel, stride, padding)
+        assert 1 <= out <= size + 2 * padding
+
+
+class TestSamePadding:
+    def test_kernel3(self):
+        assert same_padding(3) == 1
+
+    def test_kernel7(self):
+        assert same_padding(7) == 3
+
+    def test_even_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            same_padding(2)
+
+
+class TestConvSpec:
+    def test_output_shape(self):
+        conv = make_conv()
+        assert conv.output_shape == (32, 32, 16)
+
+    def test_stride_two_output(self):
+        conv = make_conv(stride_size=2)
+        assert conv.out_h == 16
+
+    def test_macs_formula(self):
+        conv = make_conv()
+        assert conv.macs == 32 * 32 * 16 * 3 * 3 * 3
+
+    def test_weight_count_includes_bias(self):
+        conv = make_conv()
+        assert conv.weight_count == 3 * 3 * 3 * 16 + 16
+
+    def test_weight_count_without_bias(self):
+        conv = make_conv(has_bias=False)
+        assert conv.weight_count == 3 * 3 * 3 * 16
+
+    def test_output_bytes_fp16(self):
+        conv = make_conv()
+        assert conv.output_bytes == 32 * 32 * 16 * FP16_BYTES
+
+    def test_is_spatial(self):
+        assert make_conv().is_spatial
+
+    def test_macs_for_rows_scales_linearly(self):
+        conv = make_conv()
+        assert conv.macs_for_rows(16) == conv.macs // 2
+
+    def test_macs_for_zero_rows(self):
+        assert make_conv().macs_for_rows(0) == 0
+
+    def test_macs_for_rows_caps_at_height(self):
+        conv = make_conv()
+        assert conv.macs_for_rows(1000) == conv.macs
+
+    def test_grouped_conv_macs_reduced(self):
+        dense_conv = make_conv(in_c=16, out_channels=16)
+        grouped = make_conv(in_c=16, out_channels=16, groups=4)
+        assert grouped.macs == dense_conv.macs // 4
+
+    def test_groups_must_divide_channels(self):
+        with pytest.raises(ValueError):
+            make_conv(in_c=16, out_channels=16, groups=3)
+
+    def test_invalid_activation_rejected(self):
+        with pytest.raises(ValueError):
+            make_conv(activation="swish")
+
+    def test_invalid_input_rejected(self):
+        with pytest.raises(ValueError):
+            make_conv(in_h=0)
+
+    def test_kernel_larger_than_padded_input_rejected(self):
+        with pytest.raises(ValueError):
+            make_conv(in_h=2, in_w=2, kernel_size=5, padding_size=0)
+
+    def test_with_input_changes_shape(self):
+        conv = make_conv().with_input(64, 64, 3)
+        assert conv.out_h == 64
+        assert conv.out_channels == 16
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            make_conv().in_h = 5  # type: ignore[misc]
+
+
+class TestPoolSpec:
+    def test_output_shape(self):
+        pool = PoolSpec(name="p", in_h=32, in_w=32, in_c=8, kernel_size=2, stride_size=2)
+        assert pool.output_shape == (16, 16, 8)
+
+    def test_channels_preserved(self):
+        pool = PoolSpec(name="p", in_h=10, in_w=10, in_c=5)
+        assert pool.out_c == 5
+
+    def test_no_weights(self):
+        pool = PoolSpec(name="p", in_h=10, in_w=10, in_c=5)
+        assert pool.weight_count == 0
+        assert pool.weight_bytes == 0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            PoolSpec(name="p", in_h=10, in_w=10, in_c=5, mode="median")
+
+    def test_avg_mode_accepted(self):
+        pool = PoolSpec(name="p", in_h=8, in_w=8, in_c=2, kernel_size=8, stride_size=8, mode="avg")
+        assert pool.out_h == 1
+
+    def test_is_spatial(self):
+        assert PoolSpec(name="p", in_h=10, in_w=10, in_c=5).is_spatial
+
+
+class TestDenseSpec:
+    def test_in_features_flattened(self):
+        dense = DenseSpec(name="fc", in_h=7, in_w=7, in_c=512, out_features=1000)
+        assert dense.in_features == 7 * 7 * 512
+
+    def test_output_shape(self):
+        dense = DenseSpec(name="fc", in_h=1, in_w=1, in_c=128, out_features=10)
+        assert dense.output_shape == (1, 1, 10)
+
+    def test_not_spatial(self):
+        dense = DenseSpec(name="fc", in_h=1, in_w=1, in_c=128, out_features=10)
+        assert not dense.is_spatial
+
+    def test_macs(self):
+        dense = DenseSpec(name="fc", in_h=1, in_w=1, in_c=128, out_features=10)
+        assert dense.macs == 1280
+
+    def test_macs_for_rows_all_or_nothing(self):
+        dense = DenseSpec(name="fc", in_h=1, in_w=1, in_c=128, out_features=10)
+        assert dense.macs_for_rows(1) == dense.macs
+        assert dense.macs_for_rows(0) == 0
+
+    def test_weight_count(self):
+        dense = DenseSpec(name="fc", in_h=1, in_w=1, in_c=128, out_features=10, has_bias=True)
+        assert dense.weight_count == 128 * 10 + 10

@@ -1,0 +1,98 @@
+"""Tests for the model zoo (layer-configuration fidelity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nn import model_zoo
+from repro.nn.graph import ModelSpec
+
+
+class TestRegistry:
+    def test_all_paper_models_registered(self):
+        for name in model_zoo.PAPER_MODELS:
+            assert name in model_zoo.MODEL_BUILDERS
+
+    def test_list_models_sorted(self):
+        names = model_zoo.list_models()
+        assert names == sorted(names)
+
+    def test_get_unknown_raises_with_hint(self):
+        with pytest.raises(KeyError, match="vgg16"):
+            model_zoo.get("resnet101")
+
+    @pytest.mark.parametrize("name", model_zoo.list_models())
+    def test_every_model_builds_and_validates(self, name):
+        model = model_zoo.get(name)
+        assert isinstance(model, ModelSpec)
+        assert model.num_spatial_layers >= 2
+        assert model.total_macs > 0
+
+
+class TestVGG16:
+    def test_layer_counts(self):
+        vgg = model_zoo.vgg16()
+        convs = [l for l in vgg.layers if type(l).__name__ == "ConvSpec"]
+        pools = [l for l in vgg.layers if type(l).__name__ == "PoolSpec"]
+        dense = [l for l in vgg.layers if type(l).__name__ == "DenseSpec"]
+        assert (len(convs), len(pools), len(dense)) == (13, 5, 3)
+
+    def test_backbone_macs_close_to_reference(self):
+        # VGG-16 backbone is ~15.3 GMACs at 224x224.
+        vgg = model_zoo.vgg16()
+        assert 14e9 < vgg.backbone_macs < 16.5e9
+
+    def test_final_feature_map(self):
+        vgg = model_zoo.vgg16()
+        assert vgg.spatial_layers[-1].output_shape == (7, 7, 512)
+
+    def test_classifier_output(self):
+        vgg = model_zoo.vgg16()
+        assert vgg.layers[-1].out_c == 1000
+
+
+class TestOtherModels:
+    def test_resnet50_macs_ballpark(self):
+        resnet = model_zoo.resnet50()
+        assert 3.0e9 < resnet.backbone_macs < 5.0e9
+
+    def test_resnet50_final_shape(self):
+        resnet = model_zoo.resnet50()
+        assert resnet.spatial_layers[-2].output_shape == (7, 7, 2048)
+
+    def test_inception_input_size(self):
+        inception = model_zoo.inception_v3()
+        assert inception.input_shape == (299, 299, 3)
+
+    def test_yolov2_grid(self):
+        yolo = model_zoo.yolov2()
+        assert yolo.layers[-1].output_shape == (13, 13, 425)
+        assert len(yolo.head_layers) == 0
+
+    def test_ssd_vgg16_input(self):
+        ssd = model_zoo.ssd_vgg16()
+        assert ssd.input_shape == (300, 300, 3)
+
+    def test_openpose_output_stride(self):
+        op = model_zoo.openpose()
+        # Three pools -> 368 / 8 = 46.
+        assert op.layers[-1].out_h == 46
+
+    def test_voxelnet_bev_input(self):
+        vox = model_zoo.voxelnet()
+        assert vox.input_shape[2] == 128
+
+    def test_detection_models_have_no_dense_head(self):
+        for name in ("yolov2", "ssd_vgg16", "ssd_resnet50", "openpose", "voxelnet"):
+            assert len(model_zoo.get(name).head_layers) == 0, name
+
+    def test_classification_models_have_dense_head(self):
+        for name in ("vgg16", "resnet50", "inception_v3"):
+            assert len(model_zoo.get(name).head_layers) >= 1, name
+
+    def test_tiny_and_small_models_are_small(self):
+        assert model_zoo.tiny_cnn().total_macs < 1e8
+        assert model_zoo.small_vgg().total_macs < 1e9
+
+    def test_models_are_rebuilt_fresh(self):
+        assert model_zoo.get("vgg16") is not model_zoo.get("vgg16")

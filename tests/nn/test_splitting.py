@@ -1,0 +1,213 @@
+"""Tests for the Vertical-Splitting Law and split-part construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import model_zoo
+from repro.nn.splitting import (
+    SplitDecision,
+    per_layer_row_ranges,
+    propagate_output_height,
+    required_input_rows,
+    required_input_rows_chain,
+    split_volume,
+    total_overlap_rows,
+    vsl_input_height,
+    vsl_layer_input_height,
+)
+from repro.nn.layers import ConvSpec, PoolSpec
+
+
+@pytest.fixture(scope="module")
+def vgg():
+    return model_zoo.vgg16()
+
+
+class TestVSLFormulas:
+    def test_single_layer_eq2(self):
+        conv = ConvSpec(name="c", in_h=224, in_w=224, in_c=3, out_channels=8, kernel_size=3,
+                        stride_size=1, padding_size=0)
+        # Eq. 2: h_in = (h_out - 1) * S + F
+        assert vsl_layer_input_height(conv, 10) == 12
+
+    def test_stride_two(self):
+        pool = PoolSpec(name="p", in_h=224, in_w=224, in_c=8, kernel_size=2, stride_size=2)
+        assert vsl_layer_input_height(pool, 5) == 10
+
+    def test_zero_rows(self):
+        conv = ConvSpec(name="c", in_h=8, in_w=8, in_c=3, out_channels=8, padding_size=1)
+        assert vsl_layer_input_height(conv, 0) == 0
+
+    def test_propagate_matches_paper_example(self, vgg):
+        # First VGG block: conv3x3(s1), conv3x3(s1), pool2(s2).
+        layers = vgg.spatial_layers[:3]
+        heights = propagate_output_height(layers, 4)
+        # pool needs (4-1)*2+2 = 8 rows from conv1_2; conv1_2 needs 10 from conv1_1.
+        assert heights == [10, 8, 4]
+
+    def test_vsl_input_height_chains_eq1_eq2(self, vgg):
+        layers = vgg.spatial_layers[:3]
+        # conv1_1 out = 10 -> input needed = (10-1)*1+3 = 12 (ignores padding, per paper).
+        assert vsl_input_height(layers, 4) == 12
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(ValueError):
+            propagate_output_height([], 4)
+
+
+class TestRequiredInputRows:
+    def test_interior_range_same_padding(self):
+        conv = ConvSpec(name="c", in_h=32, in_w=32, in_c=3, out_channels=8, padding_size=1)
+        lo, hi = required_input_rows(conv, 10, 20)
+        assert (lo, hi) == (9, 21)
+
+    def test_top_edge_clipped(self):
+        conv = ConvSpec(name="c", in_h=32, in_w=32, in_c=3, out_channels=8, padding_size=1)
+        assert required_input_rows(conv, 0, 4) == (0, 5)
+
+    def test_bottom_edge_clipped(self):
+        conv = ConvSpec(name="c", in_h=32, in_w=32, in_c=3, out_channels=8, padding_size=1)
+        assert required_input_rows(conv, 28, 32) == (27, 32)
+
+    def test_empty_range(self):
+        conv = ConvSpec(name="c", in_h=32, in_w=32, in_c=3, out_channels=8, padding_size=1)
+        assert required_input_rows(conv, 5, 5) == (0, 0)
+
+    def test_out_of_range_rejected(self):
+        conv = ConvSpec(name="c", in_h=32, in_w=32, in_c=3, out_channels=8, padding_size=1)
+        with pytest.raises(ValueError):
+            required_input_rows(conv, 0, 33)
+
+    def test_pooling_rows(self):
+        pool = PoolSpec(name="p", in_h=32, in_w=32, in_c=3)
+        assert required_input_rows(pool, 2, 6) == (4, 12)
+
+    def test_chain_covers_full_height(self, vgg):
+        layers = list(vgg.spatial_layers[:6])
+        lo, hi = required_input_rows_chain(layers, 0, layers[-1].out_h)
+        assert (lo, hi) == (0, layers[0].in_h)
+
+    def test_per_layer_ranges_monotone(self, vgg):
+        layers = list(vgg.spatial_layers[:6])
+        ranges = per_layer_row_ranges(layers, 10, 20)
+        for (a, b), layer in zip(ranges, layers):
+            assert 0 <= a < b <= layer.out_h
+
+
+class TestSplitDecision:
+    def test_row_ranges_partition_height(self):
+        d = SplitDecision(cuts=(3, 7, 7), output_height=10)
+        ranges = d.row_ranges()
+        assert ranges == [(0, 3), (3, 7), (7, 7), (7, 10)]
+        assert sum(b - a for a, b in ranges) == 10
+
+    def test_rows_per_device(self):
+        d = SplitDecision(cuts=(5,), output_height=10)
+        assert d.rows_per_device() == [5, 5]
+
+    def test_cuts_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            SplitDecision(cuts=(7, 3), output_height=10)
+
+    def test_cuts_in_range(self):
+        with pytest.raises(ValueError):
+            SplitDecision(cuts=(11,), output_height=10)
+
+    def test_from_fractions_conserves_rows(self):
+        d = SplitDecision.from_fractions([0.4, 0.35, 0.25], 17)
+        assert sum(d.rows_per_device()) == 17
+
+    def test_from_fractions_zero_total(self):
+        d = SplitDecision.from_fractions([0.0, 0.0], 9)
+        assert d.rows_per_device() == [9, 0]
+
+    def test_from_fractions_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SplitDecision.from_fractions([-0.5, 1.5], 10)
+
+    def test_equal_split(self):
+        d = SplitDecision.equal(4, 8)
+        assert d.rows_per_device() == [2, 2, 2, 2]
+
+    def test_single_device(self):
+        d = SplitDecision.single_device(2, 4, 9)
+        assert d.rows_per_device() == [0, 0, 9, 0]
+
+    @given(
+        height=st.integers(1, 300),
+        fractions=st.lists(st.floats(0, 1), min_size=1, max_size=8),
+    )
+    def test_fraction_rows_always_sum_to_height(self, height, fractions):
+        d = SplitDecision.from_fractions(fractions, height)
+        assert sum(d.rows_per_device()) == height
+        assert all(r >= 0 for r in d.rows_per_device())
+
+
+class TestSplitVolume:
+    def test_parts_cover_output(self, vgg):
+        volume = vgg.volume(0, 3)
+        decision = SplitDecision.from_fractions([0.5, 0.3, 0.2], volume.output_height)
+        parts = split_volume(volume, decision)
+        covered = sorted((p.out_rows for p in parts if not p.is_empty))
+        assert covered[0][0] == 0
+        assert covered[-1][1] == volume.output_height
+        for (a0, b0), (a1, _b1) in zip(covered, covered[1:]):
+            assert b0 == a1
+
+    def test_empty_part_flagged(self, vgg):
+        volume = vgg.volume(0, 3)
+        decision = SplitDecision.single_device(0, 3, volume.output_height)
+        parts = split_volume(volume, decision)
+        assert not parts[0].is_empty
+        assert parts[1].is_empty and parts[2].is_empty
+        assert parts[1].macs == 0 and parts[1].input_bytes == 0
+
+    def test_parts_macs_at_least_volume_macs(self, vgg):
+        volume = vgg.volume(0, 3)
+        decision = SplitDecision.equal(4, volume.output_height)
+        parts = split_volume(volume, decision)
+        assert sum(p.macs for p in parts) >= volume.macs
+
+    def test_single_part_macs_equals_volume(self, vgg):
+        volume = vgg.volume(0, 3)
+        decision = SplitDecision.single_device(1, 4, volume.output_height)
+        parts = split_volume(volume, decision)
+        assert sum(p.macs for p in parts) == volume.macs
+
+    def test_height_mismatch_rejected(self, vgg):
+        volume = vgg.volume(0, 3)
+        with pytest.raises(ValueError):
+            split_volume(volume, SplitDecision(cuts=(1,), output_height=5))
+
+    def test_overlap_rows_zero_for_single_part(self, vgg):
+        volume = vgg.volume(0, 3)
+        parts = split_volume(volume, SplitDecision.single_device(0, 2, volume.output_height))
+        assert total_overlap_rows(parts) == 0
+
+    def test_overlap_rows_positive_for_equal_split(self, vgg):
+        volume = vgg.volume(0, 6)
+        parts = split_volume(volume, SplitDecision.equal(4, volume.output_height))
+        assert total_overlap_rows(parts) > 0
+
+    @given(
+        cuts=st.lists(st.integers(0, 112), min_size=1, max_size=5),
+    )
+    @settings(max_examples=20)
+    def test_split_parts_consistent_for_random_cuts(self, cuts, vgg):
+        volume = vgg.volume(0, 3)
+        decision = SplitDecision(
+            cuts=tuple(sorted(min(c, volume.output_height) for c in cuts)),
+            output_height=volume.output_height,
+        )
+        parts = split_volume(volume, decision)
+        assert len(parts) == decision.num_devices
+        for part in parts:
+            if part.is_empty:
+                continue
+            lo, hi = part.in_rows
+            assert 0 <= lo < hi <= volume.first.in_h
+            assert part.macs > 0

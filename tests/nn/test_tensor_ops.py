@@ -1,0 +1,160 @@
+"""Tests for the NumPy operator implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor_ops import apply_activation, conv2d, dense, im2col, pad_hw, pool2d
+
+
+def naive_conv2d(x, w, bias, stride, pad):
+    """Straightforward loop reference used to validate the im2col path."""
+    x_p = np.pad(x, ((pad, pad), (pad, pad), (0, 0)))
+    k = w.shape[0]
+    out_h = (x_p.shape[0] - k) // stride + 1
+    out_w = (x_p.shape[1] - k) // stride + 1
+    out = np.zeros((out_h, out_w, w.shape[3]), dtype=np.float32)
+    for i in range(out_h):
+        for j in range(out_w):
+            patch = x_p[i * stride : i * stride + k, j * stride : j * stride + k, :]
+            for c in range(w.shape[3]):
+                out[i, j, c] = np.sum(patch * w[:, :, :, c])
+    if bias is not None:
+        out += bias
+    return out
+
+
+class TestActivations:
+    def test_linear_identity(self):
+        x = np.array([-1.0, 2.0])
+        assert np.array_equal(apply_activation(x, "linear"), x)
+
+    def test_relu(self):
+        assert np.array_equal(apply_activation(np.array([-1.0, 2.0]), "relu"), [0.0, 2.0])
+
+    def test_leaky_relu(self):
+        out = apply_activation(np.array([-10.0, 5.0]), "leaky_relu")
+        assert out[0] == pytest.approx(-1.0)
+        assert out[1] == pytest.approx(5.0)
+
+    def test_sigmoid_range(self):
+        out = apply_activation(np.linspace(-5, 5, 11), "sigmoid")
+        assert np.all((out > 0) & (out < 1))
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            apply_activation(np.zeros(2), "gelu")
+
+
+class TestPadHw:
+    def test_no_padding_returns_same_object(self):
+        x = np.zeros((2, 2, 1), dtype=np.float32)
+        assert pad_hw(x, 0, 0, 0, 0) is x
+
+    def test_asymmetric_padding_shape(self):
+        x = np.ones((4, 5, 2), dtype=np.float32)
+        out = pad_hw(x, 1, 2, 3, 0)
+        assert out.shape == (7, 8, 2)
+
+    def test_pad_value(self):
+        x = np.ones((2, 2, 1), dtype=np.float32)
+        out = pad_hw(x, 1, 0, 0, 0, value=-np.inf)
+        assert np.isneginf(out[0]).all()
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(ValueError):
+            pad_hw(np.zeros((2, 2, 1)), -1, 0, 0, 0)
+
+
+class TestIm2col:
+    def test_patch_count(self):
+        x = np.arange(5 * 5 * 2, dtype=np.float32).reshape(5, 5, 2)
+        patches, oh, ow = im2col(x, 3, 1)
+        assert (oh, ow) == (3, 3)
+        assert patches.shape == (9, 3 * 3 * 2)
+
+    def test_stride(self):
+        x = np.zeros((6, 6, 1), dtype=np.float32)
+        _, oh, ow = im2col(x, 2, 2)
+        assert (oh, ow) == (3, 3)
+
+    def test_window_too_large(self):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((2, 2, 1)), 3, 1)
+
+
+class TestConv2d:
+    @given(
+        h=st.integers(5, 12),
+        w=st.integers(5, 12),
+        cin=st.integers(1, 3),
+        cout=st.integers(1, 4),
+        kernel=st.sampled_from([1, 3]),
+        stride=st.sampled_from([1, 2]),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=20)
+    def test_matches_naive_reference(self, h, w, cin, cout, kernel, stride, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(h, w, cin)).astype(np.float32)
+        wgt = rng.normal(size=(kernel, kernel, cin, cout)).astype(np.float32)
+        bias = rng.normal(size=(cout,)).astype(np.float32)
+        pad = (kernel - 1) // 2
+        fast = conv2d(x, wgt, bias, stride, pad, pad, pad, pad, "linear")
+        slow = naive_conv2d(x, wgt, bias, stride, pad)
+        assert fast.shape == slow.shape
+        np.testing.assert_allclose(fast, slow, rtol=1e-4, atol=1e-4)
+
+    def test_relu_applied(self):
+        x = -np.ones((4, 4, 1), dtype=np.float32)
+        w = np.ones((1, 1, 1, 1), dtype=np.float32)
+        out = conv2d(x, w, None, 1, 0, 0, 0, 0, "relu")
+        assert np.all(out == 0)
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            conv2d(np.zeros((4, 4, 2)), np.zeros((3, 3, 3, 1)), None, 1, 1, 1, 1, 1)
+
+    def test_non_square_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            conv2d(np.zeros((4, 4, 1)), np.zeros((3, 2, 1, 1)), None, 1, 0, 0, 0, 0)
+
+
+class TestPool2d:
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(4, 4, 1)
+        out = pool2d(x, 2, 2, 0, 0, 0, 0, "max")
+        assert out.shape == (2, 2, 1)
+        np.testing.assert_array_equal(out[:, :, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool_values(self):
+        x = np.ones((4, 4, 2), dtype=np.float32)
+        out = pool2d(x, 2, 2, 0, 0, 0, 0, "avg")
+        assert np.allclose(out, 1.0)
+
+    def test_max_pool_with_padding_ignores_pad(self):
+        x = np.full((2, 2, 1), -5.0, dtype=np.float32)
+        out = pool2d(x, 3, 1, 1, 0, 1, 0, "max")
+        # Padded cells are -inf for max pooling, so the max stays -5.
+        assert np.all(out == -5.0)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            pool2d(np.zeros((4, 4, 1)), 2, 2, 0, 0, 0, 0, "sum")
+
+
+class TestDense:
+    def test_matches_matmul(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(3, 3, 2)).astype(np.float32)
+        w = rng.normal(size=(18, 5)).astype(np.float32)
+        b = rng.normal(size=(5,)).astype(np.float32)
+        out = dense(x, w, b)
+        np.testing.assert_allclose(out, x.reshape(-1) @ w + b, rtol=1e-5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dense(np.zeros((2, 2, 1)), np.zeros((5, 3)), None)

@@ -1,0 +1,81 @@
+"""Tests for the per-device lane scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.lanes import Lane, LaneSet
+
+
+class TestLane:
+    def test_back_to_back_jobs_serialise(self):
+        lane = Lane("compute")
+        s1, e1 = lane.schedule(0.0, 10.0)
+        s2, e2 = lane.schedule(0.0, 5.0)
+        assert (s1, e1) == (0.0, 10.0)
+        assert (s2, e2) == (10.0, 15.0)
+
+    def test_later_arrival_waits_for_itself(self):
+        lane = Lane("send")
+        lane.schedule(0.0, 2.0)
+        start, end = lane.schedule(100.0, 3.0)
+        assert (start, end) == (100.0, 103.0)
+
+    def test_busy_accounting(self):
+        lane = Lane("recv")
+        lane.schedule(0, 4)
+        lane.schedule(0, 6)
+        assert lane.busy_ms == 10
+        assert lane.jobs == 2
+
+    def test_peek_does_not_reserve(self):
+        lane = Lane("x")
+        lane.schedule(0, 5)
+        peek = lane.peek(0, 5)
+        assert peek == (5, 10)
+        assert lane.free_at == 5
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Lane("x").schedule(0, -1)
+
+    def test_reset(self):
+        lane = Lane("x")
+        lane.schedule(0, 5)
+        lane.reset()
+        assert lane.free_at == 0 and lane.busy_ms == 0 and lane.jobs == 0
+
+
+class TestLaneSet:
+    def test_lazy_creation_and_reuse(self):
+        lanes = LaneSet()
+        a = lanes.lane(0, "send")
+        b = lanes.lane(0, "send")
+        assert a is b
+
+    def test_roles_are_independent(self):
+        lanes = LaneSet()
+        lanes.schedule(0, "send", 0, 10)
+        start, _ = lanes.schedule(0, "recv", 0, 10)
+        assert start == 0.0
+
+    def test_endpoints_are_independent(self):
+        lanes = LaneSet()
+        lanes.schedule(0, "compute", 0, 10)
+        start, _ = lanes.schedule(1, "compute", 0, 10)
+        assert start == 0.0
+
+    def test_busy_of_unused_lane_is_zero(self):
+        assert LaneSet().busy_ms(3, "send") == 0.0
+
+    def test_reset_all(self):
+        lanes = LaneSet()
+        lanes.schedule(0, "send", 0, 5)
+        lanes.reset()
+        assert lanes.busy_ms(0, "send") == 0.0
+
+    def test_all_lanes_listing(self):
+        lanes = LaneSet()
+        lanes.lane(0, "send")
+        lanes.lane(1, "recv")
+        assert len(lanes.all_lanes()) == 2

@@ -1,0 +1,78 @@
+"""Tests for the compute oracles (ground-truth vs profile-backed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.profiler import LatencyProfiler
+from repro.devices.profiles import TabularProfile
+from repro.devices.specs import make_cluster
+from repro.nn import model_zoo
+from repro.nn.splitting import SplitDecision, split_volume
+from repro.runtime.oracles import (
+    GroundTruthComputeOracle,
+    ProfileComputeOracle,
+    profiles_by_device,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return model_zoo.small_vgg(64)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return make_cluster([("xavier", 100), ("nano", 100)])
+
+
+@pytest.fixture(scope="module")
+def per_type_profiles(model, cluster):
+    out = {}
+    for device in cluster:
+        profiler = LatencyProfiler(device.dtype, noise_std=0.0)
+        out[device.type_name] = TabularProfile.from_points(
+            profiler.profile_model(model, heights_per_layer=None)
+        )
+    return out
+
+
+class TestGroundTruthOracle:
+    def test_part_latency_positive(self, model, cluster):
+        oracle = GroundTruthComputeOracle(cluster)
+        volume = model.volume(0, 3)
+        parts = split_volume(volume, SplitDecision.equal(2, volume.output_height))
+        assert oracle.part_latency_ms(0, volume, parts[0]) > 0
+
+    def test_head_latency_positive(self, model, cluster):
+        oracle = GroundTruthComputeOracle(cluster)
+        assert oracle.head_latency_ms(0, model.head_layers) > 0
+
+
+class TestProfileOracle:
+    def test_noiseless_profile_matches_ground_truth(self, model, cluster, per_type_profiles):
+        profiles = profiles_by_device(cluster, per_type_profiles)
+        profile_oracle = ProfileComputeOracle(cluster, profiles)
+        truth_oracle = GroundTruthComputeOracle(cluster)
+        volume = model.volume(0, 4)
+        parts = split_volume(volume, SplitDecision.from_fractions([0.7, 0.3], volume.output_height))
+        for idx, part in enumerate(parts):
+            assert profile_oracle.part_latency_ms(idx, volume, part) == pytest.approx(
+                truth_oracle.part_latency_ms(idx, volume, part), rel=1e-6
+            )
+
+    def test_empty_part_is_free(self, model, cluster, per_type_profiles):
+        profiles = profiles_by_device(cluster, per_type_profiles)
+        oracle = ProfileComputeOracle(cluster, profiles)
+        volume = model.volume(0, 2)
+        parts = split_volume(volume, SplitDecision.single_device(0, 2, volume.output_height))
+        assert oracle.part_latency_ms(1, volume, parts[1]) == 0.0
+
+    def test_length_mismatch_rejected(self, cluster, per_type_profiles):
+        with pytest.raises(ValueError):
+            ProfileComputeOracle(cluster, [per_type_profiles["xavier"]])
+
+    def test_profiles_by_device_missing_type(self, cluster, per_type_profiles):
+        incomplete = {"xavier": per_type_profiles["xavier"]}
+        with pytest.raises(KeyError, match="nano"):
+            profiles_by_device(cluster, incomplete)

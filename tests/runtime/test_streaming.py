@@ -1,0 +1,102 @@
+"""Tests for the image-stream simulator (IPS protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices.specs import make_cluster
+from repro.network.topology import NetworkModel
+from repro.nn import model_zoo
+from repro.nn.splitting import SplitDecision
+from repro.runtime.evaluator import PlanEvaluator
+from repro.runtime.plan import DistributionPlan
+from repro.runtime.streaming import StreamingSimulator
+
+
+@pytest.fixture(scope="module")
+def model():
+    return model_zoo.small_vgg(64)
+
+
+@pytest.fixture()
+def setup(model):
+    devices = make_cluster([("nano", 100), ("nano", 100)])
+    network = NetworkModel.constant_from_devices(devices)
+    evaluator = PlanEvaluator(devices, network)
+    plan = DistributionPlan.single_device(model, devices, 0)
+    return devices, network, evaluator, plan
+
+
+class TestStreaming:
+    def test_ips_matches_single_image_latency_on_constant_network(self, setup):
+        _, _, evaluator, plan = setup
+        sim = StreamingSimulator(evaluator)
+        result = sim.run(plan, num_images=20)
+        single = evaluator.evaluate(plan)
+        assert result.num_images == 20
+        assert result.mean_latency_ms == pytest.approx(single.end_to_end_ms, rel=1e-6)
+        assert result.ips == pytest.approx(single.ips, rel=1e-3)
+
+    def test_time_advances_between_images(self, setup):
+        _, _, evaluator, plan = setup
+        result = StreamingSimulator(evaluator).run(plan, num_images=5)
+        assert np.all(np.diff(result.image_start_s) > 0)
+
+    def test_extra_gap_reduces_throughput(self, setup):
+        _, _, evaluator, plan = setup
+        tight = StreamingSimulator(evaluator).run(plan, num_images=10)
+        spaced = StreamingSimulator(evaluator, extra_gap_ms=100.0).run(plan, num_images=10)
+        assert spaced.ips < tight.ips
+        # Per-image latency is unchanged; only the pacing differs.
+        assert spaced.mean_latency_ms == pytest.approx(tight.mean_latency_ms)
+
+    def test_max_duration_truncates(self, setup):
+        _, _, evaluator, plan = setup
+        result = StreamingSimulator(evaluator).run_duration(plan, duration_s=1.0)
+        assert result.total_time_s >= 1.0
+        assert result.num_images < 100_000
+
+    def test_adaptation_hook_swaps_plan(self, model):
+        devices = make_cluster([("xavier", 100), ("nano", 100)])
+        network = NetworkModel.constant_from_devices(devices)
+        evaluator = PlanEvaluator(devices, network)
+        slow_plan = DistributionPlan.single_device(model, devices, 1, method="slow")
+        fast_plan = DistributionPlan.single_device(model, devices, 0, method="fast")
+
+        def hook(t, index, current, history):
+            return fast_plan if index == 3 else None
+
+        result = StreamingSimulator(evaluator).run(slow_plan, num_images=6, adaptation_hook=hook)
+        assert result.method == "fast"
+        assert result.per_image_latency_ms[0] > result.per_image_latency_ms[-1]
+
+    def test_latency_series_shape(self, setup):
+        _, _, evaluator, plan = setup
+        result = StreamingSimulator(evaluator).run(plan, num_images=4)
+        series = result.latency_series()
+        assert series.shape == (4, 2)
+
+    def test_p95_at_least_mean_for_varying_latencies(self, model):
+        devices = make_cluster([("nano", 70)] * 2)
+        network = NetworkModel.from_devices(devices, kind="dynamic", seed=0)
+        evaluator = PlanEvaluator(devices, network)
+        boundaries = [0, 6, model.num_spatial_layers]
+        volumes = model.partition(boundaries)
+        plan = DistributionPlan(
+            model, devices, boundaries,
+            [SplitDecision.equal(2, v.output_height) for v in volumes],
+        )
+        result = StreamingSimulator(evaluator, extra_gap_ms=2000.0).run_duration(
+            plan, duration_s=120.0
+        )
+        assert result.p95_latency_ms >= result.mean_latency_ms
+
+    def test_invalid_arguments(self, setup):
+        _, _, evaluator, plan = setup
+        with pytest.raises(ValueError):
+            StreamingSimulator(evaluator, extra_gap_ms=-1)
+        with pytest.raises(ValueError):
+            StreamingSimulator(evaluator).run(plan, num_images=0)
+        with pytest.raises(ValueError):
+            StreamingSimulator(evaluator).run_duration(plan, duration_s=0)

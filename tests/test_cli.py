@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan", "--devices", "xavier:300", "nano:50"])
+        assert args.command == "plan"
+        assert args.method == "distredge"
+        assert args.model == "vgg16"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--devices", "nano", "--model", "alexnet"])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.scenario == "DB"
+
+
+class TestCommands:
+    def test_plan_baseline_and_evaluate_roundtrip(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        code = main([
+            "plan",
+            "--model", "small_vgg",
+            "--devices", "xavier:200", "nano:200",
+            "--method", "aofl",
+            "--output", str(plan_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "predicted latency" in out
+        assert plan_path.exists()
+        data = json.loads(plan_path.read_text())
+        assert data["method"] == "aofl"
+
+        code = main(["evaluate", str(plan_path), "--bandwidth", "50"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IPS" in out
+
+    def test_plan_distredge_small_budget(self, capsys):
+        code = main([
+            "plan",
+            "--model", "small_vgg",
+            "--devices", "xavier:100", "nano:100",
+            "--method", "distredge",
+            "--episodes", "4",
+            "--random-splits", "5",
+        ])
+        assert code == 0
+        assert "distredge" in capsys.readouterr().out
+
+    def test_compare_unknown_scenario(self, capsys):
+        code = main(["compare", "--scenario", "ZZ", "--episodes", "2", "--random-splits", "3"])
+        assert code == 2

@@ -1,0 +1,100 @@
+"""End-to-end integration tests tying the whole pipeline together."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BASELINE_REGISTRY,
+    DistrEdge,
+    DistrEdgeConfig,
+    DistributionPlan,
+    NetworkModel,
+    PlanEvaluator,
+    StreamingSimulator,
+    make_cluster,
+    model_zoo,
+)
+from repro.core.ddpg import DDPGConfig
+from repro.core.osds import OSDSConfig
+from repro.nn.execution import ModelExecutor, SplitExecutor
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    model = model_zoo.small_vgg(64)
+    devices = make_cluster([("xavier", 150), ("nano", 150), ("nano", 150)])
+    network = NetworkModel.constant_from_devices(devices)
+    evaluator = PlanEvaluator(devices, network)
+    return model, devices, network, evaluator
+
+
+@pytest.fixture(scope="module")
+def distredge_plan(deployment):
+    model, devices, network, _ = deployment
+    config = DistrEdgeConfig(
+        num_random_splits=8,
+        osds=OSDSConfig(
+            max_episodes=25,
+            ddpg=DDPGConfig(actor_hidden=(32, 32), critic_hidden=(32, 32), warmup_transitions=16),
+            seed=0,
+        ),
+        seed=0,
+    )
+    return DistrEdge(config).plan(model, devices, network)
+
+
+class TestEndToEnd:
+    def test_distredge_matches_or_beats_every_baseline(self, deployment, distredge_plan):
+        model, devices, network, evaluator = deployment
+        distredge_ips = evaluator.evaluate(distredge_plan).ips
+        for name, cls in BASELINE_REGISTRY.items():
+            baseline_ips = evaluator.evaluate(cls().plan(model, devices, network)).ips
+            assert distredge_ips >= baseline_ips * 0.98, (
+                f"DistrEdge ({distredge_ips:.2f} IPS) lost to {name} ({baseline_ips:.2f} IPS)"
+            )
+
+    def test_distredge_plan_is_numerically_lossless(self, deployment, distredge_plan):
+        """The plan produced by the full pipeline executes split-by-split to
+        the same tensor as single-device execution."""
+        model, *_ = deployment
+        executor = ModelExecutor(model, seed=11)
+        splitter = SplitExecutor(executor)
+        x = executor.random_input()
+        whole = executor.run(x, upto=model.num_spatial_layers)
+        merged = splitter.run_plan_volumes(
+            distredge_plan.volumes, distredge_plan.decisions, x
+        )
+        np.testing.assert_allclose(whole, merged, rtol=1e-4, atol=1e-5)
+
+    def test_streaming_ips_consistent_with_plan_latency(self, deployment, distredge_plan):
+        _, _, _, evaluator = deployment
+        stream = StreamingSimulator(evaluator).run(distredge_plan, num_images=10)
+        single = evaluator.evaluate(distredge_plan)
+        assert stream.ips == pytest.approx(single.ips, rel=1e-3)
+
+    def test_plan_total_macs_bounded(self, deployment, distredge_plan):
+        model, *_ = deployment
+        assert distredge_plan.total_macs() >= model.total_macs
+        assert distredge_plan.recomputation_overhead() < 3.0
+
+
+class TestPublicAPI:
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_offload_plan_from_public_api(self):
+        model = model_zoo.tiny_cnn()
+        devices = make_cluster([("nano", 100)])
+        network = NetworkModel.constant_from_devices(devices)
+        plan = DistributionPlan.single_device(model, devices, 0)
+        assert PlanEvaluator(devices, network).ips(plan) > 0

@@ -1,0 +1,132 @@
+"""Tests for repro.utils (rng, units, validation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import as_rng, derive_seed, spawn_rng
+from repro.utils.units import (
+    FP16_BYTES,
+    bytes_per_second,
+    bytes_to_megabytes,
+    megabits_to_bytes,
+    ms_to_s,
+    s_to_ms,
+)
+from repro.utils.validation import (
+    check_fraction,
+    check_monotone_non_decreasing,
+    check_non_negative,
+    check_positive,
+    check_probability_vector,
+)
+
+
+class TestRng:
+    def test_as_rng_from_int_is_deterministic(self):
+        a = as_rng(42).integers(0, 1000, size=5)
+        b = as_rng(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_as_rng_passthrough_generator(self):
+        gen = np.random.default_rng(1)
+        assert as_rng(gen) is gen
+
+    def test_as_rng_accepts_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        rng = as_rng(seq)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_as_rng_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_spawn_rng_children_are_independent(self):
+        parent = as_rng(0)
+        c1, c2 = spawn_rng(parent, 2)
+        assert not np.array_equal(c1.integers(0, 1 << 30, 10), c2.integers(0, 1 << 30, 10))
+
+    def test_spawn_rng_rejects_zero(self):
+        with pytest.raises(ValueError):
+            spawn_rng(as_rng(0), 0)
+
+    def test_spawn_is_reproducible(self):
+        a = spawn_rng(as_rng(5), 3)[2].integers(0, 100, 4)
+        b = spawn_rng(as_rng(5), 3)[2].integers(0, 100, 4)
+        assert np.array_equal(a, b)
+
+    def test_derive_seed_in_range(self):
+        seed = derive_seed(as_rng(0))
+        assert 0 <= seed < 2**31
+
+
+class TestUnits:
+    def test_fp16_is_two_bytes(self):
+        assert FP16_BYTES == 2
+
+    def test_bytes_per_second(self):
+        assert bytes_per_second(8) == pytest.approx(1e6)
+
+    def test_bytes_per_second_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bytes_per_second(-1)
+
+    def test_megabits_to_bytes(self):
+        assert megabits_to_bytes(8) == pytest.approx(1e6)
+
+    def test_ms_s_roundtrip(self):
+        assert s_to_ms(ms_to_s(123.0)) == pytest.approx(123.0)
+
+    def test_bytes_to_megabytes(self):
+        assert bytes_to_megabytes(2_000_000) == pytest.approx(2.0)
+
+    @given(st.floats(min_value=0.001, max_value=1e5))
+    def test_bandwidth_conversion_positive(self, mbps):
+        assert bytes_per_second(mbps) > 0
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive(3, "x") == 3
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(0, "x")
+
+    def test_check_non_negative_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0
+
+    def test_check_non_negative_rejects(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-0.1, "x")
+
+    def test_check_fraction_bounds(self):
+        assert check_fraction(0.0, "f") == 0.0
+        assert check_fraction(1.0, "f") == 1.0
+        with pytest.raises(ValueError):
+            check_fraction(1.5, "f")
+
+    def test_probability_vector_valid(self):
+        out = check_probability_vector([0.25, 0.75], "p")
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_probability_vector_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([-0.5, 1.5], "p")
+
+    def test_probability_vector_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([0.3, 0.3], "p")
+
+    def test_probability_vector_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([[0.5, 0.5]], "p")
+
+    def test_monotone_accepts_sorted(self):
+        check_monotone_non_decreasing([1, 2, 2, 5], "m")
+
+    def test_monotone_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            check_monotone_non_decreasing([3, 1], "m")
