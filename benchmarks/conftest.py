@@ -26,6 +26,17 @@ EPISODES_LARGE = int(os.environ.get("REPRO_BENCH_EPISODES_LARGE", "40"))
 RANDOM_SPLITS = int(os.environ.get("REPRO_BENCH_RANDOM_SPLITS", "20"))
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the ``bench`` marker.
+
+    Tier-1 (`pytest` from the repository root) collects only ``tests/`` via
+    the ``testpaths`` setting in pyproject.toml; benchmarks run opt-in with
+    ``pytest benchmarks`` (optionally ``-m bench`` elsewhere).
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def run_once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

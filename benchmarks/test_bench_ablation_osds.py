@@ -11,7 +11,6 @@ partition scheme and with the same episode budget:
 
 from __future__ import annotations
 
-import numpy as np
 
 from benchmarks.conftest import EPISODES, run_once
 from repro.core.distredge import DistrEdge, DistrEdgeConfig

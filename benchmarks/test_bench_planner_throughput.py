@@ -1,0 +1,103 @@
+"""Planner-throughput benchmark: plans evaluated per second, single vs batch.
+
+The planner stack's quality is bounded by how many candidate plans the
+DDPG/LC-PSS/OSDS search can afford to score, so this benchmark gates the
+repository's hottest path: it times a 64-plan batch through the per-plan
+:class:`PlanEvaluator` and through :class:`BatchPlanEvaluator`'s vectorised
+engine, asserts the batch path is at least 5x faster, and records the
+numbers in ``BENCH_planner.json`` so CI can track regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.devices.specs import make_cluster
+from repro.network.topology import NetworkModel
+from repro.nn import model_zoo
+from repro.nn.splitting import SplitDecision
+from repro.runtime.batch import BatchPlanEvaluator
+from repro.runtime.evaluator import PlanEvaluator
+from repro.runtime.plan import DistributionPlan
+from repro.utils.rng import as_rng
+
+BATCH_SIZE = 64
+ROUNDS = 5
+MIN_SPEEDUP = 5.0
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_planner.json"
+
+
+def _make_plans():
+    model = model_zoo.vgg16()
+    devices = make_cluster([("xavier", 300), ("tx2", 200), ("nano", 100), ("pi3", 50)])
+    network = NetworkModel.constant_from_devices(devices)
+    boundaries = [0, 4, 9, model.num_spatial_layers]
+    volumes = model.partition(boundaries)
+    rng = as_rng(17)
+    plans = []
+    for _ in range(BATCH_SIZE):
+        decisions = []
+        for volume in volumes:
+            fractions = rng.random(len(devices))
+            if rng.random() < 0.3:
+                fractions[int(rng.integers(len(devices)))] = 0.0
+            decisions.append(SplitDecision.from_fractions(fractions, volume.output_height))
+        plans.append(DistributionPlan(model, devices, boundaries, decisions))
+    return devices, network, plans
+
+
+def _best_of(fn, rounds=ROUNDS):
+    elapsed = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        elapsed.append(time.perf_counter() - start)
+    return min(elapsed)
+
+
+def test_bench_planner_throughput(benchmark):
+    devices, network, plans = _make_plans()
+
+    # Per-plan path: the pre-batching behaviour (memoization disabled so the
+    # comparison measures the evaluator itself, not cache warm-up effects).
+    def run_single():
+        evaluator = PlanEvaluator(devices, network, memoize_compute=False)
+        for plan in plans:
+            evaluator.evaluate(plan)
+
+    # Batch path, cold: fresh evaluator per round so the LRU cannot help.
+    def run_batch_cold():
+        BatchPlanEvaluator(devices, network).evaluate_plans(plans)
+
+    t_single = _best_of(run_single)
+    t_batch = _best_of(run_batch_cold)
+
+    # Cached path: steady-state re-evaluation (LC-PSS re-voting, replay
+    # buffer re-scoring) is pure cache traffic.
+    warm = BatchPlanEvaluator(devices, network)
+    warm.evaluate_plans(plans)
+    t_cached = _best_of(lambda: warm.evaluate_plans(plans))
+
+    speedup = t_single / t_batch
+    rows = {
+        "batch_size": BATCH_SIZE,
+        "model": "vgg16",
+        "cluster": [f"{d.type_name}@{d.bandwidth_mbps:g}" for d in devices],
+        "single_plans_per_s": BATCH_SIZE / t_single,
+        "batch_plans_per_s": BATCH_SIZE / t_batch,
+        "cached_plans_per_s": BATCH_SIZE / t_cached,
+        "speedup_batch_over_single": speedup,
+        "speedup_cached_over_single": t_single / t_cached,
+        "min_speedup_gate": MIN_SPEEDUP,
+    }
+    BENCH_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    print(f"\nBENCH_planner: {json.dumps(rows, indent=2)}")
+
+    benchmark.pedantic(run_batch_cold, rounds=1, iterations=1, warmup_rounds=0)
+    assert speedup >= MIN_SPEEDUP, (
+        f"batch evaluation speedup regressed: {speedup:.2f}x < {MIN_SPEEDUP}x "
+        f"(single {t_single * 1000:.2f} ms, batch {t_batch * 1000:.2f} ms per "
+        f"{BATCH_SIZE}-plan batch)"
+    )

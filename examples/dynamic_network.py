@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import argparse
 
-import numpy as np
 
 from repro.experiments import ExperimentHarness, HarnessConfig
 from repro.experiments.figures import figure13

@@ -54,6 +54,7 @@ from repro.devices import (
 )
 from repro.network import BandwidthTrace, Link, NetworkModel
 from repro.runtime import (
+    BatchPlanEvaluator,
     DistributionPlan,
     PlanEvaluator,
     StreamingSimulator,
@@ -85,6 +86,7 @@ __all__ = [
     # runtime
     "DistributionPlan",
     "PlanEvaluator",
+    "BatchPlanEvaluator",
     "StreamingSimulator",
     # core
     "DistrEdge",

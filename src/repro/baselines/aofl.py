@@ -22,7 +22,6 @@ from __future__ import annotations
 import itertools
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.baselines.base import BaselinePlanner, capability_vector, pool_boundaries
 from repro.baselines.linear_model import LinearLatencyModel

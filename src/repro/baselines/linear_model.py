@@ -17,7 +17,7 @@ baselines' assumptions are what DistrEdge relaxes).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

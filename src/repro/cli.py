@@ -32,14 +32,14 @@ from typing import List, Optional, Sequence
 from repro.baselines import BASELINE_REGISTRY
 from repro.core.distredge import DistrEdge, DistrEdgeConfig
 from repro.core.osds import OSDSConfig
-from repro.devices.specs import DeviceInstance, make_cluster
+from repro.devices.specs import make_cluster
 from repro.experiments.harness import ALL_METHODS, ExperimentHarness, HarnessConfig
 from repro.experiments.reporting import format_ips_table
 from repro.experiments.scenarios import ScenarioCatalog
 from repro.network.topology import NetworkModel
 from repro.nn import model_zoo
 from repro.runtime.evaluator import PlanEvaluator
-from repro.runtime.serialization import evaluation_to_dict, load_plan, save_plan
+from repro.runtime.serialization import evaluation_to_dict, save_plan
 
 
 def _parse_device_specs(specs: Sequence[str]) -> List[tuple]:

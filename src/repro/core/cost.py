@@ -22,13 +22,14 @@ where ``alpha`` ranges over [0, 1] and 0.75 works best.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.nn.graph import ModelSpec
 from repro.nn.splitting import SplitDecision, split_volume
-from repro.runtime.plan import redistribution_bytes, scatter_bytes
+from repro.runtime.plan import redistribution_bytes
+from repro.utils.cache import LRUCache
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.units import FP16_BYTES
 from repro.utils.validation import check_fraction
@@ -90,6 +91,14 @@ class PartitionCostModel:
         notion; see :class:`repro.runtime.evaluator.PlanEvaluator`).
     seed:
         Seed for the random split decisions.
+    cache_size:
+        Capacity of the mean-score LRU cache.  The random split set ``Rr_s``
+        is a pure function of ``seed``, so the mean ``Cp`` of a partition
+        scheme is deterministic per (boundaries, alpha) — LC-PSS re-scores
+        the incumbent partition inside every refinement pass, and without
+        the cache each of those re-scores re-votes all ``|Rr_s|`` samples
+        from scratch.  Cached values are the identical floats a recompute
+        would produce.
     """
 
     def __init__(
@@ -99,6 +108,7 @@ class PartitionCostModel:
         num_random_splits: int = 100,
         input_bytes_per_element: float = 0.4,
         seed: SeedLike = 0,
+        cache_size: int = 4096,
     ) -> None:
         if num_devices < 1:
             raise ValueError(f"num_devices must be >= 1, got {num_devices}")
@@ -114,6 +124,8 @@ class PartitionCostModel:
         self._ops_norm = float(max(model.backbone_macs, 1))
         activation_bytes = model.input_bytes + sum(l.output_bytes for l in model.spatial_layers)
         self._bytes_norm = float(max(activation_bytes, 1))
+        self._score_cache = LRUCache(cache_size)
+        self._volume_cache: dict = {}
 
     # ------------------------------------------------------------------ #
     def _fresh_rng(self) -> np.random.Generator:
@@ -122,13 +134,26 @@ class PartitionCostModel:
         # matching the paper where Rr_s is drawn once.
         return as_rng(self.seed)
 
+    def _volumes_for(self, boundaries: Sequence[int]) -> list:
+        """Partition the model, caching the volume list per boundary tuple."""
+        key = tuple(int(b) for b in boundaries)
+        volumes = self._volume_cache.get(key)
+        if volumes is None:
+            volumes = self.model.partition(list(key))
+            self._volume_cache[key] = volumes
+        return volumes
+
+    def cache_info(self) -> dict:
+        """Hit/miss counters of the mean-score cache."""
+        return self._score_cache.info()
+
     def sample_cost(
         self,
         boundaries: Sequence[int],
         decisions_per_volume: Sequence[SplitDecision],
     ) -> PartitionCost:
         """Cost of one concrete (partition, split decisions) combination."""
-        volumes = self.model.partition(boundaries)
+        volumes = self._volumes_for(boundaries)
         if len(volumes) != len(decisions_per_volume):
             raise ValueError(
                 f"{len(volumes)} volumes but {len(decisions_per_volume)} split decisions"
@@ -166,10 +191,19 @@ class PartitionCostModel:
         )
 
     def mean_score(self, boundaries: Sequence[int], alpha: float) -> float:
-        """Average ``Cp`` over ``|Rr_s|`` random split decisions (Eq. 4)."""
+        """Average ``Cp`` over ``|Rr_s|`` random split decisions (Eq. 4).
+
+        Results are memoized per (boundaries, alpha): the random split set is
+        re-drawn from the same seed on every call, so a recompute could only
+        ever return the identical value.
+        """
         check_fraction(alpha, "alpha")
+        key = (tuple(int(b) for b in boundaries), float(alpha))
+        cached = self._score_cache.get(key)
+        if cached is not None:
+            return cached
         rng = self._fresh_rng()
-        volumes = self.model.partition(boundaries)
+        volumes = self._volumes_for(boundaries)
         total = 0.0
         for _ in range(self.num_random_splits):
             decisions = [
@@ -177,7 +211,9 @@ class PartitionCostModel:
                 for v in volumes
             ]
             total += self.sample_cost(boundaries, decisions).score(alpha)
-        return total / self.num_random_splits
+        score = total / self.num_random_splits
+        self._score_cache.put(key, score)
+        return score
 
 
 def partition_score(

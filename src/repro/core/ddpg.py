@@ -14,8 +14,8 @@ with sigma^2 = 0.1, actor hidden layers {400, 200, 100}, critic hidden layers
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -102,6 +102,33 @@ class DDPGAgent:
         if noise and self.config.noise_sigma > 0:
             action = action + self._rng.normal(0.0, self.config.noise_sigma, size=action.shape)
         return np.clip(action, -1.0, 1.0).astype(np.float32)
+
+    def act_batch(self, states: np.ndarray, noise: Optional[np.ndarray] = None) -> np.ndarray:
+        """Policy output for a whole batch of states in one forward pass.
+
+        This is the batch-path counterpart of :meth:`act`: the online
+        controller rolls several candidate episodes in lockstep and queries
+        the actor once per step instead of once per candidate.  ``noise``
+        (optional, same shape as the output) is *pre-drawn* exploration noise
+        added before clipping; passing it explicitly keeps the caller in
+        charge of the RNG draw order, which :meth:`act`'s internal draws
+        would otherwise entangle with the batching layout.
+        """
+        actions = self.actor.forward(np.atleast_2d(np.asarray(states, dtype=np.float32)))
+        if noise is not None:
+            actions = actions + noise
+        return np.clip(actions, -1.0, 1.0).astype(np.float32)
+
+    def draw_noise(self) -> np.ndarray:
+        """One exploration-noise sample (the same draw :meth:`act` performs).
+
+        Mirrors :meth:`act`'s gate exactly: with ``noise_sigma == 0`` no RNG
+        state is consumed, so callers pre-drawing noise do not shift the
+        agent's random stream relative to the sequential ``act`` path.
+        """
+        if self.config.noise_sigma <= 0:
+            return np.zeros(self.action_dim)
+        return self._rng.normal(0.0, self.config.noise_sigma, size=self.action_dim)
 
     def random_action(self) -> np.ndarray:
         """Uniform random action in [-1, 1] (pure exploration)."""

@@ -30,6 +30,7 @@ from repro.devices.specs import DeviceInstance
 from repro.network.topology import NetworkModel
 from repro.nn.graph import ModelSpec
 from repro.nn.splitting import SplitDecision
+from repro.runtime.batch import BatchPlanEvaluator
 from repro.runtime.evaluator import PlanEvaluator
 from repro.runtime.oracles import GroundTruthComputeOracle, ProfileComputeOracle
 from repro.runtime.plan import DistributionPlan
@@ -83,12 +84,16 @@ class DistrEdge:
         devices: Sequence[DeviceInstance],
         network: NetworkModel,
         profiles: Optional[Sequence[LatencyProfile]],
-    ) -> PlanEvaluator:
+    ) -> BatchPlanEvaluator:
+        # The batch evaluator is a drop-in PlanEvaluator: the splitting MDP
+        # steps through it volume-by-volume while whole-plan evaluations
+        # (heuristic seeds, offload scale, OSDS seed warm-up) take the
+        # vectorised, cached path.
         if profiles is None:
             oracle = GroundTruthComputeOracle(devices)
         else:
             oracle = ProfileComputeOracle(devices, profiles)
-        return PlanEvaluator(
+        return BatchPlanEvaluator(
             devices,
             network,
             compute_oracle=oracle,
@@ -114,14 +119,18 @@ class DistrEdge:
         seeds: List[List[np.ndarray]] = []
 
         # Seed 1: everything on the single device with the lowest offload
-        # latency (the Offload corner of the search space).
-        best_idx, best_latency = 0, float("inf")
-        for idx in range(num_devices):
-            latency = evaluator.evaluate(
-                DistributionPlan.single_device(model, devices, idx)
-            ).end_to_end_ms
-            if latency < best_latency:
-                best_idx, best_latency = idx, latency
+        # latency (the Offload corner of the search space).  All offload
+        # candidates are evaluated as one batch (a cache hit when the
+        # splitting MDP already computed its latency scale from them).
+        offload_plans = [
+            DistributionPlan.single_device(model, devices, idx) for idx in range(num_devices)
+        ]
+        if hasattr(evaluator, "evaluate_plans"):
+            offload_results = evaluator.evaluate_plans(offload_plans)
+        else:
+            offload_results = [evaluator.evaluate(plan) for plan in offload_plans]
+        offload_latencies = [r.end_to_end_ms for r in offload_results]
+        best_idx = min(range(num_devices), key=offload_latencies.__getitem__)
         single: List[np.ndarray] = []
         for volume in volumes:
             h = volume.output_height

@@ -28,12 +28,13 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.core.distredge import DistrEdge, DistrEdgeConfig
-from repro.core.mdp import SplitMDP
+from repro.core.mdp import SplitMDP, map_action_to_cuts
 from repro.core.osds import OSDS, OSDSConfig
 from repro.devices.specs import DeviceInstance
 from repro.network.topology import NetworkModel
 from repro.nn.graph import ModelSpec
-from repro.runtime.evaluator import PlanEvaluator
+from repro.nn.splitting import SplitDecision
+from repro.runtime.batch import BatchPlanEvaluator
 from repro.runtime.plan import DistributionPlan
 
 PlannerFn = Callable[[float], DistributionPlan]
@@ -138,7 +139,10 @@ class OnlineDistrEdgeController:
     decision_log: List[float] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        self._evaluator = PlanEvaluator(
+        # Batch path: candidate split decisions are scored in one vectorised
+        # call per refresh, and re-considering the plan currently in service
+        # is a cache hit whenever the network state has not changed.
+        self._evaluator = BatchPlanEvaluator(
             self.devices,
             self.network,
             input_bytes_per_element=self.distredge.config.input_bytes_per_element,
@@ -183,9 +187,35 @@ class OnlineDistrEdgeController:
         so an imperfectly trained actor can never degrade the deployment.
         This whole step costs milliseconds — the point of contrast with
         AOFL's brute-force re-planning (Section V-F).
+
+        All candidate scoring routes through the batch path: the actor
+        rollouts advance in lockstep (one batched policy forward per volume
+        for all attempts, with exploration noise pre-drawn in the same order
+        the sequential rollouts used), and the closed-form candidates plus
+        the incumbent plan are evaluated in a single vectorised call.
+
+        Note: unlike the OSDS training loop (which stays bit-identical
+        through the batch path), the batched actor forward is a different
+        BLAS call shape than per-candidate ``act`` and may round an action
+        component by an ulp, occasionally flipping which candidate wins a
+        refresh.  This is safe by construction — a candidate only replaces
+        the incumbent when it evaluates strictly better under the current
+        conditions — and plan *evaluation* itself remains exact.
         """
         assert self._osds is not None and self._boundaries is not None
-        env = SplitMDP(self.model, self._boundaries, self.devices, self._evaluator)
+        agent = self._osds.agent
+        num_attempts = 4
+        envs = [
+            SplitMDP(self.model, self._boundaries, self.devices, self._evaluator)
+            for _ in range(num_attempts)
+        ]
+        num_volumes = envs[0].num_volumes
+        # Pre-draw exploration noise attempt-major (attempt 0 is greedy).
+        noise = np.zeros((num_volumes, num_attempts, agent.action_dim))
+        for attempt in range(1, num_attempts):
+            for step in range(num_volumes):
+                noise[step, attempt] = agent.draw_noise()
+
         best_latency = None
         plan = None
 
@@ -195,32 +225,42 @@ class OnlineDistrEdgeController:
                 best_latency = latency
                 plan = candidate
 
-        # Actor rollouts (greedy + exploratory).
-        for attempt in range(4):
-            obs = env.reset(t_seconds=t_seconds)
-            for _ in range(env.num_volumes):
-                action = self._osds.agent.act(obs, noise=attempt > 0)
-                obs, _, done, info = env.step(action)
+        # Actor rollouts (greedy + exploratory), advanced in lockstep.
+        obs = np.stack([env.reset(t_seconds=t_seconds) for env in envs])
+        for step in range(num_volumes):
+            actions = agent.act_batch(obs, noise=noise[step])
+            for attempt, env in enumerate(envs):
+                next_obs, _, done, info = env.step(actions[attempt])
+                obs[attempt] = next_obs
                 if done:
                     consider(info["end_to_end_ms"], info["plan"])
-        # Closed-form candidates under the current conditions.
+
+        # Closed-form candidates under the current conditions, scored
+        # together with the plan currently in service in one batched call.
+        volumes = envs[0].volumes
+        seed_plans = []
         for seed_actions in self.distredge._heuristic_seeds(
             self.model, self._boundaries, self.devices, self._evaluator
         ):
-            env.reset(t_seconds=t_seconds)
-            latency = None
-            for action in seed_actions:
-                _, _, done, info = env.step(np.asarray(action))
-                if done:
-                    latency = info["end_to_end_ms"]
-                    candidate = info["plan"]
-            if latency is not None:
-                consider(latency, candidate)
+            decisions = [
+                SplitDecision(
+                    cuts=map_action_to_cuts(np.asarray(action), volume.output_height),
+                    output_height=volume.output_height,
+                )
+                for action, volume in zip(seed_actions, volumes)
+            ]
+            seed_plans.append(envs[0].build_plan(decisions))
+        batch = list(seed_plans)
+        if current_plan is not None:
+            batch.append(current_plan)
+        results = self._evaluator.evaluate_plans(batch, t_seconds=t_seconds)
+        for candidate, result in zip(seed_plans, results):
+            consider(result.end_to_end_ms, candidate)
         self.decision_log.append(t_seconds)
         if plan is None:
             return None
         if current_plan is not None:
-            current_latency = self._evaluator.evaluate(current_plan, t_seconds=t_seconds).end_to_end_ms
+            current_latency = results[-1].end_to_end_ms
             if current_latency <= best_latency:
                 return None
         return plan

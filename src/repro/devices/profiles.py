@@ -22,9 +22,8 @@ CoEdge / AOFL use when computing their split ratios.
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 

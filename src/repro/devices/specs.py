@@ -19,8 +19,8 @@ measurements of real boards; EXPERIMENTS.md discusses how they were chosen.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from repro.utils.validation import check_non_negative, check_positive
 

@@ -10,23 +10,19 @@ controls the fidelity/runtime trade-off.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.baselines import AOFLPlanner, CoEdgePlanner
 from repro.core.distredge import DistrEdge
 from repro.core.online import OnlineDistrEdgeController, PeriodicReplanController
-from repro.core.partitioner import LCPSS
-from repro.core.mdp import SplitMDP
-from repro.core.osds import OSDS
 from repro.devices.latency_model import ComputeLatencyModel
 from repro.devices.specs import get_device_type
 from repro.experiments.harness import ALL_METHODS, ExperimentHarness
 from repro.experiments.scenarios import Scenario, ScenarioCatalog
 from repro.network.bandwidth import DynamicTrace, WiFiTrace
 from repro.nn import model_zoo
-from repro.runtime.evaluator import PlanEvaluator
 from repro.runtime.streaming import StreamingSimulator
 
 #: The seven extra models of Figs. 10-11 (VGG-16 is covered by Figs. 5-9).
@@ -97,7 +93,6 @@ def figure5(
             "c-hetero-network": ScenarioCatalog.table2_groups("nano")["NA"],
             "d-large-scale": ScenarioCatalog.table3_groups()["LD"],
         }
-    model = harness.model(model_name)
     results: Dict[str, Dict[float, float]] = {}
     base_alpha = harness.config.alpha
     for env_name, scenario in environments.items():

@@ -9,7 +9,7 @@ network model so harness code never hand-assembles clusters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.devices.specs import DeviceInstance, make_cluster

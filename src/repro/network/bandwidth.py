@@ -16,8 +16,7 @@ runtime observe identical conditions across repeated runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -12,10 +12,10 @@ provider list; the requester is the sentinel :data:`REQUESTER`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence
 
 from repro.devices.specs import DeviceInstance
-from repro.network.bandwidth import BandwidthTrace, ConstantTrace, make_trace
+from repro.network.bandwidth import ConstantTrace, make_trace
 from repro.network.link import Link, TransmissionModel
 from repro.utils.rng import SeedLike, as_rng, spawn_rng
 

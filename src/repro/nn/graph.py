@@ -16,7 +16,7 @@ by :class:`LayerVolume`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.nn.layers import (
     ConvSpec,

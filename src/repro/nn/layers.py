@@ -14,9 +14,8 @@ batch size 1).
 from __future__ import annotations
 
 import dataclasses
-import math
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from repro.utils.units import FP16_BYTES
 from repro.utils.validation import check_non_negative, check_positive

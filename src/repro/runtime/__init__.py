@@ -14,6 +14,9 @@ all traffic flows through a WiFi router.
 * :mod:`repro.runtime.evaluator` — the single-image end-to-end latency
   evaluator with per-volume accumulated latencies and compute/transmission
   breakdowns.
+* :mod:`repro.runtime.batch` — the batched evaluation engine: vectorised
+  scheduling of many plans at once plus the LRU evaluation cache every
+  planner routes through.
 * :mod:`repro.runtime.streaming` — the image-stream simulator producing the
   paper's IPS metric and per-image latency series over a bandwidth trace.
 """
@@ -26,6 +29,8 @@ from repro.runtime.plan import (
 )
 from repro.runtime.lanes import Lane, LaneSet
 from repro.runtime.evaluator import EvaluationResult, PlanEvaluator, VolumeTiming
+from repro.runtime.batch import BatchPlanEvaluator, network_state_signature, plan_signature
+from repro.runtime.oracles import MemoizedComputeOracle
 from repro.runtime.streaming import StreamingResult, StreamingSimulator
 
 __all__ = [
@@ -36,6 +41,10 @@ __all__ = [
     "Lane",
     "LaneSet",
     "PlanEvaluator",
+    "BatchPlanEvaluator",
+    "MemoizedComputeOracle",
+    "network_state_signature",
+    "plan_signature",
     "EvaluationResult",
     "VolumeTiming",
     "StreamingSimulator",

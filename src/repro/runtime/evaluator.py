@@ -30,7 +30,7 @@ from repro.devices.specs import DeviceInstance
 from repro.network.topology import REQUESTER, NetworkModel
 from repro.nn.splitting import SplitPart
 from repro.runtime.lanes import LaneSet
-from repro.runtime.oracles import ComputeOracle, GroundTruthComputeOracle
+from repro.runtime.oracles import ComputeOracle, GroundTruthComputeOracle, MemoizedComputeOracle
 from repro.runtime.plan import DistributionPlan, VolumeAssignment, redistribution_bytes
 from repro.utils.units import FP16_BYTES
 
@@ -62,8 +62,20 @@ class EvaluationResult:
 
     @property
     def ips(self) -> float:
-        """Images per second under the paper's one-image-in-flight protocol."""
-        return 1000.0 / self.end_to_end_ms if self.end_to_end_ms > 0 else float("inf")
+        """Images per second under the paper's one-image-in-flight protocol.
+
+        Raises :class:`ValueError` on a non-positive latency: every real
+        inference pays at least the scatter and compute time, so a zero or
+        negative ``end_to_end_ms`` always indicates a corrupted result, and
+        silently returning ``inf`` (the old behaviour) poisoned downstream
+        aggregations like mean IPS and speedup-over-baseline ratios.
+        """
+        if self.end_to_end_ms <= 0:
+            raise ValueError(
+                f"cannot compute IPS from non-positive end_to_end_ms={self.end_to_end_ms!r}; "
+                "the evaluation result is corrupt"
+            )
+        return 1000.0 / self.end_to_end_ms
 
     @property
     def accumulated_latencies(self) -> List[np.ndarray]:
@@ -115,6 +127,11 @@ class PlanEvaluator:
         0.4 bytes per element corresponds to a ~60 KB JPEG for a 224x224 RGB
         frame.  Set to 1.0 for raw uint8 pixels or 2.0 for raw FP16 input.
         All inter-volume activation traffic stays FP16.
+    memoize_compute:
+        Wrap the compute oracle in a :class:`MemoizedComputeOracle` so that
+        identical (volume, split) samples are never re-computed.  Memoization
+        is behaviour-preserving (a hit returns the identical float) and is on
+        by default; pass ``False`` to measure raw evaluator cost.
     """
 
     #: Default encoded-image size per input element (JPEG-compressed frames).
@@ -126,6 +143,7 @@ class PlanEvaluator:
         network: NetworkModel,
         compute_oracle: Optional[ComputeOracle] = None,
         input_bytes_per_element: float = DEFAULT_INPUT_BYTES_PER_ELEMENT,
+        memoize_compute: bool = True,
     ) -> None:
         if network.num_providers != len(devices):
             raise ValueError(
@@ -137,7 +155,10 @@ class PlanEvaluator:
             )
         self.devices = list(devices)
         self.network = network
-        self.oracle: ComputeOracle = compute_oracle or GroundTruthComputeOracle(devices)
+        oracle: ComputeOracle = compute_oracle or GroundTruthComputeOracle(devices)
+        if memoize_compute and not isinstance(oracle, MemoizedComputeOracle):
+            oracle = MemoizedComputeOracle(oracle)
+        self.oracle = oracle
         self.input_bytes_per_element = float(input_bytes_per_element)
 
     # ------------------------------------------------------------------ #

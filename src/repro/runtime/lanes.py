@@ -16,7 +16,7 @@ work on different devices proceeds in parallel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Tuple
 
 

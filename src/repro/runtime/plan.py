@@ -10,7 +10,7 @@ split-correctness checks, which keeps every method comparable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.devices.specs import DeviceInstance

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Optional, Union
 
 from repro.devices.specs import DeviceInstance, get_device_type
 from repro.nn import model_zoo

@@ -17,11 +17,11 @@ experiment (Fig. 13), where CoEdge/AOFL/DistrEdge re-plan online.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional
 
 import numpy as np
 
-from repro.runtime.evaluator import EvaluationResult, PlanEvaluator
+from repro.runtime.evaluator import PlanEvaluator
 from repro.runtime.plan import DistributionPlan
 
 #: Adaptation hook signature: called before each image with

@@ -1,0 +1,77 @@
+"""A small LRU cache with hit/miss accounting.
+
+Used by the batched evaluation engine (plan-level results), the memoized
+compute oracle (per-part latencies) and the partition cost model (mean ``Cp``
+scores).  ``functools.lru_cache`` is deliberately not used: the caches here
+are per-instance (two evaluators must not share entries), need explicit
+``seed``-style insertion from the vectorised batch path, and expose their
+hit/miss counters so tests and benchmarks can assert that re-voting /
+re-evaluation was actually eliminated.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    Keys must be hashable.  ``get`` refreshes recency; ``put`` inserts or
+    refreshes and evicts the oldest entry beyond ``maxsize``.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: Optional[Any] = None) -> Optional[Any]:
+        """Look up ``key``, refreshing its recency; counts a hit or a miss."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def peek(self, key: Hashable, default: Optional[Any] = None) -> Optional[Any]:
+        """Look up ``key`` without touching recency or the counters."""
+        return self._data.get(key, default)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh an entry, evicting the oldest beyond capacity."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> Dict[str, int]:
+        """Counters snapshot: ``{"size", "maxsize", "hits", "misses"}``."""
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+__all__ = ["LRUCache"]

@@ -104,7 +104,6 @@ class TestLayerByLayerBaselines:
     def test_modnn_split_follows_capability(self, model, cluster, network):
         plan = MoDNNPlanner().plan(model, cluster, network)
         rows = np.array(plan.assignment(0).decision.rows_per_device(), dtype=float)
-        caps = capability_vector(model, cluster)
         # Shares ordered like capabilities (xavier most, pi3 least).
         assert rows[0] >= rows[1] >= rows[2] >= rows[3]
         assert rows[0] > 0

@@ -7,7 +7,6 @@ settings are exercised by the benchmark harness instead.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import settings
 

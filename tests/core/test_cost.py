@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.cost import PartitionCostModel, partition_score, random_split_decisions
@@ -109,3 +108,29 @@ class TestMeanScore:
             PartitionCostModel(model, 0)
         with pytest.raises(ValueError):
             PartitionCostModel(model, 2, num_random_splits=0)
+
+
+class TestScoreCache:
+    """The mean-Cp memo eliminates LC-PSS re-voting without moving a bit."""
+
+    def test_second_call_is_a_hit_with_identical_value(self, model):
+        cm = PartitionCostModel(model, 3, num_random_splits=6, seed=2)
+        first = cm.mean_score([0, 6, 12], 0.75)
+        assert cm.cache_info()["misses"] == 1
+        second = cm.mean_score([0, 6, 12], 0.75)
+        assert cm.cache_info()["hits"] == 1
+        assert second == first  # bit-identical, not just approximately equal
+
+    def test_key_distinguishes_boundaries_and_alpha(self, model):
+        cm = PartitionCostModel(model, 3, num_random_splits=6, seed=2)
+        cm.mean_score([0, 6, 12], 0.75)
+        cm.mean_score([0, 4, 12], 0.75)
+        cm.mean_score([0, 6, 12], 0.5)
+        assert cm.cache_info()["misses"] == 3
+        assert cm.cache_info()["hits"] == 0
+
+    def test_cached_value_matches_uncached_model(self, model):
+        cached = PartitionCostModel(model, 3, num_random_splits=6, seed=2)
+        cached.mean_score([0, 6, 12], 0.75)  # warm the cache
+        fresh = PartitionCostModel(model, 3, num_random_splits=6, seed=2)
+        assert cached.mean_score([0, 6, 12], 0.75) == fresh.mean_score([0, 6, 12], 0.75)

@@ -51,6 +51,30 @@ class TestAgent:
         assert action.shape == (2,)
         assert np.all(np.abs(action) <= 1.0)
 
+    def test_act_batch_matches_single_state(self, agent):
+        states = np.random.default_rng(1).normal(size=(3, 4)).astype(np.float32)
+        batched = agent.act_batch(states)
+        assert batched.shape == (3, 2)
+        assert np.all(np.abs(batched) <= 1.0)
+        # A batch of one is exactly the deterministic act() path.
+        np.testing.assert_array_equal(agent.act_batch(states[:1])[0], agent.act(states[0]))
+
+    def test_act_batch_applies_predrawn_noise(self, agent):
+        states = np.zeros((2, 4), dtype=np.float32)
+        noise = np.array([[0.0, 0.0], [5.0, -5.0]])
+        actions = agent.act_batch(states, noise=noise)
+        np.testing.assert_array_equal(actions[1], np.array([1.0, -1.0], dtype=np.float32))
+
+    def test_draw_noise_skips_rng_when_sigma_zero(self, fast_ddpg_config):
+        from dataclasses import replace
+
+        quiet = DDPGAgent(4, 2, replace(fast_ddpg_config, noise_sigma=0.0), seed=5)
+        before = quiet._rng.bit_generator.state["state"]["state"]
+        noise = quiet.draw_noise()
+        np.testing.assert_array_equal(noise, np.zeros(2))
+        # Same gate as act(): sigma == 0 must not consume RNG state.
+        assert quiet._rng.bit_generator.state["state"]["state"] == before
+
     def test_update_requires_warmup(self, agent):
         assert agent.update() is None
 

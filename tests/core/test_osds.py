@@ -87,3 +87,34 @@ class TestRun:
         osds = OSDS(env, fast_osds_config)
         osds.run(train=False)
         assert osds.agent.updates == 0
+
+
+class TestBatchPathRouting:
+    """Routing OSDS through the batch evaluator must not move a single bit."""
+
+    def test_bit_identical_through_batch_evaluator(
+        self, small_model, duo_cluster, duo_network, fast_ddpg_config
+    ):
+        from repro.runtime.batch import BatchPlanEvaluator
+        from repro.runtime.evaluator import PlanEvaluator
+
+        boundaries = [0, 4, 8, small_model.num_spatial_layers]
+        seed_actions = [
+            [np.array([1.0], dtype=np.float32)] * len(boundaries[:-1]),
+            [np.array([0.0], dtype=np.float32)] * len(boundaries[:-1]),
+        ]
+
+        def run_with(evaluator):
+            env = SplitMDP(small_model, boundaries, duo_cluster, evaluator)
+            cfg = OSDSConfig(max_episodes=6, ddpg=fast_ddpg_config, seed=3)
+            return OSDS(env, cfg).run(initial_decisions=seed_actions)
+
+        plain = run_with(PlanEvaluator(duo_cluster, duo_network, memoize_compute=False))
+        batched = run_with(BatchPlanEvaluator(duo_cluster, duo_network))
+        assert batched.best_latency_ms == plain.best_latency_ms
+        assert np.array_equal(batched.episode_latencies_ms, plain.episode_latencies_ms)
+        assert [d.cuts for d in batched.best_decisions] == [
+            d.cuts for d in plain.best_decisions
+        ]
+        for p, q in zip(plain.agent.actor.parameters(), batched.agent.actor.parameters()):
+            assert np.array_equal(p, q)

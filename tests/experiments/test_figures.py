@@ -8,7 +8,7 @@ import pytest
 from repro.experiments import figures
 from repro.experiments.harness import ExperimentHarness, HarnessConfig
 from repro.experiments.reporting import format_ips_table, format_series, speedup_summary
-from repro.experiments.scenarios import Scenario, ScenarioCatalog
+from repro.experiments.scenarios import Scenario
 
 
 @pytest.fixture()

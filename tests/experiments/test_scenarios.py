@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.experiments.scenarios import Scenario, ScenarioCatalog
+from repro.experiments.scenarios import ScenarioCatalog
 from repro.network.topology import NetworkModel
 
 

@@ -13,7 +13,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.nn import model_zoo
 from repro.nn.execution import ModelExecutor, SplitExecutor
 from repro.nn.splitting import SplitDecision
 

@@ -10,7 +10,7 @@ from repro.devices.specs import make_cluster
 from repro.network.topology import NetworkModel
 from repro.nn import model_zoo
 from repro.nn.splitting import SplitDecision
-from repro.runtime.evaluator import PlanEvaluator
+from repro.runtime.evaluator import EvaluationResult, PlanEvaluator
 from repro.runtime.plan import DistributionPlan
 
 
@@ -174,3 +174,31 @@ class TestDistributedPlans:
         plan = plan_with(model, hetero_cluster, [0, 12], [1, 1, 1, 1])
         with pytest.raises(ValueError):
             evaluator.finalize(evaluator.new_state(), plan)
+
+
+class TestIpsGuard:
+    """Regression: ``ips`` used to return ``inf`` for non-positive latency."""
+
+    @staticmethod
+    def _result_with_latency(latency_ms):
+        return EvaluationResult(
+            end_to_end_ms=latency_ms,
+            volume_timings=[],
+            per_device_compute_ms=np.zeros(2),
+            per_device_send_ms=np.zeros(2),
+            per_device_recv_ms=np.zeros(2),
+            scatter_end_ms=0.0,
+            head_device=None,
+            head_compute_ms=0.0,
+        )
+
+    def test_zero_latency_raises(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            self._result_with_latency(0.0).ips
+
+    def test_negative_latency_raises(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            self._result_with_latency(-5.0).ips
+
+    def test_positive_latency_unchanged(self):
+        assert self._result_with_latency(250.0).ips == pytest.approx(4.0)
