@@ -13,14 +13,23 @@ Three subcommands cover the common workflows without writing Python:
     Run every method on one scenario from the paper's catalogue and print the
     IPS table (a single cell of Figs. 7-9).
 
+Clusters are given either as ad-hoc ``--devices`` specs or as ``--scenario``
+references — a catalogue name (``DB``, ``LA``...) or a procedural-generator
+spec like ``gen:n=32,seed=7,bw=50-300,types=mixed``.  ``--workers N`` shards
+``compare``'s plan-batch evaluation across ``N`` worker processes (see
+:class:`~repro.runtime.shard.ShardedPlanEvaluator`).
+
 Examples
 --------
 ::
 
     python -m repro.cli plan --model vgg16 --devices xavier:300 nano:300 \
         --method distredge --episodes 200 --output plan.json
+    python -m repro.cli plan --model vgg16 --scenario gen:n=32,seed=7 \
+        --method aofl
     python -m repro.cli evaluate plan.json --bandwidth 50
     python -m repro.cli compare --scenario DB --bandwidth 300 --episodes 150
+    python -m repro.cli compare --scenario gen:n=32,seed=7 --workers 4
 """
 
 from __future__ import annotations
@@ -32,10 +41,9 @@ from typing import List, Optional, Sequence
 from repro.baselines import BASELINE_REGISTRY
 from repro.core.distredge import DistrEdge, DistrEdgeConfig
 from repro.core.osds import OSDSConfig
-from repro.devices.specs import make_cluster
 from repro.experiments.harness import ALL_METHODS, ExperimentHarness, HarnessConfig
 from repro.experiments.reporting import format_ips_table
-from repro.experiments.scenarios import ScenarioCatalog
+from repro.experiments.scenarios import GENERATOR_PREFIX, Scenario, resolve_scenario
 from repro.network.topology import NetworkModel
 from repro.nn import model_zoo
 from repro.runtime.evaluator import PlanEvaluator
@@ -54,10 +62,51 @@ def _parse_device_specs(specs: Sequence[str]) -> List[tuple]:
     return out
 
 
+def _scenario_from_args(name: str, bandwidth: Optional[float]) -> Optional[Scenario]:
+    """Resolve a ``--scenario`` argument, applying ``--bandwidth`` if given.
+
+    Shared by ``plan`` and ``compare`` so a scenario name means the *same
+    fleet* in both commands (catalogue Table-I groups default to 200 Mbps;
+    reshape with ``--bandwidth``).  Prints an error and returns ``None`` on
+    failure.
+    """
+    if name.startswith(GENERATOR_PREFIX) and bandwidth is not None:
+        print(
+            "note: --bandwidth does not apply to gen: scenarios; "
+            "use the spec's bw= key (e.g. gen:n=8,bw=100)",
+            file=sys.stderr,
+        )
+    try:
+        scenario = resolve_scenario(name)
+    except KeyError as exc:
+        # str(KeyError) is the repr of its message; unwrap it.
+        print(exc.args[0], file=sys.stderr)
+        return None
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return None
+    if bandwidth is not None and not name.startswith(GENERATOR_PREFIX):
+        scenario = scenario.with_bandwidth(bandwidth)
+    return scenario
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     model = model_zoo.get(args.model)
-    devices = make_cluster(_parse_device_specs(args.devices))
-    network = NetworkModel.constant_from_devices(devices)
+    if args.scenario is not None:
+        scenario = _scenario_from_args(args.scenario, args.bandwidth)
+        if scenario is None:
+            return 2
+    else:
+        if args.bandwidth is not None:
+            print(
+                "note: --bandwidth only applies with --scenario; "
+                "give per-device rates as type:mbps specs",
+                file=sys.stderr,
+            )
+        scenario = Scenario.adhoc(_parse_device_specs(args.devices))
+    devices, network = scenario.build(seed=args.seed)
+    if scenario.name != "adhoc":
+        print(f"scenario: {scenario.name} ({scenario.num_devices} providers)")
     if args.method == "distredge":
         planner = DistrEdge(
             DistrEdgeConfig(
@@ -71,6 +120,10 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     else:
         plan = BASELINE_REGISTRY[args.method]().plan(model, devices, network)
     print(plan.describe())
+    if args.workers > 1:
+        # Sharding pays off on plan *batches*; a single plan is always
+        # evaluated in-process (see `compare --workers` for the batch path).
+        print(f"note: --workers {args.workers} has no effect on a single-plan evaluation")
     result = PlanEvaluator(devices, network).evaluate(plan)
     print(f"predicted latency: {result.end_to_end_ms:.1f} ms ({result.ips:.2f} IPS)")
     if args.output:
@@ -104,24 +157,23 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    groups = ScenarioCatalog.table1_groups(args.bandwidth)
-    groups.update({f"{k}-nano": v for k, v in ScenarioCatalog.table2_groups("nano").items()})
-    groups.update(ScenarioCatalog.table3_groups())
-    if args.scenario not in groups:
-        print(f"unknown scenario {args.scenario!r}; choose from {sorted(groups)}", file=sys.stderr)
+    scenario = _scenario_from_args(args.scenario, args.bandwidth)
+    if scenario is None:
         return 2
-    scenario = groups[args.scenario]
-    harness = ExperimentHarness(
+    with ExperimentHarness(
         HarnessConfig(
             osds_episodes=args.episodes,
             num_random_splits=args.random_splits,
             seed=args.seed,
+            workers=args.workers,
         )
-    )
-    results = harness.compare(scenario, methods=ALL_METHODS, model_name=args.model)
-    print(format_ips_table({scenario.name: harness.ips_table(results)}, methods=list(ALL_METHODS)))
-    print(f"DistrEdge speedup over best baseline: "
-          f"{harness.speedup_over_best_baseline(results):.2f}x")
+    ) as harness:
+        results = harness.compare(scenario, methods=ALL_METHODS, model_name=args.model)
+        print(
+            format_ips_table({scenario.name: harness.ips_table(results)}, methods=list(ALL_METHODS))
+        )
+        print(f"DistrEdge speedup over best baseline: "
+              f"{harness.speedup_over_best_baseline(results):.2f}x")
     return 0
 
 
@@ -131,14 +183,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_plan = sub.add_parser("plan", help="plan a distribution strategy")
     p_plan.add_argument("--model", default="vgg16", choices=model_zoo.list_models())
-    p_plan.add_argument("--devices", nargs="+", required=True,
-                        help="device specs like xavier:300 nano:50")
+    cluster = p_plan.add_mutually_exclusive_group(required=True)
+    cluster.add_argument("--devices", nargs="+",
+                         help="device specs like xavier:300 nano:50")
+    cluster.add_argument("--scenario", default=None,
+                         help="catalogue name (DB, LA, ...) or generator spec "
+                              "like gen:n=32,seed=7,bw=50-300,types=mixed; "
+                              "catalogue Table-I groups default to 200 Mbps "
+                              "(override with --bandwidth)")
+    p_plan.add_argument("--bandwidth", type=float, default=None,
+                        help="re-shape every link of a catalogue --scenario "
+                             "to this rate in Mbps")
     p_plan.add_argument("--method", default="distredge",
                         choices=["distredge", *sorted(BASELINE_REGISTRY)])
     p_plan.add_argument("--episodes", type=int, default=200)
     p_plan.add_argument("--alpha", type=float, default=0.75)
     p_plan.add_argument("--random-splits", type=int, default=30)
     p_plan.add_argument("--seed", type=int, default=0)
+    p_plan.add_argument("--workers", type=int, default=1,
+                        help="worker processes for sharded batch evaluation "
+                             "(no effect on a single plan; see compare)")
     p_plan.add_argument("--output", default=None, help="write the plan to this JSON file")
     p_plan.set_defaults(func=_cmd_plan)
 
@@ -150,12 +214,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="compare all methods on a paper scenario")
     p_cmp.add_argument("--scenario", default="DB",
-                       help="DA/DB/DC, NA-nano..ND-nano, LA..LD")
-    p_cmp.add_argument("--bandwidth", type=float, default=300.0)
+                       help="catalogue name (DA..DC, NA-nano.., LA..LD, homog-nano, "
+                            "dynamic-nano) or gen:... spec; same resolution as plan "
+                            "(Table-I groups default to 200 Mbps)")
+    p_cmp.add_argument("--bandwidth", type=float, default=None,
+                       help="re-shape every link of a catalogue --scenario to this "
+                            "rate in Mbps; not applicable to gen: scenarios")
     p_cmp.add_argument("--model", default="vgg16", choices=model_zoo.list_models())
     p_cmp.add_argument("--episodes", type=int, default=150)
     p_cmp.add_argument("--random-splits", type=int, default=20)
     p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.add_argument("--workers", type=int, default=1,
+                       help="worker processes for sharded plan evaluation")
     p_cmp.set_defaults(func=_cmd_compare)
     return parser
 

@@ -45,6 +45,22 @@ class LatencyProfile:
         """Sum of per-layer latencies for a split-part spanning several layers."""
         return sum(self.latency_ms(name, rows) for name, rows in layer_rows if rows > 0)
 
+    def latency_ms_batch(self, layer_name: str, out_rows: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`latency_ms` over an integer array of row counts.
+
+        Every element of the result is the very float the scalar lookup would
+        return for that row count (non-positive rows map to 0.0, enforced
+        here, not delegated to the subclass's scalar guard) — the batch
+        evaluation engine relies on this bit-exactness.  Subclasses override
+        with true array programs where the representation allows it; this
+        fallback evaluates element-wise and is always exact.
+        """
+        rows = np.asarray(out_rows)
+        values = np.array(
+            [self.latency_ms(layer_name, int(r)) for r in rows.ravel()]
+        ).reshape(rows.shape)
+        return np.where(rows > 0, values, 0.0)
+
 
 def _points_by_layer(
     points: Mapping[str, Sequence[ProfiledLatency]],
@@ -79,6 +95,13 @@ class TabularProfile(LatencyProfile):
             return 0.0
         heights, lats = self._entry(layer_name)
         return float(np.interp(out_rows, heights, lats))
+
+    def latency_ms_batch(self, layer_name: str, out_rows: np.ndarray) -> np.ndarray:
+        # np.interp is element-wise, so the array call produces exactly the
+        # floats the scalar lookups would.
+        rows = np.asarray(out_rows)
+        heights, lats = self._entry(layer_name)
+        return np.where(rows > 0, np.interp(rows, heights, lats), 0.0)
 
     def _entry(self, layer_name: str) -> Tuple[np.ndarray, np.ndarray]:
         try:
@@ -123,6 +146,17 @@ class LinearProfile(LatencyProfile):
             raise KeyError(f"layer {layer_name!r} not present in profile") from None
         return float(max(slope * out_rows + intercept, 0.0))
 
+    def latency_ms_batch(self, layer_name: str, out_rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(out_rows)
+        try:
+            slope, intercept = self.coeffs[layer_name]
+        except KeyError:
+            raise KeyError(f"layer {layer_name!r} not present in profile") from None
+        # Same IEEE expression as the scalar form (integer rows are exact in
+        # float64, so slope * rows + intercept matches term for term).
+        fit = np.maximum(slope * rows + intercept, 0.0)
+        return np.where(rows > 0, fit, 0.0)
+
 
 @dataclass
 class PiecewiseLinearProfile(LatencyProfile):
@@ -158,6 +192,14 @@ class PiecewiseLinearProfile(LatencyProfile):
         except KeyError:
             raise KeyError(f"layer {layer_name!r} not present in profile") from None
         return float(np.interp(out_rows, heights, lats))
+
+    def latency_ms_batch(self, layer_name: str, out_rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(out_rows)
+        try:
+            heights, lats = self.knots[layer_name]
+        except KeyError:
+            raise KeyError(f"layer {layer_name!r} not present in profile") from None
+        return np.where(rows > 0, np.interp(rows, heights, lats), 0.0)
 
 
 @dataclass

@@ -12,7 +12,7 @@ Fig. 15).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 
 from repro.baselines import BASELINE_REGISTRY
@@ -29,6 +29,7 @@ from repro.runtime.batch import BatchPlanEvaluator
 from repro.runtime.evaluator import EvaluationResult
 from repro.runtime.oracles import profiles_by_device
 from repro.runtime.plan import DistributionPlan
+from repro.runtime.shard import ShardedPlanEvaluator
 from repro.runtime.streaming import StreamingSimulator
 
 #: Canonical method order used in the paper's bar charts.
@@ -67,6 +68,10 @@ class HarnessConfig:
     seed: int = 0
     #: Input image encoding (bytes per input element).
     input_bytes_per_element: float = 0.4
+    #: Worker processes for batch plan evaluation; 0/1 keeps evaluation
+    #: in-process, >= 2 routes scenario evaluators through a persistent
+    #: :class:`~repro.runtime.shard.ShardedPlanEvaluator` pool.
+    workers: int = 1
 
     def osds_config(self, num_devices: int) -> OSDSConfig:
         """OSDS configuration; sigma^2 is raised for large clusters (paper)."""
@@ -114,11 +119,36 @@ class MethodResult:
 class ExperimentHarness:
     """Runs distribution methods on scenarios and evaluates the outcome."""
 
+    #: Most sharded-evaluator pools kept alive at once.  A figure sweep with
+    #: ``workers=N`` visits many scenarios; without a bound every visited
+    #: scenario would pin N idle worker processes until :meth:`close`.  The
+    #: least-recently-used pool is closed when the bound is exceeded.
+    MAX_SHARDED_POOLS = 4
+
     def __init__(self, config: Optional[HarnessConfig] = None) -> None:
         self.config = config or HarnessConfig()
         self._models: Dict[str, ModelSpec] = {}
         self._profile_cache: Dict[Tuple[str, str], TabularProfile] = {}
-        self._result_cache: Dict[Tuple[str, str, str], MethodResult] = {}
+        # Result cache keyed on the full (frozen, hashable) Scenario rather
+        # than its name, for the same reason as the pool cache below: two
+        # different scenarios may legitimately share a name.
+        self._result_cache: Dict[Tuple[str, Scenario, str], MethodResult] = {}
+        # Keyed on the full (frozen, hashable) Scenario, not its name: two
+        # different scenarios may share a name (the collision ScenarioRegistry
+        # guards against), and a pool built for one must never serve the other.
+        self._sharded: Dict[Scenario, ShardedPlanEvaluator] = {}
+
+    def close(self) -> None:
+        """Shut down any sharded-evaluation worker pools the harness opened."""
+        for evaluator in self._sharded.values():
+            evaluator.close()
+        self._sharded.clear()
+
+    def __enter__(self) -> "ExperimentHarness":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     def model(self, name: str) -> ModelSpec:
@@ -144,15 +174,52 @@ class ExperimentHarness:
         return profiles_by_device(devices, per_type)
 
     def evaluator_for(
-        self, devices: Sequence[DeviceInstance], network: NetworkModel
-    ) -> BatchPlanEvaluator:
+        self,
+        devices: Sequence[DeviceInstance],
+        network: NetworkModel,
+        scenario: Optional[Scenario] = None,
+    ) -> Union[BatchPlanEvaluator, ShardedPlanEvaluator]:
         """Ground-truth evaluator ("real execution") used for reported IPS.
 
         Routed through the batch path: figure cells that re-evaluate a plan
         another figure already measured (e.g. Fig. 7's DB @ 50 Mbps column in
         Fig. 15) become cache hits, and streamed images on stationary
-        networks are evaluated once instead of per image.
+        networks are evaluated once instead of per image.  With
+        ``config.workers >= 2`` and a scenario to rebuild from, evaluation is
+        sharded across a persistent worker pool (one pool per scenario,
+        reused across calls; see :meth:`close`).
+
+        On the sharded path the evaluator's world is rebuilt from
+        ``(scenario, config.seed, scenario.trace_kind)`` — the ``devices`` /
+        ``network`` arguments are not forwarded, so pass objects obtained
+        from ``scenario.build(seed=config.seed)`` (as :meth:`run` does).  A
+        devices/scenario fleet mismatch raises; a same-fleet different-seed
+        trace mismatch cannot be detected from the arguments and is on the
+        caller.
         """
+        if self.config.workers >= 2 and scenario is not None:
+            held = [(d.type_name, d.bandwidth_mbps) for d in devices]
+            if held != [(t, b) for t, b in scenario.device_specs]:
+                raise ValueError(
+                    f"devices do not match scenario {scenario.name!r}: the sharded "
+                    "evaluator is rebuilt from the scenario, so pass devices from "
+                    "scenario.build(seed=config.seed)"
+                )
+            evaluator = self._sharded.pop(scenario, None)
+            if evaluator is None:
+                evaluator = ShardedPlanEvaluator(
+                    scenario,
+                    num_workers=self.config.workers,
+                    seed=self.config.seed,
+                    input_bytes_per_element=self.config.input_bytes_per_element,
+                )
+            # Re-insert at the end (most recently used) and evict the oldest
+            # pool beyond the bound.
+            self._sharded[scenario] = evaluator
+            while len(self._sharded) > self.MAX_SHARDED_POOLS:
+                oldest = next(iter(self._sharded))
+                self._sharded.pop(oldest).close()
+            return evaluator
         return BatchPlanEvaluator(
             devices, network, input_bytes_per_element=self.config.input_bytes_per_element
         )
@@ -184,13 +251,13 @@ class ExperimentHarness:
         use_cache: bool = True,
     ) -> MethodResult:
         """Plan + evaluate one method on one scenario."""
-        cache_key = (method, scenario.name, model_name)
+        cache_key = (method, scenario, model_name)
         if use_cache and cache_key in self._result_cache:
             return self._result_cache[cache_key]
         model = self.model(model_name)
         devices, network = scenario.build(seed=self.config.seed)
         plan = self.plan_for(method, model, devices, network)
-        evaluator = self.evaluator_for(devices, network)
+        evaluator = self.evaluator_for(devices, network, scenario)
         if self.config.num_images > 0:
             simulator = StreamingSimulator(evaluator)
             stream = simulator.run(plan, num_images=self.config.num_images)
@@ -201,7 +268,24 @@ class ExperimentHarness:
             evaluation = evaluator.evaluate(plan)
             latency_ms = evaluation.end_to_end_ms
             ips = evaluation.ips
-        result = MethodResult(
+        result = self._assemble_result(
+            method, scenario, model_name, plan, evaluation, ips, latency_ms
+        )
+        if use_cache:
+            self._result_cache[cache_key] = result
+        return result
+
+    @staticmethod
+    def _assemble_result(
+        method: str,
+        scenario: Scenario,
+        model_name: str,
+        plan: DistributionPlan,
+        evaluation: EvaluationResult,
+        ips: float,
+        latency_ms: float,
+    ) -> MethodResult:
+        return MethodResult(
             method=method,
             scenario=scenario.name,
             model=model_name,
@@ -212,9 +296,6 @@ class ExperimentHarness:
             plan=plan,
             evaluation=evaluation,
         )
-        if use_cache:
-            self._result_cache[cache_key] = result
-        return result
 
     def compare(
         self,
@@ -222,8 +303,45 @@ class ExperimentHarness:
         methods: Sequence[str] = ALL_METHODS,
         model_name: str = "vgg16",
     ) -> Dict[str, MethodResult]:
-        """Run several methods on one scenario."""
+        """Run several methods on one scenario.
+
+        With ``config.workers >= 2`` (and single-inference evaluation, i.e.
+        ``num_images == 0``) the uncached methods' plans are evaluated as
+        *one* batch through the scenario's sharded worker pool instead of
+        plan by plan.  One compare is a small batch (one plan per method),
+        so the evaluator fans out only as far as its per-worker minimum
+        allows — the knob pays off across sweeps that reuse the warm pool
+        and for large ``evaluate_plans`` batches on the evaluator itself.
+        """
+        if self.config.workers >= 2 and self.config.num_images == 0:
+            return self._compare_sharded(scenario, methods, model_name)
         return {m: self.run(m, scenario, model_name) for m in methods}
+
+    def _compare_sharded(
+        self,
+        scenario: Scenario,
+        methods: Sequence[str],
+        model_name: str,
+    ) -> Dict[str, MethodResult]:
+        model = self.model(model_name)
+        devices, network = scenario.build(seed=self.config.seed)
+        pending = [
+            m for m in methods if (m, scenario, model_name) not in self._result_cache
+        ]
+        plans = {m: self.plan_for(m, model, devices, network) for m in pending}
+        evaluator = self.evaluator_for(devices, network, scenario)
+        evaluations = evaluator.evaluate_plans(list(plans.values()))
+        for (method, plan), evaluation in zip(plans.items(), evaluations):
+            self._result_cache[(method, scenario, model_name)] = self._assemble_result(
+                method,
+                scenario,
+                model_name,
+                plan,
+                evaluation,
+                evaluation.ips,
+                evaluation.end_to_end_ms,
+            )
+        return {m: self._result_cache[(m, scenario, model_name)] for m in methods}
 
     # ------------------------------------------------------------------ #
     @staticmethod

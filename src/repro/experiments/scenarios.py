@@ -1,20 +1,30 @@
-"""Scenario catalogue: the device/bandwidth groups of the paper.
+"""Scenario catalogue: the device/bandwidth groups of the paper, plus a
+procedural generator for large-scale fleets.
 
 Table I (heterogeneous device types), Table II (heterogeneous bandwidths),
 Table III (large-scale, 16 providers), plus the homogeneous environment used
 by the alpha study (Fig. 5a).  A :class:`Scenario` is a declarative
 description; :meth:`Scenario.build` materialises the provider list and the
 network model so harness code never hand-assembles clusters.
+
+Beyond the paper's catalogue, :func:`generate_scenario` produces seeded
+random fleets (16-64+ heterogeneous devices) for scaling experiments, and
+:func:`resolve_scenario` turns either a catalogue name or a ``gen:`` spec
+string (the CLI grammar, e.g. ``gen:n=32,seed=7,bw=50-300,types=mixed``)
+into a :class:`Scenario`.  Named scenarios flow through a
+:class:`ScenarioRegistry`, which refuses to let two different scenarios
+silently share one name — repeated :meth:`Scenario.with_bandwidth` /
+:meth:`Scenario.with_device_type` derivations can otherwise collide.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.devices.specs import DeviceInstance, make_cluster
+from repro.devices.specs import DEVICE_CATALOG, DeviceInstance, make_cluster
 from repro.network.topology import NetworkModel
-from repro.utils.rng import SeedLike
+from repro.utils.rng import SeedLike, as_rng
 
 #: (device type, bandwidth in Mbps) pair.
 DeviceSpec = Tuple[str, float]
@@ -61,6 +71,24 @@ class Scenario:
             device_specs=specs,
             description=f"{self.description} on {device_type}",
             trace_kind=self.trace_kind,
+        )
+
+    @classmethod
+    def adhoc(
+        cls,
+        device_specs: Sequence[DeviceSpec],
+        name: str = "adhoc",
+        trace_kind: str = "constant",
+    ) -> "Scenario":
+        """Wrap an ad-hoc ``(type, bandwidth)`` list (e.g. a CLI ``--devices``
+        cluster) so it can flow through scenario-based machinery such as
+        :class:`~repro.runtime.shard.ShardedPlanEvaluator`."""
+        specs = tuple((t, float(b)) for t, b in device_specs)
+        return cls(
+            name=name,
+            device_specs=specs,
+            description=f"ad-hoc cluster of {len(specs)} providers",
+            trace_kind=trace_kind,
         )
 
     def build(
@@ -189,15 +217,261 @@ class ScenarioCatalog:
     # ------------------------------------------------------------------ #
     @classmethod
     def all_named(cls) -> Dict[str, Scenario]:
-        """Every scenario the benchmark suite may reference, keyed by name."""
-        catalog: Dict[str, Scenario] = {}
-        catalog.update(cls.table1_groups())
-        catalog.update({f"{k}-nano": v for k, v in cls.table2_groups("nano").items()})
-        catalog.update({f"{k}-xavier": v for k, v in cls.table2_groups("xavier").items()})
-        catalog.update(cls.table3_groups())
-        catalog["homog-nano"] = cls.homogeneous()
-        catalog["dynamic-nano"] = cls.dynamic_nano()
-        return catalog
+        """Every scenario the benchmark suite may reference, keyed by name.
+
+        Built through a :class:`ScenarioRegistry`, so a future catalogue
+        change that makes two different scenarios share a name fails loudly
+        here instead of silently shadowing one of them.
+        """
+        registry = ScenarioRegistry()
+        for scenario in cls.table1_groups().values():
+            registry.register(scenario)
+        for key, scenario in cls.table2_groups("nano").items():
+            registry.register(scenario, name=f"{key}-nano")
+        for key, scenario in cls.table2_groups("xavier").items():
+            registry.register(scenario, name=f"{key}-xavier")
+        for scenario in cls.table3_groups().values():
+            registry.register(scenario)
+        registry.register(cls.homogeneous(), name="homog-nano")
+        registry.register(cls.dynamic_nano())
+        return registry.as_dict()
 
 
-__all__ = ["Scenario", "ScenarioCatalog", "DeviceSpec"]
+class ScenarioRegistry:
+    """Name -> :class:`Scenario` registry that refuses silent collisions.
+
+    Repeated :meth:`Scenario.with_bandwidth` / :meth:`Scenario.with_device_type`
+    derivations (or two :meth:`ScenarioCatalog.homogeneous` calls with
+    different ``count``) can produce *different* scenarios under the *same*
+    name; a plain dict would silently keep whichever was inserted last.  The
+    registry makes the collision explicit: re-registering an equal scenario is
+    an idempotent no-op, while a different scenario under a taken name either
+    raises ``ValueError`` or — with ``uniquify=True`` — is renamed with the
+    first free ``-2``/``-3``/... suffix.
+    """
+
+    def __init__(self) -> None:
+        self._scenarios: Dict[str, Scenario] = {}
+
+    def register(
+        self,
+        scenario: Scenario,
+        name: Optional[str] = None,
+        uniquify: bool = False,
+    ) -> Scenario:
+        """Register ``scenario`` (optionally under ``name``); returns the
+        scenario as registered, which may carry a uniquified name."""
+        if name is not None and name != scenario.name:
+            scenario = replace(scenario, name=name)
+        existing = self._scenarios.get(scenario.name)
+        if existing is not None:
+            if existing == scenario:
+                return existing
+            if not uniquify:
+                raise ValueError(
+                    f"scenario name {scenario.name!r} is already registered for a "
+                    f"different scenario ({existing.num_devices} devices, "
+                    f"{existing.description!r}); pass uniquify=True to rename, or "
+                    "derive with an explicit suffix"
+                )
+            base = scenario.name
+            counter = 2
+            while True:
+                candidate = f"{base}-{counter}"
+                taken = self._scenarios.get(candidate)
+                if taken is None or taken == replace(scenario, name=candidate):
+                    scenario = replace(scenario, name=candidate)
+                    break
+                counter += 1
+            if scenario.name in self._scenarios:
+                return self._scenarios[scenario.name]
+        self._scenarios[scenario.name] = scenario
+        return scenario
+
+    def get(self, name: str) -> Scenario:
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario {name!r}; registered: {sorted(self._scenarios)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scenarios
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._scenarios)
+
+    def as_dict(self) -> Dict[str, Scenario]:
+        """Snapshot copy of the registered scenarios."""
+        return dict(self._scenarios)
+
+
+# ---------------------------------------------------------------------- #
+# procedural large-scale scenario generation
+# ---------------------------------------------------------------------- #
+
+#: Named device-type pools for the generator's heterogeneity knob.
+TYPE_POOLS: Dict[str, Tuple[str, ...]] = {
+    "mixed": ("pi3", "nano", "tx2", "xavier"),
+    "gpu": ("nano", "tx2", "xavier"),
+    "cpu": ("pi3",),
+}
+
+#: Prefix of generator spec strings accepted by :func:`resolve_scenario`.
+GENERATOR_PREFIX = "gen:"
+
+
+def _resolve_type_pool(heterogeneity: Union[str, Sequence[str]]) -> Tuple[str, ...]:
+    """Turn the heterogeneity knob into a concrete tuple of device types."""
+    if isinstance(heterogeneity, str):
+        if heterogeneity in TYPE_POOLS:
+            return TYPE_POOLS[heterogeneity]
+        names = tuple(part.strip() for part in heterogeneity.split("+") if part.strip())
+    else:
+        names = tuple(heterogeneity)
+    if not names:
+        raise ValueError("heterogeneity resolved to an empty device-type pool")
+    for name in names:
+        if name.lower() not in DEVICE_CATALOG:
+            raise ValueError(
+                f"unknown device type {name!r} in heterogeneity spec; pools: "
+                f"{sorted(TYPE_POOLS)}, types: {sorted(DEVICE_CATALOG)}"
+            )
+    return tuple(name.lower() for name in names)
+
+
+def generate_scenario(
+    num_devices: int = 16,
+    seed: int = 0,
+    bandwidth_mbps: Union[float, Tuple[float, float]] = (50.0, 300.0),
+    heterogeneity: Union[str, Sequence[str]] = "mixed",
+    trace_kind: str = "constant",
+) -> Scenario:
+    """Generate a seeded random fleet of heterogeneous providers.
+
+    Parameters
+    ----------
+    num_devices:
+        Fleet size; the large-scale experiments use 16-64.
+    seed:
+        Seed of the fleet-composition RNG.  The same knob values always
+        produce the identical scenario (name included), which is what lets a
+        sharded evaluator's worker processes rebuild the fleet from the spec.
+    bandwidth_mbps:
+        Either a single rate applied to every link or a ``(low, high)`` range
+        sampled per device (rounded to whole Mbps, then clamped to the range
+        so rounding can never escape it).
+    heterogeneity:
+        A pool name from :data:`TYPE_POOLS` (``"mixed"``, ``"gpu"``,
+        ``"cpu"``), a single device type, a ``"+"``-joined list
+        (``"nano+xavier"``) or an explicit sequence of type names; device
+        types are drawn uniformly from the pool.
+    trace_kind:
+        Trace family every link uses when the scenario is built
+        (``"constant"``, ``"wifi"`` or ``"dynamic"``).
+    """
+    if num_devices < 1:
+        raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+    pool = _resolve_type_pool(heterogeneity)
+    if isinstance(bandwidth_mbps, (int, float)):
+        low = high = float(bandwidth_mbps)
+    else:
+        low, high = (float(bandwidth_mbps[0]), float(bandwidth_mbps[1]))
+        if low > high:
+            raise ValueError(f"bandwidth range is inverted: {low} > {high}")
+    if low <= 0:
+        raise ValueError(f"bandwidth must be positive, got {low}")
+    rng = as_rng(int(seed))
+    types = [pool[int(i)] for i in rng.integers(0, len(pool), size=num_devices)]
+    if low == high:
+        rates = [low] * num_devices
+    else:
+        rates = [
+            float(min(high, max(low, round(r))))
+            for r in rng.uniform(low, high, size=num_devices)
+        ]
+    specs = tuple(zip(types, rates))
+    pool_label = heterogeneity if isinstance(heterogeneity, str) else "+".join(pool)
+    bw_label = f"{low:g}" if low == high else f"{low:g}-{high:g}"
+    return Scenario(
+        name=f"gen-{num_devices}d-{pool_label}-bw{bw_label}-{trace_kind}-s{int(seed)}",
+        device_specs=specs,
+        description=(
+            f"generated fleet: {num_devices} devices from pool {pool_label!r} "
+            f"at {bw_label} Mbps ({trace_kind} traces, seed {int(seed)})"
+        ),
+        trace_kind=trace_kind,
+    )
+
+
+def parse_generator_spec(spec: str) -> Scenario:
+    """Parse the CLI generator grammar into a :class:`Scenario`.
+
+    Grammar: ``gen:[key=value[,key=value...]]`` with keys
+
+    ``n``      fleet size (default 16)
+    ``seed``   composition seed (default 0)
+    ``bw``     bandwidth, ``200`` or a ``50-300`` range (default ``50-300``)
+    ``types``  heterogeneity pool / type / ``+``-list (default ``mixed``)
+    ``trace``  trace kind (default ``constant``)
+
+    Example: ``gen:n=32,seed=7,bw=50-300,types=mixed,trace=constant``.
+    """
+    if not spec.startswith(GENERATOR_PREFIX):
+        raise ValueError(f"generator spec must start with {GENERATOR_PREFIX!r}, got {spec!r}")
+    body = spec[len(GENERATOR_PREFIX):]
+    options: Dict[str, str] = {}
+    for item in filter(None, (part.strip() for part in body.split(","))):
+        if "=" not in item:
+            raise ValueError(f"malformed generator option {item!r}; expected key=value")
+        key, value = item.split("=", 1)
+        options[key.strip()] = value.strip()
+    known = {"n", "seed", "bw", "types", "trace"}
+    unknown = set(options) - known
+    if unknown:
+        raise ValueError(f"unknown generator option(s) {sorted(unknown)}; known: {sorted(known)}")
+    bw = options.get("bw", "50-300")
+    if "-" in bw:
+        lo, _, hi = bw.partition("-")
+        if not lo or not hi:
+            raise ValueError(f"malformed bandwidth {bw!r}; expected '200' or '50-300'")
+        bandwidth: Union[float, Tuple[float, float]] = (float(lo), float(hi))
+    else:
+        bandwidth = float(bw)
+    return generate_scenario(
+        num_devices=int(options.get("n", 16)),
+        seed=int(options.get("seed", 0)),
+        bandwidth_mbps=bandwidth,
+        heterogeneity=options.get("types", "mixed"),
+        trace_kind=options.get("trace", "constant"),
+    )
+
+
+def resolve_scenario(name: str) -> Scenario:
+    """Resolve a scenario reference: a ``gen:`` spec or a catalogue name."""
+    if name.startswith(GENERATOR_PREFIX):
+        return parse_generator_spec(name)
+    catalog = ScenarioCatalog.all_named()
+    if name not in catalog:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose one of {sorted(catalog)} or a "
+            f"'{GENERATOR_PREFIX}...' generator spec"
+        )
+    return catalog[name]
+
+
+__all__ = [
+    "Scenario",
+    "ScenarioCatalog",
+    "ScenarioRegistry",
+    "DeviceSpec",
+    "TYPE_POOLS",
+    "GENERATOR_PREFIX",
+    "generate_scenario",
+    "parse_generator_spec",
+    "resolve_scenario",
+]

@@ -1,0 +1,60 @@
+"""Synthetic plan workloads for benchmarks, parity tests and scaling studies.
+
+The planner stack produces batches of candidate plans whose *partition
+boundaries vary* (LC-PSS samples many partition schemes; OSDS explores
+within each).  :func:`random_varied_plans` reproduces that shape: seeded
+random plans over one model with randomised boundaries and split fractions,
+including occasional zero-row (non-participating) devices.  The shard-scaling
+benchmark and the sharded-evaluator determinism tests both draw their
+workloads from here, so the bench gate and the bit-identity suite always
+exercise the same plan distribution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.devices.specs import DeviceInstance
+from repro.nn.graph import ModelSpec
+from repro.nn.splitting import SplitDecision
+from repro.runtime.plan import DistributionPlan
+from repro.utils.rng import SeedLike, as_rng
+
+
+def random_varied_plans(
+    model: ModelSpec,
+    devices: Sequence[DeviceInstance],
+    count: int,
+    seed: SeedLike = 0,
+    min_cut_layer: int = 1,
+    max_inner_cuts: int = 3,
+    drop_rate: float = 0.25,
+) -> List[DistributionPlan]:
+    """Seeded random plans with varied partition boundaries.
+
+    Each plan draws 1..``max_inner_cuts`` inner partition boundaries from
+    ``[min_cut_layer, num_spatial_layers)`` and random per-volume split
+    fractions; with probability ``drop_rate`` one device's fraction is zeroed
+    for a volume (the legitimate "provider receives no work" case).
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    rng = as_rng(seed)
+    ns = model.num_spatial_layers
+    plans: List[DistributionPlan] = []
+    for _ in range(count):
+        num_cuts = int(rng.integers(1, max_inner_cuts + 1))
+        inner = sorted({int(x) for x in rng.integers(min_cut_layer, ns, size=num_cuts)})
+        boundaries = [0, *inner, ns]
+        volumes = model.partition(boundaries)
+        decisions = []
+        for volume in volumes:
+            fractions = rng.random(len(devices))
+            if rng.random() < drop_rate:
+                fractions[int(rng.integers(len(devices)))] = 0.0
+            decisions.append(SplitDecision.from_fractions(fractions, volume.output_height))
+        plans.append(DistributionPlan(model, devices, boundaries, decisions))
+    return plans
+
+
+__all__ = ["random_varied_plans"]

@@ -54,6 +54,7 @@ from repro.runtime.oracles import (
     ComputeOracle,
     GroundTruthComputeOracle,
     MemoizedComputeOracle,
+    ProfileComputeOracle,
     unwrap_oracle,
 )
 from repro.runtime.plan import DistributionPlan
@@ -139,6 +140,17 @@ class BatchPlanEvaluator(PlanEvaluator):
         n = len(self.devices)
         base = unwrap_oracle(self.oracle)
         self._fast_compute = isinstance(base, GroundTruthComputeOracle)
+        self._profile_compute = isinstance(base, ProfileComputeOracle)
+        if self._profile_compute:
+            # Providers of one type share a profile object; group the device
+            # columns so each (layer, profile) lookup is one array call.
+            by_profile: Dict[int, List[int]] = {}
+            for j, profile in enumerate(base.profiles):
+                by_profile.setdefault(id(profile), []).append(j)
+            self._profile_groups = [
+                (base.profiles[cols[0]], np.array(cols, dtype=np.intp))
+                for cols in by_profile.values()
+            ]
         oracle_devices = base.devices if self._fast_compute else self.devices
         self._tile = np.array([d.dtype.tile_rows for d in oracle_devices], dtype=np.int64)
         self._peak = np.array([d.dtype.peak_macs_per_s for d in oracle_devices])
@@ -507,7 +519,44 @@ class BatchPlanEvaluator(PlanEvaluator):
         """Per-(plan, device) compute latency of one volume's split parts."""
         batch = len(plans)
         n = len(self.devices)
-        if not self._fast_compute:
+        if self._fast_compute:
+            total = np.zeros((batch, n))
+            for layer, (lo, hi) in zip(volume.layers, ranges):
+                req_rows = hi - lo
+                rows = np.minimum(req_rows, layer.out_h)
+                quantized = ((rows + self._tile - 1) // self._tile) * self._tile
+                q_rows = np.minimum(quantized, np.maximum(layer.out_h, rows))
+                macs_per_row = layer.macs / layer.out_h
+                effective_macs = macs_per_row * q_rows
+                in_hi = np.minimum(
+                    (rows - 1) * layer.stride - layer.padding + layer.kernel, layer.in_h
+                )
+                input_bytes = in_hi * (layer.in_w * layer.in_c * FP16_BYTES)
+                output_bytes = rows * (layer.out_w * layer.out_c * FP16_BYTES)
+                touched_bytes = input_bytes + output_bytes + layer.weight_bytes
+                compute_ms = effective_macs / self._peak * 1000.0
+                memory_ms = touched_bytes / self._membw * 1000.0
+                latency = self._launch + np.maximum(compute_ms, memory_ms)
+                total = total + np.where(req_rows > 0, latency, 0.0)
+        elif self._profile_compute:
+            # Profiled-latency sweep: per (layer, shared profile) one array
+            # lookup over every (plan, device) row count.  The profile batch
+            # lookups are element-wise identical to the scalar ones and zero
+            # where rows <= 0, and the accumulation visits layers in the same
+            # order as ProfileComputeOracle.volume_latency_ms, so each total
+            # is the very float the scalar oracle would return.
+            total = np.zeros((batch, n))
+            for layer, (lo, hi) in zip(volume.layers, ranges):
+                rows = hi - lo
+                for profile, cols in self._profile_groups:
+                    sub = rows[:, cols]
+                    if not (sub > 0).any():
+                        # The scalar path never queries a profile for a layer
+                        # none of its devices compute — a partial profile
+                        # (layer absent) must not raise here either.
+                        continue
+                    total[:, cols] += profile.latency_ms_batch(layer.name, sub)
+        else:
             durations = np.zeros((batch, n))
             for b, plan in enumerate(plans):
                 assignment = plan.assignment(volume_index)
@@ -517,25 +566,6 @@ class BatchPlanEvaluator(PlanEvaluator):
                             j, assignment.volume, part
                         )
             return durations
-
-        total = np.zeros((batch, n))
-        for layer, (lo, hi) in zip(volume.layers, ranges):
-            req_rows = hi - lo
-            rows = np.minimum(req_rows, layer.out_h)
-            quantized = ((rows + self._tile - 1) // self._tile) * self._tile
-            q_rows = np.minimum(quantized, np.maximum(layer.out_h, rows))
-            macs_per_row = layer.macs / layer.out_h
-            effective_macs = macs_per_row * q_rows
-            in_hi = np.minimum(
-                (rows - 1) * layer.stride - layer.padding + layer.kernel, layer.in_h
-            )
-            input_bytes = in_hi * (layer.in_w * layer.in_c * FP16_BYTES)
-            output_bytes = rows * (layer.out_w * layer.out_c * FP16_BYTES)
-            touched_bytes = input_bytes + output_bytes + layer.weight_bytes
-            compute_ms = effective_macs / self._peak * 1000.0
-            memory_ms = touched_bytes / self._membw * 1000.0
-            latency = self._launch + np.maximum(compute_ms, memory_ms)
-            total = total + np.where(req_rows > 0, latency, 0.0)
 
         if isinstance(self.oracle, MemoizedComputeOracle):
             # Pre-pay the stepping path: the splitting MDP replaying any of

@@ -1,0 +1,436 @@
+"""Sharded plan evaluation: a batch fanned out over worker processes.
+
+:class:`~repro.runtime.batch.BatchPlanEvaluator` removed the per-plan Python
+loop, but one process is still one core — and the paper's large-scale
+workloads (Table III's 16-provider groups, Fig. 9, generated 32-64 device
+fleets) multiply both the number of candidate plans and the per-plan
+scheduling work, which grows with the square of the device count.
+:class:`ShardedPlanEvaluator` adds the second axis: it partitions a plan
+batch into shards, evaluates each shard in a persistent worker process
+running its own :class:`BatchPlanEvaluator`, and merges the results in input
+order.
+
+Design notes:
+
+* **Nothing stateful crosses the process boundary.**  Workers receive a
+  :func:`~repro.runtime.serialization.scenario_to_dict` payload plus an
+  :class:`OracleSpec` once (at pool start) and rebuild devices, seeded
+  traces, models and oracles locally; plans travel as
+  :func:`~repro.runtime.serialization.plan_to_dict` dicts and results return
+  as full-fidelity :func:`~repro.runtime.serialization.evaluation_to_payload`
+  dicts.  Because every rebuild is deterministic (seeded), a worker's world
+  is identical to the parent's, and because the batch engine is bit-exact
+  with the scalar evaluator, the merged sharded results are **bit-identical**
+  to a single-process evaluation of the same batch.
+
+* **Cache locality.**  The pool is persistent: each worker keeps its
+  :class:`BatchPlanEvaluator` — plan LRU, per-part compute memo, profile
+  tables — alive across ``evaluate_plans`` calls, so iterative planners
+  (LC-PSS re-voting, OSDS episodes) that re-submit overlapping batches hit
+  warm per-shard caches.  Shards are formed from whole (model, partition)
+  groups, so the vectorised group sweep never straddles processes.
+
+* **When sharding loses.**  Shipping a plan costs serialisation + IPC
+  (~tens of microseconds) while a warm cache hit costs ~1 microsecond:
+  small batches, single-group batches on few devices, and cache-hit-heavy
+  steady states are better off on the in-process batch path.  The evaluator
+  therefore falls back to its local engine whenever the batch cannot fill
+  ``min_shard_size`` plans per worker, and ``evaluate`` (single plan) is
+  always local.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.nn import model_zoo
+from repro.nn.graph import ModelSpec
+from repro.runtime.batch import BatchPlanEvaluator
+from repro.runtime.evaluator import EvaluationResult, PlanEvaluator
+from repro.runtime.oracles import ComputeOracle, ProfileComputeOracle, profiles_by_device
+from repro.runtime.plan import DistributionPlan
+from repro.runtime.serialization import (
+    evaluation_from_payload,
+    evaluation_to_payload,
+    plan_from_dict,
+    plan_to_dict,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+#: Profile representations an :class:`OracleSpec` may name.
+_PROFILE_REPRESENTATIONS = ("tabular", "linear", "piecewise", "knn")
+
+
+@dataclass(frozen=True)
+class OracleSpec:
+    """Declarative description of a compute oracle, rebuildable per process.
+
+    ``kind="ground_truth"`` is the real-execution latency model.
+    ``kind="profile"`` profiles ``model`` once per device type with the
+    seeded :class:`~repro.devices.profiler.LatencyProfiler` and evaluates
+    through the chosen profile ``representation`` — the controller's view of
+    the world.  Both rebuilds are deterministic functions of the spec, which
+    is what lets every worker construct an oracle identical to the parent's.
+    """
+
+    kind: str = "ground_truth"
+    model: Optional[str] = None
+    representation: str = "tabular"
+    heights_per_layer: Optional[int] = 16
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ground_truth", "profile"):
+            raise ValueError(f"kind must be 'ground_truth' or 'profile', got {self.kind!r}")
+        if self.kind == "profile":
+            if not self.model:
+                raise ValueError("profile oracle specs must name the model to profile")
+            if self.representation not in _PROFILE_REPRESENTATIONS:
+                raise ValueError(
+                    f"unknown profile representation {self.representation!r}; "
+                    f"known: {_PROFILE_REPRESENTATIONS}"
+                )
+
+
+def build_oracle(spec: OracleSpec, devices) -> Optional[ComputeOracle]:
+    """Materialise an :class:`OracleSpec` for a device list (deterministic)."""
+    if spec.kind == "ground_truth":
+        return None  # the evaluator's default
+    from repro.devices.profiler import LatencyProfiler
+    from repro.devices.profiles import (
+        KNNProfile,
+        LinearProfile,
+        PiecewiseLinearProfile,
+        TabularProfile,
+    )
+
+    representation = {
+        "tabular": TabularProfile,
+        "linear": LinearProfile,
+        "piecewise": PiecewiseLinearProfile,
+        "knn": KNNProfile,
+    }[spec.representation]
+    model = model_zoo.get(spec.model)
+    per_type: Dict[str, object] = {}
+    for device in devices:
+        if device.type_name not in per_type:
+            points = LatencyProfiler(device.dtype, seed=spec.seed).profile_model(
+                model, heights_per_layer=spec.heights_per_layer
+            )
+            per_type[device.type_name] = representation.from_points(points)
+    return ProfileComputeOracle(devices, profiles_by_device(devices, per_type))
+
+
+# ---------------------------------------------------------------------- #
+# worker-process side
+# ---------------------------------------------------------------------- #
+
+_WORKER_STATE: Optional["_WorkerState"] = None
+
+
+class _WorkerState:
+    """One worker's rebuilt world: devices, network, oracle, batch engine."""
+
+    def __init__(self, config: Dict) -> None:
+        scenario = scenario_from_dict(config["scenario"])
+        devices, network = scenario.build(
+            seed=config["seed"], trace_kind=config.get("trace_kind")
+        )
+        oracle = build_oracle(OracleSpec(**config["oracle"]), devices)
+        self.devices = devices
+        self.evaluator = BatchPlanEvaluator(
+            devices,
+            network,
+            compute_oracle=oracle,
+            input_bytes_per_element=config["input_bytes_per_element"],
+            cache_size=config["cache_size"],
+        )
+        self.models: Dict[str, ModelSpec] = {}
+
+    def model(self, name: str) -> ModelSpec:
+        if name not in self.models:
+            self.models[name] = model_zoo.get(name)
+        return self.models[name]
+
+
+def _init_worker(config: Dict) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = _WorkerState(config)
+
+
+def _worker_ping(delay_s: float) -> int:
+    """Used by :meth:`ShardedPlanEvaluator.warm_up` to start every worker."""
+    time.sleep(delay_s)
+    return os.getpid()
+
+
+def _evaluate_shard(plan_dicts: List[Dict], t_seconds: float) -> List[Dict]:
+    state = _WORKER_STATE
+    assert state is not None, "worker used before initialisation"
+    plans = [
+        plan_from_dict(data, model=state.model(data["model"]), devices=state.devices)
+        for data in plan_dicts
+    ]
+    results = state.evaluator.evaluate_plans(plans, t_seconds)
+    return [evaluation_to_payload(result) for result in results]
+
+
+def _clear_worker_caches(delay_s: float) -> int:
+    state = _WORKER_STATE
+    if state is not None:
+        state.evaluator.clear_cache()
+    time.sleep(delay_s)
+    return os.getpid()
+
+
+# ---------------------------------------------------------------------- #
+# parent side
+# ---------------------------------------------------------------------- #
+
+
+class ShardedPlanEvaluator:
+    """Multiprocess :meth:`evaluate_plans` over a persistent worker pool.
+
+    Parameters
+    ----------
+    scenario:
+        The deployment to evaluate against — a
+        :class:`~repro.experiments.scenarios.Scenario` from the catalogue,
+        :func:`~repro.experiments.scenarios.generate_scenario`, or
+        :meth:`~repro.experiments.scenarios.Scenario.adhoc`.  The scenario
+        (not live objects) is what worker processes receive.
+    num_workers:
+        Worker process count; ``None`` picks ``min(4, cpu_count)``; ``0`` or
+        ``1`` keeps everything in-process (still batched and cached).
+    oracle_spec:
+        Compute-oracle description (default: ground truth).
+    seed / trace_kind:
+        Forwarded to :meth:`Scenario.build` — workers use the same values, so
+        their traces are identical to the parent's.
+    min_shard_size:
+        Smallest worthwhile per-worker shard: a batch is dispatched to at
+        most ``len(plans) // min_shard_size`` workers (so shards average at
+        least this many plans, whole groups permitting), and when that
+        allows fewer than two workers the batch takes the local path.
+    """
+
+    def __init__(
+        self,
+        scenario,
+        num_workers: Optional[int] = None,
+        oracle_spec: Optional[OracleSpec] = None,
+        seed: int = 0,
+        trace_kind: Optional[str] = None,
+        input_bytes_per_element: float = PlanEvaluator.DEFAULT_INPUT_BYTES_PER_ELEMENT,
+        cache_size: int = 4096,
+        min_shard_size: int = 4,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if num_workers is None:
+            num_workers = min(4, os.cpu_count() or 1)
+        if num_workers < 0:
+            raise ValueError(f"num_workers must be >= 0, got {num_workers}")
+        if min_shard_size < 1:
+            raise ValueError(f"min_shard_size must be >= 1, got {min_shard_size}")
+        self.scenario = scenario
+        self.num_workers = int(num_workers)
+        self.oracle_spec = oracle_spec or OracleSpec()
+        self.seed = int(seed)
+        self.trace_kind = trace_kind
+        self.min_shard_size = int(min_shard_size)
+        self._mp_method = mp_context
+        self._worker_config = {
+            "scenario": scenario_to_dict(scenario),
+            "seed": self.seed,
+            "trace_kind": trace_kind,
+            "oracle": asdict(self.oracle_spec),
+            "input_bytes_per_element": float(input_bytes_per_element),
+            "cache_size": int(cache_size),
+        }
+        devices, network = scenario.build(seed=self.seed, trace_kind=trace_kind)
+        self.devices = devices
+        self.network = network
+        #: In-process engine: single-plan calls, small batches, and the
+        #: reference the parity tests compare worker output against.
+        self.local = BatchPlanEvaluator(
+            devices,
+            network,
+            compute_oracle=build_oracle(self.oracle_spec, devices),
+            input_bytes_per_element=input_bytes_per_element,
+            cache_size=cache_size,
+        )
+        self._executor: Optional[ProcessPoolExecutor] = None
+        # Validated models are kept by strong reference so their ids cannot
+        # be recycled by a different (unvalidated) model after collection.
+        self._validated_models: Dict[int, ModelSpec] = {}
+
+    # ------------------------------------------------------------------ #
+    # pool lifecycle
+    # ------------------------------------------------------------------ #
+    def _context(self):
+        if self._mp_method is not None:
+            return multiprocessing.get_context(self._mp_method)
+        # Prefer fork where the platform offers it: workers start in
+        # milliseconds and inherit the imported modules.  Everything a worker
+        # *uses* still arrives via the serialised config, so the evaluator
+        # behaves identically under spawn/forkserver (macOS, Windows).
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.num_workers,
+                mp_context=self._context(),
+                initializer=_init_worker,
+                initargs=(self._worker_config,),
+            )
+        return self._executor
+
+    def warm_up(self, delay_s: float = 0.05) -> int:
+        """Start (and initialise) the worker processes; returns the number of
+        distinct workers that answered.  Benchmarks call this so pool start-up
+        is not billed to the first measured batch."""
+        if self.num_workers <= 1:
+            return 0
+        executor = self._ensure_executor()
+        futures = [
+            executor.submit(_worker_ping, delay_s) for _ in range(self.num_workers)
+        ]
+        return len({future.result() for future in futures})
+
+    def clear_cache(self) -> int:
+        """Drop the local caches and, best-effort, every worker's caches.
+
+        Returns the number of *distinct* workers that confirmed the clear.
+        Like :meth:`warm_up`, the fan-out submits one briefly-sleeping task
+        per worker, but the pool does not guarantee one task lands on each
+        process — a busy worker can be skipped.  A return value below
+        ``num_workers`` means some worker may still hold warm caches; callers
+        that need a guaranteed-cold pool should ``close()`` and let the next
+        batch restart it."""
+        self.local.clear_cache()
+        if self._executor is None:
+            return 0
+        futures = [
+            self._executor.submit(_clear_worker_caches, 0.05)
+            for _ in range(self.num_workers)
+        ]
+        return len({future.result() for future in futures})
+
+    def close(self) -> None:
+        """Shut the worker pool down; the evaluator stays usable in-process."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "ShardedPlanEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, plan: DistributionPlan, t_seconds: float = 0.0) -> EvaluationResult:
+        """Single-plan evaluation (always in-process; sharding one plan is
+        pure overhead)."""
+        return self.local.evaluate(plan, t_seconds)
+
+    def ips(self, plan: DistributionPlan, t_seconds: float = 0.0) -> float:
+        return self.evaluate(plan, t_seconds).ips
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters of the in-process engine's plan LRU."""
+        return self.local.cache_info()
+
+    def _check_model(self, model: ModelSpec) -> None:
+        """Plans must use zoo-named models: that is how workers rebuild them."""
+        key = id(model)
+        if self._validated_models.get(key) is model:
+            return
+        try:
+            rebuilt = model_zoo.get(model.name)
+        except KeyError:
+            raise ValueError(
+                f"sharded evaluation requires zoo models (plans reference models "
+                f"by name across processes); {model.name!r} is not in the zoo"
+            ) from None
+        # ModelSpec is not a dataclass; compare structure field by field
+        # (LayerSpec is frozen, so the layers tuple compares structurally).
+        if (
+            rebuilt.input_shape != model.input_shape
+            or rebuilt.layers != model.layers
+        ):
+            raise ValueError(
+                f"model {model.name!r} differs from the zoo build of the same name "
+                "(custom input size?); sharded workers could not reconstruct it"
+            )
+        self._validated_models[key] = model
+
+    def _shards(
+        self, plans: Sequence[DistributionPlan], num_bins: int
+    ) -> List[List[int]]:
+        """Partition plan indices into ``num_bins`` shards, keeping each
+        (model, partition) group whole so the vectorised group sweep never
+        straddles processes.  Greedy balance by plan count."""
+        groups: Dict[Tuple, List[int]] = {}
+        for i, plan in enumerate(plans):
+            groups.setdefault((plan.model.name, tuple(plan.boundaries)), []).append(i)
+        shards: List[List[int]] = [[] for _ in range(num_bins)]
+        for indices in sorted(groups.values(), key=len, reverse=True):
+            min(shards, key=len).extend(indices)
+        return [sorted(shard) for shard in shards if shard]
+
+    def evaluate_plans(
+        self, plans: Sequence[DistributionPlan], t_seconds: float = 0.0
+    ) -> List[EvaluationResult]:
+        """Evaluate a batch across the worker pool; results in input order,
+        bit-identical to :meth:`BatchPlanEvaluator.evaluate_plans`."""
+        plans = list(plans)
+        # Use only as many workers as the batch can feed min_shard_size
+        # plans each; below two such shards the pool is pure overhead.
+        usable_workers = min(self.num_workers, len(plans) // self.min_shard_size)
+        if usable_workers < 2:
+            return self.local.evaluate_plans(plans, t_seconds)
+        for plan in plans:
+            if plan.num_devices != len(self.devices):
+                raise ValueError(
+                    f"plan covers {plan.num_devices} devices, evaluator has "
+                    f"{len(self.devices)}"
+                )
+            self._check_model(plan.model)
+        shards = self._shards(plans, usable_workers)
+        if len(shards) < 2:
+            return self.local.evaluate_plans(plans, t_seconds)
+        executor = self._ensure_executor()
+        futures = [
+            (
+                shard,
+                executor.submit(
+                    _evaluate_shard, [plan_to_dict(plans[i]) for i in shard], t_seconds
+                ),
+            )
+            for shard in shards
+        ]
+        results: List[Optional[EvaluationResult]] = [None] * len(plans)
+        for shard, future in futures:
+            for i, payload in zip(shard, future.result()):
+                results[i] = evaluation_from_payload(payload)
+        return results  # type: ignore[return-value]
+
+
+__all__ = ["OracleSpec", "ShardedPlanEvaluator", "build_oracle"]

@@ -121,3 +121,30 @@ class TestCapability:
         """Effective capability includes overheads, so it is below the peak."""
         cap = estimate_capability(model, TabularProfile.from_points(points), "nano")
         assert cap.macs_per_second < DEVICE_CATALOG["nano"].peak_macs_per_s
+
+
+class TestBatchLookups:
+    @pytest.mark.parametrize(
+        "representation",
+        [TabularProfile, LinearProfile, PiecewiseLinearProfile, KNNProfile],
+    )
+    def test_batch_matches_scalar_bit_for_bit(self, model, points, representation):
+        """latency_ms_batch is element-wise identical to latency_ms, with
+        non-positive rows mapped to exactly 0.0 in every representation
+        (KNN exercises the base-class fallback)."""
+        import numpy as np
+
+        profile = representation.from_points(points)
+        layer = model.spatial_layers[1]
+        rows = np.array([-3, 0, 1, 2, 7, 13, layer.out_h])
+        batch = profile.latency_ms_batch(layer.name, rows)
+        expected = np.array([profile.latency_ms(layer.name, int(r)) for r in rows])
+        assert np.array_equal(batch, expected)
+        assert batch[0] == 0.0 and batch[1] == 0.0
+
+    def test_batch_unknown_layer_raises(self, points):
+        import numpy as np
+
+        profile = TabularProfile.from_points(points)
+        with pytest.raises(KeyError):
+            profile.latency_ms_batch("no-such-layer", np.array([1, 2]))

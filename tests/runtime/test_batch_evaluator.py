@@ -12,7 +12,12 @@ import numpy as np
 import pytest
 
 from repro.devices.profiler import LatencyProfiler
-from repro.devices.profiles import TabularProfile
+from repro.devices.profiles import (
+    KNNProfile,
+    LinearProfile,
+    PiecewiseLinearProfile,
+    TabularProfile,
+)
 from repro.devices.specs import make_cluster
 from repro.network.topology import NetworkModel
 from repro.nn import model_zoo
@@ -146,6 +151,107 @@ class TestParity:
         plans = random_plans(model, mixed_devices, boundaries, 8)
         for plan, batch_result in zip(plans, batch.evaluate_plans(plans)):
             assert_results_match(scalar.evaluate(plan), batch_result)
+
+    @pytest.mark.parametrize(
+        "representation",
+        [TabularProfile, LinearProfile, PiecewiseLinearProfile, KNNProfile],
+    )
+    def test_profile_oracle_bit_exact_per_representation(
+        self, model, mixed_devices, representation
+    ):
+        """The vectorised profile sweep (one array lookup per layer and
+        shared profile) must be *bit*-exact for every representation."""
+        per_type = {}
+        for device in mixed_devices:
+            if device.type_name not in per_type:
+                points = LatencyProfiler(device.dtype, seed=0).profile_model(
+                    model, heights_per_layer=8
+                )
+                per_type[device.type_name] = representation.from_points(points)
+        profiles = profiles_by_device(mixed_devices, per_type)
+        network = NetworkModel.constant_from_devices(mixed_devices)
+        scalar = PlanEvaluator(
+            mixed_devices,
+            network,
+            compute_oracle=ProfileComputeOracle(mixed_devices, profiles),
+            memoize_compute=False,
+        )
+        batch = BatchPlanEvaluator(
+            mixed_devices, network, compute_oracle=ProfileComputeOracle(mixed_devices, profiles)
+        )
+        boundaries = [0, 4, model.num_spatial_layers]
+        plans = random_plans(model, mixed_devices, boundaries, 12, seed=17)
+        for plan, batch_result in zip(plans, batch.evaluate_plans(plans)):
+            scalar_result = scalar.evaluate(plan)
+            assert batch_result.end_to_end_ms == scalar_result.end_to_end_ms
+            np.testing.assert_array_equal(
+                batch_result.per_device_compute_ms, scalar_result.per_device_compute_ms
+            )
+
+    def test_partial_profile_tolerated_for_idle_devices(self, model):
+        """Regression: the vectorised sweep must not query a profile for a
+        layer none of its devices compute — a partial profile that the scalar
+        path tolerates (device always assigned 0 rows) must evaluate too."""
+        devices = make_cluster([("xavier", 300), ("tx2", 200), ("pi3", 50)])
+        per_type = {}
+        for device in devices:
+            if device.type_name not in per_type:
+                points = LatencyProfiler(device.dtype, seed=0).profile_model(
+                    model, heights_per_layer=8
+                )
+                if device.type_name == "pi3":
+                    # The pi3 profile covers only the first layer.
+                    first = next(iter(points))
+                    points = {first: points[first]}
+                per_type[device.type_name] = TabularProfile.from_points(points)
+        profiles = profiles_by_device(devices, per_type)
+        network = NetworkModel.constant_from_devices(devices)
+        scalar = PlanEvaluator(
+            devices,
+            network,
+            compute_oracle=ProfileComputeOracle(devices, profiles),
+            memoize_compute=False,
+        )
+        batch = BatchPlanEvaluator(
+            devices, network, compute_oracle=ProfileComputeOracle(devices, profiles)
+        )
+        boundaries = [0, model.num_spatial_layers]
+        rng = as_rng(25)
+        volumes = model.partition(boundaries)
+        plans = []
+        for _ in range(4):
+            decisions = [
+                SplitDecision.from_fractions(
+                    [float(rng.random()), float(rng.random()), 0.0], v.output_height
+                )
+                for v in volumes
+            ]
+            plans.append(DistributionPlan(model, devices, boundaries, decisions))
+        for plan, batch_result in zip(plans, batch.evaluate_plans(plans)):
+            assert batch_result.end_to_end_ms == scalar.evaluate(plan).end_to_end_ms
+
+    def test_profile_memo_seeded_by_batch_path(self, model, mixed_devices):
+        """The vectorised profile sweep pre-pays the stepping path's memo."""
+        per_type = {}
+        for device in mixed_devices:
+            if device.type_name not in per_type:
+                points = LatencyProfiler(device.dtype, seed=0).profile_model(
+                    model, heights_per_layer=8
+                )
+                per_type[device.type_name] = TabularProfile.from_points(points)
+        profiles = profiles_by_device(mixed_devices, per_type)
+        network = NetworkModel.constant_from_devices(mixed_devices)
+        batch = BatchPlanEvaluator(
+            mixed_devices, network, compute_oracle=ProfileComputeOracle(mixed_devices, profiles)
+        )
+        boundaries = [0, 5, model.num_spatial_layers]
+        plans = random_plans(model, mixed_devices, boundaries, 6, seed=9)
+        batch_results = batch.evaluate_plans(plans)
+        stepping = PlanEvaluator(mixed_devices, network, compute_oracle=batch.oracle)
+        misses_before = batch.oracle.cache_info()["misses"]
+        for plan, batch_result in zip(plans, batch_results):
+            assert stepping.evaluate(plan).end_to_end_ms == batch_result.end_to_end_ms
+        assert batch.oracle.cache_info()["misses"] == misses_before
 
     def test_mixed_groups_in_one_batch(self, model, mixed_devices):
         """Plans with different models/partitions may share one batch call."""

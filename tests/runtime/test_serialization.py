@@ -12,11 +12,15 @@ from repro.runtime.evaluator import PlanEvaluator
 from repro.runtime.plan import DistributionPlan
 from repro.runtime.serialization import (
     PLAN_FORMAT_VERSION,
+    evaluation_from_payload,
     evaluation_to_dict,
+    evaluation_to_payload,
     load_plan,
     plan_from_dict,
     plan_to_dict,
     save_plan,
+    scenario_from_dict,
+    scenario_to_dict,
 )
 from repro.network.topology import NetworkModel
 
@@ -88,6 +92,45 @@ class TestPlanSerialization:
         assert PLAN_FORMAT_VERSION == 1
 
 
+class TestDevicesOverride:
+    def test_matching_devices_reused(self, plan, hetero_cluster):
+        data = plan_to_dict(plan)
+        restored = plan_from_dict(data, model=plan.model, devices=hetero_cluster)
+        assert restored.devices[0] is hetero_cluster[0]
+
+    def test_wrong_count_rejected(self, plan, hetero_cluster):
+        data = plan_to_dict(plan)
+        with pytest.raises(ValueError, match="devices"):
+            plan_from_dict(data, model=plan.model, devices=hetero_cluster[:-1])
+
+    def test_wrong_bandwidth_rejected(self, plan, hetero_cluster):
+        data = plan_to_dict(plan)
+        data["devices"][0]["bandwidth_mbps"] = 1.0
+        with pytest.raises(ValueError, match="does not match"):
+            plan_from_dict(data, model=plan.model, devices=hetero_cluster)
+
+
+class TestScenarioSerialization:
+    def test_roundtrip(self):
+        from repro.experiments.scenarios import generate_scenario
+
+        scenario = generate_scenario(8, seed=4, trace_kind="dynamic")
+        restored = scenario_from_dict(scenario_to_dict(scenario))
+        assert restored == scenario
+        json.dumps(scenario_to_dict(scenario))
+
+    def test_roundtripped_scenario_builds_identical_network(self):
+        from repro.experiments.scenarios import ScenarioCatalog
+
+        scenario = ScenarioCatalog.dynamic_nano()
+        restored = scenario_from_dict(scenario_to_dict(scenario))
+        _, net_a = scenario.build(seed=5)
+        _, net_b = restored.build(seed=5)
+        for link_a, link_b in zip(net_a.provider_links, net_b.provider_links):
+            for t in (0.0, 12.5, 99.0):
+                assert link_a.throughput_mbps(t) == link_b.throughput_mbps(t)
+
+
 class TestEvaluationSerialization:
     def test_evaluation_to_dict_fields(self, plan, hetero_cluster):
         network = NetworkModel.constant_from_devices(hetero_cluster)
@@ -96,3 +139,31 @@ class TestEvaluationSerialization:
         assert summary["ips"] == pytest.approx(result.ips)
         assert len(summary["per_device_compute_ms"]) == len(hetero_cluster)
         json.dumps(summary)  # must be JSON-serialisable
+
+    def test_payload_roundtrip_is_bit_exact(self, plan, hetero_cluster):
+        import numpy as np
+
+        network = NetworkModel.constant_from_devices(hetero_cluster)
+        result = PlanEvaluator(hetero_cluster, network).evaluate(plan)
+        restored = evaluation_from_payload(evaluation_to_payload(result))
+        assert restored.end_to_end_ms == result.end_to_end_ms
+        assert restored.scatter_end_ms == result.scatter_end_ms
+        assert restored.head_device == result.head_device
+        assert restored.head_compute_ms == result.head_compute_ms
+        assert restored.method == result.method
+        assert np.array_equal(restored.per_device_compute_ms, result.per_device_compute_ms)
+        assert np.array_equal(restored.per_device_send_ms, result.per_device_send_ms)
+        assert np.array_equal(restored.per_device_recv_ms, result.per_device_recv_ms)
+        for vt_r, vt in zip(restored.volume_timings, result.volume_timings):
+            assert vt_r.volume_index == vt.volume_index
+            assert np.array_equal(vt_r.ready_ms, vt.ready_ms)
+            assert np.array_equal(vt_r.finish_ms, vt.finish_ms)
+            assert np.array_equal(vt_r.compute_ms, vt.compute_ms)
+            assert np.array_equal(vt_r.recv_bytes, vt.recv_bytes)
+
+    def test_payload_survives_json(self, plan, hetero_cluster):
+        """repr round-trip of float64 through json keeps every bit."""
+        network = NetworkModel.constant_from_devices(hetero_cluster)
+        result = PlanEvaluator(hetero_cluster, network).evaluate(plan)
+        payload = json.loads(json.dumps(evaluation_to_payload(result)))
+        assert evaluation_from_payload(payload).end_to_end_ms == result.end_to_end_ms

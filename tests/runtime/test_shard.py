@@ -1,0 +1,221 @@
+"""Determinism and lifecycle tests for the sharded evaluation engine.
+
+The sharded evaluator's contract mirrors the batch engine's: results merged
+from worker processes must be *bit-identical* to a single-process
+:class:`BatchPlanEvaluator` pass over the same plans — for every catalogue
+scenario, for generated fleets at 1/2/4 workers, and for the profiled-oracle
+path (workers rebuild profiles from the seeded profiler, so their world is
+exactly the parent's).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenarios import ScenarioCatalog, generate_scenario
+from repro.experiments.workloads import random_varied_plans
+from repro.nn import model_zoo
+from repro.runtime.batch import BatchPlanEvaluator
+from repro.runtime.shard import OracleSpec, ShardedPlanEvaluator, build_oracle
+
+MODEL_NAME = "small_vgg"
+
+
+@pytest.fixture(scope="module")
+def model():
+    return model_zoo.get(MODEL_NAME)
+
+
+def varied_plans(model, devices, count, seed=3):
+    """Random plans with *varied* partition boundaries (multiple groups)."""
+    return random_varied_plans(model, devices, count, seed=seed)
+
+
+def assert_bit_identical(reference, sharded):
+    assert len(reference) == len(sharded)
+    for ref, got in zip(reference, sharded):
+        assert got.end_to_end_ms == ref.end_to_end_ms
+        assert got.scatter_end_ms == ref.scatter_end_ms
+        assert got.head_device == ref.head_device
+        assert got.head_compute_ms == ref.head_compute_ms
+        assert got.method == ref.method
+        assert np.array_equal(got.per_device_compute_ms, ref.per_device_compute_ms)
+        assert np.array_equal(got.per_device_send_ms, ref.per_device_send_ms)
+        assert np.array_equal(got.per_device_recv_ms, ref.per_device_recv_ms)
+        assert len(got.volume_timings) == len(ref.volume_timings)
+        for vt_got, vt_ref in zip(got.volume_timings, ref.volume_timings):
+            assert np.array_equal(vt_got.ready_ms, vt_ref.ready_ms)
+            assert np.array_equal(vt_got.finish_ms, vt_ref.finish_ms)
+            assert np.array_equal(vt_got.compute_ms, vt_ref.compute_ms)
+            assert np.array_equal(vt_got.recv_bytes, vt_ref.recv_bytes)
+
+
+class TestBitIdenticalToSingleProcess:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_generated_fleet(self, model, workers):
+        scenario = generate_scenario(12, seed=5)
+        with ShardedPlanEvaluator(scenario, num_workers=workers, min_shard_size=1) as sharded:
+            plans = varied_plans(model, sharded.devices, 16, seed=7)
+            reference = BatchPlanEvaluator(sharded.devices, sharded.network).evaluate_plans(plans)
+            assert_bit_identical(reference, sharded.evaluate_plans(plans))
+
+    @pytest.mark.parametrize("name", sorted(ScenarioCatalog.all_named()))
+    def test_every_catalogue_scenario(self, model, name):
+        scenario = ScenarioCatalog.all_named()[name]
+        t_seconds = 0.0 if scenario.trace_kind == "constant" else 17.25
+        with ShardedPlanEvaluator(scenario, num_workers=2, min_shard_size=1) as sharded:
+            plans = varied_plans(model, sharded.devices, 6, seed=11)
+            reference = BatchPlanEvaluator(sharded.devices, sharded.network).evaluate_plans(
+                plans, t_seconds
+            )
+            assert_bit_identical(reference, sharded.evaluate_plans(plans, t_seconds))
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_profiled_oracle_path(self, model, workers):
+        """Workers rebuild per-type profiles from the seeded profiler."""
+        scenario = generate_scenario(8, seed=2)
+        spec = OracleSpec(
+            kind="profile", model=MODEL_NAME, heights_per_layer=6, seed=3
+        )
+        with ShardedPlanEvaluator(
+            scenario, num_workers=workers, oracle_spec=spec, min_shard_size=1
+        ) as sharded:
+            plans = varied_plans(model, sharded.devices, 10, seed=13)
+            reference = BatchPlanEvaluator(
+                sharded.devices,
+                sharded.network,
+                compute_oracle=build_oracle(spec, sharded.devices),
+            ).evaluate_plans(plans)
+            assert_bit_identical(reference, sharded.evaluate_plans(plans))
+
+    def test_no_head_model(self):
+        """YOLOv2 has no dense head: outputs return straight to the requester."""
+        scenario = generate_scenario(6, seed=12)
+        yolo = model_zoo.get("yolov2")
+        with ShardedPlanEvaluator(scenario, num_workers=2, min_shard_size=1) as sharded:
+            plans = varied_plans(yolo, sharded.devices, 8, seed=3)
+            reference = BatchPlanEvaluator(sharded.devices, sharded.network).evaluate_plans(plans)
+            results = sharded.evaluate_plans(plans)
+            assert_bit_identical(reference, results)
+            assert all(r.head_device is None for r in results)
+
+    def test_duplicates_across_shards(self, model):
+        scenario = generate_scenario(6, seed=1)
+        with ShardedPlanEvaluator(scenario, num_workers=2, min_shard_size=1) as sharded:
+            base = varied_plans(model, sharded.devices, 4, seed=19)
+            plans = base + [base[0], base[2]]
+            results = sharded.evaluate_plans(plans)
+            assert results[4].end_to_end_ms == results[0].end_to_end_ms
+            assert results[5].end_to_end_ms == results[2].end_to_end_ms
+
+
+class TestShardFormation:
+    def test_groups_never_straddle_shards(self, model):
+        scenario = generate_scenario(6, seed=4)
+        sharded = ShardedPlanEvaluator(scenario, num_workers=3, min_shard_size=1)
+        plans = varied_plans(model, sharded.devices, 24, seed=23)
+        shards = sharded._shards(plans, sharded.num_workers)
+        assert sorted(i for shard in shards for i in shard) == list(range(len(plans)))
+        group_of = {
+            i: (plan.model.name, tuple(plan.boundaries)) for i, plan in enumerate(plans)
+        }
+        seen = {}
+        for shard_index, shard in enumerate(shards):
+            for i in shard:
+                key = group_of[i]
+                assert seen.setdefault(key, shard_index) == shard_index
+
+    def test_min_shard_size_is_per_worker(self, model):
+        """A batch only fans out to as many workers as it can feed
+        min_shard_size plans each — never one-plan shards to an 8-wide pool."""
+        scenario = generate_scenario(4, seed=6)
+        sharded = ShardedPlanEvaluator(scenario, num_workers=8, min_shard_size=4)
+        plans = varied_plans(model, sharded.devices, 9, seed=59)
+        # 9 // 4 = 2 usable workers: shards average >= 4 plans.
+        shards = sharded._shards(plans, min(8, len(plans) // 4))
+        assert len(shards) == 2
+        results = sharded.evaluate_plans(plans)
+        assert len(results) == len(plans)
+        sharded.close()
+
+    def test_small_batches_stay_local(self, model):
+        scenario = generate_scenario(4, seed=6)
+        sharded = ShardedPlanEvaluator(scenario, num_workers=4, min_shard_size=8)
+        plans = varied_plans(model, sharded.devices, 5, seed=29)
+        sharded.evaluate_plans(plans)
+        assert sharded._executor is None  # never left the process
+        assert sharded.cache_info()["misses"] > 0
+
+    def test_single_plan_evaluate_is_local(self, model):
+        scenario = generate_scenario(4, seed=6)
+        sharded = ShardedPlanEvaluator(scenario, num_workers=4)
+        (plan,) = varied_plans(model, sharded.devices, 1, seed=31)
+        result = sharded.evaluate(plan)
+        assert result.end_to_end_ms > 0
+        assert sharded._executor is None
+
+
+class TestLifecycle:
+    def test_warm_up_and_reuse_after_close(self, model):
+        scenario = generate_scenario(6, seed=8)
+        sharded = ShardedPlanEvaluator(scenario, num_workers=2, min_shard_size=1)
+        assert sharded.warm_up() >= 1
+        plans = varied_plans(model, sharded.devices, 6, seed=37)
+        first = sharded.evaluate_plans(plans)
+        sharded.close()
+        assert sharded._executor is None
+        # The pool restarts transparently on the next batch.
+        second = sharded.evaluate_plans(plans)
+        assert_bit_identical(first, second)
+        sharded.close()
+
+    def test_clear_cache(self, model):
+        scenario = generate_scenario(6, seed=8)
+        with ShardedPlanEvaluator(scenario, num_workers=2, min_shard_size=1) as sharded:
+            plans = varied_plans(model, sharded.devices, 6, seed=41)
+            sharded.evaluate_plans(plans)
+            sharded.local.evaluate_plans(plans)
+            assert sharded.cache_info()["size"] > 0
+            sharded.clear_cache()
+            assert sharded.cache_info()["size"] == 0
+
+    def test_workers_zero_and_one_inline(self, model):
+        scenario = generate_scenario(4, seed=9)
+        for workers in (0, 1):
+            sharded = ShardedPlanEvaluator(scenario, num_workers=workers, min_shard_size=1)
+            plans = varied_plans(model, sharded.devices, 4, seed=43)
+            results = sharded.evaluate_plans(plans)
+            assert sharded._executor is None
+            assert len(results) == len(plans)
+
+
+class TestValidation:
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            ShardedPlanEvaluator(generate_scenario(4), num_workers=-1)
+
+    def test_non_zoo_model_rejected(self):
+        scenario = generate_scenario(4, seed=0)
+        sharded = ShardedPlanEvaluator(scenario, num_workers=2, min_shard_size=1)
+        custom = model_zoo.small_vgg(32)  # non-default input size
+        plans = varied_plans(custom, sharded.devices, 4, seed=47)
+        with pytest.raises(ValueError, match="differs from the zoo build"):
+            sharded.evaluate_plans(plans)
+
+    def test_device_count_mismatch_rejected(self, model):
+        scenario = generate_scenario(4, seed=0)
+        other = generate_scenario(6, seed=0)
+        sharded = ShardedPlanEvaluator(scenario, num_workers=2, min_shard_size=1)
+        other_devices, _ = other.build()
+        plans = varied_plans(model, other_devices, 4, seed=53)
+        with pytest.raises(ValueError, match="devices"):
+            sharded.evaluate_plans(plans)
+
+    def test_oracle_spec_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            OracleSpec(kind="psychic")
+        with pytest.raises(ValueError, match="name the model"):
+            OracleSpec(kind="profile")
+        with pytest.raises(ValueError, match="representation"):
+            OracleSpec(kind="profile", model=MODEL_NAME, representation="spline")

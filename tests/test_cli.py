@@ -23,6 +23,25 @@ class TestParser:
     def test_compare_defaults(self):
         args = build_parser().parse_args(["compare"])
         assert args.scenario == "DB"
+        assert args.workers == 1
+
+    def test_plan_scenario_flag(self):
+        args = build_parser().parse_args(
+            ["plan", "--scenario", "gen:n=8,seed=3", "--workers", "4"]
+        )
+        assert args.scenario == "gen:n=8,seed=3"
+        assert args.workers == 4
+        assert args.devices is None
+
+    def test_plan_devices_and_scenario_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["plan", "--devices", "nano", "--scenario", "DB"]
+            )
+
+    def test_plan_requires_a_cluster(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan"])
 
 
 class TestCommands:
@@ -62,3 +81,74 @@ class TestCommands:
     def test_compare_unknown_scenario(self, capsys):
         code = main(["compare", "--scenario", "ZZ", "--episodes", "2", "--random-splits", "3"])
         assert code == 2
+
+    def test_plan_generated_scenario(self, capsys):
+        code = main([
+            "plan",
+            "--model", "small_vgg",
+            "--scenario", "gen:n=4,bw=200,types=nano",
+            "--method", "aofl",
+            "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gen-4d-nano-bw200-constant-s0" in out
+        assert "predicted latency" in out
+        # A single-plan evaluation cannot shard; the CLI says so instead of
+        # silently spinning up (and wasting) a worker pool.
+        assert "no effect on a single-plan evaluation" in out
+
+    def test_plan_catalogue_scenario(self, capsys):
+        code = main([
+            "plan",
+            "--model", "small_vgg",
+            "--scenario", "DA",
+            "--method", "modnn",
+        ])
+        assert code == 0
+        assert "scenario: DA" in capsys.readouterr().out
+
+    def test_plan_catalogue_scenario_with_bandwidth(self, capsys):
+        """--bandwidth reshapes a catalogue scenario's links (so plan and
+        compare can be run against the same fleet)."""
+        code = main([
+            "plan",
+            "--model", "small_vgg",
+            "--scenario", "DA",
+            "--bandwidth", "300",
+            "--method", "modnn",
+        ])
+        assert code == 0
+        assert "scenario: DA-300Mbps" in capsys.readouterr().out
+
+    def test_plan_malformed_generator_spec(self, capsys):
+        code = main(["plan", "--model", "small_vgg", "--scenario", "gen:bogus=1"])
+        assert code == 2
+        assert "unknown generator option" in capsys.readouterr().err
+
+    def test_plan_unknown_scenario_message_unwrapped(self, capsys):
+        code = main(["plan", "--model", "small_vgg", "--scenario", "ZZ"])
+        assert code == 2
+        err = capsys.readouterr().err
+        # The KeyError payload is printed bare, not as its repr.
+        assert err.startswith("unknown scenario 'ZZ'")
+
+    def test_plan_and_compare_resolve_the_same_fleet(self):
+        """Regression: a scenario name must mean one fleet in both commands."""
+        from repro.cli import _scenario_from_args
+
+        db = _scenario_from_args("DB", None)
+        assert db.bandwidths_mbps == [200.0] * 4  # Table-I default, both commands
+        reshaped = _scenario_from_args("DB", 300.0)
+        assert reshaped.name == "DB-300Mbps"
+        assert reshaped.bandwidths_mbps == [300.0] * 4
+        # Names plan accepts are reachable from compare too (shared resolver).
+        assert _scenario_from_args("homog-nano", None) is not None
+        assert _scenario_from_args("NA-xavier", None) is not None
+
+    def test_compare_bandwidth_ignored_for_generated_scenarios(self, capsys):
+        code = main(["compare", "--scenario", "gen:bogus=1", "--bandwidth", "100"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--bandwidth does not apply to gen: scenarios" in err
+        assert "unknown generator option" in err
