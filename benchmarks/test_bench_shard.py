@@ -10,9 +10,12 @@ re-voting and OSDS candidate scoring actually produce at Table-III scale.
 The gate asserts the sharded path reaches at least ``MIN_SPEEDUP`` (2x) the
 single-process batch throughput and that the merged results are
 bit-identical; numbers land in ``BENCH_shard.json`` for the CI artifact
-trail.  On machines with fewer cores than workers the numbers are still
-recorded but the speedup assertion is skipped — multiprocess scaling cannot
-be demonstrated on a single core.
+trail.  On machines with fewer cores than workers the speedup assertion is
+skipped — multiprocess scaling cannot be demonstrated on a single core —
+and, crucially, a skipped run never overwrites enforced numbers: the file
+keeps the last *enforced* result at top level and records the skip (CPU
+count, reason, measured speedup) under ``skipped_run``, so the artifact
+trail cannot silently degrade into ungated measurements.
 """
 
 from __future__ import annotations
@@ -79,6 +82,7 @@ def test_bench_shard_scaling(benchmark):
     best_single, best_sharded = min(t_single), min(t_sharded)
     speedup = best_single / best_sharded
     cpus = os.cpu_count() or 1
+    enforced = cpus >= WORKERS
     rows = {
         "scenario": scenario.name,
         "model": MODEL_NAME,
@@ -93,9 +97,40 @@ def test_bench_shard_scaling(benchmark):
         "speedup_sharded_over_single": speedup,
         "bit_identical": bit_identical,
         "min_speedup_gate": MIN_SPEEDUP,
-        "gate_enforced": cpus >= WORKERS,
+        "gate_enforced": enforced,
+        # Distinct from gate_enforced (which describes the top-level
+        # numbers, possibly from an earlier enforced run): whether *this*
+        # run enforced the gate.  CI uploads the artifact only when true.
+        "last_run_enforced": enforced,
     }
-    BENCH_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    if enforced:
+        BENCH_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    else:
+        # Keep the last enforced result; only annotate the skip.  A file
+        # whose top level says gate_enforced: false carries no enforced
+        # numbers at all and is not uploaded by CI.
+        skip = {
+            "cpu_count": cpus,
+            "workers": WORKERS,
+            "reason": f"{cpus} CPU(s) < {WORKERS} workers; multiprocess "
+            "scaling cannot be demonstrated on this machine",
+            "measured_speedup_sharded_over_single": speedup,
+            "bit_identical": bit_identical,
+        }
+        previous = None
+        if BENCH_PATH.exists():
+            try:
+                previous = json.loads(BENCH_PATH.read_text())
+            except ValueError:
+                previous = None
+        if previous is not None and previous.get("gate_enforced"):
+            previous["skipped_run"] = skip
+            previous["last_run_enforced"] = False
+            BENCH_PATH.write_text(json.dumps(previous, indent=2) + "\n")
+            rows = previous
+        else:
+            rows = {"gate_enforced": False, "last_run_enforced": False, "skipped_run": skip}
+            BENCH_PATH.write_text(json.dumps(rows, indent=2) + "\n")
     print(f"\nBENCH_shard: {json.dumps(rows, indent=2)}")
 
     benchmark.pedantic(
@@ -104,7 +139,7 @@ def test_bench_shard_scaling(benchmark):
     sharded.close()
 
     assert bit_identical, "sharded results diverged from the single-process batch path"
-    if cpus >= WORKERS:
+    if enforced:
         assert speedup >= MIN_SPEEDUP, (
             f"shard scaling regressed: {speedup:.2f}x < {MIN_SPEEDUP}x "
             f"(single {best_single * 1000:.1f} ms, sharded {best_sharded * 1000:.1f} ms "

@@ -112,7 +112,12 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             DistrEdgeConfig(
                 alpha=args.alpha,
                 num_random_splits=args.random_splits,
-                osds=OSDSConfig(max_episodes=args.episodes, seed=args.seed),
+                osds=OSDSConfig(
+                    max_episodes=args.episodes,
+                    seed=args.seed,
+                    episode_batch=args.episode_batch,
+                    policy_refresh=args.policy_refresh,
+                ),
                 seed=args.seed,
             )
         )
@@ -166,6 +171,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             num_random_splits=args.random_splits,
             seed=args.seed,
             workers=args.workers,
+            osds_episode_batch=args.episode_batch,
+            osds_policy_refresh=args.policy_refresh,
         )
     ) as harness:
         results = harness.compare(scenario, methods=ALL_METHODS, model_name=args.model)
@@ -197,6 +204,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--method", default="distredge",
                         choices=["distredge", *sorted(BASELINE_REGISTRY)])
     p_plan.add_argument("--episodes", type=int, default=200)
+    p_plan.add_argument("--episode-batch", type=int, default=8,
+                        help="OSDS episodes rolled out in lockstep per vectorised "
+                             "round (execution width only; results are bit-identical "
+                             "at any value, 1 = scalar loop). Rounds never cross a "
+                             "policy-refresh boundary, so widths beyond "
+                             "--policy-refresh need that knob raised too")
+    p_plan.add_argument("--policy-refresh", type=int, default=8,
+                        help="episodes between OSDS acting-policy snapshot refreshes "
+                             "(semantic: changing it changes which policy explores)")
     p_plan.add_argument("--alpha", type=float, default=0.75)
     p_plan.add_argument("--random-splits", type=int, default=30)
     p_plan.add_argument("--seed", type=int, default=0)
@@ -222,6 +238,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "rate in Mbps; not applicable to gen: scenarios")
     p_cmp.add_argument("--model", default="vgg16", choices=model_zoo.list_models())
     p_cmp.add_argument("--episodes", type=int, default=150)
+    p_cmp.add_argument("--episode-batch", type=int, default=8,
+                       help="OSDS episodes rolled out in lockstep per vectorised round "
+                            "(capped at --policy-refresh)")
+    p_cmp.add_argument("--policy-refresh", type=int, default=8,
+                       help="episodes between OSDS acting-policy snapshot refreshes")
     p_cmp.add_argument("--random-splits", type=int, default=20)
     p_cmp.add_argument("--seed", type=int, default=0)
     p_cmp.add_argument("--workers", type=int, default=1,

@@ -130,6 +130,25 @@ class DDPGAgent:
             return np.zeros(self.action_dim)
         return self._rng.normal(0.0, self.config.noise_sigma, size=self.action_dim)
 
+    def actor_copy(self) -> MLP:
+        """A detached copy of the actor network (current parameters).
+
+        Episode-batched OSDS acts through such a copy, refreshed only at
+        policy-refresh boundaries: within a refresh window the acting policy
+        is frozen, which decouples action selection from the (strictly
+        sequential) replay updates and is what allows whole episode rounds
+        to roll out in lockstep with bit-identical results at any execution
+        width.  The copy forwards through the identical float path as
+        :meth:`act`.
+        """
+        clone = MLP(
+            [self.state_dim, *self.config.actor_hidden, self.action_dim],
+            output_activation="tanh",
+            seed=0,
+        )
+        clone.copy_from(self.actor)
+        return clone
+
     def random_action(self) -> np.ndarray:
         """Uniform random action in [-1, 1] (pure exploration)."""
         return self._rng.uniform(-1.0, 1.0, size=self.action_dim).astype(np.float32)

@@ -26,8 +26,9 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.devices.specs import DeviceInstance
-from repro.nn.graph import LayerVolume, ModelSpec
+from repro.nn.graph import LayerVolume, ModelSpec, cached_partition
 from repro.nn.splitting import SplitDecision
+from repro.runtime.batch import BatchPlanEvaluator, BatchVolumeScheduler
 from repro.runtime.evaluator import PlanEvaluator, ScheduleState
 from repro.runtime.plan import DistributionPlan, VolumeAssignment
 from repro.nn.splitting import split_volume
@@ -76,6 +77,21 @@ def map_action_to_cuts(raw_action: np.ndarray, output_height: int) -> Tuple[int,
     return tuple(int(c) for c in cuts)
 
 
+def map_action_to_cuts_batch(raw_actions: np.ndarray, output_height: int) -> np.ndarray:
+    """Vectorised :func:`map_action_to_cuts` over an ``(episodes, |D|-1)`` batch.
+
+    Each row undergoes the identical sort / clip / round arithmetic as the
+    scalar mapping, so ``map_action_to_cuts_batch(A, h)[i]`` equals
+    ``map_action_to_cuts(A[i], h)`` element for element.
+    """
+    a, b = -1.0, 1.0
+    sorted_actions = np.sort(
+        np.clip(np.asarray(raw_actions, dtype=float), a, b), axis=1
+    )
+    cuts = np.rint(output_height * (sorted_actions - a) / (b - a)).astype(int)
+    return np.clip(cuts, 0, output_height)
+
+
 class SplitMDP:
     """Environment over which OSDS trains its DDPG agent.
 
@@ -108,8 +124,14 @@ class SplitMDP:
         self.boundaries = list(boundaries)
         self.devices = list(devices)
         self.evaluator = evaluator
+        # A ShardedPlanEvaluator is accepted too: whole-plan batches
+        # (offload scale, seed warm-up) fan out to its worker pool while the
+        # per-volume stepping below runs on its in-process engine — the
+        # sharded `local` engine is a drop-in PlanEvaluator and bit-identical
+        # to the pool by construction.
+        self._stepper: PlanEvaluator = getattr(evaluator, "local", evaluator)
         self.reward_scale = float(reward_scale)
-        self.volumes: List[LayerVolume] = model.partition(self.boundaries)
+        self.volumes: List[LayerVolume] = cached_partition(model, self.boundaries)
         self._max_height = max(v.output_height for v in self.volumes)
         self._max_channels = max(v.last.out_c for v in self.volumes)
         # Latency normalisation: offloading everything to the fastest device
@@ -184,7 +206,7 @@ class SplitMDP:
 
     def reset(self, t_seconds: float = 0.0) -> np.ndarray:
         """Start a new episode; returns the initial observation vector."""
-        self._state = self.evaluator.new_state()
+        self._state = self._stepper.new_state()
         self._decisions = []
         self._step_index = 0
         self._t_seconds = float(t_seconds)
@@ -213,13 +235,13 @@ class SplitMDP:
         assignment = VolumeAssignment(
             volume=volume, decision=decision, parts=tuple(split_volume(volume, decision))
         )
-        self.evaluator.process_volume(self._state, assignment, self._t_seconds)
+        self._stepper.process_volume(self._state, assignment, self._t_seconds)
         self._step_index += 1
         done = self._step_index >= self.num_volumes
         info: dict = {}
         if done:
             plan = self.build_plan(self._decisions)
-            result = self.evaluator.finalize(self._state, plan, self._t_seconds)
+            result = self._stepper.finalize(self._state, plan, self._t_seconds)
             reward = self.reward_scale / max(result.end_to_end_ms, 1e-6)
             info = {
                 "end_to_end_ms": result.end_to_end_ms,
@@ -264,4 +286,171 @@ class SplitMDP:
         return latency, plan
 
 
-__all__ = ["SplitState", "SplitAction", "SplitMDP", "map_action_to_cuts"]
+class BatchSplitMDP:
+    """``E`` concurrent episodes of a :class:`SplitMDP`, stepped in lockstep.
+
+    The scalar environment advances one episode through Python-level
+    scheduling; this wrapper advances a whole *round* of independent
+    episodes through one :class:`~repro.runtime.batch.BatchVolumeScheduler`
+    sweep per volume, so the per-step cost is one ``(episodes, devices)``
+    array program instead of ``E`` scalar walks.  Observations, rewards and
+    terminal latencies are bit-identical to stepping each episode through
+    the scalar environment (the scheduler executes the scalar evaluator's
+    float-operation sequence exactly, and the observation arithmetic below
+    matches :meth:`SplitState.to_vector` element for element) — the
+    invariant episode-batched OSDS relies on.
+
+    Requires the environment's stepping evaluator to be a
+    :class:`~repro.runtime.batch.BatchPlanEvaluator` whose oracle supports
+    vectorised part latencies (ground truth or profiles); see
+    :meth:`supports`.
+    """
+
+    def __init__(self, env: SplitMDP, episodes: int) -> None:
+        if episodes < 1:
+            raise ValueError(f"episodes must be >= 1, got {episodes}")
+        if not self.supports(env):
+            raise ValueError(
+                "BatchSplitMDP needs a BatchPlanEvaluator with vectorised "
+                "part latencies (ground-truth or profile oracle)"
+            )
+        self.env = env
+        self.episodes = int(episodes)
+        self._evaluator: BatchPlanEvaluator = env._stepper  # type: ignore[assignment]
+        self._scheduler: Optional[BatchVolumeScheduler] = None
+        self._finish: Optional[np.ndarray] = None
+        self._cuts: List[np.ndarray] = []
+        self._t_seconds = 0.0
+
+    @staticmethod
+    def supports(env: SplitMDP) -> bool:
+        """Whether ``env`` can be stepped in vectorised episode batches."""
+        stepper = env._stepper
+        return (
+            isinstance(stepper, BatchPlanEvaluator)
+            and stepper.supports_vectorized_stepping
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_volumes(self) -> int:
+        return self.env.num_volumes
+
+    def _observation(self) -> np.ndarray:
+        """``(episodes, state_dim)`` observations; rows match the scalar env."""
+        env = self.env
+        n = len(env.devices)
+        if self._finish is None:
+            accumulated = np.zeros((self.episodes, n))
+        else:
+            accumulated = self._finish
+        lat = accumulated / max(env.latency_scale_ms, 1e-6)
+        volume = env.volumes[self._scheduler.volume_index]
+        last = volume.last
+        feats = np.array(
+            [
+                volume.output_height / max(env._max_height, 1),
+                last.out_c / max(env._max_channels, 1),
+                last.kernel / 7.0,
+                last.stride / 2.0,
+            ],
+            dtype=np.float32,
+        )
+        return np.concatenate(
+            [
+                lat.astype(np.float32),
+                np.broadcast_to(feats, (self.episodes, feats.size)),
+            ],
+            axis=1,
+        )
+
+    def reset(self, t_seconds: float = 0.0) -> np.ndarray:
+        """Start a fresh round; returns the ``(episodes, state_dim)`` observations."""
+        self._t_seconds = float(t_seconds)
+        self._scheduler = BatchVolumeScheduler(
+            self._evaluator,
+            self.env.model,
+            self.env.volumes,
+            self.episodes,
+            self._t_seconds,
+        )
+        self._finish = None
+        self._cuts = []
+        return self._observation()
+
+    def step(
+        self, raw_actions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, bool, List[dict]]:
+        """Apply one action per episode for the current volume.
+
+        Returns ``(next_observations, rewards, done, infos)``; ``infos`` is
+        one dict per episode, carrying ``end_to_end_ms``, ``decisions`` and
+        the full ``result`` at the terminal step (plans are *not* built here
+        — a caller that needs one builds it lazily from the decisions, which
+        keeps the common non-improving episode cheap).
+        """
+        if self._scheduler is None:
+            raise RuntimeError("step() called before reset()")
+        if self._scheduler.done:
+            raise RuntimeError("round already finished; call reset()")
+        env = self.env
+        scheduler = self._scheduler
+        volume = env.volumes[scheduler.volume_index]
+        raw_actions = np.asarray(raw_actions, dtype=np.float32).reshape(
+            self.episodes, env.action_dim
+        )
+        cuts = map_action_to_cuts_batch(raw_actions, volume.output_height)
+        self._cuts.append(cuts)
+        self._finish = scheduler.process_volume(cuts)
+        done = scheduler.done
+        if not done:
+            rewards = np.zeros(self.episodes)
+            return self._observation(), rewards, False, [{} for _ in range(self.episodes)]
+
+        # Terminal: schedule gather/head/result return for every episode.
+        if env.model.head_layers:
+            # Default head placement: the provider holding the largest share
+            # of the last volume — np.argmax returns the first maximum, the
+            # same tie-break as DistributionPlan.largest_share_device.
+            edges = np.concatenate(
+                [
+                    np.zeros((self.episodes, 1), dtype=np.int64),
+                    cuts,
+                    np.full((self.episodes, 1), volume.output_height, dtype=np.int64),
+                ],
+                axis=1,
+            )
+            heads = np.argmax(np.diff(edges, axis=1), axis=1).astype(np.int64)
+        else:
+            heads = None
+        results = scheduler.finalize(heads, ["distredge"] * self.episodes)
+        rewards = np.empty(self.episodes)
+        infos: List[dict] = []
+        for e, result in enumerate(results):
+            rewards[e] = env.reward_scale / max(result.end_to_end_ms, 1e-6)
+            decisions = [
+                SplitDecision(
+                    cuts=tuple(int(c) for c in step_cuts[e]),
+                    output_height=v.output_height,
+                )
+                for step_cuts, v in zip(self._cuts, env.volumes)
+            ]
+            infos.append(
+                {
+                    "end_to_end_ms": result.end_to_end_ms,
+                    "decisions": decisions,
+                    "result": result,
+                }
+            )
+        next_obs = np.zeros((self.episodes, env.state_dim), dtype=np.float32)
+        return next_obs, rewards, True, infos
+
+
+__all__ = [
+    "SplitState",
+    "SplitAction",
+    "SplitMDP",
+    "BatchSplitMDP",
+    "map_action_to_cuts",
+    "map_action_to_cuts_batch",
+]

@@ -125,6 +125,13 @@ class OnlineDistrEdgeController:
     finetune_episodes:
         Number of OSDS episodes used when fine-tuning after a partition
         change.
+    evaluator:
+        Optional externally-owned evaluator to score candidates and step the
+        splitting MDP through — pass a
+        :class:`~repro.runtime.shard.ShardedPlanEvaluator` to hand candidate
+        batches and OSDS seed warm-ups to its persistent worker pool (the
+        MDP's per-volume stepping always stays on the in-process engine).
+        Default: a private :class:`~repro.runtime.batch.BatchPlanEvaluator`.
     """
 
     model: ModelSpec
@@ -135,6 +142,7 @@ class OnlineDistrEdgeController:
     replan_threshold: float = 0.25
     partition_replan_delay_s: float = 120.0
     finetune_episodes: int = 50
+    evaluator: Optional[object] = None
     replan_log: List[float] = field(default_factory=list)
     decision_log: List[float] = field(default_factory=list)
 
@@ -142,7 +150,7 @@ class OnlineDistrEdgeController:
         # Batch path: candidate split decisions are scored in one vectorised
         # call per refresh, and re-considering the plan currently in service
         # is a cache hit whenever the network state has not changed.
-        self._evaluator = BatchPlanEvaluator(
+        self._evaluator = self.evaluator or BatchPlanEvaluator(
             self.devices,
             self.network,
             input_bytes_per_element=self.distredge.config.input_bytes_per_element,
@@ -277,6 +285,8 @@ class OnlineDistrEdgeController:
             sigma_squared=self.distredge.config.osds.sigma_squared,
             ddpg=self.distredge.config.osds.ddpg,
             seed=self.distredge.config.osds.seed,
+            episode_batch=self.distredge.config.osds.episode_batch,
+            policy_refresh=self.distredge.config.osds.policy_refresh,
         )
         finetune = OSDS(env, finetune_cfg)
         # Fine-tune starting from the current policy rather than from scratch.

@@ -40,6 +40,14 @@ class ReplayBuffer:
     def __len__(self) -> int:
         return len(self._storage)
 
+    @property
+    def transitions(self) -> Tuple[Transition, ...]:
+        """The stored transitions in insertion order (oldest first up to the
+        wrap point).  Exposed for replay-consistency assertions: two training
+        runs that fed identical transitions in identical order have equal
+        buffers, which the episode-batched OSDS tests check field by field."""
+        return tuple(self._storage)
+
     def add(self, transition: Transition) -> None:
         """Insert a transition, overwriting the oldest once at capacity."""
         if len(self._storage) < self.capacity:

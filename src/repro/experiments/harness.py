@@ -72,6 +72,15 @@ class HarnessConfig:
     #: in-process, >= 2 routes scenario evaluators through a persistent
     #: :class:`~repro.runtime.shard.ShardedPlanEvaluator` pool.
     workers: int = 1
+    #: OSDS episodes rolled out in lockstep per vectorised round.  Pure
+    #: execution width — results are bit-identical for any value, so this
+    #: trades nothing but memory for speed.  Rounds never cross a
+    #: policy-refresh boundary: widths beyond ``osds_policy_refresh`` need
+    #: that (semantic) knob raised too.
+    osds_episode_batch: int = 8
+    #: Episodes between OSDS acting-policy snapshot refreshes.  Semantic:
+    #: changing it changes which policy explores (and hence the results).
+    osds_policy_refresh: int = 8
 
     def osds_config(self, num_devices: int) -> OSDSConfig:
         """OSDS configuration; sigma^2 is raised for large clusters (paper)."""
@@ -80,6 +89,8 @@ class HarnessConfig:
             max_episodes=self.osds_episodes,
             sigma_squared=sigma_squared,
             seed=self.seed,
+            episode_batch=self.osds_episode_batch,
+            policy_refresh=self.osds_policy_refresh,
         )
 
     def distredge_config(self, num_devices: int) -> DistrEdgeConfig:

@@ -15,8 +15,9 @@ by :class:`LayerVolume`.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.nn.layers import (
     ConvSpec,
@@ -414,4 +415,37 @@ class ModelBuilder:
         return ModelSpec(self.name, self._layers, self.input_shape)
 
 
-__all__ = ["LayerVolume", "ModelSpec", "ModelBuilder"]
+#: (model -> {boundaries tuple -> volumes tuple}) memo behind
+#: :func:`cached_partition`.  Keyed weakly so dropping a model drops its
+#: cached partitions.
+_PARTITION_MEMO: "weakref.WeakKeyDictionary[ModelSpec, Dict[Tuple[int, ...], Tuple[LayerVolume, ...]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def cached_partition(model: ModelSpec, boundaries: Sequence[int]) -> List[LayerVolume]:
+    """Memoized :meth:`ModelSpec.partition` keyed on ``(model, boundaries)``.
+
+    Partitioning is pure — the same model and boundaries always produce
+    structurally identical (and frozen, hence shareable)
+    :class:`LayerVolume` objects — but it is rebuilt for every
+    :class:`~repro.runtime.plan.DistributionPlan`, which at 32+ devices is a
+    large share of plan-deserialisation cost in sharded workers and of
+    per-episode plan construction in OSDS.  This memo shares the volume
+    objects and re-runs validation only on the first sighting of a
+    boundaries tuple; the returned list is a fresh copy, so callers may
+    mutate the *list* freely.
+    """
+    per_model = _PARTITION_MEMO.get(model)
+    if per_model is None:
+        per_model = {}
+        _PARTITION_MEMO[model] = per_model
+    key = tuple(int(b) for b in boundaries)
+    volumes = per_model.get(key)
+    if volumes is None:
+        volumes = tuple(model.partition(key))
+        per_model[key] = volumes
+    return list(volumes)
+
+
+__all__ = ["LayerVolume", "ModelSpec", "ModelBuilder", "cached_partition"]

@@ -262,13 +262,14 @@ class BatchPlanEvaluator(PlanEvaluator):
     ) -> List[EvaluationResult]:
         """Schedule a group of plans sharing (model, boundaries) as arrays.
 
-        The sweep mirrors :meth:`PlanEvaluator.process_volume` /
-        :meth:`PlanEvaluator.finalize` exactly: transfers are applied in the
-        canonical (destination ascending, source ascending) order the scalar
-        dict iteration produces, lane reservations use the same
-        three-operand ``max``, and per-part latencies use the same float
-        expression tree — so every element of every output array is the very
-        float the scalar evaluator would produce.
+        The sweep (see :class:`BatchVolumeScheduler`) mirrors
+        :meth:`PlanEvaluator.process_volume` / :meth:`PlanEvaluator.finalize`
+        exactly: transfers are applied in the canonical (destination
+        ascending, source ascending) order the scalar dict iteration
+        produces, lane reservations use the same three-operand ``max``, and
+        per-part latencies use the same float expression tree — so every
+        element of every output array is the very float the scalar evaluator
+        would produce.
         """
         if len(plans) == 1:
             # Array scheduling only pays off across plans; a singleton group
@@ -279,245 +280,47 @@ class BatchPlanEvaluator(PlanEvaluator):
         volumes = plans[0].volumes
         batch = len(plans)
         n = len(self.devices)
-        req = self._requester_index
-
-        thr = np.array(network_state_signature(self.network, t_seconds))
-        if np.any(thr <= 0):
-            raise ValueError("all link throughputs must be positive")
-        # Achievable pairwise rate (bytes/s): min of the two endpoint links,
-        # converted exactly as utils.units.bytes_per_second does.
-        air_bps = np.minimum(thr[:, None], thr[None, :]) * MBPS / 8.0
-
-        send_free = np.zeros((batch, n + 1))
-        recv_free = np.zeros((batch, n + 1))
-        send_busy = np.zeros((batch, n + 1))
-        recv_busy = np.zeros((batch, n + 1))
-        comp_free = np.zeros((batch, n))
-        comp_total = np.zeros((batch, n))
-        data_ready = np.zeros((batch, n))
-        prev_finish = np.zeros((batch, n))
-        prev_out_lo = prev_out_hi = None
-        prev_nonempty = None
-        scatter_end = np.zeros(batch)
-        vol_records: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
-
-        def transfer(
-            src: int,
-            dst,
-            nbytes: np.ndarray,
-            earliest: np.ndarray,
-            mask: np.ndarray,
-        ) -> np.ndarray:
-            """Masked lane-scheduled transfer; returns per-plan end times.
-
-            ``dst`` is either a column index or a per-plan index array (the
-            head-gather case).  Rows outside ``mask`` leave all lanes
-            untouched and report ``earliest`` as their end time, exactly like
-            the scalar ``_transfer`` skip path.
-            """
-            nb = nbytes.astype(np.float64)
-            duration = (
-                self._io_fixed[src] + nb / self._io_bps[src] * 1000.0
-            ) + nb / (
-                air_bps[src, dst] if np.isscalar(dst) else air_bps[src][dst]
-            ) * 1000.0
-            if np.isscalar(dst):
-                dst_free = recv_free[:, dst]
-            else:
-                dst_free = recv_free[np.arange(batch), dst]
-            start = np.maximum(np.maximum(earliest, send_free[:, src]), dst_free)
-            end = start + duration
-            send_free[:, src] = np.where(mask, end, send_free[:, src])
-            send_busy[:, src] = np.where(mask, send_busy[:, src] + duration, send_busy[:, src])
-            new_dst_free = np.where(mask, end, dst_free)
-            new_dst_busy = np.where(mask, duration, 0.0)
-            if np.isscalar(dst):
-                recv_free[:, dst] = new_dst_free
-                recv_busy[:, dst] += new_dst_busy
-            else:
-                rows = np.arange(batch)
-                recv_free[rows, dst] = new_dst_free
-                recv_busy[rows, dst] += new_dst_busy
-            return np.where(mask, end, earliest)
-
-        for l, volume in enumerate(volumes):
+        scheduler = BatchVolumeScheduler(self, model, volumes, batch, t_seconds)
+        for l in range(len(volumes)):
             cuts = np.array(
                 [plan.decisions[l].cuts for plan in plans], dtype=np.int64
             ).reshape(batch, n - 1)
-            height = volume.output_height
-            edges = np.concatenate(
-                [
-                    np.zeros((batch, 1), dtype=np.int64),
-                    cuts,
-                    np.full((batch, 1), height, dtype=np.int64),
-                ],
-                axis=1,
-            )
-            out_lo, out_hi = edges[:, :-1], edges[:, 1:]
-            nonempty = out_hi > out_lo
+            scheduler.process_volume(cuts, plans=plans)
+        heads = (
+            np.array([plan.head_device for plan in plans], dtype=np.int64)
+            if model.head_layers
+            else None
+        )
+        return scheduler.finalize(heads, [plan.method for plan in plans])
 
-            # Per-sub-layer output row ranges (the exact VSL arithmetic).
-            layers = list(volume.layers)
-            ranges: List[Tuple[np.ndarray, np.ndarray]] = [(out_lo, out_hi)] * len(layers)
-            lo, hi = out_lo, out_hi
-            for i in range(len(layers) - 1, 0, -1):
-                lo, hi = _required_rows_vec(layers[i], lo, hi)
-                ranges[i - 1] = (lo, hi)
-            in_lo, in_hi = _required_rows_vec(layers[0], ranges[0][0], ranges[0][1])
+    @property
+    def supports_vectorized_stepping(self) -> bool:
+        """Whether :class:`BatchVolumeScheduler` can step without plans.
 
-            # ---- transfers, in the scalar evaluator's canonical order ---- #
-            arrival = np.zeros((batch, n))
-            recv_bytes = np.zeros((batch, n))
-            if l == 0:
-                in_elements = volume.first.in_w * volume.first.in_c
-                scatter = np.rint(
-                    np.maximum(in_hi - in_lo, 0) * in_elements * self.input_bytes_per_element
-                ).astype(np.int64)
-                for dst in range(n):
-                    mask = nonempty[:, dst] & (scatter[:, dst] > 0)
-                    if not mask.any():
-                        continue
-                    end = transfer(req, dst, scatter[:, dst], np.zeros(batch), mask)
-                    arrival[:, dst] = np.where(
-                        mask, np.maximum(arrival[:, dst], end), arrival[:, dst]
-                    )
-                    recv_bytes[:, dst] += np.where(mask, scatter[:, dst], 0)
-            else:
-                row_bytes = volume.first.in_w * volume.first.in_c * FP16_BYTES
-                for dst in range(n):
-                    need_mask = nonempty[:, dst] & (in_hi[:, dst] > in_lo[:, dst])
-                    if not need_mask.any():
-                        continue
-                    for src in range(n):
-                        if src == dst:
-                            continue
-                        overlap = np.minimum(in_hi[:, dst], prev_out_hi[:, src]) - np.maximum(
-                            in_lo[:, dst], prev_out_lo[:, src]
-                        )
-                        mask = need_mask & prev_nonempty[:, src] & (overlap > 0)
-                        if not mask.any():
-                            continue
-                        nbytes = overlap * row_bytes
-                        end = transfer(src, dst, nbytes, data_ready[:, src], mask)
-                        arrival[:, dst] = np.where(
-                            mask, np.maximum(arrival[:, dst], end), arrival[:, dst]
-                        )
-                        recv_bytes[:, dst] += np.where(mask, nbytes, 0)
-
-            # Rows already held locally from the previous volume.
-            if l == 0:
-                local_ready = np.zeros((batch, n))
-            else:
-                have_overlap = (
-                    np.minimum(in_hi, prev_out_hi) > np.maximum(in_lo, prev_out_lo)
-                ) & prev_nonempty
-                local_ready = np.where(have_overlap, data_ready, 0.0)
-
-            # ---- compute lanes -------------------------------------------- #
-            durations = self._part_durations(plans, l, volume, ranges, nonempty)
-            ready = np.where(nonempty, np.maximum(arrival, local_ready), prev_finish)
-            start = np.maximum(ready, comp_free)
-            finish = np.where(nonempty, start + durations, prev_finish)
-            comp_free = np.where(nonempty, finish, comp_free)
-            active_durations = np.where(nonempty, durations, 0.0)
-            comp_total = comp_total + active_durations
-
-            data_ready = np.where(nonempty, finish, 0.0)
-            prev_out_lo, prev_out_hi = out_lo, out_hi
-            prev_nonempty = nonempty
-            prev_finish = finish
-            vol_records.append((ready, finish, active_durations, recv_bytes))
-            if l == 0:
-                scatter_end = ready.max(axis=1)
-
-        # ---- gather / head / result return -------------------------------- #
-        head_layers = model.head_layers
-        last_lo, last_hi = prev_out_lo, prev_out_hi
-        out_elements = volumes[-1].last.out_w * volumes[-1].last.out_c
-        out_bytes_last = (last_hi - last_lo) * out_elements * FP16_BYTES
-        rows_idx = np.arange(batch)
-        if head_layers:
-            head = np.array([plan.head_device for plan in plans], dtype=np.int64)
-            head_lat = np.array(
-                [self.oracle.head_latency_ms(j, head_layers) for j in range(n)]
-            )
-            gather_ready = data_ready[rows_idx, head]
-            for src in range(n):
-                mask = prev_nonempty[:, src] & (head != src)
-                if not mask.any():
-                    continue
-                end = transfer(src, head, out_bytes_last[:, src], data_ready[:, src], mask)
-                gather_ready = np.where(mask, np.maximum(gather_ready, end), gather_ready)
-            head_compute = head_lat[head]
-            head_start = np.maximum(gather_ready, comp_free[rows_idx, head])
-            head_end = head_start + head_compute
-            comp_free[rows_idx, head] = head_end
-            comp_total[rows_idx, head] += head_compute
-            # The final result return always happens (result_bytes > 0).
-            result_bytes = np.full(batch, head_layers[-1].output_bytes, dtype=np.int64)
-            nb = result_bytes.astype(np.float64)
-            duration = (
-                self._io_fixed[head] + nb / self._io_bps[head] * 1000.0
-            ) + nb / air_bps[head, req] * 1000.0
-            start = np.maximum(
-                np.maximum(head_end, send_free[rows_idx, head]), recv_free[:, req]
-            )
-            end_to_end = start + duration
-            send_free[rows_idx, head] = end_to_end
-            send_busy[rows_idx, head] += duration
-            recv_free[:, req] = end_to_end
-            recv_busy[:, req] += duration
-            head_devices: List[Optional[int]] = [int(h) for h in head]
-        else:
-            head_compute = np.zeros(batch)
-            end_to_end = np.zeros(batch)
-            for src in range(n):
-                mask = prev_nonempty[:, src] & (out_bytes_last[:, src] > 0)
-                if not mask.any():
-                    continue
-                end = transfer(src, req, out_bytes_last[:, src], data_ready[:, src], mask)
-                end_to_end = np.where(mask, np.maximum(end_to_end, end), end_to_end)
-            head_devices = [None] * batch
-
-        # ---- per-plan result assembly ------------------------------------- #
-        results: List[EvaluationResult] = []
-        for b, plan in enumerate(plans):
-            timings = [
-                VolumeTiming(
-                    volume_index=l,
-                    ready_ms=ready[b].copy(),
-                    finish_ms=finish[b].copy(),
-                    compute_ms=compute[b].copy(),
-                    recv_bytes=recv[b].copy(),
-                )
-                for l, (ready, finish, compute, recv) in enumerate(vol_records)
-            ]
-            results.append(
-                EvaluationResult(
-                    end_to_end_ms=float(end_to_end[b]),
-                    volume_timings=timings,
-                    per_device_compute_ms=comp_total[b].copy(),
-                    per_device_send_ms=send_busy[b, :n].copy(),
-                    per_device_recv_ms=recv_busy[b, :n].copy(),
-                    scatter_end_ms=float(scatter_end[b]),
-                    head_device=head_devices[b],
-                    head_compute_ms=float(head_compute[b]),
-                    method=plan.method,
-                )
-            )
-        return results
+        The ground-truth and profile compute paths evaluate per-part
+        latencies directly from ``(batch, devices)`` row-count arrays; a
+        custom oracle only exposes the per-part scalar API, which needs
+        concrete plan assignments and therefore cannot serve the incremental
+        (decisions-arrive-step-by-step) MDP path.
+        """
+        return self._fast_compute or self._profile_compute
 
     # ------------------------------------------------------------------ #
     def _part_durations(
         self,
-        plans: Sequence[DistributionPlan],
+        plans: Optional[Sequence[DistributionPlan]],
         volume_index: int,
         volume: LayerVolume,
         ranges: Sequence[Tuple[np.ndarray, np.ndarray]],
         nonempty: np.ndarray,
     ) -> np.ndarray:
-        """Per-(plan, device) compute latency of one volume's split parts."""
-        batch = len(plans)
+        """Per-(plan, device) compute latency of one volume's split parts.
+
+        ``plans`` may be ``None`` on the incremental MDP path (episode
+        batches step before any plan object exists); only the custom-oracle
+        fallback needs them — see :attr:`supports_vectorized_stepping`.
+        """
+        batch = nonempty.shape[0]
         n = len(self.devices)
         if self._fast_compute:
             total = np.zeros((batch, n))
@@ -557,6 +360,11 @@ class BatchPlanEvaluator(PlanEvaluator):
                         continue
                     total[:, cols] += profile.latency_ms_batch(layer.name, sub)
         else:
+            if plans is None:
+                raise RuntimeError(
+                    "vectorised stepping requires a ground-truth or profile "
+                    "compute oracle (see supports_vectorized_stepping)"
+                )
             durations = np.zeros((batch, n))
             for b, plan in enumerate(plans):
                 assignment = plan.assignment(volume_index)
@@ -583,8 +391,341 @@ class BatchPlanEvaluator(PlanEvaluator):
         return total
 
 
+class BatchVolumeScheduler:
+    """Incremental ``(batch, devices)`` array scheduling of one inference each.
+
+    This is the vectorised counterpart of
+    :class:`~repro.runtime.evaluator.ScheduleState` plus
+    :meth:`~repro.runtime.evaluator.PlanEvaluator.process_volume` /
+    :meth:`~repro.runtime.evaluator.PlanEvaluator.finalize`: it carries the
+    send/recv/compute lane state of ``batch`` independent inferences and
+    advances them all one layer-volume at a time.  Two consumers drive it:
+
+    * :meth:`BatchPlanEvaluator._evaluate_group` feeds it the complete
+      decision set of a plan group, one volume per call; and
+    * the episode-batched splitting MDP
+      (:class:`~repro.core.mdp.BatchSplitMDP`) feeds it one *step* of ``E``
+      concurrent OSDS episodes at a time, reading back the accumulated
+      latencies that form the DRL state of Eq. 7 between calls.
+
+    Both uses execute the identical float-operation sequence as the scalar
+    evaluator (same operands, same order, same ``max``/``+`` structure), so
+    the results are bit-identical to scalar evaluation — the invariant the
+    whole batch subsystem is built on.
+    """
+
+    def __init__(
+        self,
+        evaluator: BatchPlanEvaluator,
+        model: ModelSpec,
+        volumes: Sequence[LayerVolume],
+        batch: int,
+        t_seconds: float = 0.0,
+    ) -> None:
+        self.evaluator = evaluator
+        self.model = model
+        self.volumes = list(volumes)
+        self.batch = int(batch)
+        self.t_seconds = float(t_seconds)
+        n = len(evaluator.devices)
+        self.n = n
+        self.req = evaluator._requester_index
+
+        thr = np.array(network_state_signature(evaluator.network, t_seconds))
+        if np.any(thr <= 0):
+            raise ValueError("all link throughputs must be positive")
+        # Achievable pairwise rate (bytes/s): min of the two endpoint links,
+        # converted exactly as utils.units.bytes_per_second does.
+        self.air_bps = np.minimum(thr[:, None], thr[None, :]) * MBPS / 8.0
+
+        batch = self.batch
+        self.send_free = np.zeros((batch, n + 1))
+        self.recv_free = np.zeros((batch, n + 1))
+        self.send_busy = np.zeros((batch, n + 1))
+        self.recv_busy = np.zeros((batch, n + 1))
+        self.comp_free = np.zeros((batch, n))
+        self.comp_total = np.zeros((batch, n))
+        self.data_ready = np.zeros((batch, n))
+        self.prev_finish = np.zeros((batch, n))
+        self.prev_out_lo: Optional[np.ndarray] = None
+        self.prev_out_hi: Optional[np.ndarray] = None
+        self.prev_nonempty: Optional[np.ndarray] = None
+        self.scatter_end = np.zeros(batch)
+        self.vol_records: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        self.volume_index = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_volumes(self) -> int:
+        return len(self.volumes)
+
+    @property
+    def done(self) -> bool:
+        return self.volume_index >= len(self.volumes)
+
+    def _transfer(
+        self,
+        src: int,
+        dst,
+        nbytes: np.ndarray,
+        earliest: np.ndarray,
+        mask: np.ndarray,
+    ) -> np.ndarray:
+        """Masked lane-scheduled transfer; returns per-plan end times.
+
+        ``dst`` is either a column index or a per-plan index array (the
+        head-gather case).  Rows outside ``mask`` leave all lanes
+        untouched and report ``earliest`` as their end time, exactly like
+        the scalar ``_transfer`` skip path.
+        """
+        batch = self.batch
+        send_free, recv_free = self.send_free, self.recv_free
+        send_busy, recv_busy = self.send_busy, self.recv_busy
+        nb = nbytes.astype(np.float64)
+        duration = (
+            self.evaluator._io_fixed[src] + nb / self.evaluator._io_bps[src] * 1000.0
+        ) + nb / (
+            self.air_bps[src, dst] if np.isscalar(dst) else self.air_bps[src][dst]
+        ) * 1000.0
+        if np.isscalar(dst):
+            dst_free = recv_free[:, dst]
+        else:
+            dst_free = recv_free[np.arange(batch), dst]
+        start = np.maximum(np.maximum(earliest, send_free[:, src]), dst_free)
+        end = start + duration
+        send_free[:, src] = np.where(mask, end, send_free[:, src])
+        send_busy[:, src] = np.where(mask, send_busy[:, src] + duration, send_busy[:, src])
+        new_dst_free = np.where(mask, end, dst_free)
+        new_dst_busy = np.where(mask, duration, 0.0)
+        if np.isscalar(dst):
+            recv_free[:, dst] = new_dst_free
+            recv_busy[:, dst] += new_dst_busy
+        else:
+            rows = np.arange(batch)
+            recv_free[rows, dst] = new_dst_free
+            recv_busy[rows, dst] += new_dst_busy
+        return np.where(mask, end, earliest)
+
+    # ------------------------------------------------------------------ #
+    def process_volume(
+        self,
+        cuts: np.ndarray,
+        plans: Optional[Sequence[DistributionPlan]] = None,
+    ) -> np.ndarray:
+        """Advance every inference by one layer-volume.
+
+        ``cuts`` is the ``(batch, devices - 1)`` integer cut-point array of
+        this volume's split decisions.  Returns the ``(batch, devices)``
+        accumulated-latency array ``T^l`` (empty parts carry the previous
+        volume's value, exactly like the scalar evaluator) — the quantity
+        the splitting MDP observes.  ``plans`` is only consulted by the
+        custom-oracle fallback of
+        :meth:`BatchPlanEvaluator._part_durations`.
+        """
+        if self.done:
+            raise RuntimeError("all volumes already processed; call finalize()")
+        evaluator = self.evaluator
+        batch, n = self.batch, self.n
+        l = self.volume_index
+        volume = self.volumes[l]
+        data_ready = self.data_ready
+        prev_out_lo, prev_out_hi = self.prev_out_lo, self.prev_out_hi
+        prev_nonempty = self.prev_nonempty
+
+        cuts = np.asarray(cuts, dtype=np.int64).reshape(batch, n - 1)
+        height = volume.output_height
+        edges = np.concatenate(
+            [
+                np.zeros((batch, 1), dtype=np.int64),
+                cuts,
+                np.full((batch, 1), height, dtype=np.int64),
+            ],
+            axis=1,
+        )
+        out_lo, out_hi = edges[:, :-1], edges[:, 1:]
+        nonempty = out_hi > out_lo
+
+        # Per-sub-layer output row ranges (the exact VSL arithmetic).
+        layers = list(volume.layers)
+        ranges: List[Tuple[np.ndarray, np.ndarray]] = [(out_lo, out_hi)] * len(layers)
+        lo, hi = out_lo, out_hi
+        for i in range(len(layers) - 1, 0, -1):
+            lo, hi = _required_rows_vec(layers[i], lo, hi)
+            ranges[i - 1] = (lo, hi)
+        in_lo, in_hi = _required_rows_vec(layers[0], ranges[0][0], ranges[0][1])
+
+        # ---- transfers, in the scalar evaluator's canonical order ---- #
+        arrival = np.zeros((batch, n))
+        recv_bytes = np.zeros((batch, n))
+        if l == 0:
+            in_elements = volume.first.in_w * volume.first.in_c
+            scatter = np.rint(
+                np.maximum(in_hi - in_lo, 0) * in_elements * evaluator.input_bytes_per_element
+            ).astype(np.int64)
+            for dst in range(n):
+                mask = nonempty[:, dst] & (scatter[:, dst] > 0)
+                if not mask.any():
+                    continue
+                end = self._transfer(self.req, dst, scatter[:, dst], np.zeros(batch), mask)
+                arrival[:, dst] = np.where(
+                    mask, np.maximum(arrival[:, dst], end), arrival[:, dst]
+                )
+                recv_bytes[:, dst] += np.where(mask, scatter[:, dst], 0)
+        else:
+            row_bytes = volume.first.in_w * volume.first.in_c * FP16_BYTES
+            for dst in range(n):
+                need_mask = nonempty[:, dst] & (in_hi[:, dst] > in_lo[:, dst])
+                if not need_mask.any():
+                    continue
+                for src in range(n):
+                    if src == dst:
+                        continue
+                    overlap = np.minimum(in_hi[:, dst], prev_out_hi[:, src]) - np.maximum(
+                        in_lo[:, dst], prev_out_lo[:, src]
+                    )
+                    mask = need_mask & prev_nonempty[:, src] & (overlap > 0)
+                    if not mask.any():
+                        continue
+                    nbytes = overlap * row_bytes
+                    end = self._transfer(src, dst, nbytes, data_ready[:, src], mask)
+                    arrival[:, dst] = np.where(
+                        mask, np.maximum(arrival[:, dst], end), arrival[:, dst]
+                    )
+                    recv_bytes[:, dst] += np.where(mask, nbytes, 0)
+
+        # Rows already held locally from the previous volume.
+        if l == 0:
+            local_ready = np.zeros((batch, n))
+        else:
+            have_overlap = (
+                np.minimum(in_hi, prev_out_hi) > np.maximum(in_lo, prev_out_lo)
+            ) & prev_nonempty
+            local_ready = np.where(have_overlap, data_ready, 0.0)
+
+        # ---- compute lanes -------------------------------------------- #
+        durations = evaluator._part_durations(plans, l, volume, ranges, nonempty)
+        ready = np.where(nonempty, np.maximum(arrival, local_ready), self.prev_finish)
+        start = np.maximum(ready, self.comp_free)
+        finish = np.where(nonempty, start + durations, self.prev_finish)
+        self.comp_free = np.where(nonempty, finish, self.comp_free)
+        active_durations = np.where(nonempty, durations, 0.0)
+        self.comp_total = self.comp_total + active_durations
+
+        self.data_ready = np.where(nonempty, finish, 0.0)
+        self.prev_out_lo, self.prev_out_hi = out_lo, out_hi
+        self.prev_nonempty = nonempty
+        self.prev_finish = finish
+        self.vol_records.append((ready, finish, active_durations, recv_bytes))
+        if l == 0:
+            self.scatter_end = ready.max(axis=1)
+        self.volume_index += 1
+        return finish
+
+    # ------------------------------------------------------------------ #
+    def finalize(
+        self,
+        head_devices: Optional[np.ndarray],
+        methods: Sequence[str],
+    ) -> List[EvaluationResult]:
+        """Schedule gather / head / result return; assemble per-plan results.
+
+        ``head_devices`` is the per-plan head-provider index array when the
+        model has a dense head, ``None`` otherwise (each provider then
+        returns its own rows to the requester).
+        """
+        if not self.done:
+            raise RuntimeError(
+                f"finalize() called after {self.volume_index} of {len(self.volumes)} volumes"
+            )
+        evaluator = self.evaluator
+        batch, n, req = self.batch, self.n, self.req
+        volumes = self.volumes
+        data_ready = self.data_ready
+        prev_nonempty = self.prev_nonempty
+        send_free, recv_free = self.send_free, self.recv_free
+        send_busy, recv_busy = self.send_busy, self.recv_busy
+        comp_free, comp_total = self.comp_free, self.comp_total
+
+        head_layers = self.model.head_layers
+        last_lo, last_hi = self.prev_out_lo, self.prev_out_hi
+        out_elements = volumes[-1].last.out_w * volumes[-1].last.out_c
+        out_bytes_last = (last_hi - last_lo) * out_elements * FP16_BYTES
+        rows_idx = np.arange(batch)
+        if head_layers:
+            head = np.asarray(head_devices, dtype=np.int64)
+            head_lat = np.array(
+                [evaluator.oracle.head_latency_ms(j, head_layers) for j in range(n)]
+            )
+            gather_ready = data_ready[rows_idx, head]
+            for src in range(n):
+                mask = prev_nonempty[:, src] & (head != src)
+                if not mask.any():
+                    continue
+                end = self._transfer(src, head, out_bytes_last[:, src], data_ready[:, src], mask)
+                gather_ready = np.where(mask, np.maximum(gather_ready, end), gather_ready)
+            head_compute = head_lat[head]
+            head_start = np.maximum(gather_ready, comp_free[rows_idx, head])
+            head_end = head_start + head_compute
+            comp_free[rows_idx, head] = head_end
+            comp_total[rows_idx, head] += head_compute
+            # The final result return always happens (result_bytes > 0).
+            result_bytes = np.full(batch, head_layers[-1].output_bytes, dtype=np.int64)
+            nb = result_bytes.astype(np.float64)
+            duration = (
+                evaluator._io_fixed[head] + nb / evaluator._io_bps[head] * 1000.0
+            ) + nb / self.air_bps[head, req] * 1000.0
+            start = np.maximum(
+                np.maximum(head_end, send_free[rows_idx, head]), recv_free[:, req]
+            )
+            end_to_end = start + duration
+            send_free[rows_idx, head] = end_to_end
+            send_busy[rows_idx, head] += duration
+            recv_free[:, req] = end_to_end
+            recv_busy[:, req] += duration
+            out_heads: List[Optional[int]] = [int(h) for h in head]
+        else:
+            head_compute = np.zeros(batch)
+            end_to_end = np.zeros(batch)
+            for src in range(n):
+                mask = prev_nonempty[:, src] & (out_bytes_last[:, src] > 0)
+                if not mask.any():
+                    continue
+                end = self._transfer(src, req, out_bytes_last[:, src], data_ready[:, src], mask)
+                end_to_end = np.where(mask, np.maximum(end_to_end, end), end_to_end)
+            out_heads = [None] * batch
+
+        # ---- per-plan result assembly ------------------------------------- #
+        results: List[EvaluationResult] = []
+        for b in range(batch):
+            timings = [
+                VolumeTiming(
+                    volume_index=l,
+                    ready_ms=ready[b].copy(),
+                    finish_ms=finish[b].copy(),
+                    compute_ms=compute[b].copy(),
+                    recv_bytes=recv[b].copy(),
+                )
+                for l, (ready, finish, compute, recv) in enumerate(self.vol_records)
+            ]
+            results.append(
+                EvaluationResult(
+                    end_to_end_ms=float(end_to_end[b]),
+                    volume_timings=timings,
+                    per_device_compute_ms=comp_total[b].copy(),
+                    per_device_send_ms=send_busy[b, :n].copy(),
+                    per_device_recv_ms=recv_busy[b, :n].copy(),
+                    scatter_end_ms=float(self.scatter_end[b]),
+                    head_device=out_heads[b],
+                    head_compute_ms=float(head_compute[b]),
+                    method=methods[b],
+                )
+            )
+        return results
+
+
 __all__ = [
     "BatchPlanEvaluator",
+    "BatchVolumeScheduler",
     "network_state_signature",
     "plan_signature",
 ]

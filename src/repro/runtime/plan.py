@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.devices.specs import DeviceInstance
-from repro.nn.graph import LayerVolume, ModelSpec
+from repro.nn.graph import LayerVolume, ModelSpec, cached_partition
 from repro.nn.splitting import SplitDecision, SplitPart, split_volume
 from repro.utils.units import FP16_BYTES
 
@@ -117,7 +117,9 @@ class DistributionPlan:
         self.decisions = list(decisions)
         self.method = method
 
-        self._volumes = model.partition(self.boundaries)
+        # Memoized: plans sharing (model, boundaries) — every OSDS episode,
+        # every sharded worker's deserialised shard — share volume objects.
+        self._volumes = cached_partition(model, self.boundaries)
         if len(self._volumes) != len(self.decisions):
             raise ValueError(
                 f"partition has {len(self._volumes)} volumes but {len(self.decisions)} "

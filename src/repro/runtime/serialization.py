@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.devices.specs import DeviceInstance, get_device_type
 from repro.nn import model_zoo
-from repro.nn.graph import ModelSpec
+from repro.nn.graph import ModelSpec, cached_partition
 from repro.nn.splitting import SplitDecision
 from repro.runtime.evaluator import EvaluationResult, VolumeTiming
 from repro.runtime.plan import DistributionPlan
@@ -127,6 +127,119 @@ def plan_from_dict(
         head_device=int(data["head_device"]),
         method=str(data["method"]),
     )
+
+
+def plan_batch_to_payload(plans: Sequence[DistributionPlan]) -> Dict:
+    """Compact batch form of many plans sharing one device cluster.
+
+    :func:`plan_to_dict` repeats the device list and the partition scheme in
+    every plan, which at 32+ devices makes the per-plan IPC payload of a
+    sharded evaluator mostly redundant bytes.  The batch payload factors the
+    cluster out once and groups plans by ``(model, boundaries)``, leaving
+    each plan as just its cut points, head placement and method label.
+    Plans are restored in input order by :func:`plan_batch_from_payload`.
+    """
+    if not plans:
+        return {"format_version": PLAN_FORMAT_VERSION, "devices": [], "groups": []}
+    reference = plans[0]
+    groups: Dict = {}
+    for index, plan in enumerate(plans):
+        if plan.devices != reference.devices:
+            raise ValueError(
+                "plan batch payloads factor the cluster out once; plan "
+                f"{index} targets different devices than plan 0"
+            )
+        key = (plan.model.name, tuple(plan.boundaries))
+        group = groups.get(key)
+        if group is None:
+            group = groups[key] = {
+                "model": plan.model.name,
+                "boundaries": list(plan.boundaries),
+                "indices": [],
+                "plans": [],
+            }
+        group["indices"].append(index)
+        group["plans"].append(
+            {
+                "cuts": [list(d.cuts) for d in plan.decisions],
+                "head_device": plan.head_device,
+                "method": plan.method,
+            }
+        )
+    return {
+        "format_version": PLAN_FORMAT_VERSION,
+        "devices": plan_to_dict(reference)["devices"],
+        "groups": list(groups.values()),
+    }
+
+
+def plan_batch_from_payload(
+    payload: Dict,
+    model_resolver=None,
+    devices: Optional[Sequence[DeviceInstance]] = None,
+) -> List[DistributionPlan]:
+    """Rebuild the plans of :func:`plan_batch_to_payload`, in input order.
+
+    ``model_resolver`` maps a model name to a :class:`ModelSpec` (default:
+    the zoo); ``devices`` supplies an already-built cluster, validated once
+    against the payload instead of once per plan.  Per-volume split heights
+    come from the (memoized) partition of each group's model, so a worker
+    deserialising a shard pays the splitting arithmetic once per
+    ``(model, boundaries)`` group rather than once per plan.
+    """
+    version = payload.get("format_version")
+    if version != PLAN_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported plan format version {version!r}; expected {PLAN_FORMAT_VERSION}"
+        )
+    if model_resolver is None:
+        model_resolver = model_zoo.get
+    if devices is not None:
+        devices = list(devices)
+        if len(devices) != len(payload["devices"]):
+            raise ValueError(
+                f"batch covers {len(payload['devices'])} devices, caller supplied "
+                f"{len(devices)}"
+            )
+        for device, entry in zip(devices, payload["devices"]):
+            if (
+                device.type_name != get_device_type(entry["type"]).name
+                or device.bandwidth_mbps != float(entry["bandwidth_mbps"])
+            ):
+                raise ValueError(
+                    f"supplied device {device} does not match serialised entry {entry!r}"
+                )
+    else:
+        devices = [
+            DeviceInstance(
+                device_id=entry["device_id"],
+                dtype=get_device_type(entry["type"]),
+                bandwidth_mbps=float(entry["bandwidth_mbps"]),
+            )
+            for entry in payload["devices"]
+        ]
+    total = sum(len(group["indices"]) for group in payload["groups"])
+    plans: List[Optional[DistributionPlan]] = [None] * total
+    for group in payload["groups"]:
+        model = model_resolver(group["model"])
+        boundaries = [int(b) for b in group["boundaries"]]
+        volumes = cached_partition(model, boundaries)
+        for index, entry in zip(group["indices"], group["plans"]):
+            decisions = [
+                SplitDecision(cuts=tuple(cuts), output_height=volume.output_height)
+                for cuts, volume in zip(entry["cuts"], volumes)
+            ]
+            plans[index] = DistributionPlan(
+                model=model,
+                devices=devices,
+                boundaries=boundaries,
+                decisions=decisions,
+                head_device=int(entry["head_device"]),
+                method=str(entry["method"]),
+            )
+    if any(plan is None for plan in plans):
+        raise ValueError("batch payload indices do not cover the batch densely")
+    return plans  # type: ignore[return-value]
 
 
 def save_plan(plan: DistributionPlan, path: Union[str, Path]) -> Path:
@@ -245,6 +358,8 @@ __all__ = [
     "PLAN_FORMAT_VERSION",
     "plan_to_dict",
     "plan_from_dict",
+    "plan_batch_to_payload",
+    "plan_batch_from_payload",
     "save_plan",
     "load_plan",
     "scenario_to_dict",

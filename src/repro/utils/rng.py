@@ -49,4 +49,43 @@ def derive_seed(rng: np.random.Generator) -> int:
     return int(rng.integers(0, 2**31 - 1))
 
 
-__all__ = ["SeedLike", "as_rng", "spawn_rng", "derive_seed"]
+def root_seed(seed: SeedLike = None) -> int:
+    """Collapse any :data:`SeedLike` into one non-negative integer root.
+
+    Integers pass through unchanged (so a fixed integer seed names a fixed
+    family of counter streams); generators and seed sequences contribute one
+    draw, and ``None`` pulls fresh OS entropy.  The result is the ``root``
+    argument of :func:`counter_rng`.
+    """
+    if isinstance(seed, (int, np.integer)):
+        root = int(seed)
+        if root < 0:
+            raise ValueError(f"integer seeds must be >= 0, got {root}")
+        return root
+    return derive_seed(as_rng(seed))
+
+
+def counter_rng(root: int, *counters: int) -> np.random.Generator:
+    """Counter-based stream derivation: a fresh generator per counter tuple.
+
+    ``counter_rng(root, episode, step)`` is a pure function of its arguments
+    — no hidden stream position — so a consumer drawing from it observes the
+    *same* values no matter how many other counter tuples were consumed
+    before, in what order, or from which process.  This is what makes
+    episode-batched OSDS replay-consistent: exploration randomness for
+    ``(episode, step)`` is identical whether episodes run one at a time or
+    ``E`` at a time in lockstep.
+
+    Distinct counter tuples yield statistically independent streams (the
+    counters extend the :class:`numpy.random.SeedSequence` entropy pool).
+    """
+    entropy = [int(root)]
+    for c in counters:
+        c = int(c)
+        if c < 0:
+            raise ValueError(f"counters must be >= 0, got {c}")
+        entropy.append(c)
+    return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+__all__ = ["SeedLike", "as_rng", "spawn_rng", "derive_seed", "root_seed", "counter_rng"]

@@ -106,3 +106,108 @@ class TestSplitMDP:
             for i in range(len(duo_cluster))
         )
         assert env.latency_scale_ms == pytest.approx(best)
+
+
+class TestBatchActionMapping:
+    def test_rows_match_scalar_mapping(self):
+        from repro.core.mdp import map_action_to_cuts_batch
+
+        rng = np.random.default_rng(5)
+        raw = rng.uniform(-1.5, 1.5, size=(32, 3))
+        batch = map_action_to_cuts_batch(raw, 57)
+        for row, mapped in zip(raw, batch):
+            assert tuple(int(c) for c in mapped) == map_action_to_cuts(row, 57)
+
+    def test_dtype_and_bounds(self):
+        from repro.core.mdp import map_action_to_cuts_batch
+
+        cuts = map_action_to_cuts_batch(np.array([[5.0, -5.0], [0.0, 0.0]]), 10)
+        assert cuts.min() >= 0 and cuts.max() <= 10
+        assert np.issubdtype(cuts.dtype, np.integer)
+
+
+class TestBatchSplitMDP:
+    """Lockstep episode stepping must be bit-identical to the scalar env."""
+
+    def _batch_env_pair(self, small_model, duo_cluster, duo_network):
+        from repro.core.mdp import BatchSplitMDP
+        from repro.runtime.batch import BatchPlanEvaluator
+
+        boundaries = [0, 4, 8, small_model.num_spatial_layers]
+        evaluator = BatchPlanEvaluator(duo_cluster, duo_network)
+        env = SplitMDP(small_model, boundaries, duo_cluster, evaluator)
+        return env, BatchSplitMDP(env, 6)
+
+    def test_supports_requires_vectorised_oracle(self, env):
+        from repro.core.mdp import BatchSplitMDP
+
+        # The plain scalar PlanEvaluator cannot step episode batches.
+        assert not BatchSplitMDP.supports(env)
+        with pytest.raises(ValueError):
+            BatchSplitMDP(env, 4)
+
+    def test_lockstep_bit_identical_to_scalar(self, small_model, duo_cluster, duo_network):
+        env, batch_env = self._batch_env_pair(small_model, duo_cluster, duo_network)
+        rng = np.random.default_rng(11)
+        actions = rng.uniform(-1, 1, size=(env.num_volumes, 6, env.action_dim)).astype(np.float32)
+
+        obs = batch_env.reset()
+        batch_obs = [obs]
+        batch_rewards = []
+        terminal_infos = None
+        for step in range(env.num_volumes):
+            obs, rewards, done, infos = batch_env.step(actions[step])
+            batch_obs.append(obs)
+            batch_rewards.append(rewards)
+            if done:
+                terminal_infos = infos
+        assert terminal_infos is not None
+
+        for e in range(6):
+            scalar_obs = [env.reset()]
+            scalar_rewards = []
+            scalar_info = None
+            for step in range(env.num_volumes):
+                next_obs, reward, done, info = env.step(actions[step, e])
+                scalar_obs.append(next_obs)
+                scalar_rewards.append(reward)
+                if done:
+                    scalar_info = info
+            for step in range(env.num_volumes + 1):
+                assert np.array_equal(batch_obs[step][e], scalar_obs[step])
+            for step in range(env.num_volumes):
+                assert float(batch_rewards[step][e]) == scalar_rewards[step]
+            assert terminal_infos[e]["end_to_end_ms"] == scalar_info["end_to_end_ms"]
+            assert [d.cuts for d in terminal_infos[e]["decisions"]] == [
+                d.cuts for d in scalar_info["decisions"]
+            ]
+            result = terminal_infos[e]["result"]
+            assert result.end_to_end_ms == scalar_info["result"].end_to_end_ms
+            assert result.head_device == scalar_info["result"].head_device
+
+    def test_head_placement_matches_plan_default(self, small_model, duo_cluster, duo_network):
+        env, batch_env = self._batch_env_pair(small_model, duo_cluster, duo_network)
+        rng = np.random.default_rng(3)
+        batch_env.reset()
+        infos = None
+        for step in range(env.num_volumes):
+            actions = rng.uniform(-1, 1, size=(6, env.action_dim)).astype(np.float32)
+            _, _, done, infos = batch_env.step(actions)
+        assert done
+        for info in infos:
+            plan = env.build_plan(info["decisions"])
+            assert info["result"].head_device == plan.head_device
+
+    def test_step_after_done_raises(self, small_model, duo_cluster, duo_network):
+        env, batch_env = self._batch_env_pair(small_model, duo_cluster, duo_network)
+        batch_env.reset()
+        zero = np.zeros((6, env.action_dim), dtype=np.float32)
+        for _ in range(env.num_volumes):
+            batch_env.step(zero)
+        with pytest.raises(RuntimeError):
+            batch_env.step(zero)
+
+    def test_step_before_reset_raises(self, small_model, duo_cluster, duo_network):
+        env, batch_env = self._batch_env_pair(small_model, duo_cluster, duo_network)
+        with pytest.raises(RuntimeError):
+            batch_env.step(np.zeros((6, env.action_dim), dtype=np.float32))

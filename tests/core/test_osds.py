@@ -118,3 +118,132 @@ class TestBatchPathRouting:
         ]
         for p, q in zip(plain.agent.actor.parameters(), batched.agent.actor.parameters()):
             assert np.array_equal(p, q)
+
+
+class TestEpisodeBatching:
+    """Execution width must never change a single bit of the outcome."""
+
+    def _run(self, small_model, duo_cluster, duo_network, fast_ddpg_config, *,
+             episode_batch, max_episodes=20, patience=None, seed=7, train=True,
+             with_seeds=False):
+        from repro.runtime.batch import BatchPlanEvaluator
+
+        boundaries = [0, 4, 8, small_model.num_spatial_layers]
+        env = SplitMDP(
+            small_model, boundaries, duo_cluster, BatchPlanEvaluator(duo_cluster, duo_network)
+        )
+        cfg = OSDSConfig(
+            max_episodes=max_episodes,
+            ddpg=fast_ddpg_config,
+            seed=seed,
+            episode_batch=episode_batch,
+            policy_refresh=8,
+            patience=patience,
+        )
+        seeds = (
+            [[np.array([1.0], dtype=np.float32)] * env.num_volumes,
+             [np.array([0.0], dtype=np.float32)] * env.num_volumes]
+            if with_seeds
+            else None
+        )
+        return OSDS(env, cfg).run(train=train, initial_decisions=seeds)
+
+    def _assert_identical(self, a, b):
+        assert a.best_latency_ms == b.best_latency_ms
+        assert [d.cuts for d in a.best_decisions] == [d.cuts for d in b.best_decisions]
+        assert np.array_equal(a.episode_latencies_ms, b.episode_latencies_ms)
+        assert a.episodes_run == b.episodes_run
+        assert a.best_plan.head_device == b.best_plan.head_device
+        assert a.best_plan.boundaries == b.best_plan.boundaries
+        for p, q in zip(a.agent.actor.parameters(), b.agent.actor.parameters()):
+            assert np.array_equal(p, q)
+        for p, q in zip(a.agent.critic.parameters(), b.agent.critic.parameters()):
+            assert np.array_equal(p, q)
+        for p, q in zip(a.best_snapshot["actor"], b.best_snapshot["actor"]):
+            assert np.array_equal(p, q)
+
+    def _assert_buffers_identical(self, a, b):
+        buf_a, buf_b = a.agent.buffer.transitions, b.agent.buffer.transitions
+        assert len(buf_a) == len(buf_b)
+        for t_a, t_b in zip(buf_a, buf_b):
+            assert np.array_equal(t_a.state, t_b.state)
+            assert np.array_equal(t_a.action, t_b.action)
+            assert t_a.reward == t_b.reward
+            assert np.array_equal(t_a.next_state, t_b.next_state)
+            assert t_a.done == t_b.done
+
+    def test_batched_bit_identical_to_sequential(
+        self, small_model, duo_cluster, duo_network, fast_ddpg_config
+    ):
+        sequential = self._run(
+            small_model, duo_cluster, duo_network, fast_ddpg_config, episode_batch=1
+        )
+        batched = self._run(
+            small_model, duo_cluster, duo_network, fast_ddpg_config, episode_batch=8
+        )
+        self._assert_identical(sequential, batched)
+        self._assert_buffers_identical(sequential, batched)
+        assert sequential.agent.updates == batched.agent.updates > 0
+
+    def test_bit_identical_with_heuristic_seeds(
+        self, small_model, duo_cluster, duo_network, fast_ddpg_config
+    ):
+        sequential = self._run(
+            small_model, duo_cluster, duo_network, fast_ddpg_config,
+            episode_batch=1, with_seeds=True,
+        )
+        batched = self._run(
+            small_model, duo_cluster, duo_network, fast_ddpg_config,
+            episode_batch=8, with_seeds=True,
+        )
+        self._assert_identical(sequential, batched)
+        self._assert_buffers_identical(sequential, batched)
+
+    def test_bit_identical_on_patience_early_stop(
+        self, small_model, duo_cluster, duo_network, fast_ddpg_config
+    ):
+        sequential = self._run(
+            small_model, duo_cluster, duo_network, fast_ddpg_config,
+            episode_batch=1, max_episodes=40, patience=3,
+        )
+        batched = self._run(
+            small_model, duo_cluster, duo_network, fast_ddpg_config,
+            episode_batch=8, max_episodes=40, patience=3,
+        )
+        # The early stop fires inside a round: speculative trailing episodes
+        # must be discarded without touching the buffer or the latencies.
+        assert sequential.episodes_run < 40
+        self._assert_identical(sequential, batched)
+        self._assert_buffers_identical(sequential, batched)
+
+    def test_width_choice_is_free(self, small_model, duo_cluster, duo_network, fast_ddpg_config):
+        """Any execution width (even one not dividing policy_refresh) agrees."""
+        reference = self._run(
+            small_model, duo_cluster, duo_network, fast_ddpg_config, episode_batch=1
+        )
+        for width in (3, 5, 16):
+            other = self._run(
+                small_model, duo_cluster, duo_network, fast_ddpg_config, episode_batch=width
+            )
+            self._assert_identical(reference, other)
+
+    def test_rollout_only_mode_matches_too(
+        self, small_model, duo_cluster, duo_network, fast_ddpg_config
+    ):
+        sequential = self._run(
+            small_model, duo_cluster, duo_network, fast_ddpg_config,
+            episode_batch=1, train=False,
+        )
+        batched = self._run(
+            small_model, duo_cluster, duo_network, fast_ddpg_config,
+            episode_batch=8, train=False,
+        )
+        self._assert_identical(sequential, batched)
+        assert batched.agent.updates == 0
+        assert len(batched.agent.buffer) == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            OSDSConfig(episode_batch=0)
+        with pytest.raises(ValueError):
+            OSDSConfig(policy_refresh=0)

@@ -160,3 +160,47 @@ class TestPartitioning:
         model = build_small()
         volume = model.volume(0, 3)
         assert volume.macs == sum(l.macs for l in model.spatial_layers[:3])
+
+
+class TestCachedPartition:
+    def test_matches_uncached_partition(self):
+        from repro.nn.graph import cached_partition
+
+        model = build_small()
+        cached = cached_partition(model, [0, 2, 5])
+        plain = model.partition([0, 2, 5])
+        assert [(v.start, v.end, v.layers) for v in cached] == [
+            (v.start, v.end, v.layers) for v in plain
+        ]
+
+    def test_shares_volume_objects_across_calls(self):
+        from repro.nn.graph import cached_partition
+
+        model = build_small()
+        first = cached_partition(model, [0, 2, 5])
+        second = cached_partition(model, (0, 2, 5))  # any integer sequence keys alike
+        assert all(a is b for a, b in zip(first, second))
+        # The list itself is fresh, so callers may mutate it freely.
+        assert first is not second
+        first.append(None)
+        assert len(cached_partition(model, [0, 2, 5])) == 2
+
+    def test_distinct_keys_for_distinct_inputs(self):
+        from repro.nn.graph import cached_partition
+
+        model_a = build_small()
+        model_b = build_small()
+        by_boundary = cached_partition(model_a, [0, 2, 5])
+        other_boundary = cached_partition(model_a, [0, 3, 5])
+        assert [v.end for v in by_boundary] != [v.end for v in other_boundary]
+        # Equal-structure but distinct model objects do not share entries
+        # (identity keying: a model's volumes always come from that model).
+        other_model = cached_partition(model_b, [0, 2, 5])
+        assert all(a is not b for a, b in zip(by_boundary, other_model))
+
+    def test_invalid_boundaries_still_raise(self):
+        from repro.nn.graph import cached_partition
+
+        model = build_small()
+        with pytest.raises(ValueError):
+            cached_partition(model, [0, 5, 2])

@@ -167,3 +167,99 @@ class TestEvaluationSerialization:
         result = PlanEvaluator(hetero_cluster, network).evaluate(plan)
         payload = json.loads(json.dumps(evaluation_to_payload(result)))
         assert evaluation_from_payload(payload).end_to_end_ms == result.end_to_end_ms
+
+
+class TestPlanBatchPayload:
+    """Compact shard payloads: cluster/partition factored out per group."""
+
+    def _varied_plans(self, cluster):
+        from repro.experiments.workloads import random_varied_plans
+
+        model = model_zoo.small_vgg(64)
+        return random_varied_plans(model, cluster, 12, seed=3, min_cut_layer=2)
+
+    def test_roundtrip_preserves_order_and_strategy(self, hetero_cluster):
+        from repro.runtime.serialization import (
+            plan_batch_from_payload,
+            plan_batch_to_payload,
+        )
+
+        plans = self._varied_plans(hetero_cluster)
+        payload = plan_batch_to_payload(plans)
+        restored = plan_batch_from_payload(payload)
+        assert len(restored) == len(plans)
+        for original, rebuilt in zip(plans, restored):
+            assert rebuilt.model.name == original.model.name
+            assert rebuilt.boundaries == original.boundaries
+            assert rebuilt.head_device == original.head_device
+            assert rebuilt.method == original.method
+            assert [d.cuts for d in rebuilt.decisions] == [
+                d.cuts for d in original.decisions
+            ]
+
+    def test_groups_are_compact(self, hetero_cluster):
+        from repro.runtime.serialization import plan_batch_to_payload
+
+        plans = self._varied_plans(hetero_cluster)
+        payload = plan_batch_to_payload(plans)
+        # The cluster appears once, not once per plan.
+        assert len(payload["devices"]) == len(hetero_cluster)
+        boundaries = {tuple(p.boundaries) for p in plans}
+        assert len(payload["groups"]) == len(boundaries)
+
+    def test_supplied_devices_reused_and_validated_once(self, hetero_cluster):
+        from repro.runtime.serialization import (
+            plan_batch_from_payload,
+            plan_batch_to_payload,
+        )
+
+        plans = self._varied_plans(hetero_cluster)
+        payload = plan_batch_to_payload(plans)
+        restored = plan_batch_from_payload(payload, devices=hetero_cluster)
+        assert all(p.devices == list(hetero_cluster) for p in restored)
+        with pytest.raises(ValueError):
+            plan_batch_from_payload(payload, devices=hetero_cluster[:-1])
+
+    def test_group_members_share_volume_objects(self, hetero_cluster):
+        from repro.runtime.serialization import (
+            plan_batch_from_payload,
+            plan_batch_to_payload,
+        )
+
+        model = model_zoo.small_vgg(64)
+        boundaries = [0, 4, 8, model.num_spatial_layers]
+        volumes = model.partition(boundaries)
+        plans = [
+            DistributionPlan(
+                model,
+                hetero_cluster,
+                boundaries,
+                [SplitDecision.from_fractions([i + 1, 3, 2, 1], v.output_height) for v in volumes],
+            )
+            for i in range(3)
+        ]
+        restored = plan_batch_from_payload(plan_batch_to_payload(plans))
+        # The boundaries->volumes memo hands every plan of a group the same
+        # frozen volume objects: the splitting arithmetic ran once.
+        first = restored[0].volumes
+        for other in restored[1:]:
+            assert all(a is b for a, b in zip(first, other.volumes))
+
+    def test_mixed_clusters_rejected(self, hetero_cluster, mixed_cluster):
+        from repro.runtime.serialization import plan_batch_to_payload
+
+        model = model_zoo.small_vgg(64)
+        plans = [
+            DistributionPlan.single_device(model, hetero_cluster, 0),
+            DistributionPlan.single_device(model, mixed_cluster, 0),
+        ]
+        with pytest.raises(ValueError):
+            plan_batch_to_payload(plans)
+
+    def test_empty_batch(self):
+        from repro.runtime.serialization import (
+            plan_batch_from_payload,
+            plan_batch_to_payload,
+        )
+
+        assert plan_batch_from_payload(plan_batch_to_payload([])) == []

@@ -219,3 +219,45 @@ class TestValidation:
             OracleSpec(kind="profile")
         with pytest.raises(ValueError, match="representation"):
             OracleSpec(kind="profile", model=MODEL_NAME, representation="spline")
+
+
+class TestWarmPoolPlanners:
+    """OSDS/the splitting MDP accept a sharded evaluator as their engine."""
+
+    def test_split_mdp_steps_through_local_engine(self, model):
+        from repro.core.mdp import SplitMDP
+
+        scenario = generate_scenario(4, seed=9)
+        with ShardedPlanEvaluator(scenario, num_workers=2, min_shard_size=1) as sharded:
+            boundaries = [0, 4, model.num_spatial_layers]
+            env = SplitMDP(model, boundaries, sharded.devices, sharded)
+            reference = SplitMDP(model, boundaries, sharded.devices, sharded.local)
+            rng = np.random.default_rng(2)
+            actions = [
+                rng.uniform(-1, 1, env.action_dim).astype(np.float32)
+                for _ in range(env.num_volumes)
+            ]
+            latency, _ = env.rollout(actions)
+            ref_latency, _ = reference.rollout(actions)
+            assert latency == ref_latency
+
+    def test_osds_with_sharded_evaluator_matches_local(self, model):
+        from repro.core.ddpg import DDPGConfig
+        from repro.core.mdp import SplitMDP
+        from repro.core.osds import OSDS, OSDSConfig
+
+        scenario = generate_scenario(4, seed=9)
+        ddpg = DDPGConfig(actor_hidden=(16, 16), critic_hidden=(16, 16), warmup_transitions=8)
+        boundaries = [0, 4, model.num_spatial_layers]
+        seeds = None
+
+        def run(evaluator):
+            env = SplitMDP(model, boundaries, evaluator.devices, evaluator)
+            cfg = OSDSConfig(max_episodes=8, ddpg=ddpg, seed=4, episode_batch=4)
+            return OSDS(env, cfg).run(initial_decisions=seeds)
+
+        with ShardedPlanEvaluator(scenario, num_workers=2, min_shard_size=1) as sharded:
+            pooled = run(sharded)
+            local = run(sharded.local)
+        assert pooled.best_latency_ms == local.best_latency_ms
+        assert np.array_equal(pooled.episode_latencies_ms, local.episode_latencies_ms)
