@@ -27,6 +27,7 @@ import time
 from pathlib import Path
 
 import numpy as np
+from _gate import record_gate_result
 
 from repro.core.ddpg import DDPGConfig
 from repro.core.mdp import SplitMDP
@@ -96,30 +97,31 @@ def test_bench_osds_episode_batching(benchmark):
     seq_train_eps, _ = _best_of(model, devices, network, boundaries, 1, 1, 1)
     bat_train_eps, _ = _best_of(model, devices, network, boundaries, EPISODE_BATCH, 1, 1)
 
-    rows = {
-        "scenario": scenario.name,
-        "model": MODEL_NAME,
-        "num_devices": NUM_DEVICES,
-        "episodes": EPISODES,
-        "episode_batch": EPISODE_BATCH,
-        "policy_refresh": EPISODE_BATCH,
-        "rounds": ROUNDS,
-        "sequential_eps_per_s": seq_eps,
-        "batched_eps_per_s": bat_eps,
-        "speedup_batched_over_sequential": speedup,
-        "bit_identical": bit_identical,
-        "min_speedup_gate": MIN_SPEEDUP,
-        "gate_enforced": True,
-        "full_training": {
-            "updates_per_step": 1,
-            "sequential_eps_per_s": seq_train_eps,
-            "batched_eps_per_s": bat_train_eps,
-            "speedup_batched_over_sequential": bat_train_eps / seq_train_eps,
-            "note": "DDPG updates are canonical sequential work shared "
-            "bit-identically by both paths; unenforced",
+    rows = record_gate_result(
+        BENCH_PATH,
+        {
+            "scenario": scenario.name,
+            "model": MODEL_NAME,
+            "num_devices": NUM_DEVICES,
+            "episodes": EPISODES,
+            "episode_batch": EPISODE_BATCH,
+            "policy_refresh": EPISODE_BATCH,
+            "rounds": ROUNDS,
+            "sequential_eps_per_s": seq_eps,
+            "batched_eps_per_s": bat_eps,
+            "speedup_batched_over_sequential": speedup,
+            "bit_identical": bit_identical,
+            "min_speedup_gate": MIN_SPEEDUP,
+            "full_training": {
+                "updates_per_step": 1,
+                "sequential_eps_per_s": seq_train_eps,
+                "batched_eps_per_s": bat_train_eps,
+                "speedup_batched_over_sequential": bat_train_eps / seq_train_eps,
+                "note": "DDPG updates are canonical sequential work shared "
+                "bit-identically by both paths; unenforced",
+            },
         },
-    }
-    BENCH_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    )
     print(f"\nBENCH_osds: {json.dumps(rows, indent=2)}")
 
     benchmark.pedantic(

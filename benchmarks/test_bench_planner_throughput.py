@@ -14,6 +14,8 @@ import json
 import time
 from pathlib import Path
 
+from _gate import record_gate_result
+
 from repro.devices.specs import make_cluster
 from repro.network.topology import NetworkModel
 from repro.nn import model_zoo
@@ -81,18 +83,20 @@ def test_bench_planner_throughput(benchmark):
     t_cached = _best_of(lambda: warm.evaluate_plans(plans))
 
     speedup = t_single / t_batch
-    rows = {
-        "batch_size": BATCH_SIZE,
-        "model": "vgg16",
-        "cluster": [f"{d.type_name}@{d.bandwidth_mbps:g}" for d in devices],
-        "single_plans_per_s": BATCH_SIZE / t_single,
-        "batch_plans_per_s": BATCH_SIZE / t_batch,
-        "cached_plans_per_s": BATCH_SIZE / t_cached,
-        "speedup_batch_over_single": speedup,
-        "speedup_cached_over_single": t_single / t_cached,
-        "min_speedup_gate": MIN_SPEEDUP,
-    }
-    BENCH_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    rows = record_gate_result(
+        BENCH_PATH,
+        {
+            "batch_size": BATCH_SIZE,
+            "model": "vgg16",
+            "cluster": [f"{d.type_name}@{d.bandwidth_mbps:g}" for d in devices],
+            "single_plans_per_s": BATCH_SIZE / t_single,
+            "batch_plans_per_s": BATCH_SIZE / t_batch,
+            "cached_plans_per_s": BATCH_SIZE / t_cached,
+            "speedup_batch_over_single": speedup,
+            "speedup_cached_over_single": t_single / t_cached,
+            "min_speedup_gate": MIN_SPEEDUP,
+        },
+    )
     print(f"\nBENCH_planner: {json.dumps(rows, indent=2)}")
 
     benchmark.pedantic(run_batch_cold, rounds=1, iterations=1, warmup_rounds=0)

@@ -12,10 +12,8 @@ single-process batch throughput and that the merged results are
 bit-identical; numbers land in ``BENCH_shard.json`` for the CI artifact
 trail.  On machines with fewer cores than workers the speedup assertion is
 skipped — multiprocess scaling cannot be demonstrated on a single core —
-and, crucially, a skipped run never overwrites enforced numbers: the file
-keeps the last *enforced* result at top level and records the skip (CPU
-count, reason, measured speedup) under ``skipped_run``, so the artifact
-trail cannot silently degrade into ungated measurements.
+with the skipped-gate retention rules of :mod:`_gate` (a skipped run never
+overwrites enforced numbers).
 """
 
 from __future__ import annotations
@@ -24,6 +22,8 @@ import json
 import os
 import time
 from pathlib import Path
+
+from _gate import record_gate_result
 
 from repro.experiments.scenarios import generate_scenario
 from repro.experiments.workloads import random_varied_plans
@@ -83,54 +83,33 @@ def test_bench_shard_scaling(benchmark):
     speedup = best_single / best_sharded
     cpus = os.cpu_count() or 1
     enforced = cpus >= WORKERS
-    rows = {
-        "scenario": scenario.name,
-        "model": MODEL_NAME,
-        "num_devices": NUM_DEVICES,
-        "batch_size": BATCH_SIZE,
-        "workers": WORKERS,
-        "workers_started": workers_up,
-        "cpu_count": cpus,
-        "rounds": ROUNDS,
-        "single_plans_per_s": BATCH_SIZE / best_single,
-        "sharded_plans_per_s": BATCH_SIZE / best_sharded,
-        "speedup_sharded_over_single": speedup,
-        "bit_identical": bit_identical,
-        "min_speedup_gate": MIN_SPEEDUP,
-        "gate_enforced": enforced,
-        # Distinct from gate_enforced (which describes the top-level
-        # numbers, possibly from an earlier enforced run): whether *this*
-        # run enforced the gate.  CI uploads the artifact only when true.
-        "last_run_enforced": enforced,
-    }
-    if enforced:
-        BENCH_PATH.write_text(json.dumps(rows, indent=2) + "\n")
-    else:
-        # Keep the last enforced result; only annotate the skip.  A file
-        # whose top level says gate_enforced: false carries no enforced
-        # numbers at all and is not uploaded by CI.
-        skip = {
+    rows = record_gate_result(
+        BENCH_PATH,
+        {
+            "scenario": scenario.name,
+            "model": MODEL_NAME,
+            "num_devices": NUM_DEVICES,
+            "batch_size": BATCH_SIZE,
+            "workers": WORKERS,
+            "workers_started": workers_up,
+            "cpu_count": cpus,
+            "rounds": ROUNDS,
+            "single_plans_per_s": BATCH_SIZE / best_single,
+            "sharded_plans_per_s": BATCH_SIZE / best_sharded,
+            "speedup_sharded_over_single": speedup,
+            "bit_identical": bit_identical,
+            "min_speedup_gate": MIN_SPEEDUP,
+        },
+        enforced=enforced,
+        skip_info={
             "cpu_count": cpus,
             "workers": WORKERS,
             "reason": f"{cpus} CPU(s) < {WORKERS} workers; multiprocess "
             "scaling cannot be demonstrated on this machine",
             "measured_speedup_sharded_over_single": speedup,
             "bit_identical": bit_identical,
-        }
-        previous = None
-        if BENCH_PATH.exists():
-            try:
-                previous = json.loads(BENCH_PATH.read_text())
-            except ValueError:
-                previous = None
-        if previous is not None and previous.get("gate_enforced"):
-            previous["skipped_run"] = skip
-            previous["last_run_enforced"] = False
-            BENCH_PATH.write_text(json.dumps(previous, indent=2) + "\n")
-            rows = previous
-        else:
-            rows = {"gate_enforced": False, "last_run_enforced": False, "skipped_run": skip}
-            BENCH_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+        },
+    )
     print(f"\nBENCH_shard: {json.dumps(rows, indent=2)}")
 
     benchmark.pedantic(

@@ -20,6 +20,10 @@ Inference on Distributed Edge Devices* (IPDPS 2022).  Subpackages:
     NumPy DDPG agent, OSDS, the planner facade and online adaptation.
 ``repro.baselines``
     CoEdge, MoDNN, MeDNN, DeepThings, DeeperThings, AOFL and Offload.
+``repro.serving``
+    Multi-tenant open-loop serving: arrival processes behind the
+    ``traffic:`` grammar, tenants with SLOs and admission control, and the
+    epoch-batched serving event loop.
 ``repro.experiments``
     Scenario catalogue (Tables I-III) and regeneration of every evaluation
     figure (Figs. 4-15).
@@ -61,6 +65,7 @@ from repro.runtime import (
 )
 from repro.core import DistrEdge, DistrEdgeConfig, LCPSS, OSDS, OSDSConfig
 from repro.baselines import BASELINE_REGISTRY
+from repro.serving import SLO, ServingReport, ServingSimulator, TenantSpec
 from repro.experiments import ExperimentHarness, HarnessConfig, ScenarioCatalog
 
 __all__ = [
@@ -94,6 +99,11 @@ __all__ = [
     "LCPSS",
     "OSDS",
     "OSDSConfig",
+    # serving
+    "ServingSimulator",
+    "ServingReport",
+    "TenantSpec",
+    "SLO",
     # baselines / experiments
     "BASELINE_REGISTRY",
     "ExperimentHarness",

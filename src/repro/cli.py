@@ -1,22 +1,28 @@
 """Command-line interface for the DistrEdge reproduction.
 
-Three subcommands cover the common workflows without writing Python:
+Four subcommands cover the common workflows without writing Python:
 
 ``plan``
     Run a distribution method (DistrEdge or any baseline) on a named model
     and an ad-hoc cluster specification, print the resulting strategy and its
     predicted IPS, and optionally save the plan to JSON.
 ``evaluate``
-    Load a saved plan and evaluate it under a (possibly different) bandwidth,
-    reporting latency, IPS and the per-device breakdown.
+    Load a saved plan and evaluate it — under an overridden bandwidth, or on
+    any ``--scenario`` fleet ``plan``/``compare`` resolve — reporting
+    latency, IPS and the per-device breakdown.
 ``compare``
     Run every method on one scenario from the paper's catalogue and print the
     IPS table (a single cell of Figs. 7-9).
+``serve``
+    Simulate multi-tenant open-loop serving: several methods' plans share one
+    fleet under ``traffic:`` arrival processes with per-tenant SLOs, served
+    through the epoch-batched event loop of
+    :class:`~repro.serving.simulator.ServingSimulator`.
 
 Clusters are given either as ad-hoc ``--devices`` specs or as ``--scenario``
 references — a catalogue name (``DB``, ``LA``...) or a procedural-generator
 spec like ``gen:n=32,seed=7,bw=50-300,types=mixed``.  ``--workers N`` shards
-``compare``'s plan-batch evaluation across ``N`` worker processes (see
+plan-batch evaluation across ``N`` worker processes (see
 :class:`~repro.runtime.shard.ShardedPlanEvaluator`).
 
 Examples
@@ -28,8 +34,11 @@ Examples
     python -m repro.cli plan --model vgg16 --scenario gen:n=32,seed=7 \
         --method aofl
     python -m repro.cli evaluate plan.json --bandwidth 50
+    python -m repro.cli evaluate plan.json --scenario gen:n=32,seed=7
     python -m repro.cli compare --scenario DB --bandwidth 300 --episodes 150
     python -m repro.cli compare --scenario gen:n=32,seed=7 --workers 4
+    python -m repro.cli serve --scenario gen:n=16,seed=7 --duration 30 \
+        --tenant coedge --tenant offload --traffic traffic:poisson,rate=2
 """
 
 from __future__ import annotations
@@ -141,15 +150,45 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
+    from repro.runtime.plan import DistributionPlan
     from repro.runtime.serialization import plan_from_dict
 
     data = json.loads(Path(args.plan).read_text())
-    if args.bandwidth is not None:
-        for entry in data["devices"]:
-            entry["bandwidth_mbps"] = float(args.bandwidth)
-    plan = plan_from_dict(data)
-    devices = plan.devices
-    network = NetworkModel.constant_from_devices(devices)
+    if args.scenario is not None:
+        # Re-evaluate the saved strategy on a fleet resolved exactly as
+        # plan/compare resolve it (catalogue name or gen: spec, --bandwidth
+        # reshaping catalogue links).  Device types must match the plan.
+        scenario = _scenario_from_args(args.scenario, args.bandwidth)
+        if scenario is None:
+            return 2
+        plan = plan_from_dict(data)
+        devices, network = scenario.build(seed=args.seed)
+        if [d.type_name for d in devices] != [d.type_name for d in plan.devices]:
+            print(
+                f"scenario {scenario.name!r} fleet "
+                f"({[d.type_name for d in devices]}) does not match the plan's "
+                f"devices ({[d.type_name for d in plan.devices]})",
+                file=sys.stderr,
+            )
+            return 2
+        plan = DistributionPlan(
+            plan.model,
+            devices,
+            plan.boundaries,
+            plan.decisions,
+            head_device=plan.head_device,
+            method=plan.method,
+        )
+        print(f"scenario: {scenario.name} ({scenario.num_devices} providers)")
+    else:
+        if args.bandwidth is not None:
+            for entry in data["devices"]:
+                entry["bandwidth_mbps"] = float(args.bandwidth)
+        plan = plan_from_dict(data)
+        devices = plan.devices
+        network = NetworkModel.constant_from_devices(devices)
+    if args.workers > 1:
+        print(f"note: --workers {args.workers} has no effect on a single-plan evaluation")
     result = PlanEvaluator(devices, network).evaluate(plan)
     summary = evaluation_to_dict(result)
     print(f"method: {plan.method}  model: {plan.model.name}")
@@ -181,6 +220,119 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         )
         print(f"DistrEdge speedup over best baseline: "
               f"{harness.speedup_over_best_baseline(results):.2f}x")
+    return 0
+
+
+def _parse_tenant_ref(ref: str, default_model: str) -> tuple:
+    """Parse a ``--tenant`` reference ``method[@model]``."""
+    method, _, model_name = ref.partition("@")
+    method = method.strip()
+    model_name = model_name.strip() or default_model
+    known = ["distredge", *sorted(BASELINE_REGISTRY)]
+    if method not in known:
+        raise ValueError(f"unknown tenant method {method!r}; known: {known}")
+    if model_name not in model_zoo.list_models():
+        raise ValueError(
+            f"unknown tenant model {model_name!r}; known: {model_zoo.list_models()}"
+        )
+    return method, model_name
+
+
+def _broadcast(values, count: int, default, flag: str) -> List:
+    """One value per tenant: broadcast a single value, pass lists through."""
+    if not values:
+        return [default] * count
+    if len(values) == 1:
+        return list(values) * count
+    if len(values) != count:
+        raise ValueError(f"{flag} given {len(values)} times for {count} tenants; pass 1 or {count}")
+    return list(values)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.runtime.batch import BatchPlanEvaluator
+    from repro.runtime.shard import ShardedPlanEvaluator
+    from repro.serving import (
+        SLO,
+        PoissonArrivals,
+        ServingSimulator,
+        TenantSpec,
+        resolve_traffic,
+        run_with_parity,
+    )
+    from repro.experiments.reporting import format_serving_table
+
+    scenario = _scenario_from_args(args.scenario, args.bandwidth)
+    if scenario is None:
+        return 2
+    refs = args.tenants or ["coedge", "offload"]
+    try:
+        parsed = [_parse_tenant_ref(ref, args.model) for ref in refs]
+        traffics = _broadcast(args.traffic, len(parsed), None, "--traffic")
+        deadlines = _broadcast(args.deadline_ms, len(parsed), 1000.0, "--deadline-ms")
+        capacities = _broadcast(args.queue_capacity, len(parsed), None, "--queue-capacity")
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    sharded = None
+    if args.workers >= 2:
+        sharded = ShardedPlanEvaluator(scenario, num_workers=args.workers, seed=args.seed)
+        evaluator = sharded
+        devices, network = sharded.devices, sharded.network
+    else:
+        devices, network = scenario.build(seed=args.seed)
+        evaluator = BatchPlanEvaluator(devices, network)
+    print(f"scenario: {scenario.name} ({scenario.num_devices} providers)")
+    try:
+        tenants = []
+        methods_only = [m for m, _ in parsed]
+        for i, (method, model_name) in enumerate(parsed):
+            model = model_zoo.get(model_name)
+            if method == "distredge":
+                planner = DistrEdge(
+                    DistrEdgeConfig(
+                        osds=OSDSConfig(max_episodes=args.episodes, seed=args.seed),
+                        seed=args.seed,
+                    )
+                )
+                plan = planner.plan(model, devices, network)
+            else:
+                plan = BASELINE_REGISTRY[method]().plan(model, devices, network)
+            try:
+                traffic = (
+                    resolve_traffic(traffics[i])
+                    if traffics[i] is not None
+                    else PoissonArrivals(rate_rps=args.rate, seed=args.seed + i)
+                )
+            except ValueError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+            # Suffix only on duplicate methods (same rule as
+            # ExperimentHarness.serve_scenario, so reports correlate).
+            tenants.append(
+                TenantSpec(
+                    name=method if methods_only.count(method) == 1 else f"{method}-{i}",
+                    plan=plan,
+                    traffic=traffic,
+                    slo=SLO(deadline_ms=deadlines[i]),
+                    queue_capacity=capacities[i],
+                )
+            )
+        if args.mode == "parity":
+            reference = PlanEvaluator(devices, network)
+            report = run_with_parity(evaluator, reference, tenants, duration_s=args.duration)
+            print("parity: batched event loop is bit-identical to the reference loop")
+        else:
+            report = ServingSimulator(evaluator).run(
+                tenants, duration_s=args.duration, mode=args.mode
+            )
+        print(format_serving_table(report))
+        if report.slo_violations:
+            print(f"SLO violations: {', '.join(report.slo_violations)}")
+    finally:
+        if sharded is not None:
+            sharded.close()
     return 0
 
 
@@ -225,8 +377,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval = sub.add_parser("evaluate", help="evaluate a saved plan")
     p_eval.add_argument("plan", help="path to a plan JSON file")
     p_eval.add_argument("--bandwidth", type=float, default=None,
-                        help="override every provider's bandwidth (Mbps)")
+                        help="override every provider's bandwidth (Mbps); with "
+                             "--scenario, re-shapes a catalogue scenario's links "
+                             "instead (same semantics as plan/compare)")
+    p_eval.add_argument("--scenario", default=None,
+                        help="re-evaluate the plan on this fleet — catalogue name "
+                             "or gen: spec, resolved exactly as plan/compare "
+                             "resolve it; device types must match the plan")
+    p_eval.add_argument("--seed", type=int, default=0,
+                        help="scenario build seed (trace construction)")
+    p_eval.add_argument("--workers", type=int, default=1,
+                        help="worker processes for sharded batch evaluation "
+                             "(no effect on a single plan; accepted for "
+                             "interface consistency with plan/compare)")
     p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_serve = sub.add_parser(
+        "serve", help="simulate multi-tenant open-loop serving on one fleet"
+    )
+    p_serve.add_argument("--scenario", default="DB",
+                         help="catalogue name or gen: spec (same resolution as "
+                              "plan/compare)")
+    p_serve.add_argument("--bandwidth", type=float, default=None,
+                         help="re-shape every link of a catalogue --scenario (Mbps)")
+    p_serve.add_argument("--tenant", action="append", dest="tenants",
+                         metavar="METHOD[@MODEL]",
+                         help="repeatable tenant spec, e.g. coedge@vgg16 "
+                              "(model defaults to --model); default: "
+                              "coedge + offload")
+    p_serve.add_argument("--model", default="vgg16", choices=model_zoo.list_models(),
+                         help="default model for --tenant entries without @MODEL")
+    p_serve.add_argument("--traffic", action="append", default=None,
+                         help="repeatable traffic: spec, one per tenant or one "
+                              "shared (e.g. traffic:poisson,rate=5 or "
+                              "traffic:mmpp,low=1,high=20); default: Poisson at "
+                              "--rate with per-tenant seeds")
+    p_serve.add_argument("--rate", type=float, default=2.0,
+                         help="default Poisson arrival rate (req/s) when no "
+                              "--traffic is given")
+    p_serve.add_argument("--deadline-ms", action="append", type=float, default=None,
+                         help="repeatable per-tenant SLO deadline (ms); default 1000")
+    p_serve.add_argument("--queue-capacity", action="append", type=int, default=None,
+                         help="repeatable per-tenant admission bound (waiting "
+                              "requests); default unbounded")
+    p_serve.add_argument("--duration", type=float, default=30.0,
+                         help="open-loop arrival horizon (simulated seconds)")
+    p_serve.add_argument("--mode", choices=["batched", "reference", "parity"],
+                         default="batched",
+                         help="event loop: epoch-batched (default), naive "
+                              "per-request reference, or parity (run both and "
+                              "assert bit-identical)")
+    p_serve.add_argument("--episodes", type=int, default=50,
+                         help="OSDS episodes for distredge tenants")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="shard epoch batches over N worker processes")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_cmp = sub.add_parser("compare", help="compare all methods on a paper scenario")
     p_cmp.add_argument("--scenario", default="DB",

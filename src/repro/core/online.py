@@ -17,7 +17,18 @@ Three controllers reproduce the paper's dynamic-network experiment:
   with ``replan_threshold=0`` and ``replan_delay_s=0``.
 
 All controllers expose an ``adaptation_hook`` compatible with
-:class:`~repro.runtime.streaming.StreamingSimulator`.
+:class:`~repro.runtime.streaming.StreamingSimulator` — and, since the
+serving subsystem landed, with per-tenant replanning under multi-tenant
+load: pass the hook through
+:attr:`~repro.serving.tenants.TenantSpec.adaptation_hook` (or a fresh
+controller per run via ``hook_factory``, which parity runs require) and the
+controller replans its tenant's plan between that tenant's requests while
+other tenants keep being served.  The hook contract is identical in both
+settings: called before each dispatch with ``(time_seconds, request_index,
+current_plan, latency_history_ms)``; a returned plan whose *strategy*
+differs from the current one (see
+:meth:`~repro.runtime.plan.DistributionPlan.same_strategy`) becomes the
+tenant's new plan.
 """
 
 from __future__ import annotations

@@ -31,6 +31,9 @@ from repro.runtime.oracles import profiles_by_device
 from repro.runtime.plan import DistributionPlan
 from repro.runtime.shard import ShardedPlanEvaluator
 from repro.runtime.streaming import StreamingSimulator
+from repro.serving.simulator import ServingReport, ServingSimulator
+from repro.serving.tenants import SLO, TenantSpec
+from repro.serving.traffic import ArrivalProcess, resolve_traffic
 
 #: Canonical method order used in the paper's bar charts.
 ALL_METHODS: Tuple[str, ...] = (
@@ -353,6 +356,62 @@ class ExperimentHarness:
                 evaluation.end_to_end_ms,
             )
         return {m: self._result_cache[(m, scenario, model_name)] for m in methods}
+
+    # ------------------------------------------------------------------ #
+    def serve_scenario(
+        self,
+        scenario: Scenario,
+        methods: Sequence[str] = ("coedge", "offload"),
+        model_name: str = "vgg16",
+        traffic: Union[str, ArrivalProcess, Sequence[Union[str, ArrivalProcess]]] = (
+            "traffic:poisson,rate=2"
+        ),
+        deadline_ms: Union[float, Sequence[float]] = 1000.0,
+        queue_capacity: Optional[int] = None,
+        duration_s: float = 30.0,
+        mode: str = "batched",
+    ) -> ServingReport:
+        """Serve one tenant per method on a shared fleet and report SLOs.
+
+        Each method's plan becomes a tenant driven by its arrival process
+        (``traffic`` and ``deadline_ms`` broadcast a single value to every
+        tenant, or supply one per method — note a single *spec* means a
+        single *seed*, i.e. identical arrival times for every tenant).
+        Evaluation routes through :meth:`evaluator_for`, so
+        ``config.workers >= 2`` fans the epoch batches out to the scenario's
+        persistent sharded worker pool.
+        """
+        methods = list(methods)
+        if isinstance(traffic, (str, ArrivalProcess)):
+            traffics = [traffic] * len(methods)
+        else:
+            traffics = list(traffic)
+        if isinstance(deadline_ms, (int, float)):
+            deadlines = [float(deadline_ms)] * len(methods)
+        else:
+            deadlines = [float(d) for d in deadline_ms]
+        if len(traffics) != len(methods) or len(deadlines) != len(methods):
+            raise ValueError(
+                f"traffic/deadline_ms must broadcast to {len(methods)} methods, "
+                f"got {len(traffics)}/{len(deadlines)}"
+            )
+        model = self.model(model_name)
+        devices, network = scenario.build(seed=self.config.seed)
+        evaluator = self.evaluator_for(devices, network, scenario)
+        tenants = []
+        for i, method in enumerate(methods):
+            plan = self.plan_for(method, model, devices, network)
+            name = method if methods.count(method) == 1 else f"{method}-{i}"
+            tenants.append(
+                TenantSpec(
+                    name=name,
+                    plan=plan,
+                    traffic=resolve_traffic(traffics[i]),
+                    slo=SLO(deadline_ms=deadlines[i]),
+                    queue_capacity=queue_capacity,
+                )
+            )
+        return ServingSimulator(evaluator).run(tenants, duration_s=duration_s, mode=mode)
 
     # ------------------------------------------------------------------ #
     @staticmethod

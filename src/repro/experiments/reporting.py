@@ -5,6 +5,17 @@ from __future__ import annotations
 from typing import Dict, Mapping, Sequence
 
 
+def _render_table(header: Sequence[str], rows: Sequence[Sequence[str]], title: str = "") -> str:
+    """Render an aligned text table (shared by the IPS and serving tables)."""
+    widths = [max(len(str(r[i])) for r in [header, *rows]) for i in range(len(header))]
+    lines = [title] if title else []
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
 def format_ips_table(
     results: Mapping[str, Mapping[str, float]],
     methods: Sequence[str] | None = None,
@@ -19,15 +30,7 @@ def format_ips_table(
     rows = []
     for scenario, row in results.items():
         rows.append([scenario] + [f"{row.get(m, float('nan')):.1f}" for m in methods])
-    widths = [max(len(str(r[i])) for r in [header] + rows) for i in range(len(header))]
-    lines = []
-    if title:
-        lines.append(title)
-    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
-    lines.append("  ".join("-" * w for w in widths))
-    for r in rows:
-        lines.append("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
-    return "\n".join(lines)
+    return _render_table(header, rows, title)
 
 
 def format_series(series: Mapping[str, Mapping], title: str = "") -> str:
@@ -44,6 +47,45 @@ def format_series(series: Mapping[str, Mapping], title: str = "") -> str:
     return "\n".join(lines)
 
 
+def format_serving_table(report, title: str = "") -> str:
+    """Format a :class:`~repro.serving.simulator.ServingReport` as a table.
+
+    Duck-typed on the report's tenant rows so this module stays free of
+    package imports; one row per tenant plus an aggregate footer.
+    """
+    header = [
+        "tenant", "arrivals", "done", "rejected", "rps",
+        "p50_ms", "p95_ms", "p99_ms", "miss%", "replans",
+    ]
+    rows = []
+    for t in report.tenants:
+        rows.append([
+            t.name,
+            str(t.num_arrivals),
+            str(t.num_completed),
+            str(t.num_rejected),
+            f"{t.throughput_rps(report.start_s):.2f}",
+            f"{t.p50_response_ms:.1f}",
+            f"{t.p95_response_ms:.1f}",
+            f"{t.p99_response_ms:.1f}",
+            f"{100.0 * t.deadline_miss_rate:.1f}",
+            str(len(t.replan_times_s)),
+        ])
+    rows.append([
+        "TOTAL",
+        str(report.total_arrivals),
+        str(report.total_completed),
+        str(report.total_rejected),
+        f"{report.throughput_rps:.2f}",
+        f"{report.response_percentile_ms(50):.1f}",
+        f"{report.response_percentile_ms(95):.1f}",
+        f"{report.response_percentile_ms(99):.1f}",
+        f"{100.0 * report.deadline_miss_rate:.1f}",
+        str(sum(len(t.replan_times_s) for t in report.tenants)),
+    ])
+    return _render_table(header, rows, title)
+
+
 def speedup_summary(results: Mapping[str, Mapping[str, float]]) -> Dict[str, float]:
     """Per-scenario DistrEdge speedup over the best baseline."""
     out: Dict[str, float] = {}
@@ -56,4 +98,4 @@ def speedup_summary(results: Mapping[str, Mapping[str, float]]) -> Dict[str, flo
     return out
 
 
-__all__ = ["format_ips_table", "format_series", "speedup_summary"]
+__all__ = ["format_ips_table", "format_series", "format_serving_table", "speedup_summary"]

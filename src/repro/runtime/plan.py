@@ -166,6 +166,30 @@ class DistributionPlan:
     def assignment(self, volume_index: int) -> VolumeAssignment:
         return self._assignments[volume_index]
 
+    def same_strategy(self, other: "DistributionPlan") -> bool:
+        """Whether ``other`` encodes the same strategy (content, not identity).
+
+        Two plans are the same strategy when they distribute the same model
+        with identical partition boundaries, identical per-volume cut points
+        and the same head placement — the exact key the evaluation cache uses,
+        so same-strategy plans are guaranteed the same latency.  The method
+        label and the device *objects* are ignored (the adaptation path
+        rebuilds plans; an equal-but-reconstructed plan is not a replan).
+        """
+        if self is other:
+            return True
+        same_model = other.model is self.model or (
+            other.model.name == self.model.name
+            and other.model.input_shape == self.model.input_shape
+            and other.model.layers == self.model.layers
+        )
+        return (
+            same_model
+            and self.boundaries == other.boundaries
+            and [d.cuts for d in self.decisions] == [d.cuts for d in other.decisions]
+            and self.head_device == other.head_device
+        )
+
     def largest_share_device(self, volume_index: int) -> int:
         """Provider with the most output rows of the given volume (default head)."""
         assignment = self._assignments[volume_index]

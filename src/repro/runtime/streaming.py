@@ -12,22 +12,31 @@ wall-clock time), and the averaged images-per-second is reported.  An
 optional *adaptation hook* lets a controller observe recent latencies and
 swap in a new plan between images — the mechanism behind the dynamic-network
 experiment (Fig. 13), where CoEdge/AOFL/DistrEdge re-plan online.
+
+Since the serving subsystem landed, this protocol is the **single-tenant
+closed-loop special case** of :class:`~repro.serving.simulator.ServingSimulator`:
+``run`` builds one closed-loop :class:`~repro.serving.tenants.TenantSpec`
+(think time = ``extra_gap_ms``, request budget = ``num_images``) and executes
+it through the shared tenant runtime, so streaming and multi-tenant serving
+cannot drift apart behaviourally.
+
+Replan accounting compares plan *content*, not object identity: a hook that
+returns an equal-but-reconstructed plan (same boundaries, cuts and head —
+see :meth:`~repro.runtime.plan.DistributionPlan.same_strategy`) is treated
+as "keep the current plan" and does not pollute ``replan_times_s``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.runtime.evaluator import PlanEvaluator
 from repro.runtime.plan import DistributionPlan
-
-#: Adaptation hook signature: called before each image with
-#: ``(time_seconds, image_index, current_plan, latency_history_ms)`` and may
-#: return a replacement plan (or ``None`` to keep the current one).
-AdaptationHook = Callable[[float, int, DistributionPlan, List[float]], Optional[DistributionPlan]]
+from repro.serving.simulator import ServingSimulator
+from repro.serving.tenants import AdaptationHook, TenantSpec
 
 
 @dataclass
@@ -99,29 +108,29 @@ class StreamingSimulator:
         """
         if num_images < 1:
             raise ValueError(f"num_images must be >= 1, got {num_images}")
-        latencies: List[float] = []
-        starts: List[float] = []
-        replans: List[float] = []
-        current_plan = plan
-        t = float(start_time_s)
-        for index in range(num_images):
-            if adaptation_hook is not None:
-                replacement = adaptation_hook(t, index, current_plan, latencies)
-                if replacement is not None and replacement is not current_plan:
-                    current_plan = replacement
-                    replans.append(t)
-            result = self.evaluator.evaluate(current_plan, t_seconds=t)
-            latencies.append(result.end_to_end_ms)
-            starts.append(t)
-            t += (result.end_to_end_ms + self.extra_gap_ms) / 1000.0
-            if max_duration_s is not None and (t - start_time_s) >= max_duration_s:
-                break
+        tenant = TenantSpec(
+            name="stream",
+            plan=plan,
+            traffic=None,  # closed loop: the paper's one-image-in-flight rule
+            max_requests=num_images,
+            gap_ms=self.extra_gap_ms,
+            max_duration_s=max_duration_s,
+            adaptation_hook=adaptation_hook,
+        )
+        # The reference loop evaluates through ``self.evaluator`` exactly as
+        # the historical per-image loop did (one scalar call per image); a
+        # single closed-loop tenant offers no cross-request batching anyway,
+        # and this keeps the simulator compatible with any PlanEvaluator.
+        report = ServingSimulator(self.evaluator).run(
+            [tenant], start_s=start_time_s, mode="reference"
+        )
+        outcome = report.tenants[0]
         return StreamingResult(
-            per_image_latency_ms=np.asarray(latencies),
-            image_start_s=np.asarray(starts),
-            total_time_s=t - start_time_s,
-            method=current_plan.method,
-            replan_times_s=replans,
+            per_image_latency_ms=outcome.latency_ms,
+            image_start_s=outcome.start_s,
+            total_time_s=outcome.busy_until_s - start_time_s,
+            method=outcome.final_method,
+            replan_times_s=list(outcome.replan_times_s),
         )
 
     def run_duration(

@@ -1,0 +1,61 @@
+"""Multi-tenant open-loop serving on top of the batched evaluation engines.
+
+The paper measures a closed loop — one image in flight, one model, one
+cluster.  This package adds the traffic-facing layer the ROADMAP's
+"heavy traffic" north star needs:
+
+* :mod:`repro.serving.traffic` — open-loop arrival processes (Poisson,
+  bursty MMPP, diurnal, trace replay) behind the ``traffic:`` spec grammar.
+* :mod:`repro.serving.tenants` — tenants (model x plan x SLO) with per-tenant
+  FIFO queues, admission control, deadline accounting and per-tenant
+  adaptation hooks (the Section V-F online controllers plug in unchanged).
+* :mod:`repro.serving.simulator` — the serving event loop: epoch-batched
+  ``(requests, devices)`` sweeps through
+  :class:`~repro.runtime.batch.BatchPlanEvaluator` /
+  :class:`~repro.runtime.shard.ShardedPlanEvaluator`, bit-identical to a
+  naive per-request reference loop (asserted by :func:`run_with_parity`),
+  reporting throughput, latency percentiles, deadline-miss rates and
+  queue-depth series per tenant.
+
+The paper's :class:`~repro.runtime.streaming.StreamingSimulator` is the
+single-tenant closed-loop special case of this engine.
+"""
+
+from repro.serving.simulator import (
+    ParityMismatch,
+    ServingReport,
+    ServingSimulator,
+    assert_reports_equal,
+    run_with_parity,
+)
+from repro.serving.tenants import SLO, AdaptationHook, TenantReport, TenantSpec
+from repro.serving.traffic import (
+    TRAFFIC_PREFIX,
+    ArrivalProcess,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    parse_traffic_spec,
+    resolve_traffic,
+)
+
+__all__ = [
+    "ServingSimulator",
+    "ServingReport",
+    "ParityMismatch",
+    "assert_reports_equal",
+    "run_with_parity",
+    "SLO",
+    "TenantSpec",
+    "TenantReport",
+    "AdaptationHook",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "MMPPArrivals",
+    "DiurnalArrivals",
+    "TraceArrivals",
+    "TRAFFIC_PREFIX",
+    "parse_traffic_spec",
+    "resolve_traffic",
+]

@@ -1,0 +1,314 @@
+"""Multi-tenant open-loop serving simulator with an epoch-batched event loop.
+
+:class:`ServingSimulator` drives a set of :class:`~repro.serving.tenants.TenantSpec`
+streams against one shared cluster.  Two event loops produce **bit-identical**
+results:
+
+* ``mode="reference"`` — the naive loop: every dispatched request is
+  evaluated with one scalar ``evaluator.evaluate(plan, t)`` call.  This is
+  the semantics oracle (and the baseline the ``bench-serve`` CI gate measures
+  against).
+* ``mode="batched"`` (default) — the production loop: each *epoch* collects
+  every active tenant's next dispatch, groups the dispatches by instantaneous
+  network-state signature (:func:`~repro.runtime.batch.network_state_signature`
+  — the only thing evaluation depends on besides the plan itself), and
+  evaluates each group in a single vectorised
+  :meth:`~repro.runtime.batch.BatchPlanEvaluator.evaluate_plans` call — one
+  ``(requests, devices)`` array sweep per layer-volume instead of per-request
+  Python scheduling.  Equal signatures guarantee equal results, and the batch
+  engine is bit-exact with the scalar evaluator, so the batched loop matches
+  the reference loop bit for bit; :func:`run_with_parity` asserts exactly
+  that.  On a constant (or piecewise-constant) network all concurrent
+  dispatches share one signature and steady-state requests become plan-LRU
+  hits; on continuously-varying dynamic traces the groups shrink toward
+  singletons and the loop degrades gracefully to cached per-request batch
+  calls — never to wrong answers.
+
+Tenant chains are independent (each tenant owns one service slot, see
+:mod:`repro.serving.tenants`), which is what lets an epoch advance all of
+them in lockstep without reordering any tenant's own sequential decisions.
+
+Pass a :class:`~repro.runtime.shard.ShardedPlanEvaluator` as the evaluator to
+fan epoch batches out to its persistent worker pool (small epochs stay
+in-process automatically via its ``min_shard_size`` rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.runtime.batch import network_state_signature
+from repro.runtime.evaluator import PlanEvaluator
+from repro.serving.tenants import TenantReport, TenantRuntime, TenantSpec
+
+#: Event-loop modes.
+MODES = ("batched", "reference")
+
+
+@dataclass
+class ServingReport:
+    """Outcome of one serving run: per-tenant reports plus aggregates."""
+
+    tenants: List[TenantReport]
+    start_s: float
+    duration_s: Optional[float]
+    mode: str
+    epochs: int = 0
+    evaluator_kind: str = ""
+
+    def tenant(self, name: str) -> TenantReport:
+        for report in self.tenants:
+            if report.name == name:
+                return report
+        raise KeyError(f"no tenant {name!r}; tenants: {[t.name for t in self.tenants]}")
+
+    @property
+    def total_completed(self) -> int:
+        return sum(t.num_completed for t in self.tenants)
+
+    @property
+    def total_arrivals(self) -> int:
+        return sum(t.num_arrivals for t in self.tenants)
+
+    @property
+    def total_rejected(self) -> int:
+        return sum(t.num_rejected for t in self.tenants)
+
+    @property
+    def makespan_s(self) -> float:
+        """Last completion relative to the run start."""
+        ends = [t.makespan_s for t in self.tenants if t.num_completed]
+        return max(ends) - self.start_s if ends else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        """Aggregate completed requests per second of simulated time."""
+        span = self.makespan_s
+        return self.total_completed / span if span > 0 else 0.0
+
+    def response_percentile_ms(self, q: float) -> float:
+        """Percentile of the response time pooled over every tenant."""
+        pooled = [t.response_ms for t in self.tenants if t.num_completed]
+        if not pooled:
+            return 0.0
+        return float(np.percentile(np.concatenate(pooled), q))
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Pooled miss fraction over tenants that declare an SLO."""
+        missed = total = 0
+        for t in self.tenants:
+            if t.slo is not None:
+                missed += int(t.deadline_missed.sum())
+                total += t.num_completed
+        return missed / total if total else 0.0
+
+    @property
+    def slo_violations(self) -> List[str]:
+        """Names of tenants whose miss rate exceeded their SLO target."""
+        return [t.name for t in self.tenants if not t.slo_satisfied]
+
+
+class ServingSimulator:
+    """Serves tenant request streams through a plan evaluator.
+
+    Parameters
+    ----------
+    evaluator:
+        The evaluator bound to the shared cluster.  ``mode="batched"``
+        requires an ``evaluate_plans`` batch API
+        (:class:`~repro.runtime.batch.BatchPlanEvaluator` or
+        :class:`~repro.runtime.shard.ShardedPlanEvaluator`); the reference
+        mode accepts any :class:`~repro.runtime.evaluator.PlanEvaluator`.
+    """
+
+    def __init__(self, evaluator: PlanEvaluator) -> None:
+        self.evaluator = evaluator
+
+    # ------------------------------------------------------------------ #
+    def _check(self, tenants: Sequence[TenantSpec], duration_s: Optional[float], mode: str) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        if mode == "batched" and not hasattr(self.evaluator, "evaluate_plans"):
+            raise TypeError(
+                "batched serving needs an evaluator with evaluate_plans "
+                "(BatchPlanEvaluator / ShardedPlanEvaluator); "
+                f"got {type(self.evaluator).__name__} — use mode='reference' for it"
+            )
+        if not tenants:
+            raise ValueError("at least one tenant is required")
+        names = [spec.name for spec in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"tenant names must be unique, got {names}")
+        n = len(self.evaluator.devices)
+        for spec in tenants:
+            if spec.plan.num_devices != n:
+                raise ValueError(
+                    f"tenant {spec.name!r}: plan covers {spec.plan.num_devices} "
+                    f"devices, cluster has {n}"
+                )
+            if not spec.closed_loop and duration_s is None:
+                raise ValueError(
+                    f"tenant {spec.name!r} is open-loop; pass duration_s to bound "
+                    "its arrival horizon"
+                )
+        if duration_s is not None and duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0, got {duration_s}")
+
+    def run(
+        self,
+        tenants: Sequence[TenantSpec],
+        duration_s: Optional[float] = None,
+        start_s: float = 0.0,
+        mode: str = "batched",
+    ) -> ServingReport:
+        """Simulate the tenants' traffic and return the serving report.
+
+        ``duration_s`` bounds the open-loop arrival horizon (arrivals land in
+        ``[start_s, start_s + duration_s)``); every admitted request is then
+        served to completion, so the makespan may exceed the duration.
+        Closed-loop tenants are bounded by their own ``max_requests`` /
+        ``max_duration_s`` instead.
+        """
+        self._check(tenants, duration_s, mode)
+        runtimes = [TenantRuntime(spec, start_s, duration_s) for spec in tenants]
+        epochs = 0
+        network = self.evaluator.network
+        while True:
+            dispatches: List[Tuple[TenantRuntime, object]] = []
+            for runtime in runtimes:
+                if runtime.done:
+                    continue
+                dispatch = runtime.prepare()
+                if dispatch is not None:
+                    dispatches.append((runtime, dispatch))
+            if not dispatches:
+                break
+            epochs += 1
+            if mode == "reference":
+                for runtime, dispatch in dispatches:
+                    result = self.evaluator.evaluate(dispatch.plan, t_seconds=dispatch.start_s)
+                    runtime.commit(result.end_to_end_ms)
+                continue
+            # Batched: group the epoch's dispatches by instantaneous network
+            # state.  Within a group the scalar evaluator would compute the
+            # very same schedule for every member time, so evaluating the
+            # group at any member time is exact — one vectorised call per
+            # distinct network state per epoch.
+            groups: Dict[Tuple[float, ...], List[Tuple[TenantRuntime, object]]] = {}
+            for runtime, dispatch in dispatches:
+                signature = network_state_signature(network, dispatch.start_s)
+                groups.setdefault(signature, []).append((runtime, dispatch))
+            for members in groups.values():
+                results = self.evaluator.evaluate_plans(
+                    [dispatch.plan for _, dispatch in members],
+                    t_seconds=members[0][1].start_s,
+                )
+                for (runtime, _), result in zip(members, results):
+                    runtime.commit(result.end_to_end_ms)
+        return ServingReport(
+            tenants=[runtime.report() for runtime in runtimes],
+            start_s=start_s,
+            duration_s=duration_s,
+            mode=mode,
+            epochs=epochs,
+            evaluator_kind=type(self.evaluator).__name__,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# parity mode
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class ParityMismatch(AssertionError):
+    """Raised when the batched loop diverges from the reference loop."""
+
+    details: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - only printed on failure
+        return "batched serving loop diverged from the reference loop:\n" + "\n".join(
+            f"  - {d}" for d in self.details
+        )
+
+
+def _compare_tenant(a: TenantReport, b: TenantReport, errors: List[str]) -> None:
+    pairs = [
+        ("arrival_s", a.arrival_s, b.arrival_s),
+        ("start_s", a.start_s, b.start_s),
+        ("completion_s", a.completion_s, b.completion_s),
+        ("latency_ms", a.latency_ms, b.latency_ms),
+        ("response_ms", a.response_ms, b.response_ms),
+        ("deadline_missed", a.deadline_missed, b.deadline_missed),
+        ("queue_depth_series", a.queue_depth_series, b.queue_depth_series),
+    ]
+    for label, left, right in pairs:
+        if left.shape != right.shape or not np.array_equal(left, right):
+            errors.append(f"tenant {a.name!r}: {label} differs")
+    for label, left, right in [
+        ("num_arrivals", a.num_arrivals, b.num_arrivals),
+        ("num_rejected", a.num_rejected, b.num_rejected),
+        ("rejected_times_s", a.rejected_times_s, b.rejected_times_s),
+        ("replan_times_s", a.replan_times_s, b.replan_times_s),
+        ("final_method", a.final_method, b.final_method),
+        ("busy_until_s", a.busy_until_s, b.busy_until_s),
+    ]:
+        if left != right:
+            errors.append(f"tenant {a.name!r}: {label} differs ({left!r} != {right!r})")
+
+
+def assert_reports_equal(batched: ServingReport, reference: ServingReport) -> None:
+    """Bit-exact comparison of two serving reports (raises :class:`ParityMismatch`)."""
+    errors: List[str] = []
+    names_a = [t.name for t in batched.tenants]
+    names_b = [t.name for t in reference.tenants]
+    if names_a != names_b:
+        raise ParityMismatch([f"tenant sets differ: {names_a} != {names_b}"])
+    for a, b in zip(batched.tenants, reference.tenants):
+        _compare_tenant(a, b, errors)
+    if errors:
+        raise ParityMismatch(errors)
+
+
+def run_with_parity(
+    batched_evaluator: PlanEvaluator,
+    reference_evaluator: PlanEvaluator,
+    tenants: Sequence[TenantSpec],
+    duration_s: Optional[float] = None,
+    start_s: float = 0.0,
+) -> ServingReport:
+    """Run the batched and the reference loops and assert bit-identity.
+
+    Stateful adaptation hooks must be supplied as ``hook_factory`` (a fresh
+    controller per run) — a bare ``adaptation_hook`` would carry first-run
+    state into the second run and make the comparison meaningless, so it is
+    rejected here.  Returns the batched report.
+    """
+    for spec in tenants:
+        if spec.adaptation_hook is not None:
+            raise ValueError(
+                f"tenant {spec.name!r}: parity runs execute the workload twice; "
+                "supply the hook as hook_factory so each run gets a fresh controller"
+            )
+    reference = ServingSimulator(reference_evaluator).run(
+        tenants, duration_s=duration_s, start_s=start_s, mode="reference"
+    )
+    batched = ServingSimulator(batched_evaluator).run(
+        tenants, duration_s=duration_s, start_s=start_s, mode="batched"
+    )
+    assert_reports_equal(batched, reference)
+    return batched
+
+
+__all__ = [
+    "ServingSimulator",
+    "ServingReport",
+    "ParityMismatch",
+    "assert_reports_equal",
+    "run_with_parity",
+    "MODES",
+]

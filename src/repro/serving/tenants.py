@@ -1,0 +1,441 @@
+"""Tenants: model x plan x SLO, with FIFO queues and deadline accounting.
+
+A *tenant* is one traffic stream served by the shared cluster: a
+:class:`~repro.runtime.plan.DistributionPlan` (its model and strategy), an
+arrival process (open-loop) or a closed-loop request budget, an optional
+:class:`SLO` deadline, a bounded FIFO queue with admission control, and an
+optional adaptation hook (the Section V-F controllers of
+:mod:`repro.core.online` plug in here, so replanning happens *under* load).
+
+:class:`TenantRuntime` is the behavioural core of the serving simulator: it
+advances one tenant's request chain — admission, queueing, dispatch, hook
+invocation, deadline accounting — request by request.  Both event loops of
+:class:`~repro.serving.simulator.ServingSimulator` (the epoch-batched one and
+the naive per-request reference) drive the *same* runtime code and differ
+only in how the dispatched plan is evaluated, which is what makes their
+results bit-identical by construction.
+
+Service model: the cluster grants each tenant one service slot (the paper's
+one-image-in-flight protocol, per stream), so a tenant's requests are served
+sequentially while distinct tenants progress concurrently.  Cross-tenant
+interference on compute/network lanes is not modelled (each inference sees
+the full cluster at its start time); a contention-aware evaluator is a
+recorded follow-up in ROADMAP.md.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
+
+import numpy as np
+
+from repro.runtime.plan import DistributionPlan
+from repro.serving.traffic import ArrivalProcess
+
+#: Adaptation hook signature (identical to the streaming simulator's):
+#: called before each dispatch with ``(time_seconds, request_index,
+#: current_plan, latency_history_ms)`` and may return a replacement plan
+#: (or ``None`` to keep the current one).
+AdaptationHook = Callable[[float, int, DistributionPlan, List[float]], Optional[DistributionPlan]]
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Service-level objective: a response-time deadline per request.
+
+    ``deadline_ms`` bounds the *response* time (completion minus arrival,
+    queueing included).  Requests that exceed it are still served to
+    completion but counted as deadline misses; ``target_miss_rate`` is the
+    acceptable miss fraction used by :meth:`ServingReport.slo_violations`
+    style summaries (purely descriptive — it does not change scheduling).
+    """
+
+    deadline_ms: float
+    target_miss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {self.deadline_ms}")
+        if not 0.0 <= self.target_miss_rate <= 1.0:
+            raise ValueError(
+                f"target_miss_rate must be in [0, 1], got {self.target_miss_rate}"
+            )
+
+
+@dataclass
+class TenantSpec:
+    """Declarative description of one tenant.
+
+    Parameters
+    ----------
+    name:
+        Unique tenant label (report rows, CLI output).
+    plan:
+        Initial distribution plan; all tenants' plans must cover the
+        simulator's cluster.
+    traffic:
+        Open-loop arrival process — or ``None`` for a *closed-loop* tenant
+        whose next request is issued only when the previous one completed
+        (plus ``gap_ms`` think time).  The single-tenant closed-loop case is
+        exactly the paper's streaming protocol
+        (:class:`~repro.runtime.streaming.StreamingSimulator` is this spec).
+    slo:
+        Optional deadline; ``None`` disables miss accounting.
+    queue_capacity:
+        Admission control: maximum requests *waiting* (the in-service request
+        excluded).  Arrivals beyond it are rejected and counted.  ``None``
+        means unbounded.
+    adaptation_hook / hook_factory:
+        Per-tenant replanning hook.  ``hook_factory`` builds a fresh hook per
+        :meth:`ServingSimulator.run` call — required for parity runs, which
+        execute the workload twice and need stateful controllers reset in
+        between.  Pass at most one of the two.
+    max_requests:
+        Serve at most this many requests (required for closed-loop tenants,
+        optional cap for open-loop ones — at the cap, queued and still-to-come
+        arrivals are counted as rejected, so the report reflects the full
+        offered load).
+    gap_ms:
+        Closed-loop think time between a completion and the next request.
+    max_duration_s:
+        Closed-loop only: stop issuing requests once the tenant's simulated
+        clock has advanced this far past the run start.
+    """
+
+    name: str
+    plan: DistributionPlan
+    traffic: Optional[ArrivalProcess] = None
+    slo: Optional[SLO] = None
+    queue_capacity: Optional[int] = None
+    adaptation_hook: Optional[AdaptationHook] = None
+    hook_factory: Optional[Callable[[], AdaptationHook]] = None
+    max_requests: Optional[int] = None
+    gap_ms: float = 0.0
+    max_duration_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.traffic is None and self.max_requests is None:
+            raise ValueError(
+                f"tenant {self.name!r}: closed-loop tenants (traffic=None) need "
+                "max_requests to bound the run"
+            )
+        if self.max_requests is not None and self.max_requests < 1:
+            raise ValueError(
+                f"tenant {self.name!r}: max_requests must be >= 1, got {self.max_requests}"
+            )
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ValueError(
+                f"tenant {self.name!r}: queue_capacity must be >= 1 (or None), "
+                f"got {self.queue_capacity}"
+            )
+        if self.gap_ms < 0:
+            raise ValueError(f"tenant {self.name!r}: gap_ms must be >= 0, got {self.gap_ms}")
+        if self.traffic is not None and (self.gap_ms != 0 or self.max_duration_s is not None):
+            raise ValueError(
+                f"tenant {self.name!r}: gap_ms and max_duration_s are closed-loop "
+                "knobs (traffic=None); open-loop pacing comes from the arrival "
+                "process and duration_s"
+            )
+        if self.adaptation_hook is not None and self.hook_factory is not None:
+            raise ValueError(
+                f"tenant {self.name!r}: pass adaptation_hook or hook_factory, not both"
+            )
+
+    @property
+    def closed_loop(self) -> bool:
+        return self.traffic is None
+
+    def make_hook(self) -> Optional[AdaptationHook]:
+        """The hook for one simulator run (fresh if a factory was given)."""
+        if self.hook_factory is not None:
+            return self.hook_factory()
+        return self.adaptation_hook
+
+
+@dataclass(frozen=True)
+class Dispatch:
+    """One prepared request: where the chain pauses for plan evaluation."""
+
+    arrival_s: float
+    start_s: float
+    plan: DistributionPlan
+
+
+@dataclass
+class TenantReport:
+    """Per-tenant serving outcome: request series, SLO and queue metrics."""
+
+    name: str
+    slo: Optional[SLO]
+    arrival_s: np.ndarray
+    start_s: np.ndarray
+    completion_s: np.ndarray
+    latency_ms: np.ndarray
+    response_ms: np.ndarray
+    deadline_missed: np.ndarray
+    num_arrivals: int
+    num_rejected: int
+    rejected_times_s: List[float]
+    replan_times_s: List[float]
+    queue_depth_series: np.ndarray  # (events, 2): time_s, depth after the event
+    final_method: str
+    busy_until_s: float
+
+    @property
+    def num_completed(self) -> int:
+        return int(self.latency_ms.size)
+
+    @property
+    def num_admitted(self) -> int:
+        return self.num_arrivals - self.num_rejected
+
+    @property
+    def makespan_s(self) -> float:
+        return float(self.completion_s.max()) if self.num_completed else 0.0
+
+    def throughput_rps(self, since_s: float = 0.0) -> float:
+        """Completed requests per second of simulated time since ``since_s``."""
+        if not self.num_completed:
+            return 0.0
+        span = self.makespan_s - since_s
+        return self.num_completed / span if span > 0 else float("inf")
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return float(self.latency_ms.mean()) if self.num_completed else 0.0
+
+    @property
+    def mean_response_ms(self) -> float:
+        return float(self.response_ms.mean()) if self.num_completed else 0.0
+
+    def response_percentile_ms(self, q: float) -> float:
+        """``q``-th percentile (0-100) of the response time in ms."""
+        return float(np.percentile(self.response_ms, q)) if self.num_completed else 0.0
+
+    @property
+    def p50_response_ms(self) -> float:
+        return self.response_percentile_ms(50)
+
+    @property
+    def p95_response_ms(self) -> float:
+        return self.response_percentile_ms(95)
+
+    @property
+    def p99_response_ms(self) -> float:
+        return self.response_percentile_ms(99)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Missed deadlines as a fraction of completed requests."""
+        if self.slo is None or not self.num_completed:
+            return 0.0
+        return float(self.deadline_missed.mean())
+
+    @property
+    def slo_satisfied(self) -> bool:
+        """Whether the miss rate stayed within the SLO's target."""
+        if self.slo is None:
+            return True
+        return self.deadline_miss_rate <= self.slo.target_miss_rate
+
+    @property
+    def max_queue_depth(self) -> int:
+        if self.queue_depth_series.size == 0:
+            return 0
+        return int(self.queue_depth_series[:, 1].max())
+
+
+class TenantRuntime:
+    """One tenant's live state while the serving event loop runs.
+
+    The request chain is strictly sequential within the tenant: the loop
+    alternates :meth:`prepare` (admit arrivals, pick the head-of-line
+    request, run the adaptation hook) and :meth:`commit` (record the
+    evaluated latency, advance the service clock).  Both simulator modes
+    call exactly this sequence with exactly these arguments, so every
+    stateful effect — admission decisions, hook invocations, replan logs —
+    happens identically in both.
+    """
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        start_s: float,
+        duration_s: Optional[float],
+    ) -> None:
+        self.spec = spec
+        self.start_s = float(start_s)
+        self.hook = spec.make_hook()
+        self.current_plan = spec.plan
+        self.done = False
+        self._pending: Optional[Dispatch] = None
+        self._served = 0
+        self._free_s = self.start_s  # when the tenant's service slot frees up
+
+        if spec.closed_loop:
+            self._arrivals = np.empty(0)
+        else:
+            if duration_s is None:
+                raise ValueError(
+                    f"tenant {spec.name!r} is open-loop; the simulator needs duration_s"
+                )
+            self._arrivals = spec.traffic.arrival_times(duration_s, start_s)
+        self._next_arrival = 0
+        self._queue: Deque[float] = deque()
+
+        # Outcome accumulators.
+        self.arrivals_seen = 0
+        self.rejected_times: List[float] = []
+        self.replan_times: List[float] = []
+        self.latencies_ms: List[float] = []
+        self.responses_ms: List[float] = []
+        self.req_arrival_s: List[float] = []
+        self.req_start_s: List[float] = []
+        self.req_completion_s: List[float] = []
+        self.missed: List[bool] = []
+        self.depth_events: List[tuple] = []
+
+    # ------------------------------------------------------------------ #
+    def _admit_until(self, t_s: float) -> None:
+        """Process open-loop arrivals with time <= ``t_s`` (admission control).
+
+        An arrival is admitted when fewer than ``queue_capacity`` requests
+        are waiting at its instant (the in-service request does not occupy
+        the queue), otherwise rejected and counted.  Arrivals tied with a
+        dispatch time are processed before the dispatch.
+        """
+        capacity = self.spec.queue_capacity
+        while (
+            self._next_arrival < self._arrivals.size
+            and self._arrivals[self._next_arrival] <= t_s
+        ):
+            arrival = float(self._arrivals[self._next_arrival])
+            self._next_arrival += 1
+            self.arrivals_seen += 1
+            if capacity is not None and len(self._queue) >= capacity:
+                self.rejected_times.append(arrival)
+            else:
+                self._queue.append(arrival)
+                self.depth_events.append((arrival, len(self._queue)))
+
+    def _next_request(self) -> Optional[float]:
+        """Arrival time of the next request to serve, advancing admission."""
+        if self.spec.closed_loop:
+            return self._free_s  # issued the moment the slot frees up
+        if not self._queue:
+            if self._next_arrival >= self._arrivals.size:
+                return None
+            # Idle tenant: jump to the next arrival (queue empty => admitted).
+            self._admit_until(float(self._arrivals[self._next_arrival]))
+        return self._queue[0]
+
+    def prepare(self) -> Optional[Dispatch]:
+        """Advance to the next dispatch; returns ``None`` when the tenant is done.
+
+        Admits arrivals up to the dispatch instant, invokes the adaptation
+        hook (counting a replan only when the returned plan's *strategy*
+        differs from the current one — see
+        :meth:`DistributionPlan.same_strategy`), and parks the dispatch until
+        :meth:`commit` delivers its evaluated latency.
+        """
+        if self.done or self._pending is not None:
+            raise RuntimeError(f"tenant {self.spec.name!r}: prepare() out of order")
+        if self.spec.max_requests is not None and self._served >= self.spec.max_requests:
+            # Service closed at the request cap: the rest of the offered load
+            # — both the unexamined arrival stream and requests already
+            # waiting in the queue — is counted as rejected, so num_arrivals
+            # reflects the full stream, num_admitted == num_completed, and
+            # the queue-depth series drains to zero (no-op for closed-loop
+            # tenants, which have no stream).
+            while self._queue:
+                self.rejected_times.append(self._queue.popleft())
+                self.depth_events.append((self._free_s, len(self._queue)))
+            while self._next_arrival < self._arrivals.size:
+                arrival = float(self._arrivals[self._next_arrival])
+                self._next_arrival += 1
+                self.arrivals_seen += 1
+                self.rejected_times.append(arrival)
+            self.done = True
+            return None
+        arrival = self._next_request()
+        if arrival is None:
+            self.done = True
+            return None
+        start = max(self._free_s, arrival)
+        if not self.spec.closed_loop:
+            self._admit_until(start)
+        if self.hook is not None:
+            replacement = self.hook(start, self._served, self.current_plan, self.latencies_ms)
+            if replacement is not None and not self.current_plan.same_strategy(replacement):
+                self.current_plan = replacement
+                self.replan_times.append(start)
+        self._pending = Dispatch(arrival_s=arrival, start_s=start, plan=self.current_plan)
+        return self._pending
+
+    def commit(self, latency_ms: float) -> None:
+        """Record the evaluated latency of the pending dispatch."""
+        dispatch = self._pending
+        if dispatch is None:
+            raise RuntimeError(f"tenant {self.spec.name!r}: commit() without prepare()")
+        self._pending = None
+        completion = dispatch.start_s + latency_ms / 1000.0
+        response_ms = (completion - dispatch.arrival_s) * 1000.0
+        self.req_arrival_s.append(dispatch.arrival_s)
+        self.req_start_s.append(dispatch.start_s)
+        self.req_completion_s.append(completion)
+        self.latencies_ms.append(float(latency_ms))
+        self.responses_ms.append(response_ms)
+        slo = self.spec.slo
+        self.missed.append(bool(slo is not None and response_ms > slo.deadline_ms))
+        self._served += 1
+        if self.spec.closed_loop:
+            self.arrivals_seen += 1
+            self._free_s = dispatch.start_s + (latency_ms + self.spec.gap_ms) / 1000.0
+            if (
+                self.spec.max_duration_s is not None
+                and self._free_s - self.start_s >= self.spec.max_duration_s
+            ):
+                self.done = True
+        else:
+            self._queue.popleft()
+            self.depth_events.append((dispatch.start_s, len(self._queue)))
+            self._free_s = completion
+
+    # ------------------------------------------------------------------ #
+    def report(self) -> TenantReport:
+        if self._pending is not None:
+            raise RuntimeError(f"tenant {self.spec.name!r}: report() with a pending dispatch")
+        depth = (
+            np.asarray(self.depth_events, dtype=np.float64)
+            if self.depth_events
+            else np.empty((0, 2))
+        )
+        return TenantReport(
+            name=self.spec.name,
+            slo=self.spec.slo,
+            arrival_s=np.asarray(self.req_arrival_s),
+            start_s=np.asarray(self.req_start_s),
+            completion_s=np.asarray(self.req_completion_s),
+            latency_ms=np.asarray(self.latencies_ms),
+            response_ms=np.asarray(self.responses_ms),
+            deadline_missed=np.asarray(self.missed, dtype=bool),
+            num_arrivals=self.arrivals_seen,
+            num_rejected=len(self.rejected_times),
+            rejected_times_s=list(self.rejected_times),
+            replan_times_s=list(self.replan_times),
+            queue_depth_series=depth,
+            final_method=self.current_plan.method,
+            busy_until_s=self._free_s,
+        )
+
+
+__all__ = [
+    "SLO",
+    "TenantSpec",
+    "TenantRuntime",
+    "TenantReport",
+    "Dispatch",
+    "AdaptationHook",
+]

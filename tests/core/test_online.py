@@ -111,3 +111,77 @@ class TestOnlineDistrEdgeController:
         assert result.num_images == 6
         # The actor made at least one online decision refresh.
         assert len(controller.decision_log) >= 1
+
+    def test_candidate_refresh_never_regresses_active_plan(
+        self, dynamic_setup, fast_ddpg_config
+    ):
+        """Regression guard for the batched candidate refresh (ROADMAP item).
+
+        The online controller's refresh routes candidate scoring through the
+        batch path, whose batched actor forward may round an action by an ulp
+        and flip which candidate wins — documented as safe because a
+        candidate only replaces the incumbent when it evaluates *strictly
+        better* under the current conditions.  This test pins that guarantee:
+        whenever the hook swaps the plan, the replacement's throughput under
+        the conditions at that moment must beat the incumbent's.
+        """
+        from repro.runtime.batch import BatchPlanEvaluator
+
+        model, devices, network, evaluator = dynamic_setup
+        distredge = DistrEdge(
+            DistrEdgeConfig(
+                num_random_splits=5,
+                osds=OSDSConfig(max_episodes=4, ddpg=fast_ddpg_config, seed=0),
+                seed=0,
+            )
+        )
+        controller = OnlineDistrEdgeController(
+            model=model,
+            devices=devices,
+            network=network,
+            distredge=distredge,
+            decision_interval_s=0.0,  # refresh candidates on every hook call
+            replan_threshold=10.0,  # keep the LC-PSS replan path out of the way
+        )
+        controller.initial_plan(0.0)
+        # Start streaming from a deliberately poor incumbent (an equal split
+        # re-balanced at every layer, paying maximal redistribution): the
+        # first refresh must beat it — and every swap, this one included,
+        # must satisfy the guard.
+        from repro.nn.splitting import SplitDecision
+
+        fine_boundaries = list(range(model.num_spatial_layers + 1))
+        current = DistributionPlan(
+            model,
+            devices,
+            fine_boundaries,
+            [
+                SplitDecision.equal(len(devices), v.output_height)
+                for v in model.partition(fine_boundaries)
+            ],
+        )
+        # Independent evaluator with the controller's input encoding: plan
+        # evaluation is exact (bit-identical across engines), so this scores
+        # plans exactly as the controller's internal guard did.
+        check = BatchPlanEvaluator(
+            devices,
+            network,
+            input_bytes_per_element=distredge.config.input_bytes_per_element,
+        )
+        swaps = 0
+        for index, t in enumerate([5.0, 30.0, 70.0, 150.0, 400.0, 900.0]):
+            replacement = controller.adaptation_hook(t, index, current, [])
+            if replacement is None:
+                continue
+            swaps += 1
+            incumbent_ms = check.evaluate(current, t_seconds=t).end_to_end_ms
+            replacement_ms = check.evaluate(replacement, t_seconds=t).end_to_end_ms
+            assert replacement_ms < incumbent_ms, (
+                f"refresh at t={t} swapped to a plan with {replacement_ms:.3f} ms "
+                f">= incumbent {incumbent_ms:.3f} ms"
+            )
+            current = replacement
+        # The dynamic trace must have made at least one refresh act, or the
+        # guard was never exercised.
+        assert controller.decision_log, "no candidate refresh ran"
+        assert swaps >= 1, "no refresh ever swapped the plan; guard untested"

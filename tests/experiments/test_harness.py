@@ -139,6 +139,36 @@ class TestHarness:
         assert result_a is not result_b
         assert result_a.ips != result_b.ips
 
+    def test_serve_scenario_one_tenant_per_method(self, harness, small_scenario):
+        report = harness.serve_scenario(
+            small_scenario,
+            methods=("coedge", "offload"),
+            model_name="small_vgg",
+            traffic="traffic:poisson,rate=3,seed=1",
+            deadline_ms=500.0,
+            duration_s=5.0,
+        )
+        assert [t.name for t in report.tenants] == ["coedge", "offload"]
+        assert report.mode == "batched"
+        assert report.total_completed > 0
+        for tenant in report.tenants:
+            assert tenant.slo is not None and tenant.slo.deadline_ms == 500.0
+        # The report formats as a table (used by the serve CLI).
+        from repro.experiments.reporting import format_serving_table
+
+        table = format_serving_table(report, title="serve")
+        assert "coedge" in table and "TOTAL" in table and "p95_ms" in table
+
+    def test_serve_scenario_broadcast_mismatch_rejected(self, harness, small_scenario):
+        with pytest.raises(ValueError, match="broadcast"):
+            harness.serve_scenario(
+                small_scenario,
+                methods=("coedge", "offload"),
+                model_name="small_vgg",
+                deadline_ms=[100.0, 200.0, 300.0],
+                duration_s=1.0,
+            )
+
     def test_osds_config_sigma_scales_with_cluster(self):
         config = HarnessConfig()
         assert config.osds_config(4).sigma_squared == pytest.approx(0.1)

@@ -71,6 +71,36 @@ class TestStreaming:
         assert result.method == "fast"
         assert result.per_image_latency_ms[0] > result.per_image_latency_ms[-1]
 
+    def test_replan_counts_content_not_identity(self, model):
+        """Equal-but-reconstructed hook plans must not pollute replan_times_s.
+
+        The simulator historically compared ``replacement is not
+        current_plan``: a controller rebuilding an identical plan every image
+        logged a "replan" per image.  Replans are now counted by strategy
+        content (:meth:`DistributionPlan.same_strategy`)."""
+        devices = make_cluster([("nano", 100), ("nano", 100)])
+        network = NetworkModel.constant_from_devices(devices)
+        evaluator = PlanEvaluator(devices, network)
+        plan = DistributionPlan.single_device(model, devices, 0)
+
+        def rebuilding_hook(t, index, current, history):
+            # Same strategy, freshly constructed object each image.
+            return DistributionPlan.single_device(model, devices, 0)
+
+        result = StreamingSimulator(evaluator).run(
+            plan, num_images=5, adaptation_hook=rebuilding_hook
+        )
+        assert result.replan_times_s == []
+
+        def switching_hook(t, index, current, history):
+            return DistributionPlan.single_device(model, devices, 1) if index == 2 else None
+
+        result = StreamingSimulator(evaluator).run(
+            plan, num_images=5, adaptation_hook=switching_hook
+        )
+        # One genuine strategy change, logged once.
+        assert len(result.replan_times_s) == 1
+
     def test_latency_series_shape(self, setup):
         _, _, evaluator, plan = setup
         result = StreamingSimulator(evaluator).run(plan, num_images=4)

@@ -1,0 +1,140 @@
+"""Property tests for the arrival processes and the ``traffic:`` grammar."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.serving.traffic import (
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    parse_traffic_spec,
+    resolve_traffic,
+)
+
+ALL_PROCESSES = [
+    PoissonArrivals(rate_rps=5.0, seed=3),
+    MMPPArrivals(low_rps=1.0, high_rps=20.0, dwell_low_s=10.0, dwell_high_s=4.0, seed=3),
+    DiurnalArrivals(base_rps=1.0, peak_rps=10.0, period_s=120.0, seed=3),
+    TraceArrivals(offsets_s=(0.1, 0.5, 0.5, 1.2, 7.0)),
+]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("process", ALL_PROCESSES, ids=lambda p: type(p).__name__)
+    def test_repeated_calls_are_identical(self, process):
+        a = process.arrival_times(30.0)
+        b = process.arrival_times(30.0)
+        assert np.array_equal(a, b)
+
+    @given(seed=st.integers(0, 2**31 - 1), rate=st.floats(0.2, 50.0))
+    def test_same_seed_same_arrivals(self, seed, rate):
+        a = PoissonArrivals(rate_rps=rate, seed=seed).arrival_times(10.0)
+        b = PoissonArrivals(rate_rps=rate, seed=seed).arrival_times(10.0)
+        assert np.array_equal(a, b)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_mmpp_same_seed_same_arrivals(self, seed):
+        make = lambda: MMPPArrivals(low_rps=0.5, high_rps=15.0, seed=seed)  # noqa: E731
+        assert np.array_equal(make().arrival_times(20.0), make().arrival_times(20.0))
+
+    @given(start=st.floats(0.0, 1e4))
+    def test_start_offset_shifts_without_resampling(self, start):
+        process = PoissonArrivals(rate_rps=5.0, seed=1)
+        base = process.arrival_times(10.0, start_s=0.0)
+        shifted = process.arrival_times(10.0, start_s=start)
+        assert np.allclose(shifted - start, base)
+
+    @pytest.mark.parametrize("process", ALL_PROCESSES, ids=lambda p: type(p).__name__)
+    def test_arrivals_sorted_and_inside_window(self, process):
+        times = process.arrival_times(25.0, start_s=100.0)
+        assert np.all(np.diff(times) >= 0)
+        if times.size:
+            assert times[0] >= 100.0
+            assert times[-1] < 125.0
+
+
+class TestEmpiricalRates:
+    @pytest.mark.parametrize("rate", [1.0, 5.0, 20.0])
+    def test_poisson_rate_within_tolerance(self, rate):
+        # Long window (expected count >= 500) and a fixed seed: the empirical
+        # rate must sit within 15% of the configured one.
+        duration = max(500.0 / rate, 50.0)
+        times = PoissonArrivals(rate_rps=rate, seed=7).arrival_times(duration)
+        assert times.size / duration == pytest.approx(rate, rel=0.15)
+
+    def test_mmpp_mean_rate_within_tolerance(self):
+        process = MMPPArrivals(low_rps=1.0, high_rps=20.0, dwell_low_s=10.0, dwell_high_s=10.0, seed=11)
+        duration = 2000.0
+        times = process.arrival_times(duration)
+        assert times.size / duration == pytest.approx(process.mean_rate_rps, rel=0.2)
+
+    def test_diurnal_mean_rate_over_whole_periods(self):
+        process = DiurnalArrivals(base_rps=2.0, peak_rps=10.0, period_s=100.0, seed=13)
+        duration = 2000.0  # 20 whole periods
+        times = process.arrival_times(duration)
+        assert times.size / duration == pytest.approx(process.mean_rate_rps, rel=0.2)
+
+    def test_diurnal_peaks_mid_period(self):
+        process = DiurnalArrivals(base_rps=0.5, peak_rps=20.0, period_s=100.0, seed=13)
+        times = process.arrival_times(1000.0)
+        phase = np.mod(times, 100.0)
+        mid = ((phase > 25) & (phase < 75)).sum()
+        edges = times.size - mid
+        assert mid > 2 * edges  # the raised-cosine mass sits mid-period
+
+    def test_mmpp_is_burstier_than_poisson(self):
+        # Same mean rate; the MMPP inter-arrival CV must exceed Poisson's ~1.
+        mmpp = MMPPArrivals(low_rps=0.2, high_rps=30.0, dwell_low_s=20.0, dwell_high_s=2.0, seed=5)
+        poisson = PoissonArrivals(rate_rps=mmpp.mean_rate_rps, seed=5)
+        gaps_m = np.diff(mmpp.arrival_times(2000.0))
+        gaps_p = np.diff(poisson.arrival_times(2000.0))
+        cv = lambda g: g.std() / g.mean()  # noqa: E731
+        assert cv(gaps_m) > 1.3 * cv(gaps_p)
+
+
+class TestGrammar:
+    @pytest.mark.parametrize("process", ALL_PROCESSES, ids=lambda p: type(p).__name__)
+    def test_spec_round_trip(self, process):
+        rebuilt = parse_traffic_spec(process.spec)
+        assert rebuilt == process
+        assert rebuilt.spec == process.spec
+        assert np.array_equal(rebuilt.arrival_times(15.0), process.arrival_times(15.0))
+
+    def test_kind_as_key_and_bursty_alias(self):
+        a = parse_traffic_spec("traffic:kind=mmpp,low=1,high=5")
+        b = parse_traffic_spec("traffic:bursty,low=1,high=5")
+        assert a == b
+
+    def test_resolve_passes_processes_through(self):
+        process = PoissonArrivals(rate_rps=2.0)
+        assert resolve_traffic(process) is process
+        assert resolve_traffic("traffic:poisson,rate=2") == process
+
+    @pytest.mark.parametrize(
+        "spec, fragment",
+        [
+            ("poisson,rate=5", "must start with"),
+            ("traffic:", "empty traffic spec"),
+            ("traffic:warp,rate=5", "unknown traffic kind"),
+            ("traffic:poisson,ratio=5", "unknown traffic option"),
+            ("traffic:poisson,rate=fast", "not a number"),
+            ("traffic:poisson,seed=1.5", "not an integer"),
+            ("traffic:poisson,rate", "expected key=value"),
+            ("traffic:poisson,rate=1,rate=2", "duplicate traffic option"),
+            ("traffic:rate=5", "names no kind"),
+            ("traffic:trace", "requires times"),
+            ("traffic:trace,times=1;zz", "non-number"),
+            ("traffic:trace,times=3;1", "non-decreasing"),
+            ("traffic:poisson,rate=0", "rate_rps must be > 0"),
+            ("traffic:mmpp,low=5,high=2", "high_rps must exceed"),
+            ("traffic:diurnal,base=5,peak=2", "peak_rps must be positive and >="),
+        ],
+    )
+    def test_malformed_specs_raise_with_useful_message(self, spec, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            parse_traffic_spec(spec)

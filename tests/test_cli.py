@@ -152,3 +152,140 @@ class TestCommands:
         err = capsys.readouterr().err
         assert "--bandwidth does not apply to gen: scenarios" in err
         assert "unknown generator option" in err
+
+
+class TestEvaluateScenario:
+    """`evaluate --scenario` re-evaluates saved plans on plan/compare fleets."""
+
+    def _save_plan(self, tmp_path, scenario):
+        plan_path = tmp_path / "plan.json"
+        code = main([
+            "plan", "--model", "small_vgg", "--scenario", scenario,
+            "--method", "aofl", "--output", str(plan_path),
+        ])
+        assert code == 0
+        return plan_path
+
+    def test_reevaluate_on_matching_generated_fleet(self, tmp_path, capsys):
+        spec = "gen:n=4,bw=200,types=nano"
+        plan_path = self._save_plan(tmp_path, spec)
+        capsys.readouterr()
+        code = main(["evaluate", str(plan_path), "--scenario", spec])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario: gen-4d-nano-bw200-constant-s0" in out
+        assert "IPS" in out
+
+    def test_bandwidth_reshapes_catalogue_scenario(self, tmp_path, capsys):
+        plan_path = self._save_plan(tmp_path, "DA")
+        capsys.readouterr()
+        code = main(["evaluate", str(plan_path), "--scenario", "DA", "--bandwidth", "50"])
+        assert code == 0
+        assert "scenario: DA-50Mbps" in capsys.readouterr().out
+
+    def test_mismatched_fleet_rejected(self, tmp_path, capsys):
+        plan_path = self._save_plan(tmp_path, "gen:n=4,bw=200,types=nano")
+        capsys.readouterr()
+        code = main(["evaluate", str(plan_path), "--scenario", "DB"])
+        assert code == 2
+        assert "does not match the plan's devices" in capsys.readouterr().err
+
+    def test_unknown_scenario_rejected(self, tmp_path, capsys):
+        plan_path = self._save_plan(tmp_path, "gen:n=4,bw=200,types=nano")
+        capsys.readouterr()
+        code = main(["evaluate", str(plan_path), "--scenario", "ZZ"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_workers_flag_notes_single_plan(self, tmp_path, capsys):
+        spec = "gen:n=4,bw=200,types=nano"
+        plan_path = self._save_plan(tmp_path, spec)
+        capsys.readouterr()
+        code = main(["evaluate", str(plan_path), "--scenario", spec, "--workers", "4"])
+        assert code == 0
+        assert "no effect on a single-plan evaluation" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.mode == "batched"
+        assert args.duration == 30.0
+        assert args.tenants is None
+
+    def test_serve_two_tenants_batched(self, capsys):
+        code = main([
+            "serve", "--scenario", "gen:n=4,bw=200,types=nano",
+            "--model", "small_vgg",
+            "--tenant", "coedge", "--tenant", "offload",
+            "--duration", "5", "--rate", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # Distinct methods keep bare names (same rule as harness.serve_scenario).
+        assert "coedge" in out and "offload" in out
+        assert "coedge-0" not in out
+        assert "TOTAL" in out
+        assert "p95_ms" in out
+
+    def test_serve_parity_mode(self, capsys):
+        code = main([
+            "serve", "--scenario", "gen:n=4,bw=200,types=nano",
+            "--model", "small_vgg", "--tenant", "offload",
+            "--duration", "5", "--mode", "parity",
+        ])
+        assert code == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_serve_explicit_traffic_and_slo(self, capsys):
+        code = main([
+            "serve", "--scenario", "gen:n=4,bw=200,types=nano",
+            "--model", "small_vgg",
+            "--tenant", "coedge", "--tenant", "offload",
+            "--traffic", "traffic:mmpp,low=1,high=20,seed=3",
+            "--deadline-ms", "8", "--deadline-ms", "1000",
+            "--queue-capacity", "16",
+            "--duration", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SLO violations" in out or "miss%" in out
+
+    def test_serve_malformed_traffic_spec(self, capsys):
+        code = main([
+            "serve", "--scenario", "gen:n=4,bw=200,types=nano",
+            "--model", "small_vgg", "--tenant", "offload",
+            "--traffic", "traffic:warp,rate=3", "--duration", "2",
+        ])
+        assert code == 2
+        assert "unknown traffic kind" in capsys.readouterr().err
+
+    def test_serve_unknown_tenant_method(self, capsys):
+        code = main([
+            "serve", "--scenario", "gen:n=4,bw=200,types=nano",
+            "--tenant", "warpdrive", "--duration", "2",
+        ])
+        assert code == 2
+        assert "unknown tenant method" in capsys.readouterr().err
+
+    def test_serve_broadcast_mismatch(self, capsys):
+        code = main([
+            "serve", "--scenario", "gen:n=4,bw=200,types=nano",
+            "--model", "small_vgg",
+            "--tenant", "coedge", "--tenant", "offload", "--tenant", "modnn",
+            "--deadline-ms", "5", "--deadline-ms", "6",
+            "--duration", "2",
+        ])
+        assert code == 2
+        assert "--deadline-ms" in capsys.readouterr().err
+
+    def test_serve_tenant_model_override(self, capsys):
+        code = main([
+            "serve", "--scenario", "gen:n=4,bw=200,types=nano",
+            "--model", "small_vgg",
+            "--tenant", "offload@tiny_cnn",
+            "--duration", "3",
+        ])
+        assert code == 0
+        assert "offload" in capsys.readouterr().out
