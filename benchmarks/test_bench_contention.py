@@ -1,0 +1,134 @@
+"""Contended serving benchmark: epoch-batched memo vs per-request reference.
+
+The contention subsystem's gate: a 4-tenant open-loop workload on a
+generated 16-device fleet is served through the shared-lane contended loop
+twice — once in ``reference`` mode (every request is a full scalar walk of
+:class:`~repro.runtime.contention.ContentionAwareEvaluator`, the semantics
+oracle) and once in ``batched`` mode, where dispatches are grouped by their
+``(model, plan, network-state, gate, lane-occupancy)`` signature and each
+group is evaluated once through the contended-schedule memo.
+
+The gate asserts the batched loop serves the workload at least
+``MIN_SPEEDUP`` (4x) faster in wall time and that the two loops' reports —
+every per-tenant series *and* the per-device fleet lane breakdown — are
+bit-identical (the contended parity contract, re-checked on the gated
+workload itself).  Nothing here needs multiple cores, so the gate is
+enforced everywhere.  Numbers land in ``BENCH_contention.json`` via the
+shared :mod:`_gate` bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from _gate import record_gate_result
+
+from repro.baselines import BASELINE_REGISTRY
+from repro.experiments.scenarios import generate_scenario
+from repro.nn import model_zoo
+from repro.runtime.batch import BatchPlanEvaluator
+from repro.runtime.evaluator import PlanEvaluator
+from repro.serving import SLO, ClusterPolicy, PoissonArrivals, ServingSimulator, TenantSpec
+from repro.serving.simulator import assert_reports_equal
+
+NUM_DEVICES = 16
+TENANT_METHODS = ("coedge", "modnn", "mednn", "offload")
+RATE_RPS = 0.25
+DURATION_S = 150.0
+DEADLINE_MS = 1000.0
+ROUNDS = 3
+MIN_SPEEDUP = 4.0
+MODEL_NAME = "vgg16"
+POLICY = ClusterPolicy(discipline="fifo")
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_contention.json"
+
+
+def _make_tenants(model, devices, network):
+    tenants = []
+    for i, method in enumerate(TENANT_METHODS):
+        plan = BASELINE_REGISTRY[method]().plan(model, devices, network)
+        tenants.append(
+            TenantSpec(
+                name=method,
+                plan=plan,
+                traffic=PoissonArrivals(rate_rps=RATE_RPS, seed=100 + i),
+                slo=SLO(deadline_ms=DEADLINE_MS),
+            )
+        )
+    return tenants
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best_t, report = float("inf"), None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        report = fn()
+        best_t = min(best_t, time.perf_counter() - start)
+    return best_t, report
+
+
+def test_bench_contended_event_loop(benchmark):
+    scenario = generate_scenario(NUM_DEVICES, seed=17, bandwidth_mbps=300.0)
+    devices, network = scenario.build(seed=17)
+    model = model_zoo.get(MODEL_NAME)
+    tenants = _make_tenants(model, devices, network)
+
+    # Reference: every dispatch is one full scalar contended walk (fresh
+    # evaluator each round — no memo, no plan LRU carry-over).
+    def run_reference():
+        simulator = ServingSimulator(PlanEvaluator(devices, network))
+        return simulator.run(
+            tenants, duration_s=DURATION_S, mode="reference", policy=POLICY
+        )
+
+    # Batched: equal (network state, lane occupancy) signatures share one
+    # evaluation through the contended-schedule memo (fresh each round, so
+    # the measured speedup includes every cold miss).
+    def run_batched():
+        simulator = ServingSimulator(BatchPlanEvaluator(devices, network))
+        return simulator.run(
+            tenants, duration_s=DURATION_S, mode="batched", policy=POLICY
+        )
+
+    t_reference, reference_report = _best_of(run_reference)
+    t_batched, batched_report = _best_of(run_batched)
+
+    assert_reports_equal(batched_report, reference_report)
+    speedup = t_reference / t_batched
+    completed = batched_report.total_completed
+
+    rows = record_gate_result(
+        BENCH_PATH,
+        {
+            "scenario": scenario.name,
+            "model": MODEL_NAME,
+            "num_devices": NUM_DEVICES,
+            "tenants": list(TENANT_METHODS),
+            "discipline": POLICY.discipline,
+            "arrival_rate_rps_per_tenant": RATE_RPS,
+            "duration_s": DURATION_S,
+            "requests_completed": completed,
+            "contended_requests": batched_report.fleet.contended_requests,
+            "evaluations_batched": batched_report.epochs,
+            "memo_hits": batched_report.cache_hits,
+            "rounds": ROUNDS,
+            "reference_requests_per_s": completed / t_reference,
+            "batched_requests_per_s": completed / t_batched,
+            "speedup_batched_over_reference": speedup,
+            "bit_identical": True,  # assert_reports_equal above would have raised
+            "deadline_miss_rate": batched_report.deadline_miss_rate,
+            "min_speedup_gate": MIN_SPEEDUP,
+        },
+    )
+    print(f"\nBENCH_contention: {json.dumps(rows, indent=2)}")
+
+    benchmark.pedantic(run_batched, rounds=1, iterations=1, warmup_rounds=0)
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"contended serving loop regressed: {speedup:.2f}x < {MIN_SPEEDUP}x "
+        f"(reference {t_reference * 1000:.0f} ms, batched {t_batched * 1000:.0f} ms "
+        f"for {completed} requests over {len(TENANT_METHODS)} tenants on "
+        f"{NUM_DEVICES} devices)"
+    )

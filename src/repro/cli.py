@@ -39,6 +39,9 @@ Examples
     python -m repro.cli compare --scenario gen:n=32,seed=7 --workers 4
     python -m repro.cli serve --scenario gen:n=16,seed=7 --duration 30 \
         --tenant coedge --tenant offload --traffic traffic:poisson,rate=2
+    python -m repro.cli serve --scenario DB --contention --discipline wfq \
+        --weight 3 --weight 1 --max-inflight 4 --report-json serve.json
+    python -m repro.cli serve --scenario DB --figure --figure-rates 0.5,1,2,4
 """
 
 from __future__ import annotations
@@ -249,30 +252,105 @@ def _broadcast(values, count: int, default, flag: str) -> List:
     return list(values)
 
 
+def _write_report_json(path: str, payload) -> None:
+    import json
+    from pathlib import Path
+
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"report written to {path}")
+
+
+def _cmd_serve_figure(args: argparse.Namespace, parsed, deadlines, weights, policy) -> int:
+    """The ``serve --figure`` path: deadline-miss vs offered-load sweep."""
+    from repro.experiments.figures import serving_load_curve
+    from repro.experiments.reporting import format_series
+
+    if args.mode != "batched":
+        print(f"note: --figure always sweeps in batched mode; --mode {args.mode} ignored",
+              file=sys.stderr)
+    models = {model_name for _, model_name in parsed}
+    if len(models) > 1:
+        print(
+            f"--figure sweeps one model across rates; tenants name {sorted(models)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        rates = [float(part) for part in args.figure_rates.split(",") if part.strip()]
+    except ValueError:
+        print(f"--figure-rates {args.figure_rates!r} contains a non-number", file=sys.stderr)
+        return 2
+    if not rates or any(rate <= 0 for rate in rates):
+        print(f"--figure-rates must be positive rates, got {args.figure_rates!r}", file=sys.stderr)
+        return 2
+    scenario = _scenario_from_args(args.scenario, args.bandwidth)
+    if scenario is None:
+        return 2
+    with ExperimentHarness(
+        HarnessConfig(osds_episodes=args.episodes, seed=args.seed, workers=args.workers)
+    ) as harness:
+        curve = serving_load_curve(
+            harness,
+            scenario,
+            rates_rps=rates,
+            methods=[method for method, _ in parsed],
+            model_name=next(iter(models)),
+            duration_s=args.duration,
+            deadline_ms=deadlines,
+            policy=policy,
+            seed=args.seed,
+            weight=weights,
+        )
+    print(format_series(curve, title="deadline-miss rate vs offered load"))
+    if args.report_json:
+        _write_report_json(args.report_json, curve)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.runtime.batch import BatchPlanEvaluator
     from repro.runtime.shard import ShardedPlanEvaluator
     from repro.serving import (
         SLO,
+        ClusterPolicy,
         PoissonArrivals,
         ServingSimulator,
         TenantSpec,
         resolve_traffic,
         run_with_parity,
     )
-    from repro.experiments.reporting import format_serving_table
+    from repro.experiments.reporting import format_fleet_table, format_serving_table
 
-    scenario = _scenario_from_args(args.scenario, args.bandwidth)
-    if scenario is None:
-        return 2
     refs = args.tenants or ["coedge", "offload"]
     try:
         parsed = [_parse_tenant_ref(ref, args.model) for ref in refs]
         traffics = _broadcast(args.traffic, len(parsed), None, "--traffic")
         deadlines = _broadcast(args.deadline_ms, len(parsed), 1000.0, "--deadline-ms")
         capacities = _broadcast(args.queue_capacity, len(parsed), None, "--queue-capacity")
+        weights = _broadcast(args.weight, len(parsed), 1.0, "--weight")
+        if any(w <= 0 for w in weights):
+            raise ValueError(f"--weight values must be > 0, got {weights}")
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
+        return 2
+    policy = None
+    if args.contention:
+        try:
+            policy = ClusterPolicy(discipline=args.discipline, max_inflight=args.max_inflight)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    elif args.discipline != "fifo" or args.max_inflight is not None or args.weight:
+        print(
+            "--discipline/--max-inflight/--weight model shared-fleet "
+            "contention; pass --contention to enable it",
+            file=sys.stderr,
+        )
+        return 2
+    if args.figure:
+        return _cmd_serve_figure(args, parsed, deadlines, weights, policy)
+    scenario = _scenario_from_args(args.scenario, args.bandwidth)
+    if scenario is None:
         return 2
 
     sharded = None
@@ -317,19 +395,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     traffic=traffic,
                     slo=SLO(deadline_ms=deadlines[i]),
                     queue_capacity=capacities[i],
+                    weight=weights[i],
                 )
             )
         if args.mode == "parity":
             reference = PlanEvaluator(devices, network)
-            report = run_with_parity(evaluator, reference, tenants, duration_s=args.duration)
+            report = run_with_parity(
+                evaluator, reference, tenants, duration_s=args.duration, policy=policy
+            )
             print("parity: batched event loop is bit-identical to the reference loop")
         else:
             report = ServingSimulator(evaluator).run(
-                tenants, duration_s=args.duration, mode=args.mode
+                tenants, duration_s=args.duration, mode=args.mode, policy=policy
             )
         print(format_serving_table(report))
+        if report.fleet is not None:
+            print(format_fleet_table(report, title="fleet lane load"))
         if report.slo_violations:
             print(f"SLO violations: {', '.join(report.slo_violations)}")
+        if args.report_json:
+            _write_report_json(args.report_json, report.to_dict())
     finally:
         if sharded is not None:
             sharded.close()
@@ -432,6 +517,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument("--workers", type=int, default=1,
                          help="shard epoch batches over N worker processes")
+    p_serve.add_argument("--contention", action="store_true",
+                         help="model shared-fleet lane contention: concurrent "
+                              "requests queue on per-device compute/send/recv "
+                              "lanes instead of each seeing an idle fleet")
+    p_serve.add_argument("--discipline", choices=["fifo", "deadline", "wfq"],
+                         default="fifo",
+                         help="cross-tenant dispatch order under --contention: "
+                              "release-time FIFO, least deadline slack first, "
+                              "or weighted fair queueing (see --weight)")
+    p_serve.add_argument("--max-inflight", type=int, default=None,
+                         help="cluster-wide cap on concurrently in-flight "
+                              "requests under --contention (admission gate); "
+                              "default unlimited")
+    p_serve.add_argument("--weight", action="append", type=float, default=None,
+                         help="repeatable per-tenant WFQ fair-share weight "
+                              "(with --contention --discipline wfq); default 1")
+    p_serve.add_argument("--report-json", default=None, metavar="PATH",
+                         help="write the serving report (or the --figure curve) "
+                              "as JSON to PATH")
+    p_serve.add_argument("--figure", action="store_true",
+                         help="sweep Poisson offered load over --figure-rates and "
+                              "print the deadline-miss-vs-load curve instead of "
+                              "one serving run (ignores --traffic/--queue-capacity)")
+    p_serve.add_argument("--figure-rates", default="0.5,1,2,4,8",
+                         help="comma-separated per-tenant req/s rates for --figure")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_cmp = sub.add_parser("compare", help="compare all methods on a paper scenario")

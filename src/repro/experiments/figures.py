@@ -10,7 +10,7 @@ controls the fidelity/runtime trade-off.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Union
 
 import numpy as np
 
@@ -24,6 +24,10 @@ from repro.experiments.scenarios import Scenario, ScenarioCatalog
 from repro.network.bandwidth import DynamicTrace, WiFiTrace
 from repro.nn import model_zoo
 from repro.runtime.streaming import StreamingSimulator
+from repro.serving.traffic import PoissonArrivals
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.dispatch import ClusterPolicy
 
 #: The seven extra models of Figs. 10-11 (VGG-16 is covered by Figs. 5-9).
 EXTRA_MODELS: Sequence[str] = (
@@ -378,6 +382,71 @@ def figure15(
     }
 
 
+# --------------------------------------------------------------------------- #
+# Serving-side figure: deadline-miss rate versus offered load
+# --------------------------------------------------------------------------- #
+def serving_load_curve(
+    harness: ExperimentHarness,
+    scenario: Scenario,
+    rates_rps: Sequence[float] = (0.5, 1.0, 2.0, 4.0, 8.0),
+    methods: Sequence[str] = ("coedge", "offload"),
+    model_name: str = "vgg16",
+    duration_s: float = 20.0,
+    deadline_ms: Union[float, Sequence[float]] = 200.0,
+    policy: Optional["ClusterPolicy"] = None,
+    seed: int = 0,
+    weight: Union[float, Sequence[float]] = 1.0,
+) -> Dict[str, dict]:
+    """Deadline-miss rate (and response percentiles) versus offered load.
+
+    One serving run per offered per-tenant Poisson rate on the same fleet:
+    every method becomes a tenant (distinct per-tenant arrival seeds, so
+    streams are independent), plans are reused across the sweep via the
+    harness plan cache, and each point records the pooled deadline-miss
+    rate, throughput and response percentiles — the data behind a classic
+    miss-rate-vs-load hockey-stick curve.  Pass a
+    :class:`~repro.serving.dispatch.ClusterPolicy` to sweep the *contended*
+    fleet (per-device lane queueing included), where saturation appears at
+    markedly lower offered load.
+    """
+    out: Dict[str, dict] = {}
+    for rate in rates_rps:
+        if rate <= 0:
+            raise ValueError(f"offered rates must be > 0, got {rate}")
+        traffic = [
+            PoissonArrivals(rate_rps=float(rate), seed=seed + i)
+            for i in range(len(methods))
+        ]
+        report = harness.serve_scenario(
+            scenario,
+            methods=methods,
+            model_name=model_name,
+            traffic=traffic,
+            deadline_ms=deadline_ms,
+            duration_s=duration_s,
+            policy=policy,
+            weight=weight,
+        )
+        row = {
+            "offered_rps_per_tenant": float(rate),
+            "offered_rps_total": float(rate) * len(methods),
+            "completed": report.total_completed,
+            "rejected": report.total_rejected,
+            "throughput_rps": report.throughput_rps,
+            "deadline_miss_rate": report.deadline_miss_rate,
+            "p50_response_ms": report.response_percentile_ms(50),
+            "p95_response_ms": report.response_percentile_ms(95),
+            "p99_response_ms": report.response_percentile_ms(99),
+        }
+        if report.fleet is not None:
+            row["contended_share"] = report.fleet.contended_share
+            row["gate_wait_ms"] = report.fleet.gate_wait_ms
+        for tenant in report.tenants:
+            row[f"miss_rate[{tenant.name}]"] = tenant.deadline_miss_rate
+        out[f"{rate:g}rps"] = row
+    return out
+
+
 __all__ = [
     "EXTRA_MODELS",
     "figure4",
@@ -392,4 +461,5 @@ __all__ = [
     "figure13",
     "figure14",
     "figure15",
+    "serving_load_curve",
 ]

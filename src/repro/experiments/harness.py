@@ -31,6 +31,7 @@ from repro.runtime.oracles import profiles_by_device
 from repro.runtime.plan import DistributionPlan
 from repro.runtime.shard import ShardedPlanEvaluator
 from repro.runtime.streaming import StreamingSimulator
+from repro.serving.dispatch import ClusterPolicy
 from repro.serving.simulator import ServingReport, ServingSimulator
 from repro.serving.tenants import SLO, TenantSpec
 from repro.serving.traffic import ArrivalProcess, resolve_traffic
@@ -151,6 +152,9 @@ class ExperimentHarness:
         # different scenarios may share a name (the collision ScenarioRegistry
         # guards against), and a pool built for one must never serve the other.
         self._sharded: Dict[Scenario, ShardedPlanEvaluator] = {}
+        # Plans cached per (method, scenario, model) so serving load sweeps
+        # (several serve_scenario calls on one fleet) plan each tenant once.
+        self._plan_cache: Dict[Tuple[str, Scenario, str], DistributionPlan] = {}
 
     def close(self) -> None:
         """Shut down any sharded-evaluation worker pools the harness opened."""
@@ -370,6 +374,8 @@ class ExperimentHarness:
         queue_capacity: Optional[int] = None,
         duration_s: float = 30.0,
         mode: str = "batched",
+        policy: Optional[ClusterPolicy] = None,
+        weight: Union[float, Sequence[float]] = 1.0,
     ) -> ServingReport:
         """Serve one tenant per method on a shared fleet and report SLOs.
 
@@ -379,7 +385,10 @@ class ExperimentHarness:
         single *seed*, i.e. identical arrival times for every tenant).
         Evaluation routes through :meth:`evaluator_for`, so
         ``config.workers >= 2`` fans the epoch batches out to the scenario's
-        persistent sharded worker pool.
+        persistent sharded worker pool.  ``policy`` switches on shared-fleet
+        lane contention with the given cross-tenant dispatch discipline.
+        Plans are cached per (method, scenario, model) within the harness,
+        so load sweeps re-plan each tenant once, not once per point.
         """
         methods = list(methods)
         if isinstance(traffic, (str, ArrivalProcess)):
@@ -390,17 +399,29 @@ class ExperimentHarness:
             deadlines = [float(deadline_ms)] * len(methods)
         else:
             deadlines = [float(d) for d in deadline_ms]
-        if len(traffics) != len(methods) or len(deadlines) != len(methods):
+        if isinstance(weight, (int, float)):
+            weights = [float(weight)] * len(methods)
+        else:
+            weights = [float(w) for w in weight]
+        if (
+            len(traffics) != len(methods)
+            or len(deadlines) != len(methods)
+            or len(weights) != len(methods)
+        ):
             raise ValueError(
-                f"traffic/deadline_ms must broadcast to {len(methods)} methods, "
-                f"got {len(traffics)}/{len(deadlines)}"
+                f"traffic/deadline_ms/weight must broadcast to {len(methods)} methods, "
+                f"got {len(traffics)}/{len(deadlines)}/{len(weights)}"
             )
         model = self.model(model_name)
         devices, network = scenario.build(seed=self.config.seed)
         evaluator = self.evaluator_for(devices, network, scenario)
         tenants = []
         for i, method in enumerate(methods):
-            plan = self.plan_for(method, model, devices, network)
+            plan_key = (method, scenario, model_name)
+            plan = self._plan_cache.get(plan_key)
+            if plan is None:
+                plan = self.plan_for(method, model, devices, network)
+                self._plan_cache[plan_key] = plan
             name = method if methods.count(method) == 1 else f"{method}-{i}"
             tenants.append(
                 TenantSpec(
@@ -409,9 +430,12 @@ class ExperimentHarness:
                     traffic=resolve_traffic(traffics[i]),
                     slo=SLO(deadline_ms=deadlines[i]),
                     queue_capacity=queue_capacity,
+                    weight=weights[i],
                 )
             )
-        return ServingSimulator(evaluator).run(tenants, duration_s=duration_s, mode=mode)
+        return ServingSimulator(evaluator).run(
+            tenants, duration_s=duration_s, mode=mode, policy=policy
+        )
 
     # ------------------------------------------------------------------ #
     @staticmethod

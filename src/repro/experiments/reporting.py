@@ -86,6 +86,46 @@ def format_serving_table(report, title: str = "") -> str:
     return _render_table(header, rows, title)
 
 
+def format_fleet_table(report, title: str = "") -> str:
+    """Format a contended run's per-device lane breakdown as a table.
+
+    Duck-typed on ``report.fleet``
+    (:class:`~repro.runtime.contention.FleetLoadReport`); one row per
+    provider with each lane's busy time, utilisation over the makespan and
+    accumulated queueing delay, plus an aggregate footer carrying the
+    admission-gate wait and the share of dispatches that found a non-idle
+    fleet.
+    """
+    fleet = getattr(report, "fleet", None)
+    if fleet is None:
+        return "(no fleet breakdown; run with a ClusterPolicy)"
+    header = [
+        "device", "comp_busy_ms", "comp_util%", "send_busy_ms", "recv_busy_ms",
+        "comp_wait_ms", "send_wait_ms", "recv_wait_ms",
+    ]
+    comp_util = fleet.utilization("compute")
+    rows = []
+    for j, device_id in enumerate(fleet.device_ids):
+        rows.append([
+            device_id,
+            f"{fleet.compute_busy_ms[j]:.1f}",
+            f"{100.0 * comp_util[j]:.1f}",
+            f"{fleet.send_busy_ms[j]:.1f}",
+            f"{fleet.recv_busy_ms[j]:.1f}",
+            f"{fleet.compute_wait_ms[j]:.1f}",
+            f"{fleet.send_wait_ms[j]:.1f}",
+            f"{fleet.recv_wait_ms[j]:.1f}",
+        ])
+    table = _render_table(header, rows, title)
+    footer = (
+        f"requests: {fleet.requests}  contended: {fleet.contended_requests} "
+        f"({100.0 * fleet.contended_share:.1f}%)  "
+        f"gate wait: {fleet.gate_wait_ms:.1f} ms  "
+        f"lane wait total: {fleet.total_wait_ms:.1f} ms"
+    )
+    return table + "\n" + footer
+
+
 def speedup_summary(results: Mapping[str, Mapping[str, float]]) -> Dict[str, float]:
     """Per-scenario DistrEdge speedup over the best baseline."""
     out: Dict[str, float] = {}
@@ -98,4 +138,10 @@ def speedup_summary(results: Mapping[str, Mapping[str, float]]) -> Dict[str, flo
     return out
 
 
-__all__ = ["format_ips_table", "format_series", "format_serving_table", "speedup_summary"]
+__all__ = [
+    "format_ips_table",
+    "format_series",
+    "format_serving_table",
+    "format_fleet_table",
+    "speedup_summary",
+]

@@ -1,0 +1,537 @@
+"""Contention-aware concurrent execution over a shared lane fleet.
+
+The paper's Section V-A lane model (:mod:`repro.runtime.lanes`) assumes one
+image in flight: every evaluation starts from empty lanes, so two inferences
+dispatched onto the same cluster never compete for a device's compute, send
+or receive thread.  This module removes that assumption:
+
+* :class:`SharedFleetState` keeps one *persistent* set of provider lanes
+  whose busy-until times survive across inferences — the residual occupancy
+  one tenant's request leaves behind is exactly what the next tenant's
+  request queues on.
+* :class:`ContentionAwareEvaluator` schedules a plan *against* that shared
+  state: a request released at absolute time ``r`` sees, per lane, the
+  relative residual ``max(0, busy_until - r)``, and its schedule is computed
+  in release-relative time with those residuals (and an optional admission
+  gate) as lane floors.  The returned latency is the **contended makespan**
+  — queueing on other requests' lane occupancy included — alongside a
+  per-lane queueing-delay breakdown.
+
+Determinism and the memo.  The relative schedule of one request is a pure
+function of ``(model, plan structure, instantaneous network state, admission
+gate, lane residuals)`` — the same argument that makes the batch engine's
+plan LRU sound (PR 1) extends here with the residual vector added to the
+key.  :class:`ContentionAwareEvaluator` therefore memoizes contended
+schedules in an LRU on exactly that key: the serving loop's *batched* mode
+groups equal-signature dispatches into one evaluation, while the *reference*
+mode (``memoize=False``) re-walks every request scalar-ly — and the two are
+bit-identical because a memo hit replays the very floats a fresh walk would
+produce.
+
+The scalar walk itself is :class:`~repro.runtime.evaluator.PlanEvaluator`'s
+own ``process_volume``/``finalize`` code, driven over lanes pre-seeded with
+the residuals (plus wait-time recording that never changes a scheduled
+float).  With all residuals zero the walk *is* the uncontended evaluation,
+so an idle fleet reproduces the paper's one-image-in-flight numbers exactly.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.topology import REQUESTER
+from repro.nn.graph import ModelSpec
+from repro.runtime.batch import network_state_signature, plan_signature
+from repro.runtime.evaluator import EvaluationResult, PlanEvaluator
+from repro.runtime.lanes import LaneSet
+from repro.runtime.plan import DistributionPlan
+from repro.utils.cache import LRUCache
+
+#: Lane roles of one provider, in the canonical signature order.
+LANE_ROLES: Tuple[str, ...] = ("compute", "send", "recv")
+
+
+def fleet_lane_keys(num_devices: int) -> List[Tuple[int, str]]:
+    """Canonical ``(provider, role)`` order used by residual/end vectors."""
+    return [(j, role) for j in range(num_devices) for role in LANE_ROLES]
+
+
+class _RecordingLaneSet(LaneSet):
+    """A :class:`LaneSet` that also accounts how long each job queued.
+
+    ``note_wait`` records ``max(0, busy_until - earliest)`` — the time a
+    job's start was (or would have been) held back by the lane's prior
+    occupancy.  Recording is pure bookkeeping: every scheduled float is
+    produced by the unmodified base-class arithmetic.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.wait_ms: Dict[Tuple[Hashable, str], float] = {}
+
+    def note_wait(self, endpoint: Hashable, role: str, earliest_ms: float) -> None:
+        lane = self.lane(endpoint, role)
+        if lane.free_at > earliest_ms:
+            key = (endpoint, role)
+            self.wait_ms[key] = self.wait_ms.get(key, 0.0) + (lane.free_at - earliest_ms)
+
+    def schedule(
+        self, endpoint: Hashable, role: str, earliest_start: float, duration_ms: float
+    ) -> Tuple[float, float]:
+        self.note_wait(endpoint, role, earliest_start)
+        return super().schedule(endpoint, role, earliest_start, duration_ms)
+
+
+class _ContendedWalk(PlanEvaluator):
+    """The scalar evaluator walk, over wait-recording lanes.
+
+    Scheduling arithmetic is inherited unchanged — ``_transfer`` only notes
+    the send/recv lane waits before delegating, so a walk over all-zero
+    residuals is operation-for-operation the uncontended evaluation.
+    """
+
+    def new_state(self):
+        state = super().new_state()
+        state.lanes = _RecordingLaneSet()
+        return state
+
+    def _transfer(self, state, src, dst, n_bytes, earliest_ms, t_seconds):
+        if n_bytes > 0 and src != dst:
+            state.lanes.note_wait(src, "send", earliest_ms)
+            state.lanes.note_wait(dst, "recv", earliest_ms)
+        return super()._transfer(state, src, dst, n_bytes, earliest_ms, t_seconds)
+
+
+@dataclass(frozen=True)
+class ContendedOutcome:
+    """One request's contended schedule, in release-relative time.
+
+    ``lane_*`` vectors follow :func:`fleet_lane_keys` order.  ``lane_end_rel``
+    is each lane's busy-until after this request (equal to the residual it
+    started from when the request never used the lane — ``lane_jobs`` tells
+    the two apart); ``lane_wait_ms`` is how long this request's jobs queued
+    on each lane's prior occupancy (cross-request residuals *and*
+    intra-request serialisation).  ``gate_wait_ms`` is the admission-gate
+    hold (``max_inflight``), already part of ``latency_ms``.
+    """
+
+    latency_ms: float
+    lane_end_rel: Tuple[float, ...]
+    lane_busy_ms: Tuple[float, ...]
+    lane_wait_ms: Tuple[float, ...]
+    lane_jobs: Tuple[int, ...]
+    gate_wait_ms: float
+    contended: bool
+
+
+@dataclass(eq=False)
+class FleetLoadReport:
+    """Cumulative per-device lane load of one contended serving run.
+
+    Arrays are ``(devices,)``-shaped, one entry per provider; ``*_busy_ms``
+    is total lane occupancy, ``*_wait_ms`` total queueing delay recorded on
+    the lane, ``*_jobs`` the number of jobs it served.  ``utilization`` of a
+    lane is its busy time over the run makespan.
+    """
+
+    device_ids: List[str]
+    compute_busy_ms: np.ndarray
+    send_busy_ms: np.ndarray
+    recv_busy_ms: np.ndarray
+    compute_wait_ms: np.ndarray
+    send_wait_ms: np.ndarray
+    recv_wait_ms: np.ndarray
+    compute_jobs: np.ndarray
+    send_jobs: np.ndarray
+    recv_jobs: np.ndarray
+    makespan_ms: float
+    requests: int
+    contended_requests: int
+    gate_wait_ms: float
+
+    def utilization(self, role: str) -> np.ndarray:
+        """Per-device busy fraction of one lane role over the makespan."""
+        if role not in LANE_ROLES:
+            raise ValueError(f"role must be one of {LANE_ROLES}, got {role!r}")
+        busy = getattr(self, f"{role}_busy_ms")
+        if self.makespan_ms <= 0:
+            return np.zeros_like(busy)
+        return busy / self.makespan_ms
+
+    @property
+    def total_wait_ms(self) -> float:
+        """All queueing delay recorded on provider lanes (gate excluded)."""
+        return float(
+            self.compute_wait_ms.sum() + self.send_wait_ms.sum() + self.recv_wait_ms.sum()
+        )
+
+    @property
+    def contended_share(self) -> float:
+        """Fraction of requests that saw a non-idle fleet at dispatch."""
+        return self.contended_requests / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "device_ids": list(self.device_ids),
+            "compute_busy_ms": [float(v) for v in self.compute_busy_ms],
+            "send_busy_ms": [float(v) for v in self.send_busy_ms],
+            "recv_busy_ms": [float(v) for v in self.recv_busy_ms],
+            "compute_wait_ms": [float(v) for v in self.compute_wait_ms],
+            "send_wait_ms": [float(v) for v in self.send_wait_ms],
+            "recv_wait_ms": [float(v) for v in self.recv_wait_ms],
+            "compute_jobs": [int(v) for v in self.compute_jobs],
+            "send_jobs": [int(v) for v in self.send_jobs],
+            "recv_jobs": [int(v) for v in self.recv_jobs],
+            "compute_utilization": [float(v) for v in self.utilization("compute")],
+            "makespan_ms": float(self.makespan_ms),
+            "requests": int(self.requests),
+            "contended_requests": int(self.contended_requests),
+            "contended_share": float(self.contended_share),
+            "gate_wait_ms": float(self.gate_wait_ms),
+            "total_wait_ms": float(self.total_wait_ms),
+        }
+
+
+class SharedFleetState:
+    """Persistent lane occupancy of one shared provider fleet.
+
+    Lane busy-until times are kept in *absolute* milliseconds of simulated
+    time; requests interact with them through release-relative residuals
+    (:meth:`residuals`) and commit their relative lane ends back
+    (:meth:`commit`).  The state also tracks completion times of committed
+    requests for the cluster-wide ``max_inflight`` admission gate, and
+    accumulates the per-lane busy/wait/job accounting that becomes the
+    run's :class:`FleetLoadReport`.
+    """
+
+    def __init__(self, num_devices: int) -> None:
+        if num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+        self.num_devices = int(num_devices)
+        self.lane_keys = fleet_lane_keys(num_devices)
+        self.lanes = LaneSet()
+        self.wait_ms: Dict[Tuple[int, str], float] = {}
+        self._completions: List[float] = []  # sorted absolute completion times (ms)
+        self.requests = 0
+        self.contended_requests = 0
+        self.gate_wait_ms = 0.0
+
+    # ------------------------------------------------------------------ #
+    def residuals(self, release_ms: float) -> Tuple[float, ...]:
+        """Per-lane leftover occupancy relative to ``release_ms`` (>= 0)."""
+        return tuple(
+            max(0.0, self.lanes.lane(j, role).free_at - release_ms)
+            for j, role in self.lane_keys
+        )
+
+    def busy_until_ms(self) -> float:
+        """Latest lane busy-until across the fleet (0 when never used)."""
+        lanes = self.lanes.all_lanes()
+        return max((lane.free_at for lane in lanes), default=0.0)
+
+    def admission_floor(self, release_ms: float, max_inflight: Optional[int]) -> float:
+        """Earliest time a request released at ``release_ms`` may be admitted.
+
+        With a cluster-wide cap of ``max_inflight`` concurrent requests, a
+        new request waits until enough of the committed requests still in
+        flight at its release (completion after ``release_ms``) have
+        finished.  ``None`` disables the gate.
+        """
+        if max_inflight is None:
+            return release_ms
+        live = self._completions[bisect_right(self._completions, release_ms):]
+        if len(live) < max_inflight:
+            return release_ms
+        return live[len(live) - max_inflight]
+
+    def prune_completions(self, watermark_ms: float) -> None:
+        """Drop completions at/below ``watermark_ms``.
+
+        Safe once no future release can precede the watermark: the gate only
+        counts completions strictly after a release time.
+        """
+        cut = bisect_right(self._completions, watermark_ms)
+        if cut:
+            del self._completions[:cut]
+
+    # ------------------------------------------------------------------ #
+    def commit(self, release_ms: float, outcome: ContendedOutcome) -> None:
+        """Apply one scheduled request's lane usage to the shared state."""
+        for key, rel_end, busy, wait, jobs in zip(
+            self.lane_keys,
+            outcome.lane_end_rel,
+            outcome.lane_busy_ms,
+            outcome.lane_wait_ms,
+            outcome.lane_jobs,
+        ):
+            if jobs:
+                lane = self.lanes.lane(*key)
+                lane.free_at = release_ms + rel_end
+                lane.busy_ms += busy
+                lane.jobs += jobs
+            if wait:
+                self.wait_ms[key] = self.wait_ms.get(key, 0.0) + wait
+        self.requests += 1
+        if outcome.contended:
+            self.contended_requests += 1
+        self.gate_wait_ms += outcome.gate_wait_ms
+        insort(self._completions, release_ms + outcome.latency_ms)
+
+    # ------------------------------------------------------------------ #
+    def load_report(
+        self, makespan_ms: float, device_ids: Optional[Sequence[str]] = None
+    ) -> FleetLoadReport:
+        """Snapshot the cumulative lane accounting as a report."""
+        n = self.num_devices
+        ids = list(device_ids) if device_ids is not None else [str(j) for j in range(n)]
+        if len(ids) != n:
+            raise ValueError(f"expected {n} device ids, got {len(ids)}")
+
+        def per_role(role: str, field: str) -> np.ndarray:
+            if field == "wait":
+                return np.array([self.wait_ms.get((j, role), 0.0) for j in range(n)])
+            lanes = [self.lanes.lane(j, role) for j in range(n)]
+            if field == "busy":
+                return np.array([lane.busy_ms for lane in lanes])
+            return np.array([lane.jobs for lane in lanes], dtype=np.int64)
+
+        return FleetLoadReport(
+            device_ids=ids,
+            compute_busy_ms=per_role("compute", "busy"),
+            send_busy_ms=per_role("send", "busy"),
+            recv_busy_ms=per_role("recv", "busy"),
+            compute_wait_ms=per_role("compute", "wait"),
+            send_wait_ms=per_role("send", "wait"),
+            recv_wait_ms=per_role("recv", "wait"),
+            compute_jobs=per_role("compute", "jobs"),
+            send_jobs=per_role("send", "jobs"),
+            recv_jobs=per_role("recv", "jobs"),
+            makespan_ms=float(makespan_ms),
+            requests=self.requests,
+            contended_requests=self.contended_requests,
+            gate_wait_ms=self.gate_wait_ms,
+        )
+
+
+def _scalar_base(evaluator) -> PlanEvaluator:
+    """Resolve an evaluator that can drive the scalar walk.
+
+    Accepts any :class:`PlanEvaluator` (incl. the batch engine) directly; a
+    :class:`~repro.runtime.shard.ShardedPlanEvaluator` contributes its
+    in-process ``local`` engine — contended scheduling is inherently
+    sequential, so the pool itself is never consulted.
+    """
+    if isinstance(evaluator, PlanEvaluator):
+        return evaluator
+    local = getattr(evaluator, "local", None)
+    if isinstance(local, PlanEvaluator):
+        return local
+    raise TypeError(
+        "contention-aware evaluation needs a PlanEvaluator (or a sharded "
+        f"evaluator exposing one as .local); got {type(evaluator).__name__}"
+    )
+
+
+class ContentionAwareEvaluator:
+    """Schedules plans against a :class:`SharedFleetState`.
+
+    Parameters
+    ----------
+    evaluator:
+        The cluster-bound evaluator whose devices/network/oracle define the
+        world (scalar, batch or sharded — see :func:`_scalar_base`).
+    fleet:
+        Shared lane state; a fresh one is created when omitted.
+    max_inflight:
+        Cluster-wide cap on concurrently in-flight requests (admission
+        gate); ``None`` disables it.
+    memoize:
+        Cache contended schedules in an LRU keyed on ``(model, plan
+        structure, network state, gate, lane residuals)``.  A hit replays
+        the exact floats of the original walk, so memoization is
+        behaviour-preserving; the serving reference loop disables it to
+        stay the semantics oracle.
+    """
+
+    def __init__(
+        self,
+        evaluator,
+        fleet: Optional[SharedFleetState] = None,
+        max_inflight: Optional[int] = None,
+        memoize: bool = True,
+        cache_size: int = 4096,
+    ) -> None:
+        base = _scalar_base(evaluator)
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1 (or None), got {max_inflight}")
+        self.devices = base.devices
+        self.network = base.network
+        self.fleet = fleet or SharedFleetState(len(base.devices))
+        if self.fleet.num_devices != len(base.devices):
+            raise ValueError(
+                f"fleet covers {self.fleet.num_devices} devices, evaluator has "
+                f"{len(base.devices)}"
+            )
+        self.max_inflight = max_inflight
+        self._walk = _ContendedWalk(
+            base.devices,
+            base.network,
+            compute_oracle=base.oracle,
+            input_bytes_per_element=base.input_bytes_per_element,
+        )
+        self._memo: Optional[LRUCache] = LRUCache(cache_size) if memoize else None
+        self._model_tokens: Dict[int, int] = {}
+        self._model_refs: Dict[int, ModelSpec] = {}
+        # Plan signatures cached by object identity (plans are immutable;
+        # the reference pins the id against recycling) — the memo key is
+        # rebuilt per dispatch and this is its only non-trivial component.
+        self._plan_sigs: Dict[int, Tuple] = {}
+        self._plan_refs: Dict[int, DistributionPlan] = {}
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def memo_hits(self) -> int:
+        return self._memo.hits if self._memo is not None else 0
+
+    def _model_token(self, model: ModelSpec) -> int:
+        key = id(model)
+        token = self._model_tokens.get(key)
+        if token is None:
+            token = len(self._model_tokens)
+            self._model_tokens[key] = token
+            self._model_refs[key] = model
+        return token
+
+    # ------------------------------------------------------------------ #
+    def _schedule(
+        self,
+        plan: DistributionPlan,
+        t_seconds: float,
+        residuals: Tuple[float, ...],
+        gate_rel_ms: float,
+    ) -> Tuple[EvaluationResult, ContendedOutcome]:
+        """One scalar walk over residual-seeded lanes (release-relative)."""
+        walk = self._walk
+        state = walk.new_state()
+        lanes = state.lanes
+        for key, residual in zip(self.fleet.lane_keys, residuals):
+            lanes.lane(*key).free_at = residual
+        # The admission gate holds the requester's first transmission: the
+        # image may not be sent before the gate opens.
+        lanes.lane(REQUESTER, "send").free_at = gate_rel_ms
+        for assignment in plan.assignments:
+            walk.process_volume(state, assignment, t_seconds)
+        result = walk.finalize(state, plan, t_seconds)
+        ends: List[float] = []
+        busy: List[float] = []
+        waits: List[float] = []
+        jobs: List[int] = []
+        for key in self.fleet.lane_keys:
+            lane = lanes.lane(*key)
+            ends.append(lane.free_at)
+            busy.append(lane.busy_ms)
+            jobs.append(lane.jobs)
+            waits.append(lanes.wait_ms.get(key, 0.0))
+        outcome = ContendedOutcome(
+            latency_ms=result.end_to_end_ms,
+            lane_end_rel=tuple(ends),
+            lane_busy_ms=tuple(busy),
+            lane_wait_ms=tuple(waits),
+            lane_jobs=tuple(jobs),
+            gate_wait_ms=gate_rel_ms,
+            contended=gate_rel_ms > 0.0 or any(r > 0.0 for r in residuals),
+        )
+        self.evaluations += 1
+        return result, outcome
+
+    def _plan_signature(self, plan: DistributionPlan) -> Tuple:
+        sig = self._plan_sigs.get(id(plan))
+        if sig is None:
+            sig = plan_signature(plan)
+            self._plan_sigs[id(plan)] = sig
+            self._plan_refs[id(plan)] = plan
+        return sig
+
+    def _floors(self, release_ms: float) -> Tuple[Tuple[float, ...], float]:
+        residuals = self.fleet.residuals(release_ms)
+        floor = self.fleet.admission_floor(release_ms, self.max_inflight)
+        return residuals, max(0.0, floor - release_ms)
+
+    def _dispatch_key(
+        self,
+        plan: DistributionPlan,
+        t_seconds: float,
+        residuals: Tuple[float, ...],
+        gate_rel: float,
+    ) -> Tuple:
+        return (
+            self._model_token(plan.model),
+            self._plan_signature(plan),
+            network_state_signature(self.network, t_seconds),
+            gate_rel,
+            residuals,
+        )
+
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self, plan: DistributionPlan, release_ms: float, t_seconds: float = 0.0
+    ) -> ContendedOutcome:
+        """Schedule one request against the fleet and commit its lane usage.
+
+        Returns the request's :class:`ContendedOutcome`; its ``latency_ms``
+        is the contended makespan (relative to ``release_ms``).  Requests
+        must be evaluated in the dispatcher's canonical order — the shared
+        state makes results order-dependent by design.
+        """
+        if plan.num_devices != self.fleet.num_devices:
+            raise ValueError(
+                f"plan covers {plan.num_devices} devices, fleet has "
+                f"{self.fleet.num_devices}"
+            )
+        residuals, gate_rel = self._floors(release_ms)
+        outcome: Optional[ContendedOutcome] = None
+        if self._memo is not None:
+            key = self._dispatch_key(plan, t_seconds, residuals, gate_rel)
+            outcome = self._memo.get(key)
+        if outcome is None:
+            _, outcome = self._schedule(plan, t_seconds, residuals, gate_rel)
+            if self._memo is not None:
+                self._memo.put(key, outcome)
+        self.fleet.commit(release_ms, outcome)
+        return outcome
+
+    def evaluate_contended(
+        self, plan: DistributionPlan, release_ms: float = 0.0, t_seconds: float = 0.0
+    ) -> Tuple[EvaluationResult, ContendedOutcome]:
+        """Full-detail contended evaluation (always a fresh walk; commits).
+
+        Returns the complete :class:`EvaluationResult` (times relative to
+        the release instant) together with the outcome carrying the
+        per-lane queueing-delay breakdown.
+        """
+        if plan.num_devices != self.fleet.num_devices:
+            raise ValueError(
+                f"plan covers {plan.num_devices} devices, fleet has "
+                f"{self.fleet.num_devices}"
+            )
+        residuals, gate_rel = self._floors(release_ms)
+        result, outcome = self._schedule(plan, t_seconds, residuals, gate_rel)
+        if self._memo is not None:
+            self._memo.put(self._dispatch_key(plan, t_seconds, residuals, gate_rel), outcome)
+        self.fleet.commit(release_ms, outcome)
+        return result, outcome
+
+
+__all__ = [
+    "LANE_ROLES",
+    "fleet_lane_keys",
+    "ContendedOutcome",
+    "FleetLoadReport",
+    "SharedFleetState",
+    "ContentionAwareEvaluator",
+]

@@ -9,6 +9,10 @@ cluster.  This package adds the traffic-facing layer the ROADMAP's
 * :mod:`repro.serving.tenants` — tenants (model x plan x SLO) with per-tenant
   FIFO queues, admission control, deadline accounting and per-tenant
   adaptation hooks (the Section V-F online controllers plug in unchanged).
+* :mod:`repro.serving.dispatch` — cross-tenant cluster dispatch: FIFO /
+  deadline-slack / weighted-fair-queueing disciplines and cluster-wide
+  concurrency caps for shared-fleet contention
+  (:mod:`repro.runtime.contention`).
 * :mod:`repro.serving.simulator` — the serving event loop: epoch-batched
   ``(requests, devices)`` sweeps through
   :class:`~repro.runtime.batch.BatchPlanEvaluator` /
@@ -21,6 +25,7 @@ The paper's :class:`~repro.runtime.streaming.StreamingSimulator` is the
 single-tenant closed-loop special case of this engine.
 """
 
+from repro.serving.dispatch import DISCIPLINES, ClusterPolicy, FleetDispatcher
 from repro.serving.simulator import (
     ParityMismatch,
     ServingReport,
@@ -41,6 +46,9 @@ from repro.serving.traffic import (
 )
 
 __all__ = [
+    "DISCIPLINES",
+    "ClusterPolicy",
+    "FleetDispatcher",
     "ServingSimulator",
     "ServingReport",
     "ParityMismatch",

@@ -31,6 +31,16 @@ them in lockstep without reordering any tenant's own sequential decisions.
 Pass a :class:`~repro.runtime.shard.ShardedPlanEvaluator` as the evaluator to
 fan epoch batches out to its persistent worker pool (small epochs stay
 in-process automatically via its ``min_shard_size`` rule).
+
+Passing a :class:`~repro.serving.dispatch.ClusterPolicy` replaces the
+independent-tenants model with **shared-fleet contention**: requests reach
+persistent per-device lanes in the policy's discipline order (FIFO /
+deadline-slack / WFQ, optionally capped by ``max_inflight``) and queue on
+each other's lane occupancy (:mod:`repro.runtime.contention`).  The same
+two-loop discipline applies there: the reference mode re-walks every request
+scalar-ly, the batched mode groups equal ``(network state, lane occupancy)``
+signatures through a contended-schedule memo, and :func:`run_with_parity`
+asserts the two bit-identical — fleet breakdown included.
 """
 
 from __future__ import annotations
@@ -40,8 +50,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.runtime.batch import network_state_signature
+from repro.runtime.batch import network_state_signature, plan_signature
+from repro.runtime.contention import ContentionAwareEvaluator, FleetLoadReport
 from repro.runtime.evaluator import PlanEvaluator
+from repro.serving.dispatch import ClusterPolicy, FleetDispatcher
 from repro.serving.tenants import TenantReport, TenantRuntime, TenantSpec
 
 #: Event-loop modes.
@@ -58,6 +70,15 @@ class ServingReport:
     mode: str
     epochs: int = 0
     evaluator_kind: str = ""
+    #: Shared-fleet contention (set when a :class:`ClusterPolicy` drove the run).
+    contention: bool = False
+    discipline: str = ""
+    max_inflight: Optional[int] = None
+    #: Evaluations skipped by caching (per-tenant plan cache in the
+    #: independent batched loop; the contended-schedule memo under contention).
+    cache_hits: int = 0
+    #: Per-device lane-utilisation and queueing-delay breakdown (contended runs).
+    fleet: Optional[FleetLoadReport] = None
 
     def tenant(self, name: str) -> TenantReport:
         for report in self.tenants:
@@ -111,6 +132,59 @@ class ServingReport:
         """Names of tenants whose miss rate exceeded their SLO target."""
         return [t.name for t in self.tenants if not t.slo_satisfied]
 
+    def to_dict(self) -> Dict:
+        """Machine-readable dump (the shape ``repro serve --report-json`` writes).
+
+        Mirrors the ``BENCH_*.json`` artifact style: plain floats/ints at the
+        top level, one row per tenant, and the fleet breakdown when the run
+        modelled contention.
+        """
+        out: Dict = {
+            "mode": self.mode,
+            "evaluator_kind": self.evaluator_kind,
+            "start_s": float(self.start_s),
+            "duration_s": None if self.duration_s is None else float(self.duration_s),
+            "epochs": int(self.epochs),
+            "cache_hits": int(self.cache_hits),
+            "contention": bool(self.contention),
+            "discipline": self.discipline,
+            "max_inflight": self.max_inflight,
+            "total_arrivals": int(self.total_arrivals),
+            "total_completed": int(self.total_completed),
+            "total_rejected": int(self.total_rejected),
+            "makespan_s": float(self.makespan_s),
+            "throughput_rps": float(self.throughput_rps),
+            "p50_response_ms": float(self.response_percentile_ms(50)),
+            "p95_response_ms": float(self.response_percentile_ms(95)),
+            "p99_response_ms": float(self.response_percentile_ms(99)),
+            "deadline_miss_rate": float(self.deadline_miss_rate),
+            "slo_violations": list(self.slo_violations),
+            "tenants": [
+                {
+                    "name": t.name,
+                    "deadline_ms": None if t.slo is None else float(t.slo.deadline_ms),
+                    "num_arrivals": int(t.num_arrivals),
+                    "num_completed": int(t.num_completed),
+                    "num_rejected": int(t.num_rejected),
+                    "throughput_rps": float(t.throughput_rps(self.start_s)),
+                    "mean_latency_ms": float(t.mean_latency_ms),
+                    "mean_response_ms": float(t.mean_response_ms),
+                    "p50_response_ms": float(t.p50_response_ms),
+                    "p95_response_ms": float(t.p95_response_ms),
+                    "p99_response_ms": float(t.p99_response_ms),
+                    "deadline_miss_rate": float(t.deadline_miss_rate),
+                    "slo_satisfied": bool(t.slo_satisfied),
+                    "num_replans": len(t.replan_times_s),
+                    "max_queue_depth": int(t.max_queue_depth),
+                    "final_method": t.final_method,
+                }
+                for t in self.tenants
+            ],
+        }
+        if self.fleet is not None:
+            out["fleet"] = self.fleet.to_dict()
+        return out
+
 
 class ServingSimulator:
     """Serves tenant request streams through a plan evaluator.
@@ -129,10 +203,19 @@ class ServingSimulator:
         self.evaluator = evaluator
 
     # ------------------------------------------------------------------ #
-    def _check(self, tenants: Sequence[TenantSpec], duration_s: Optional[float], mode: str) -> None:
+    def _check(
+        self,
+        tenants: Sequence[TenantSpec],
+        duration_s: Optional[float],
+        mode: str,
+        policy: Optional[ClusterPolicy] = None,
+    ) -> None:
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
-        if mode == "batched" and not hasattr(self.evaluator, "evaluate_plans"):
+        if policy is None and mode == "batched" and not hasattr(self.evaluator, "evaluate_plans"):
+            # Contended serving walks requests through the scalar engine in
+            # both modes (the memo, not evaluate_plans, provides the batching),
+            # so the batch API is only required for independent batched runs.
             raise TypeError(
                 "batched serving needs an evaluator with evaluate_plans "
                 "(BatchPlanEvaluator / ShardedPlanEvaluator); "
@@ -164,6 +247,7 @@ class ServingSimulator:
         duration_s: Optional[float] = None,
         start_s: float = 0.0,
         mode: str = "batched",
+        policy: Optional[ClusterPolicy] = None,
     ) -> ServingReport:
         """Simulate the tenants' traffic and return the serving report.
 
@@ -172,11 +256,44 @@ class ServingSimulator:
         served to completion, so the makespan may exceed the duration.
         Closed-loop tenants are bounded by their own ``max_requests`` /
         ``max_duration_s`` instead.
+
+        ``policy`` switches on shared-fleet contention: requests are
+        dispatched onto persistent per-device lanes in the policy's
+        discipline order and queue on each other's lane occupancy (see
+        :mod:`repro.runtime.contention`).  Without a policy every tenant's
+        requests see an idle fleet at dispatch — the independent-tenants
+        model of earlier revisions, reproduced exactly.
         """
-        self._check(tenants, duration_s, mode)
+        self._check(tenants, duration_s, mode, policy)
         runtimes = [TenantRuntime(spec, start_s, duration_s) for spec in tenants]
+        if policy is not None:
+            return self._run_contended(runtimes, duration_s, start_s, mode, policy)
+        return self._run_independent(runtimes, duration_s, start_s, mode)
+
+    def _run_independent(
+        self,
+        runtimes: List[TenantRuntime],
+        duration_s: Optional[float],
+        start_s: float,
+        mode: str,
+    ) -> ServingReport:
+        """The contention-free loops: each request sees an idle fleet."""
         epochs = 0
+        cache_hits = 0
         network = self.evaluator.network
+        # Plan signatures memoized by object identity for the run (plans are
+        # immutable and serve thousands of dispatches; the dict also pins
+        # ids against recycling).
+        plan_sigs: Dict[int, Tuple] = {}
+        plan_refs: Dict[int, object] = {}
+
+        def sig_of(plan) -> Tuple:
+            sig = plan_sigs.get(id(plan))
+            if sig is None:
+                sig = plan_signature(plan)
+                plan_sigs[id(plan)] = sig
+                plan_refs[id(plan)] = plan
+            return sig
         while True:
             dispatches: List[Tuple[TenantRuntime, object]] = []
             for runtime in runtimes:
@@ -197,17 +314,28 @@ class ServingSimulator:
             # state.  Within a group the scalar evaluator would compute the
             # very same schedule for every member time, so evaluating the
             # group at any member time is exact — one vectorised call per
-            # distinct network state per epoch.
-            groups: Dict[Tuple[float, ...], List[Tuple[TenantRuntime, object]]] = {}
+            # distinct network state per epoch.  Dispatches whose (plan,
+            # network-state) pair this tenant has already served skip the
+            # evaluator entirely via the per-tenant plan cache (replaying a
+            # float an identical earlier dispatch produced — exact for the
+            # same reason the grouping is).
+            groups: Dict[Tuple[float, ...], List[Tuple[TenantRuntime, object, Tuple]]] = {}
             for runtime, dispatch in dispatches:
                 signature = network_state_signature(network, dispatch.start_s)
-                groups.setdefault(signature, []).append((runtime, dispatch))
+                key = (id(dispatch.plan.model), sig_of(dispatch.plan), signature)
+                cached = runtime.cached_latency(key)
+                if cached is not None:
+                    cache_hits += 1
+                    runtime.commit(cached)
+                    continue
+                groups.setdefault(signature, []).append((runtime, dispatch, key))
             for members in groups.values():
                 results = self.evaluator.evaluate_plans(
-                    [dispatch.plan for _, dispatch in members],
+                    [dispatch.plan for _, dispatch, _ in members],
                     t_seconds=members[0][1].start_s,
                 )
-                for (runtime, _), result in zip(members, results):
+                for (runtime, dispatch, key), result in zip(members, results):
+                    runtime.cache_latency(key, dispatch.plan.model, result.end_to_end_ms)
                     runtime.commit(result.end_to_end_ms)
         return ServingReport(
             tenants=[runtime.report() for runtime in runtimes],
@@ -216,6 +344,77 @@ class ServingSimulator:
             mode=mode,
             epochs=epochs,
             evaluator_kind=type(self.evaluator).__name__,
+            cache_hits=cache_hits,
+        )
+
+    def _run_contended(
+        self,
+        runtimes: List[TenantRuntime],
+        duration_s: Optional[float],
+        start_s: float,
+        mode: str,
+        policy: ClusterPolicy,
+    ) -> ServingReport:
+        """The shared-fleet loops: requests queue on each other's lanes.
+
+        Both modes drive the identical dispatcher order and the identical
+        scalar schedule arithmetic; ``batched`` additionally memoizes
+        contended schedules on their ``(model, plan, network state, gate,
+        lane residuals)`` signature, so equal-signature dispatches are
+        grouped into one evaluation.  ``reference`` re-walks every request
+        and stays the semantics oracle.
+        """
+        engine = ContentionAwareEvaluator(
+            self.evaluator,
+            max_inflight=policy.max_inflight,
+            memoize=(mode == "batched"),
+            cache_size=policy.memo_size,
+        )
+        dispatcher = FleetDispatcher(policy.discipline, [rt.spec for rt in runtimes])
+        pending: Dict[int, object] = {}
+        for index, runtime in enumerate(runtimes):
+            dispatch = runtime.prepare()
+            if dispatch is not None:
+                pending[index] = dispatch
+        while pending:
+            # Completions at/below every pending release can never gate a
+            # future request (per-tenant release times are non-decreasing).
+            engine.fleet.prune_completions(
+                min(d.start_s for d in pending.values()) * 1000.0
+            )
+            index = dispatcher.select(
+                pending, horizon_s=engine.fleet.busy_until_ms() / 1000.0
+            )
+            dispatch = pending.pop(index)
+            outcome = engine.evaluate(
+                dispatch.plan,
+                release_ms=dispatch.start_s * 1000.0,
+                t_seconds=dispatch.start_s,
+            )
+            runtimes[index].commit(outcome.latency_ms)
+            dispatcher.account(index, outcome.latency_ms)
+            if not runtimes[index].done:
+                dispatch = runtimes[index].prepare()
+                if dispatch is not None:
+                    pending[index] = dispatch
+        reports = [runtime.report() for runtime in runtimes]
+        ends = [t.makespan_s for t in reports if t.num_completed]
+        makespan_ms = (max(ends) - start_s) * 1000.0 if ends else 0.0
+        fleet = engine.fleet.load_report(
+            makespan_ms, device_ids=[d.device_id for d in engine.devices]
+        )
+        return ServingReport(
+            tenants=reports,
+            start_s=start_s,
+            duration_s=duration_s,
+            mode=mode,
+            epochs=engine.evaluations,
+            evaluator_kind=type(self.evaluator).__name__,
+            contention=True,
+            discipline=policy.discipline,
+            max_inflight=policy.max_inflight,
+            cache_hits=engine.memo_hits,
+            fleet=fleet,
         )
 
 
@@ -261,6 +460,32 @@ def _compare_tenant(a: TenantReport, b: TenantReport, errors: List[str]) -> None
             errors.append(f"tenant {a.name!r}: {label} differs ({left!r} != {right!r})")
 
 
+def _compare_fleet(
+    a: Optional[FleetLoadReport], b: Optional[FleetLoadReport], errors: List[str]
+) -> None:
+    if a is None and b is None:
+        return
+    if (a is None) != (b is None):
+        errors.append("one report has a fleet breakdown, the other does not")
+        return
+    if a.device_ids != b.device_ids:
+        errors.append(f"fleet device ids differ: {a.device_ids} != {b.device_ids}")
+        return
+    array_fields = [
+        f"{role}_{kind}"
+        for role in ("compute", "send", "recv")
+        for kind in ("busy_ms", "wait_ms", "jobs")
+    ]
+    for name in array_fields:
+        left, right = getattr(a, name), getattr(b, name)
+        if left.shape != right.shape or not np.array_equal(left, right):
+            errors.append(f"fleet {name} differs")
+    for name in ("makespan_ms", "requests", "contended_requests", "gate_wait_ms"):
+        left, right = getattr(a, name), getattr(b, name)
+        if left != right:
+            errors.append(f"fleet {name} differs ({left!r} != {right!r})")
+
+
 def assert_reports_equal(batched: ServingReport, reference: ServingReport) -> None:
     """Bit-exact comparison of two serving reports (raises :class:`ParityMismatch`)."""
     errors: List[str] = []
@@ -268,8 +493,15 @@ def assert_reports_equal(batched: ServingReport, reference: ServingReport) -> No
     names_b = [t.name for t in reference.tenants]
     if names_a != names_b:
         raise ParityMismatch([f"tenant sets differ: {names_a} != {names_b}"])
+    for label in ("contention", "discipline", "max_inflight"):
+        if getattr(batched, label) != getattr(reference, label):
+            errors.append(
+                f"{label} differs ({getattr(batched, label)!r} != "
+                f"{getattr(reference, label)!r})"
+            )
     for a, b in zip(batched.tenants, reference.tenants):
         _compare_tenant(a, b, errors)
+    _compare_fleet(batched.fleet, reference.fleet, errors)
     if errors:
         raise ParityMismatch(errors)
 
@@ -280,13 +512,16 @@ def run_with_parity(
     tenants: Sequence[TenantSpec],
     duration_s: Optional[float] = None,
     start_s: float = 0.0,
+    policy: Optional[ClusterPolicy] = None,
 ) -> ServingReport:
     """Run the batched and the reference loops and assert bit-identity.
 
     Stateful adaptation hooks must be supplied as ``hook_factory`` (a fresh
     controller per run) — a bare ``adaptation_hook`` would carry first-run
     state into the second run and make the comparison meaningless, so it is
-    rejected here.  Returns the batched report.
+    rejected here.  ``policy`` runs both loops in shared-fleet contention
+    mode (the contended-schedule memo against the per-request reference
+    walk).  Returns the batched report.
     """
     for spec in tenants:
         if spec.adaptation_hook is not None:
@@ -295,10 +530,10 @@ def run_with_parity(
                 "supply the hook as hook_factory so each run gets a fresh controller"
             )
     reference = ServingSimulator(reference_evaluator).run(
-        tenants, duration_s=duration_s, start_s=start_s, mode="reference"
+        tenants, duration_s=duration_s, start_s=start_s, mode="reference", policy=policy
     )
     batched = ServingSimulator(batched_evaluator).run(
-        tenants, duration_s=duration_s, start_s=start_s, mode="batched"
+        tenants, duration_s=duration_s, start_s=start_s, mode="batched", policy=policy
     )
     assert_reports_equal(batched, reference)
     return batched

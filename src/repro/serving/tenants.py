@@ -27,12 +27,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.runtime.plan import DistributionPlan
 from repro.serving.traffic import ArrivalProcess
+from repro.utils.cache import LRUCache
 
 #: Adaptation hook signature (identical to the streaming simulator's):
 #: called before each dispatch with ``(time_seconds, request_index,
@@ -102,6 +103,11 @@ class TenantSpec:
     max_duration_s:
         Closed-loop only: stop issuing requests once the tenant's simulated
         clock has advanced this far past the run start.
+    weight:
+        Fair-share weight under the ``wfq`` cross-tenant discipline
+        (:mod:`repro.serving.dispatch`): a tenant with twice the weight
+        receives twice the fleet throughput under backlog.  Ignored by the
+        other disciplines and by contention-free serving.
     """
 
     name: str
@@ -114,6 +120,7 @@ class TenantSpec:
     max_requests: Optional[int] = None
     gap_ms: float = 0.0
     max_duration_s: Optional[float] = None
+    weight: float = 1.0
 
     def __post_init__(self) -> None:
         if self.traffic is None and self.max_requests is None:
@@ -142,6 +149,8 @@ class TenantSpec:
             raise ValueError(
                 f"tenant {self.name!r}: pass adaptation_hook or hook_factory, not both"
             )
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name!r}: weight must be > 0, got {self.weight}")
 
     @property
     def closed_loop(self) -> bool:
@@ -285,6 +294,14 @@ class TenantRuntime:
         self._next_arrival = 0
         self._queue: Deque[float] = deque()
 
+        # Per-tenant plan-evaluation cache (batched loop only): latency by
+        # (model, plan structure, network-state signature).  Controller
+        # replans under unchanged conditions — same strategy, same network —
+        # hit here and skip the evaluator entirely.  Model references are
+        # pinned so ids in live keys cannot be recycled.
+        self._eval_cache = LRUCache(256)
+        self._eval_cache_models: Dict[int, object] = {}
+
         # Outcome accumulators.
         self.arrivals_seen = 0
         self.rejected_times: List[float] = []
@@ -402,6 +419,25 @@ class TenantRuntime:
             self._queue.popleft()
             self.depth_events.append((dispatch.start_s, len(self._queue)))
             self._free_s = completion
+
+    # ------------------------------------------------------------------ #
+    def cached_latency(self, key: Tuple) -> Optional[float]:
+        """Latency of an earlier identical (plan, network-state) dispatch.
+
+        Sound for the same reason the batch engine's plan LRU is: an equal
+        key means the scalar evaluator would compute the identical schedule,
+        so replaying the stored float is behaviour-preserving.
+        """
+        return self._eval_cache.get(key)
+
+    def cache_latency(self, key: Tuple, model: object, latency_ms: float) -> None:
+        """Store one dispatch's evaluated latency under its signature key."""
+        self._eval_cache.put(key, float(latency_ms))
+        self._eval_cache_models[id(model)] = model
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters of the per-tenant plan-evaluation cache."""
+        return self._eval_cache.info()
 
     # ------------------------------------------------------------------ #
     def report(self) -> TenantReport:

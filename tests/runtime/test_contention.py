@@ -1,0 +1,252 @@
+"""Unit tests for the shared-fleet contention engine.
+
+The acceptance bar of the subsystem's runtime layer: an idle fleet must
+reproduce the uncontended scalar evaluation bit for bit, residual occupancy
+must delay (and only delay) a request, the admission gate must serialise at
+the configured cap, and commits must round-trip through residuals exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices.specs import make_cluster
+from repro.network.topology import NetworkModel
+from repro.nn import model_zoo
+from repro.nn.splitting import SplitDecision
+from repro.runtime.batch import BatchPlanEvaluator
+from repro.runtime.contention import (
+    LANE_ROLES,
+    ContendedOutcome,
+    ContentionAwareEvaluator,
+    SharedFleetState,
+    fleet_lane_keys,
+)
+from repro.runtime.evaluator import PlanEvaluator
+from repro.runtime.plan import DistributionPlan
+
+
+@pytest.fixture(scope="module")
+def model():
+    return model_zoo.small_vgg(64)
+
+
+@pytest.fixture()
+def cluster():
+    devices = make_cluster([("xavier", 200), ("nano", 200), ("nano", 100)])
+    return devices, NetworkModel.constant_from_devices(devices)
+
+
+def _split_plan(model, devices, method="split"):
+    boundaries = [0, 6, model.num_spatial_layers]
+    volumes = model.partition(boundaries)
+    return DistributionPlan(
+        model,
+        devices,
+        boundaries,
+        [SplitDecision.equal(len(devices), v.output_height) for v in volumes],
+        method=method,
+    )
+
+
+class TestIdleFleetParity:
+    def test_idle_fleet_matches_uncontended_bit_exactly(self, model, cluster):
+        devices, network = cluster
+        plan = _split_plan(model, devices)
+        clean = PlanEvaluator(devices, network).evaluate(plan)
+        engine = ContentionAwareEvaluator(PlanEvaluator(devices, network), memoize=False)
+        result, outcome = engine.evaluate_contended(plan, release_ms=0.0)
+        assert result.end_to_end_ms == clean.end_to_end_ms
+        assert outcome.latency_ms == clean.end_to_end_ms
+        assert np.array_equal(result.per_device_compute_ms, clean.per_device_compute_ms)
+        assert np.array_equal(result.per_device_send_ms, clean.per_device_send_ms)
+        assert np.array_equal(result.per_device_recv_ms, clean.per_device_recv_ms)
+        assert not outcome.contended
+        assert outcome.gate_wait_ms == 0.0
+
+    def test_idle_fleet_matches_batch_engine(self, model, cluster):
+        """The batch engine and the contended walk share one float sequence."""
+        devices, network = cluster
+        plan = _split_plan(model, devices)
+        batch = BatchPlanEvaluator(devices, network).evaluate(plan)
+        engine = ContentionAwareEvaluator(BatchPlanEvaluator(devices, network))
+        result, _ = engine.evaluate_contended(plan)
+        assert result.end_to_end_ms == batch.end_to_end_ms
+
+    def test_drained_fleet_is_idle_again(self, model, cluster):
+        """Once prior requests drained, a later release sees no contention."""
+        devices, network = cluster
+        plan = _split_plan(model, devices)
+        engine = ContentionAwareEvaluator(PlanEvaluator(devices, network), memoize=False)
+        first = engine.evaluate(plan, release_ms=0.0)
+        later = engine.evaluate(plan, release_ms=first.latency_ms + 1.0)
+        assert not later.contended
+        assert later.latency_ms == first.latency_ms
+
+
+class TestResiduals:
+    def test_back_to_back_requests_queue(self, model, cluster):
+        devices, network = cluster
+        plan = _split_plan(model, devices)
+        engine = ContentionAwareEvaluator(PlanEvaluator(devices, network), memoize=False)
+        first = engine.evaluate(plan, release_ms=0.0)
+        second = engine.evaluate(plan, release_ms=0.0)
+        assert second.contended
+        assert second.latency_ms > first.latency_ms
+        assert sum(second.lane_wait_ms) > sum(first.lane_wait_ms)
+
+    def test_commit_round_trips_through_residuals(self, model, cluster):
+        devices, network = cluster
+        plan = _split_plan(model, devices)
+        engine = ContentionAwareEvaluator(PlanEvaluator(devices, network), memoize=False)
+        release = 0.0  # release + rel_end - release is exact at 0
+        outcome = engine.evaluate(plan, release_ms=release)
+        residuals = engine.fleet.residuals(release)
+        keys = fleet_lane_keys(len(devices))
+        for key, residual, rel_end, jobs in zip(
+            keys, residuals, outcome.lane_end_rel, outcome.lane_jobs
+        ):
+            if jobs:
+                # Used lanes sit exactly at release + relative end.
+                assert residual == rel_end
+            else:
+                assert residual == 0.0
+
+    def test_unused_lanes_are_not_committed(self, model, cluster):
+        devices, network = cluster
+        single = DistributionPlan.single_device(model, devices, 0)
+        engine = ContentionAwareEvaluator(PlanEvaluator(devices, network), memoize=False)
+        engine.evaluate(single, release_ms=0.0)
+        residuals = dict(zip(fleet_lane_keys(len(devices)), engine.fleet.residuals(0.0)))
+        # Providers 1 and 2 never took part: their lanes stay idle.
+        for j in (1, 2):
+            for role in LANE_ROLES:
+                assert residuals[(j, role)] == 0.0
+        assert residuals[(0, "compute")] > 0.0
+
+    def test_memo_hit_replays_identical_outcome(self, model, cluster):
+        devices, network = cluster
+        plan = _split_plan(model, devices)
+        memoized = ContentionAwareEvaluator(PlanEvaluator(devices, network), memoize=True)
+        fresh = ContentionAwareEvaluator(PlanEvaluator(devices, network), memoize=False)
+        releases = [0.0, 3.0, 1000.0, 1000.0, 5000.0]
+        for release in releases:
+            a = memoized.evaluate(plan, release_ms=release)
+            b = fresh.evaluate(plan, release_ms=release)
+            assert a == b  # ContendedOutcome is a frozen dataclass of floats
+        assert memoized.memo_hits > 0
+        assert memoized.evaluations < len(releases)
+        assert fresh.evaluations == len(releases)
+
+
+class TestAdmissionGate:
+    def test_floor_math(self):
+        fleet = SharedFleetState(2)
+        fleet._completions = [10.0, 20.0, 30.0]
+        # Unlimited: the release itself.
+        assert fleet.admission_floor(5.0, None) == 5.0
+        # Cap 2 with three live completions: the new request joins once the
+        # in-flight count drops to 1, i.e. after the second completion.
+        assert fleet.admission_floor(5.0, 2) == 20.0
+        # Cap 1: admitted only when all but none remain.
+        assert fleet.admission_floor(5.0, 1) == 30.0
+        # Completions at/before the release are not in flight.
+        assert fleet.admission_floor(20.0, 1) == 30.0
+        assert fleet.admission_floor(30.0, 1) == 30.0  # ties excluded -> only none live
+        # Under the cap: no gate.
+        assert fleet.admission_floor(25.0, 2) == 25.0
+
+    def test_prune_keeps_gate_semantics(self):
+        fleet = SharedFleetState(2)
+        fleet._completions = [10.0, 20.0, 30.0]
+        fleet.prune_completions(20.0)
+        assert fleet._completions == [30.0]
+        assert fleet.admission_floor(25.0, 1) == 30.0
+
+    def test_cap_one_serialises_the_fleet(self, model, cluster):
+        devices, network = cluster
+        plan = _split_plan(model, devices)
+        gated = ContentionAwareEvaluator(
+            PlanEvaluator(devices, network), max_inflight=1, memoize=False
+        )
+        first = gated.evaluate(plan, release_ms=0.0)
+        second = gated.evaluate(plan, release_ms=0.0)
+        assert second.gate_wait_ms == first.latency_ms
+        assert second.latency_ms >= first.latency_ms + first.latency_ms
+
+    def test_gate_requires_positive_cap(self, cluster):
+        devices, network = cluster
+        with pytest.raises(ValueError, match="max_inflight"):
+            ContentionAwareEvaluator(PlanEvaluator(devices, network), max_inflight=0)
+
+
+class TestFleetAccounting:
+    def test_load_report_totals(self, model, cluster):
+        devices, network = cluster
+        plan = _split_plan(model, devices)
+        engine = ContentionAwareEvaluator(PlanEvaluator(devices, network), memoize=False)
+        engine.evaluate(plan, release_ms=0.0)
+        engine.evaluate(plan, release_ms=0.0)
+        report = engine.fleet.load_report(
+            1000.0, device_ids=[d.device_id for d in devices]
+        )
+        assert report.requests == 2
+        assert report.contended_requests == 1
+        assert report.contended_share == 0.5
+        assert report.compute_busy_ms.sum() > 0
+        assert report.total_wait_ms > 0
+        assert np.all(report.utilization("compute") >= 0)
+        payload = report.to_dict()
+        assert payload["requests"] == 2
+        assert len(payload["compute_busy_ms"]) == len(devices)
+        assert payload["contended_share"] == 0.5
+
+    def test_device_count_mismatches_raise(self, model, cluster):
+        devices, network = cluster
+        engine = ContentionAwareEvaluator(PlanEvaluator(devices, network))
+        two = make_cluster([("nano", 100), ("nano", 100)])
+        foreign = DistributionPlan.single_device(model, two, 0)
+        with pytest.raises(ValueError, match="devices"):
+            engine.evaluate(foreign, release_ms=0.0)
+        with pytest.raises(ValueError, match="device ids"):
+            engine.fleet.load_report(1.0, device_ids=["only-one"])
+
+    def test_outcome_is_order_dependent(self, model, cluster):
+        """Scheduling order matters by design: contention is stateful."""
+        devices, network = cluster
+        plan = _split_plan(model, devices)
+        a = ContentionAwareEvaluator(PlanEvaluator(devices, network), memoize=False)
+        b = ContentionAwareEvaluator(PlanEvaluator(devices, network), memoize=False)
+        a.evaluate(plan, release_ms=0.0)
+        early_then_late = a.evaluate(plan, release_ms=1.0)
+        b.evaluate(plan, release_ms=1.0)
+        late_then_early = b.evaluate(plan, release_ms=0.0)
+        assert early_then_late.latency_ms != late_then_early.latency_ms
+
+    def test_rejects_unknown_evaluator_kinds(self, cluster):
+        with pytest.raises(TypeError, match="PlanEvaluator"):
+            ContentionAwareEvaluator(object())
+
+
+class TestOutcomeShape:
+    def test_outcome_vectors_follow_lane_key_order(self, model, cluster):
+        devices, network = cluster
+        plan = _split_plan(model, devices)
+        engine = ContentionAwareEvaluator(PlanEvaluator(devices, network))
+        outcome = engine.evaluate(plan, release_ms=0.0)
+        n_lanes = len(devices) * len(LANE_ROLES)
+        assert isinstance(outcome, ContendedOutcome)
+        for vector in (
+            outcome.lane_end_rel,
+            outcome.lane_busy_ms,
+            outcome.lane_wait_ms,
+            outcome.lane_jobs,
+        ):
+            assert len(vector) == n_lanes
+        # Every participating provider computed something.
+        keys = fleet_lane_keys(len(devices))
+        compute_busy = [
+            busy for key, busy in zip(keys, outcome.lane_busy_ms) if key[1] == "compute"
+        ]
+        assert all(busy > 0 for busy in compute_busy)

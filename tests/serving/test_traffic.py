@@ -138,3 +138,134 @@ class TestGrammar:
     def test_malformed_specs_raise_with_useful_message(self, spec, fragment):
         with pytest.raises(ValueError, match=fragment):
             parse_traffic_spec(spec)
+
+
+class TestTraceEdgeCases:
+    """Trace replays with unsorted/duplicate timestamps."""
+
+    def test_unsorted_offsets_rejected_everywhere(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TraceArrivals(offsets_s=(1.0, 0.5, 2.0))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            parse_traffic_spec("traffic:trace,times=1;0.5;2")
+        with pytest.raises(ValueError, match=">= 0"):
+            TraceArrivals(offsets_s=(-0.1, 0.5))
+
+    def test_duplicate_offsets_are_all_replayed(self):
+        trace = TraceArrivals(offsets_s=(0.5, 0.5, 0.5, 1.0, 1.0))
+        times = trace.arrival_times(5.0, start_s=10.0)
+        assert times.tolist() == [10.5, 10.5, 10.5, 11.0, 11.0]
+        # The spec grammar round-trips duplicates untouched.
+        assert parse_traffic_spec(trace.spec) == trace
+
+    def test_duplicate_arrivals_are_all_served(self):
+        """Tied timestamps queue behind each other and each completes."""
+        from repro.devices.specs import make_cluster
+        from repro.network.topology import NetworkModel
+        from repro.nn import model_zoo
+        from repro.runtime.batch import BatchPlanEvaluator
+        from repro.runtime.evaluator import PlanEvaluator
+        from repro.runtime.plan import DistributionPlan
+        from repro.serving import ServingSimulator, TenantSpec, run_with_parity
+
+        model = model_zoo.small_vgg(32)
+        devices = make_cluster([("nano", 100)])
+        network = NetworkModel.constant_from_devices(devices)
+        tenant = TenantSpec(
+            "dup",
+            DistributionPlan.single_device(model, devices, 0),
+            traffic=TraceArrivals(offsets_s=(0.2, 0.2, 0.2, 0.4, 0.4)),
+        )
+        report = run_with_parity(
+            BatchPlanEvaluator(devices, network),
+            PlanEvaluator(devices, network),
+            [tenant],
+            duration_s=1.0,
+        )
+        dup = report.tenant("dup")
+        assert dup.num_arrivals == 5
+        assert dup.num_completed == 5
+        # The tied arrivals serialise on the tenant's service slot.
+        assert np.all(np.diff(dup.start_s) >= 0)
+        assert dup.start_s[1] > dup.arrival_s[1]
+        # Admission control sees the duplicates as simultaneous queue growth.
+        capped = TenantSpec(
+            "capped",
+            DistributionPlan.single_device(model, devices, 0),
+            traffic=TraceArrivals(offsets_s=(0.2, 0.2, 0.2, 0.2)),
+            queue_capacity=2,
+        )
+        capped_report = ServingSimulator(BatchPlanEvaluator(devices, network)).run(
+            [capped], duration_s=1.0
+        )
+        t = capped_report.tenant("capped")
+        assert t.num_arrivals == 4
+        assert t.num_rejected > 0
+        assert t.num_completed == t.num_admitted
+
+    def test_trace_beyond_duration_is_dropped(self):
+        trace = TraceArrivals(offsets_s=(0.1, 0.2, 9.9))
+        assert trace.arrival_times(1.0).size == 2
+
+
+class TestZeroRateSegments:
+    """``traffic:`` specs whose rate profile touches zero."""
+
+    def test_mmpp_zero_low_rate_is_silent_between_bursts(self):
+        process = parse_traffic_spec(
+            "traffic:mmpp,low=0,high=40,dwell_low=5,dwell_high=1,seed=3"
+        )
+        assert process.low_rps == 0.0
+        times = process.arrival_times(200.0)
+        assert times.size > 0
+        # With dwell_low >> dwell_high and a silent quiet state, arrivals
+        # cluster: long inter-burst gaps must dominate the time axis.
+        gaps = np.diff(times)
+        assert gaps.max() > 2.0
+        assert process.mean_rate_rps == pytest.approx(40.0 / 6.0)
+        # Round-trip through the grammar preserves the zero rate.
+        assert parse_traffic_spec(process.spec) == process
+
+    def test_diurnal_zero_base_rate_troughs_empty(self):
+        process = parse_traffic_spec("traffic:diurnal,base=0,peak=20,period=100,seed=5")
+        assert process.rate_at(0.0) == 0.0
+        times = process.arrival_times(1000.0)
+        assert times.size > 0
+        phase = np.mod(times, 100.0)
+        # The trough (rate -> 0) must be nearly empty relative to the peak.
+        trough = ((phase < 5) | (phase > 95)).sum()
+        peak = ((phase > 45) & (phase < 55)).sum()
+        assert peak > 5 * max(trough, 1)
+
+    def test_zero_rate_tenant_completes_cleanly(self):
+        """An MMPP tenant whose quiet state is silent still simulates."""
+        from repro.devices.specs import make_cluster
+        from repro.network.topology import NetworkModel
+        from repro.nn import model_zoo
+        from repro.runtime.batch import BatchPlanEvaluator
+        from repro.runtime.evaluator import PlanEvaluator
+        from repro.runtime.plan import DistributionPlan
+        from repro.serving import TenantSpec, run_with_parity
+
+        model = model_zoo.small_vgg(32)
+        devices = make_cluster([("nano", 100)])
+        network = NetworkModel.constant_from_devices(devices)
+        tenant = TenantSpec(
+            "quiet",
+            DistributionPlan.single_device(model, devices, 0),
+            traffic=parse_traffic_spec(
+                "traffic:mmpp,low=0,high=30,dwell_low=2,dwell_high=0.5,seed=9"
+            ),
+        )
+        report = run_with_parity(
+            BatchPlanEvaluator(devices, network),
+            PlanEvaluator(devices, network),
+            [tenant],
+            duration_s=10.0,
+        )
+        quiet = report.tenant("quiet")
+        assert quiet.num_completed == quiet.num_arrivals > 0
+
+    def test_all_silent_process_yields_no_arrivals(self):
+        process = MMPPArrivals(low_rps=0.0, high_rps=5.0, dwell_low_s=1e6, dwell_high_s=1.0, seed=0)
+        assert process.arrival_times(10.0).size == 0
