@@ -15,11 +15,20 @@ uploads artifacts whose gate actually ran.
 This helper centralises that bookkeeping (it grew up inside
 ``test_bench_shard.py``); benches call :func:`record_gate_result` with their
 rows and whether this run enforced the gate.
+
+The module is also a tiny CLI for CI's guard step::
+
+    python benchmarks/_gate.py check BENCH_serve.json   # prints true|false
+
+prints the file's ``last_run_enforced`` flag (``false`` for a missing or
+unreadable file), which the bench matrix job feeds into its conditional
+artifact upload and the warn-only mode of the trend check.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -72,4 +81,29 @@ def record_gate_result(
     return out
 
 
-__all__ = ["record_gate_result"]
+def last_run_enforced(path: Path) -> bool:
+    """Whether ``path``'s most recent bench run enforced its gate.
+
+    Missing, unreadable or malformed files report ``False`` — CI treats
+    that exactly like a skipped gate (no artifact upload, warn-only trend).
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return False
+    return bool(isinstance(data, dict) and data.get("last_run_enforced"))
+
+
+def main(argv) -> int:
+    if len(argv) != 2 or argv[0] != "check":
+        print("usage: python benchmarks/_gate.py check BENCH_x.json", file=sys.stderr)
+        return 2
+    print("true" if last_run_enforced(Path(argv[1])) else "false")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
+
+
+__all__ = ["record_gate_result", "last_run_enforced"]

@@ -1,0 +1,138 @@
+"""Bench-trend regression check: fresh ``BENCH_*.json`` vs committed baseline.
+
+Every bench gate asserts an absolute speedup floor, which catches only
+catastrophic regressions — a batched path that slid from 8x to 5.5x still
+clears a 5x gate.  This check closes that blind spot: CI snapshots the
+*committed* ``BENCH_*.json`` before running the gate, then compares every
+shared ``speedup*`` key of the fresh result against it and fails when any
+dropped by more than ``--max-regression`` (default 25%).
+
+Semantics:
+
+* Only keys starting with ``speedup`` are compared (machine-dependent
+  absolutes like requests/s or wall seconds vary across runners and are
+  reported, not gated).
+* A fresh file whose ``last_run_enforced`` is false (the gate skipped on
+  this runner) downgrades regressions to warnings — an unenforced number
+  is not evidence.
+* No committed baseline (new bench, first run) passes trivially.
+* Improvements are never flagged; the committed file is a floor, not a pin.
+
+Exit status: 0 OK (or warn-only), 1 regression, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+DEFAULT_MAX_REGRESSION = 0.25
+
+
+def _load(path: Path) -> Optional[Dict]:
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def speedup_keys(rows: Dict) -> Dict[str, float]:
+    """The gated subset of a bench result: numeric ``speedup*`` keys."""
+    out = {}
+    for key, value in rows.items():
+        if key.startswith("speedup") and isinstance(value, (int, float)):
+            out[key] = float(value)
+    return out
+
+
+def compare(
+    fresh: Dict,
+    baseline: Dict,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> Tuple[List[str], List[str]]:
+    """Diff shared speedup keys; returns ``(regressions, notes)``.
+
+    A key regresses when the fresh value is below
+    ``baseline * (1 - max_regression)``.  Keys present on only one side are
+    noted, not failed (benches gain and retire metrics across PRs).
+    """
+    regressions: List[str] = []
+    notes: List[str] = []
+    fresh_keys = speedup_keys(fresh)
+    base_keys = speedup_keys(baseline)
+    for key in sorted(set(fresh_keys) | set(base_keys)):
+        if key not in fresh_keys:
+            notes.append(f"{key}: only in baseline ({base_keys[key]:.2f}) — retired?")
+            continue
+        if key not in base_keys:
+            notes.append(f"{key}: new metric ({fresh_keys[key]:.2f}), no baseline")
+            continue
+        fresh_v, base_v = fresh_keys[key], base_keys[key]
+        floor = base_v * (1.0 - max_regression)
+        if fresh_v < floor:
+            regressions.append(
+                f"{key}: {fresh_v:.2f} vs committed {base_v:.2f} "
+                f"(> {max_regression:.0%} drop; floor {floor:.2f})"
+            )
+        else:
+            notes.append(f"{key}: {fresh_v:.2f} vs committed {base_v:.2f} OK")
+    return regressions, notes
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare a fresh BENCH_*.json against the committed baseline"
+    )
+    parser.add_argument("fresh", help="the BENCH_*.json the gate just wrote")
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        help="snapshot of the committed BENCH_*.json (taken before the gate ran)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help="tolerated fractional drop per speedup key (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.max_regression < 1.0:
+        print(f"--max-regression must be in [0, 1), got {args.max_regression}",
+              file=sys.stderr)
+        return 2
+
+    fresh = _load(Path(args.fresh))
+    if fresh is None:
+        print(f"trend: cannot read fresh result {args.fresh}", file=sys.stderr)
+        return 2
+    baseline = _load(Path(args.baseline))
+    if baseline is None:
+        print(f"trend: no committed baseline for {args.fresh} — first run, OK")
+        return 0
+
+    regressions, notes = compare(fresh, baseline, args.max_regression)
+    for note in notes:
+        print(f"trend: {note}")
+    if not regressions:
+        print(f"trend: {args.fresh} within {args.max_regression:.0%} of committed speedups")
+        return 0
+    enforced = bool(fresh.get("last_run_enforced"))
+    for regression in regressions:
+        prefix = "trend REGRESSION" if enforced else "trend warning (gate skipped)"
+        print(f"{prefix}: {regression}", file=sys.stderr)
+    if not enforced:
+        # The gate did not run on this machine, so the fresh numbers carry
+        # no enforcement weight; surface the drop but do not fail CI on it.
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
+
+
+__all__ = ["compare", "speedup_keys", "DEFAULT_MAX_REGRESSION"]

@@ -376,6 +376,7 @@ class ExperimentHarness:
         mode: str = "batched",
         policy: Optional[ClusterPolicy] = None,
         weight: Union[float, Sequence[float]] = 1.0,
+        engine: str = "object",
     ) -> ServingReport:
         """Serve one tenant per method on a shared fleet and report SLOs.
 
@@ -386,7 +387,9 @@ class ExperimentHarness:
         Evaluation routes through :meth:`evaluator_for`, so
         ``config.workers >= 2`` fans the epoch batches out to the scenario's
         persistent sharded worker pool.  ``policy`` switches on shared-fleet
-        lane contention with the given cross-tenant dispatch discipline.
+        lane contention with the given cross-tenant dispatch discipline;
+        ``engine="array"`` routes the run through the vectorised serving
+        engine of :mod:`repro.serving.engine` (bit-identical results).
         Plans are cached per (method, scenario, model) within the harness,
         so load sweeps re-plan each tenant once, not once per point.
         """
@@ -434,7 +437,7 @@ class ExperimentHarness:
                 )
             )
         return ServingSimulator(evaluator).run(
-            tenants, duration_s=duration_s, mode=mode, policy=policy
+            tenants, duration_s=duration_s, mode=mode, policy=policy, engine=engine
         )
 
     # ------------------------------------------------------------------ #

@@ -34,6 +34,15 @@ class BandwidthTrace:
         """Instantaneous throughput at time ``t_seconds``."""
         raise NotImplementedError
 
+    def throughput_mbps_array(self, t_seconds: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`throughput_mbps` over an array of times.
+
+        Bit-exact to the scalar method element for element (the array
+        serving engine's speculation verifier depends on that); subclasses
+        override with a true array evaluation, this fallback just loops.
+        """
+        return np.array([self.throughput_mbps(float(t)) for t in t_seconds])
+
     def mean_mbps(self, t_start: float = 0.0, t_end: float = 3600.0, samples: int = 361) -> float:
         """Mean throughput over a window (simple uniform sampling)."""
         ts = np.linspace(t_start, t_end, samples)
@@ -59,6 +68,9 @@ class ConstantTrace(BandwidthTrace):
 
     def throughput_mbps(self, t_seconds: float) -> float:
         return float(self.mbps)
+
+    def throughput_mbps_array(self, t_seconds: np.ndarray) -> np.ndarray:
+        return np.full(len(t_seconds), float(self.mbps))
 
 
 @dataclass
@@ -98,6 +110,10 @@ class WiFiTrace(BandwidthTrace):
     def throughput_mbps(self, t_seconds: float) -> float:
         t = float(np.clip(t_seconds, 0.0, self._grid[-1]))
         return float(np.interp(t, self._grid, self._values))
+
+    def throughput_mbps_array(self, t_seconds: np.ndarray) -> np.ndarray:
+        ts = np.clip(np.asarray(t_seconds, dtype=np.float64), 0.0, self._grid[-1])
+        return np.interp(ts, self._grid, self._values)
 
 
 @dataclass
@@ -143,6 +159,10 @@ class DynamicTrace(BandwidthTrace):
     def throughput_mbps(self, t_seconds: float) -> float:
         t = float(np.clip(t_seconds, 0.0, self._grid[-1]))
         return float(np.interp(t, self._grid, self._values))
+
+    def throughput_mbps_array(self, t_seconds: np.ndarray) -> np.ndarray:
+        ts = np.clip(np.asarray(t_seconds, dtype=np.float64), 0.0, self._grid[-1])
+        return np.interp(ts, self._grid, self._values)
 
 
 def make_trace(

@@ -90,6 +90,22 @@ class NetworkModel:
     def num_providers(self) -> int:
         return len(self.provider_links)
 
+    @property
+    def is_static(self) -> bool:
+        """Whether every link's throughput is provably time-invariant.
+
+        True only when all traces (providers and requester) are
+        :class:`~repro.network.bandwidth.ConstantTrace` — the network-state
+        signature is then the same at every instant, which lets the array
+        serving engine commit whole speculated timelines without per-request
+        signature verification.  Unknown trace subclasses conservatively
+        report ``False``.
+        """
+        return all(
+            isinstance(link.trace, ConstantTrace)
+            for link in [*self.provider_links, self.requester_link]
+        )
+
     def link_of(self, endpoint: Endpoint) -> Link:
         """The link attached to ``endpoint`` (provider index or REQUESTER)."""
         if endpoint == REQUESTER:

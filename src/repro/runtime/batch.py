@@ -89,6 +89,23 @@ def network_state_signature(network: NetworkModel, t_seconds: float) -> Tuple[fl
     return thr + (network.requester_link.throughput_mbps(t_seconds),)
 
 
+def network_state_signatures(network: NetworkModel, t_seconds: np.ndarray) -> np.ndarray:
+    """Signature *matrix*: one :func:`network_state_signature` row per time.
+
+    Returns a ``(times, links + 1)`` float64 array whose row ``i`` equals
+    ``network_state_signature(network, t_seconds[i])`` element for element
+    (traces vectorise their own sampling, see
+    :meth:`~repro.network.bandwidth.BandwidthTrace.throughput_mbps_array`).
+    The array serving engine verifies whole speculation windows against one
+    assumed signature with a single vectorised comparison over this matrix
+    instead of per-request Python link walks.
+    """
+    ts = np.asarray(t_seconds, dtype=np.float64)
+    columns = [link.trace.throughput_mbps_array(ts) for link in network.provider_links]
+    columns.append(network.requester_link.trace.throughput_mbps_array(ts))
+    return np.column_stack(columns)
+
+
 def _required_rows_vec(
     layer: LayerSpec, out_lo: np.ndarray, out_hi: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray]:

@@ -214,6 +214,14 @@ class SharedFleetState:
         self.num_devices = int(num_devices)
         self.lane_keys = fleet_lane_keys(num_devices)
         self.lanes = LaneSet()
+        # Column mirror of the lanes' busy-until times, in lane_keys order.
+        # residuals()/busy_until_ms() run once per dispatch over every lane,
+        # which made them the serving loop's hottest per-request Python on
+        # big fleets; the mirror turns both into one array expression.
+        # commit() is the only mutator of the lane objects and keeps the
+        # mirror in sync, and max(0, free - release) is elementwise the very
+        # float op of the scalar walk, so the vectors are bit-identical.
+        self._free_ms = np.zeros(len(self.lane_keys))
         self.wait_ms: Dict[Tuple[int, str], float] = {}
         self._completions: List[float] = []  # sorted absolute completion times (ms)
         self.requests = 0
@@ -223,15 +231,11 @@ class SharedFleetState:
     # ------------------------------------------------------------------ #
     def residuals(self, release_ms: float) -> Tuple[float, ...]:
         """Per-lane leftover occupancy relative to ``release_ms`` (>= 0)."""
-        return tuple(
-            max(0.0, self.lanes.lane(j, role).free_at - release_ms)
-            for j, role in self.lane_keys
-        )
+        return tuple(np.maximum(self._free_ms - release_ms, 0.0).tolist())
 
     def busy_until_ms(self) -> float:
         """Latest lane busy-until across the fleet (0 when never used)."""
-        lanes = self.lanes.all_lanes()
-        return max((lane.free_at for lane in lanes), default=0.0)
+        return float(self._free_ms.max())
 
     def admission_floor(self, release_ms: float, max_inflight: Optional[int]) -> float:
         """Earliest time a request released at ``release_ms`` may be admitted.
@@ -261,18 +265,21 @@ class SharedFleetState:
     # ------------------------------------------------------------------ #
     def commit(self, release_ms: float, outcome: ContendedOutcome) -> None:
         """Apply one scheduled request's lane usage to the shared state."""
-        for key, rel_end, busy, wait, jobs in zip(
-            self.lane_keys,
-            outcome.lane_end_rel,
-            outcome.lane_busy_ms,
-            outcome.lane_wait_ms,
-            outcome.lane_jobs,
+        for index, (key, rel_end, busy, wait, jobs) in enumerate(
+            zip(
+                self.lane_keys,
+                outcome.lane_end_rel,
+                outcome.lane_busy_ms,
+                outcome.lane_wait_ms,
+                outcome.lane_jobs,
+            )
         ):
             if jobs:
                 lane = self.lanes.lane(*key)
                 lane.free_at = release_ms + rel_end
                 lane.busy_ms += busy
                 lane.jobs += jobs
+                self._free_ms[index] = lane.free_at
             if wait:
                 self.wait_ms[key] = self.wait_ms.get(key, 0.0) + wait
         self.requests += 1

@@ -20,13 +20,20 @@ cluster.  This package adds the traffic-facing layer the ROADMAP's
   naive per-request reference loop (asserted by :func:`run_with_parity`),
   reporting throughput, latency percentiles, deadline-miss rates and
   queue-depth series per tenant.
+* :mod:`repro.serving.engine` — the array-native serving engine
+  (``engine="array"``): per-tenant NumPy request columns driven by a
+  vectorised time-wheel with slot pools and epoch speculation, bit-exact
+  against the reference loop via the same parity contract.
 
 The paper's :class:`~repro.runtime.streaming.StreamingSimulator` is the
 single-tenant closed-loop special case of this engine.
 """
 
 from repro.serving.dispatch import DISCIPLINES, ClusterPolicy, FleetDispatcher
+from repro.serving.engine import ArrayServingEngine, vectorizable
 from repro.serving.simulator import (
+    ENGINES,
+    MODES,
     ParityMismatch,
     ServingReport,
     ServingSimulator,
@@ -47,8 +54,12 @@ from repro.serving.traffic import (
 
 __all__ = [
     "DISCIPLINES",
+    "ENGINES",
+    "MODES",
     "ClusterPolicy",
     "FleetDispatcher",
+    "ArrayServingEngine",
+    "vectorizable",
     "ServingSimulator",
     "ServingReport",
     "ParityMismatch",

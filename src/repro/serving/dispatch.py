@@ -22,7 +22,15 @@ order in which concurrent tenants' requests reach the shared fleet *matters*
 All three disciplines are deterministic functions of information available
 at selection time, which is what lets the contended reference and batched
 event loops pick the identical global order — a precondition for their
-bit-identity.
+bit-identity.  The same determinism is why the dispatch order is inherently
+*sequential*: each selection depends on every earlier completion, so the
+array serving engine (:mod:`repro.serving.engine`) never vectorises across
+it — contended array runs keep this dispatcher's canonical order and take
+their speedup from the vectorised lane residuals instead.  Within one
+tenant, requests enter the dispatcher one at a time regardless of the
+tenant's :attr:`~repro.serving.tenants.TenantSpec.slots` pool (slot
+overlap is an independent-serving construct; under contention the fleet,
+not the tenant, is the concurrency bottleneck being modelled).
 
 :class:`ClusterPolicy` bundles the discipline with the cluster-wide
 ``max_inflight`` admission cap; passing a policy to

@@ -32,6 +32,12 @@ Pass a :class:`~repro.runtime.shard.ShardedPlanEvaluator` as the evaluator to
 fan epoch batches out to its persistent worker pool (small epochs stay
 in-process automatically via its ``min_shard_size`` rule).
 
+``run(..., engine="array")`` swaps the per-request Python bookkeeping for
+the array-native column time-wheel of :mod:`repro.serving.engine` — same
+report bit for bit (that *is* its contract, asserted by
+``run_with_parity(..., engine="array")``), roughly an order of magnitude
+faster on large tenant fleets.
+
 Passing a :class:`~repro.serving.dispatch.ClusterPolicy` replaces the
 independent-tenants model with **shared-fleet contention**: requests reach
 persistent per-device lanes in the policy's discipline order (FIFO /
@@ -59,6 +65,13 @@ from repro.serving.tenants import TenantReport, TenantRuntime, TenantSpec
 #: Event-loop modes.
 MODES = ("batched", "reference")
 
+#: Execution engines: ``"object"`` drives the per-tenant
+#: :class:`TenantRuntime` loops above; ``"array"`` routes eligible tenants
+#: through the vectorised column time-wheel of :mod:`repro.serving.engine`
+#: (bit-identical by the same parity contract, ~an order of magnitude
+#: faster on large fleets).
+ENGINES = ("object", "array")
+
 
 @dataclass
 class ServingReport:
@@ -79,6 +92,11 @@ class ServingReport:
     cache_hits: int = 0
     #: Per-device lane-utilisation and queueing-delay breakdown (contended runs).
     fleet: Optional[FleetLoadReport] = None
+    #: Which execution engine produced the run (``"object"`` or ``"array"``).
+    engine: str = "object"
+    #: Requests committed by epoch speculation without their own evaluation
+    #: (array engine only; informational, not part of the parity contract).
+    speculated: int = 0
 
     def tenant(self, name: str) -> TenantReport:
         for report in self.tenants:
@@ -141,6 +159,8 @@ class ServingReport:
         """
         out: Dict = {
             "mode": self.mode,
+            "engine": self.engine,
+            "speculated": int(self.speculated),
             "evaluator_kind": self.evaluator_kind,
             "start_s": float(self.start_s),
             "duration_s": None if self.duration_s is None else float(self.duration_s),
@@ -209,9 +229,24 @@ class ServingSimulator:
         duration_s: Optional[float],
         mode: str,
         policy: Optional[ClusterPolicy] = None,
+        engine: str = "object",
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        if engine == "array" and mode == "reference":
+            raise ValueError(
+                "the array engine has no reference mode — it is the optimised "
+                "path whose oracle is engine='object', mode='reference' "
+                "(see run_with_parity)"
+            )
+        if engine == "array" and policy is None and not hasattr(self.evaluator, "evaluate_plans"):
+            raise TypeError(
+                "the array engine needs an evaluator with evaluate_plans "
+                "(BatchPlanEvaluator / ShardedPlanEvaluator); "
+                f"got {type(self.evaluator).__name__}"
+            )
         if policy is None and mode == "batched" and not hasattr(self.evaluator, "evaluate_plans"):
             # Contended serving walks requests through the scalar engine in
             # both modes (the memo, not evaluate_plans, provides the batching),
@@ -248,6 +283,7 @@ class ServingSimulator:
         start_s: float = 0.0,
         mode: str = "batched",
         policy: Optional[ClusterPolicy] = None,
+        engine: str = "object",
     ) -> ServingReport:
         """Simulate the tenants' traffic and return the serving report.
 
@@ -263,11 +299,24 @@ class ServingSimulator:
         :mod:`repro.runtime.contention`).  Without a policy every tenant's
         requests see an idle fleet at dispatch — the independent-tenants
         model of earlier revisions, reproduced exactly.
+
+        ``engine="array"`` runs contention-free serving through the
+        vectorised column time-wheel (:mod:`repro.serving.engine`) — same
+        results bit for bit, per-request Python bookkeeping replaced by
+        array passes and epoch speculation.  Contended runs keep the
+        canonical sequential dispatcher order (the contended loop already
+        batches via its schedule memo and the vectorised lane residuals).
         """
-        self._check(tenants, duration_s, mode, policy)
+        self._check(tenants, duration_s, mode, policy, engine)
+        if engine == "array" and policy is None:
+            from repro.serving.engine import ArrayServingEngine  # deferred: circular
+
+            return ArrayServingEngine(self.evaluator).run(
+                tenants, duration_s=duration_s, start_s=start_s, mode=mode
+            )
         runtimes = [TenantRuntime(spec, start_s, duration_s) for spec in tenants]
         if policy is not None:
-            return self._run_contended(runtimes, duration_s, start_s, mode, policy)
+            return self._run_contended(runtimes, duration_s, start_s, mode, policy, engine)
         return self._run_independent(runtimes, duration_s, start_s, mode)
 
     def _run_independent(
@@ -354,6 +403,7 @@ class ServingSimulator:
         start_s: float,
         mode: str,
         policy: ClusterPolicy,
+        engine: str = "object",
     ) -> ServingReport:
         """The shared-fleet loops: requests queue on each other's lanes.
 
@@ -363,7 +413,15 @@ class ServingSimulator:
         lane residuals)`` signature, so equal-signature dispatches are
         grouped into one evaluation.  ``reference`` re-walks every request
         and stays the semantics oracle.
+
+        The dispatch order is inherently sequential (each selection depends
+        on every earlier completion), so ``engine="array"`` changes nothing
+        about this loop's control flow — the array wins come from the
+        vectorised lane residuals inside
+        :class:`~repro.runtime.contention.SharedFleetState` — and the value
+        is only recorded on the report.
         """
+        engine_label = engine
         engine = ContentionAwareEvaluator(
             self.evaluator,
             max_inflight=policy.max_inflight,
@@ -415,6 +473,7 @@ class ServingSimulator:
             max_inflight=policy.max_inflight,
             cache_hits=engine.memo_hits,
             fleet=fleet,
+            engine=engine_label,
         )
 
 
@@ -513,6 +572,7 @@ def run_with_parity(
     duration_s: Optional[float] = None,
     start_s: float = 0.0,
     policy: Optional[ClusterPolicy] = None,
+    engine: str = "object",
 ) -> ServingReport:
     """Run the batched and the reference loops and assert bit-identity.
 
@@ -521,7 +581,11 @@ def run_with_parity(
     state into the second run and make the comparison meaningless, so it is
     rejected here.  ``policy`` runs both loops in shared-fleet contention
     mode (the contended-schedule memo against the per-request reference
-    walk).  Returns the batched report.
+    walk).  ``engine="array"`` runs the *batched* side through the
+    vectorised column time-wheel, making this the array engine's bit-exact
+    correctness contract against the scalar reference loop (the reference
+    side always runs on the object engine — it is the oracle).  Returns the
+    batched report.
     """
     for spec in tenants:
         if spec.adaptation_hook is not None:
@@ -533,7 +597,12 @@ def run_with_parity(
         tenants, duration_s=duration_s, start_s=start_s, mode="reference", policy=policy
     )
     batched = ServingSimulator(batched_evaluator).run(
-        tenants, duration_s=duration_s, start_s=start_s, mode="batched", policy=policy
+        tenants,
+        duration_s=duration_s,
+        start_s=start_s,
+        mode="batched",
+        policy=policy,
+        engine=engine,
     )
     assert_reports_equal(batched, reference)
     return batched
@@ -546,4 +615,5 @@ __all__ = [
     "assert_reports_equal",
     "run_with_parity",
     "MODES",
+    "ENGINES",
 ]

@@ -15,16 +15,20 @@ the naive per-request reference) drive the *same* runtime code and differ
 only in how the dispatched plan is evaluated, which is what makes their
 results bit-identical by construction.
 
-Service model: the cluster grants each tenant one service slot (the paper's
-one-image-in-flight protocol, per stream), so a tenant's requests are served
-sequentially while distinct tenants progress concurrently.  Cross-tenant
-interference on compute/network lanes is not modelled (each inference sees
-the full cluster at its start time); a contention-aware evaluator is a
-recorded follow-up in ROADMAP.md.
+Service model: the cluster grants each tenant a pool of ``slots`` service
+slots (``slots=1`` is the paper's one-image-in-flight protocol, per stream).
+A request is issued to the earliest-free slot, so up to ``slots`` of one
+tenant's requests are in flight concurrently while the *records* stay in
+request order — the reordering-safe commit the array serving engine
+(:mod:`repro.serving.engine`) exploits.  Cross-tenant interference on
+compute/network lanes is modelled only when a
+:class:`~repro.serving.dispatch.ClusterPolicy` switches the serving loop to
+shared-fleet contention (:mod:`repro.runtime.contention`).
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
@@ -108,6 +112,14 @@ class TenantSpec:
         (:mod:`repro.serving.dispatch`): a tenant with twice the weight
         receives twice the fleet throughput under backlog.  Ignored by the
         other disciplines and by contention-free serving.
+    slots:
+        Within-tenant concurrency: the number of service slots in the
+        tenant's pool.  Each request is issued to the earliest-free slot
+        (requests are *recorded* in arrival order regardless — the
+        reordering-safe commit), so ``slots=2`` lets two of the tenant's
+        requests overlap in simulated time.  Closed-loop tenants run one
+        closed chain per slot.  Default ``1`` reproduces the paper's
+        one-image-in-flight protocol exactly.
     """
 
     name: str
@@ -121,6 +133,7 @@ class TenantSpec:
     gap_ms: float = 0.0
     max_duration_s: Optional[float] = None
     weight: float = 1.0
+    slots: int = 1
 
     def __post_init__(self) -> None:
         if self.traffic is None and self.max_requests is None:
@@ -151,6 +164,10 @@ class TenantSpec:
             )
         if self.weight <= 0:
             raise ValueError(f"tenant {self.name!r}: weight must be > 0, got {self.weight}")
+        if not isinstance(self.slots, int) or self.slots < 1:
+            raise ValueError(
+                f"tenant {self.name!r}: slots must be an int >= 1, got {self.slots!r}"
+            )
 
     @property
     def closed_loop(self) -> bool:
@@ -259,13 +276,17 @@ class TenantReport:
 class TenantRuntime:
     """One tenant's live state while the serving event loop runs.
 
-    The request chain is strictly sequential within the tenant: the loop
-    alternates :meth:`prepare` (admit arrivals, pick the head-of-line
-    request, run the adaptation hook) and :meth:`commit` (record the
-    evaluated latency, advance the service clock).  Both simulator modes
-    call exactly this sequence with exactly these arguments, so every
-    stateful effect — admission decisions, hook invocations, replan logs —
-    happens identically in both.
+    The request chain is processed strictly sequentially within the tenant:
+    the loop alternates :meth:`prepare` (admit arrivals, pick the
+    head-of-line request, run the adaptation hook) and :meth:`commit`
+    (record the evaluated latency, advance the earliest-free service slot).
+    With ``slots > 1`` completions may *overlap* in simulated time, but
+    request ``i``'s start depends only on commits ``0..i-1`` (the slot pool
+    is a min-heap of free times), so the chain — and every record — stays in
+    request order: the reordering-safe commit.  Both simulator modes and the
+    array engine drive exactly this sequence with exactly these arguments,
+    so every stateful effect — admission decisions, hook invocations,
+    replan logs — happens identically everywhere.
     """
 
     def __init__(
@@ -281,7 +302,10 @@ class TenantRuntime:
         self.done = False
         self._pending: Optional[Dispatch] = None
         self._served = 0
-        self._free_s = self.start_s  # when the tenant's service slot frees up
+        # Slot pool: min-heap of slot free-up times.  Equal initial entries
+        # form a valid heap without heapify; slots=1 degenerates to the
+        # single service-slot clock of earlier revisions.
+        self._slot_free_s: List[float] = [self.start_s] * spec.slots
 
         if spec.closed_loop:
             self._arrivals = np.empty(0)
@@ -313,6 +337,17 @@ class TenantRuntime:
         self.req_completion_s: List[float] = []
         self.missed: List[bool] = []
         self.depth_events: List[tuple] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def _free_s(self) -> float:
+        """When the tenant's *earliest* service slot frees up (heap min)."""
+        return self._slot_free_s[0]
+
+    @property
+    def busy_until_s(self) -> float:
+        """When the tenant's *last* service slot frees up (heap max)."""
+        return max(self._slot_free_s)
 
     # ------------------------------------------------------------------ #
     def _admit_until(self, t_s: float) -> None:
@@ -409,7 +444,10 @@ class TenantRuntime:
         self._served += 1
         if self.spec.closed_loop:
             self.arrivals_seen += 1
-            self._free_s = dispatch.start_s + (latency_ms + self.spec.gap_ms) / 1000.0
+            heapq.heapreplace(
+                self._slot_free_s,
+                dispatch.start_s + (latency_ms + self.spec.gap_ms) / 1000.0,
+            )
             if (
                 self.spec.max_duration_s is not None
                 and self._free_s - self.start_s >= self.spec.max_duration_s
@@ -418,7 +456,7 @@ class TenantRuntime:
         else:
             self._queue.popleft()
             self.depth_events.append((dispatch.start_s, len(self._queue)))
-            self._free_s = completion
+            heapq.heapreplace(self._slot_free_s, completion)
 
     # ------------------------------------------------------------------ #
     def cached_latency(self, key: Tuple) -> Optional[float]:
@@ -463,7 +501,7 @@ class TenantRuntime:
             replan_times_s=list(self.replan_times),
             queue_depth_series=depth,
             final_method=self.current_plan.method,
-            busy_until_s=self._free_s,
+            busy_until_s=self.busy_until_s,
         )
 
 

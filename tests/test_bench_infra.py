@@ -1,0 +1,177 @@
+"""Bench-gate bookkeeping and trend-check semantics (benchmarks/ helpers).
+
+These helpers guard the ``BENCH_*.json`` artifact trail every CI bench job
+relies on, so their skip/retention/regression rules get unit tests of their
+own: enforced runs replace files wholesale, skipped runs only annotate,
+``last_run_enforced`` tracks the *latest* run, and the trend check fails
+only on enforced >25% speedup drops.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def _load_module(name):
+    spec = importlib.util.spec_from_file_location(name, _BENCHMARKS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def gate():
+    return _load_module("_gate")
+
+
+@pytest.fixture(scope="module")
+def trend():
+    return _load_module("trend")
+
+
+class TestRecordGateResult:
+    def test_enforced_run_replaces_wholesale(self, gate, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"stale": True, "gate_enforced": True}))
+        out = gate.record_gate_result(path, {"speedup": 7.5}, enforced=True)
+        data = json.loads(path.read_text())
+        assert data == out
+        assert data["speedup"] == 7.5
+        assert data["gate_enforced"] is True
+        assert data["last_run_enforced"] is True
+        assert "stale" not in data
+
+    def test_skip_retains_last_enforced_numbers(self, gate, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        gate.record_gate_result(path, {"speedup": 7.5}, enforced=True)
+        gate.record_gate_result(
+            path, {}, enforced=False, skip_info={"reason": "2 cpus", "speedup": 1.1}
+        )
+        data = json.loads(path.read_text())
+        # Enforced top-level numbers survive; the skip is an annotation.
+        assert data["speedup"] == 7.5
+        assert data["gate_enforced"] is True
+        assert data["last_run_enforced"] is False
+        assert data["skipped_run"] == {"reason": "2 cpus", "speedup": 1.1}
+
+    def test_skip_with_no_enforced_history(self, gate, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        gate.record_gate_result(path, {}, enforced=False, skip_info={"reason": "ci"})
+        data = json.loads(path.read_text())
+        assert data["gate_enforced"] is False
+        assert data["last_run_enforced"] is False
+        assert data["skipped_run"] == {"reason": "ci"}
+
+    def test_enforced_run_flips_last_run_back(self, gate, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        gate.record_gate_result(path, {"speedup": 7.5}, enforced=True)
+        gate.record_gate_result(path, {}, enforced=False, skip_info={"reason": "x"})
+        gate.record_gate_result(path, {"speedup": 8.0}, enforced=True)
+        data = json.loads(path.read_text())
+        assert data["speedup"] == 8.0
+        assert data["last_run_enforced"] is True
+        assert "skipped_run" not in data
+
+    def test_skip_over_corrupt_file(self, gate, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{not json")
+        gate.record_gate_result(path, {}, enforced=False, skip_info={"reason": "x"})
+        data = json.loads(path.read_text())
+        assert data["gate_enforced"] is False
+
+
+class TestLastRunEnforcedCheck:
+    def test_true_false_and_missing(self, gate, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        assert gate.last_run_enforced(path) is False  # missing
+        gate.record_gate_result(path, {"speedup": 5.0}, enforced=True)
+        assert gate.last_run_enforced(path) is True
+        gate.record_gate_result(path, {}, enforced=False, skip_info={})
+        assert gate.last_run_enforced(path) is False
+        path.write_text("[1, 2]")  # JSON but not an object
+        assert gate.last_run_enforced(path) is False
+
+    def test_cli_prints_flag(self, gate, tmp_path, capsys):
+        path = tmp_path / "BENCH_x.json"
+        gate.record_gate_result(path, {"speedup": 5.0}, enforced=True)
+        assert gate.main(["check", str(path)]) == 0
+        assert capsys.readouterr().out.strip() == "true"
+        assert gate.main(["check", str(tmp_path / "missing.json")]) == 0
+        assert capsys.readouterr().out.strip() == "false"
+        assert gate.main(["bogus"]) == 2
+
+
+def _write(path: Path, rows) -> Path:
+    path.write_text(json.dumps(rows))
+    return path
+
+
+class TestTrendCompare:
+    def test_within_tolerance_passes(self, trend):
+        regressions, _ = trend.compare(
+            {"speedup": 6.0, "last_run_enforced": True}, {"speedup": 7.5}
+        )
+        assert regressions == []
+
+    def test_regression_detected(self, trend):
+        regressions, _ = trend.compare({"speedup": 5.0}, {"speedup": 7.5})
+        assert len(regressions) == 1
+        assert "speedup" in regressions[0]
+
+    def test_improvement_never_flags(self, trend):
+        regressions, _ = trend.compare({"speedup": 20.0}, {"speedup": 7.5})
+        assert regressions == []
+
+    def test_only_speedup_keys_gated(self, trend):
+        regressions, _ = trend.compare(
+            {"speedup": 7.5, "requests_per_s": 100.0, "speedup_vs_scalar": 2.0},
+            {"speedup": 7.5, "requests_per_s": 9000.0, "speedup_vs_scalar": 10.0},
+        )
+        # requests_per_s collapsing is machine noise; speedup_vs_scalar is not.
+        assert len(regressions) == 1
+        assert "speedup_vs_scalar" in regressions[0]
+
+    def test_one_sided_keys_are_notes(self, trend):
+        regressions, notes = trend.compare(
+            {"speedup_new": 3.0}, {"speedup_old": 9.0}
+        )
+        assert regressions == []
+        assert any("speedup_old" in n for n in notes)
+        assert any("speedup_new" in n for n in notes)
+
+
+class TestTrendMain:
+    def test_no_baseline_is_ok(self, trend, tmp_path):
+        fresh = _write(tmp_path / "f.json", {"speedup": 5.0, "last_run_enforced": True})
+        assert trend.main([str(fresh), "--baseline", str(tmp_path / "none.json")]) == 0
+
+    def test_enforced_regression_fails(self, trend, tmp_path):
+        fresh = _write(tmp_path / "f.json", {"speedup": 5.0, "last_run_enforced": True})
+        base = _write(tmp_path / "b.json", {"speedup": 7.5})
+        assert trend.main([str(fresh), "--baseline", str(base)]) == 1
+
+    def test_skipped_gate_is_warn_only(self, trend, tmp_path):
+        fresh = _write(tmp_path / "f.json", {"speedup": 5.0, "last_run_enforced": False})
+        base = _write(tmp_path / "b.json", {"speedup": 7.5})
+        assert trend.main([str(fresh), "--baseline", str(base)]) == 0
+
+    def test_custom_tolerance(self, trend, tmp_path):
+        fresh = _write(tmp_path / "f.json", {"speedup": 6.9, "last_run_enforced": True})
+        base = _write(tmp_path / "b.json", {"speedup": 7.5})
+        assert trend.main([str(fresh), "--baseline", str(base)]) == 0
+        assert (
+            trend.main(
+                [str(fresh), "--baseline", str(base), "--max-regression", "0.05"]
+            )
+            == 1
+        )
+
+    def test_unreadable_fresh_is_usage_error(self, trend, tmp_path):
+        base = _write(tmp_path / "b.json", {"speedup": 7.5})
+        assert trend.main([str(tmp_path / "none.json"), "--baseline", str(base)]) == 2
