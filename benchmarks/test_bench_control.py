@@ -1,0 +1,192 @@
+"""Control-plane gate: capacity planning correctness and memo-warm probes.
+
+The predictive control plane's CI gate, on two seeded ``gen:`` scenarios
+whose feasibility is monotone in the fleet size (more devices never push
+the effective miss rate back above the target — the binary search's
+working assumption, which this gate re-checks against the exhaustive
+oracle every run):
+
+1. **Search correctness** — ``CapacityPlanner.plan()`` (binary search over
+   the fleet-size range) must land on exactly the minimum feasible fleet
+   that the ascending exhaustive sweep finds, on both scenarios.
+2. **Probe budget** — the binary search must use at most
+   ``ceil(log2(range)) + 2`` serving runs (the planner's contract), i.e.
+   strictly fewer than the exhaustive sweep needs whenever the answer is
+   not at the bottom of the range.
+3. **Memo-warm refinement** — re-probing a fleet size the planner already
+   visited must replay the shared contended-schedule memo
+   (``ServingSimulator.run(schedule_memo=...)``) instead of re-walking
+   the schedules: at least ``MIN_SPEEDUP`` faster, and bit-identical
+   (``assert_reports_equal``).
+
+Numbers land in ``BENCH_control.json`` via the shared :mod:`_gate`
+bookkeeping; the ``speedup_*`` key is trend-gated.  Nothing here needs
+multiple cores, so the gate is enforced everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from _gate import record_gate_result
+
+from repro.experiments.harness import ExperimentHarness, HarnessConfig
+from repro.serving import ClusterPolicy, assert_reports_equal
+from repro.serving.control import CapacityPlanConfig, CapacityPlanner
+
+#: Two workloads where splitting deeper into the fleet genuinely adds
+#: capacity (vgg16 is compute-dominated at these bandwidths), so the
+#: offered load saturates small fleets and clears on larger ones.
+SCENARIOS = (
+    {
+        "gen": "gen:n=2,seed=3,types=nano,bw=500",
+        "traffic": "traffic:poisson,rate=5,seed=11",
+        "deadline_ms": 500.0,
+    },
+    {
+        "gen": "gen:n=2,seed=9,types=nano,bw=300",
+        "traffic": "traffic:poisson,rate=3,seed=17",
+        "deadline_ms": 600.0,
+    },
+)
+MODEL_NAME = "vgg16"
+METHODS = ("coedge",)
+SLOTS = 8
+DURATION_S = 8.0
+FLEET_MIN, FLEET_MAX = 1, 6
+TARGET_MISS_RATE = 0.02
+ROUNDS = 3
+MIN_SPEEDUP = 3.0
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_control.json"
+
+POLICY = ClusterPolicy(admission="predictive", on_predicted_miss="reject")
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best_t, out = float("inf"), None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        out = fn()
+        best_t = min(best_t, time.perf_counter() - start)
+    return best_t, out
+
+
+def test_bench_capacity_planner(benchmark):
+    harness = ExperimentHarness(HarnessConfig(seed=7))
+    config = CapacityPlanConfig(
+        min_devices=FLEET_MIN, max_devices=FLEET_MAX,
+        target_miss_rate=TARGET_MISS_RATE,
+    )
+    scenario_rows = []
+    speedups = []
+    for spec in SCENARIOS:
+        kwargs = dict(
+            methods=METHODS,
+            model_name=MODEL_NAME,
+            traffic=spec["traffic"],
+            deadline_ms=spec["deadline_ms"],
+            duration_s=DURATION_S,
+            policy=POLICY,
+            slots=SLOTS,
+        )
+        # Binary search and oracle probe through *independent* planners so
+        # the binary run cannot borrow the sweep's memoized probes.
+        binary_planner = CapacityPlanner(
+            harness.capacity_probe_runner(spec["gen"], **kwargs), config
+        )
+        plan = binary_planner.plan()
+        oracle = CapacityPlanner(
+            harness.capacity_probe_runner(spec["gen"], **kwargs), config
+        ).exhaustive()
+
+        assert plan.min_feasible_devices is not None, (
+            f"{spec['gen']}: no feasible fleet in [{FLEET_MIN}, {FLEET_MAX}] — "
+            f"the workload drifted out of calibration"
+        )
+        assert plan.min_feasible_devices == oracle.min_feasible_devices, (
+            f"{spec['gen']}: binary search found {plan.min_feasible_devices} "
+            f"devices but the exhaustive sweep found "
+            f"{oracle.min_feasible_devices} — feasibility is not monotone on "
+            f"this workload"
+        )
+        assert binary_planner.probe_runs <= config.max_probes, (
+            f"{spec['gen']}: {binary_planner.probe_runs} probe runs exceed "
+            f"the ceil(log2(span))+2 = {config.max_probes} budget"
+        )
+
+        # Memo-warm refinement at the answer: plan caches are already warm
+        # from the search, so the cold/warm delta isolates the shared
+        # contended-schedule memo.
+        answer = plan.min_feasible_devices
+        cold_probe = harness.capacity_probe_runner(
+            spec["gen"], share_schedule_memo=False, **kwargs
+        )
+        warm_probe = harness.capacity_probe_runner(spec["gen"], **kwargs)
+        warm_probe(answer)  # populate the per-size schedule memo
+        t_cold, cold_report = _best_of(lambda: cold_probe(answer))
+        t_warm, warm_report = _best_of(lambda: warm_probe(answer))
+        assert_reports_equal(cold_report, warm_report)
+        speedups.append(t_cold / t_warm)
+
+        scenario_rows.append(
+            {
+                "scenario": spec["gen"],
+                "traffic": spec["traffic"],
+                "deadline_ms": spec["deadline_ms"],
+                "min_feasible_devices": plan.min_feasible_devices,
+                "binary_probe_runs": binary_planner.probe_runs,
+                "probe_budget": config.max_probes,
+                "exhaustive_probe_runs": len(oracle.probes),
+                "probe_log": [p.to_dict() for p in plan.probes],
+                "cold_probe_ms": t_cold * 1000.0,
+                "warm_probe_ms": t_warm * 1000.0,
+            }
+        )
+
+    min_speedup = min(speedups)
+    rows = record_gate_result(
+        BENCH_PATH,
+        {
+            "model": MODEL_NAME,
+            "methods": list(METHODS),
+            "slots": SLOTS,
+            "duration_s": DURATION_S,
+            "fleet_range": [FLEET_MIN, FLEET_MAX],
+            "target_miss_rate": TARGET_MISS_RATE,
+            "admission": POLICY.admission,
+            "rounds": ROUNDS,
+            "scenarios": scenario_rows,
+            "binary_matches_exhaustive": True,  # asserts above would have raised
+            "speedup_memo_warm_probe": min_speedup,
+            "min_speedup_gate": MIN_SPEEDUP,
+        },
+    )
+    print(f"\nBENCH_control: {json.dumps(rows, indent=2)}")
+
+    final_spec = SCENARIOS[0]
+    benchmark.pedantic(
+        lambda: CapacityPlanner(
+            harness.capacity_probe_runner(
+                final_spec["gen"],
+                methods=METHODS,
+                model_name=MODEL_NAME,
+                traffic=final_spec["traffic"],
+                deadline_ms=final_spec["deadline_ms"],
+                duration_s=DURATION_S,
+                policy=POLICY,
+                slots=SLOTS,
+            ),
+            config,
+        ).plan(),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+
+    assert min_speedup >= MIN_SPEEDUP, (
+        f"memo-warm capacity probe regressed: {min_speedup:.2f}x < "
+        f"{MIN_SPEEDUP}x (the shared schedule memo should replay the "
+        f"contended walks, not recompute them)"
+    )

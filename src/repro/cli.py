@@ -50,7 +50,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.baselines import BASELINE_REGISTRY
 from repro.core.distredge import DistrEdge, DistrEdgeConfig
@@ -309,6 +309,158 @@ def _cmd_serve_figure(args: argparse.Namespace, parsed, deadlines, weights, poli
     return 0
 
 
+def _parse_fleet_range(spec: str) -> Tuple[int, int]:
+    """Parse a ``MIN:MAX`` fleet-size range."""
+    parts = spec.split(":")
+    if len(parts) != 2:
+        raise ValueError(f"--fleet-range must be MIN:MAX, got {spec!r}")
+    try:
+        lo, hi = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ValueError(f"--fleet-range must be two integers MIN:MAX, got {spec!r}")
+    return lo, hi
+
+
+def _control_plane_inputs(args: argparse.Namespace, parsed, traffics):
+    """Shared validation for --plan-capacity / --autoscale.
+
+    Both resize the fleet between runs, so they need a seeded ``gen:``
+    scenario spec (catalogue fleets have a fixed size) and a single model
+    across tenants (one :meth:`ExperimentHarness.serve_scenario` call).
+    Returns ``(methods, model_name, traffic_list)`` or ``None`` after
+    printing the reason to stderr.
+    """
+    if not args.scenario.startswith(GENERATOR_PREFIX):
+        print(
+            f"--plan-capacity/--autoscale resize the fleet, so --scenario must "
+            f"be a seeded {GENERATOR_PREFIX!r} spec (e.g. gen:n=2,seed=3); "
+            f"got {args.scenario!r}",
+            file=sys.stderr,
+        )
+        return None
+    models = {model_name for _, model_name in parsed}
+    if len(models) > 1:
+        print(
+            f"--plan-capacity/--autoscale serve one model across fleet sizes; "
+            f"tenants name {sorted(models)}",
+            file=sys.stderr,
+        )
+        return None
+    try:
+        traffic_list = [
+            _resolve_traffic_or_poisson(spec, args.rate, args.seed + i)
+            for i, spec in enumerate(traffics)
+        ]
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return None
+    return [m for m, _ in parsed], next(iter(models)), traffic_list
+
+
+def _resolve_traffic_or_poisson(spec, rate: float, seed: int):
+    """A ``traffic:`` spec, or the default Poisson process when absent."""
+    from repro.serving import PoissonArrivals, resolve_traffic
+
+    return resolve_traffic(spec) if spec is not None else PoissonArrivals(
+        rate_rps=rate, seed=seed
+    )
+
+
+def _cmd_serve_plan_capacity(
+    args: argparse.Namespace, parsed, traffics, deadlines, weights, policy
+) -> int:
+    """The ``serve --plan-capacity`` path: min fleet size for a miss target."""
+    from repro.experiments.reporting import format_capacity_plan
+    from repro.serving.control import CapacityPlanConfig, CapacityPlanner
+
+    inputs = _control_plane_inputs(args, parsed, traffics)
+    if inputs is None:
+        return 2
+    methods, model_name, traffic_list = inputs
+    try:
+        lo, hi = _parse_fleet_range(args.fleet_range)
+        config = CapacityPlanConfig(
+            min_devices=lo, max_devices=hi, target_miss_rate=args.target_miss_rate
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    with ExperimentHarness(
+        HarnessConfig(osds_episodes=args.episodes, seed=args.seed, workers=args.workers)
+    ) as harness:
+        probe = harness.capacity_probe_runner(
+            args.scenario,
+            methods=methods,
+            model_name=model_name,
+            traffic=traffic_list,
+            deadline_ms=deadlines,
+            queue_capacity=None,
+            duration_s=args.duration,
+            policy=policy,
+            weight=weights,
+            engine=args.engine,
+            slots=args.slots or 1,
+        )
+        planner = CapacityPlanner(probe, config)
+        plan = planner.plan()
+    print(format_capacity_plan(plan, title="capacity plan"))
+    if args.report_json:
+        _write_report_json(args.report_json, plan.to_dict())
+    return 0
+
+
+def _cmd_serve_autoscale(
+    args: argparse.Namespace, parsed, traffics, deadlines, weights, policy
+) -> int:
+    """The ``serve --autoscale`` path: windowed fleet resizing."""
+    from repro.experiments.reporting import format_autoscale_report
+    from repro.serving.control import AutoscalerConfig, FleetAutoscaler
+
+    inputs = _control_plane_inputs(args, parsed, traffics)
+    if inputs is None:
+        return 2
+    methods, model_name, traffic_list = inputs
+    try:
+        lo, hi = _parse_fleet_range(args.fleet_range)
+        config = AutoscalerConfig(
+            min_devices=lo,
+            max_devices=hi,
+            window_s=args.window_s,
+            low_utilization=args.scale_low,
+            high_utilization=args.scale_high,
+            step=args.scale_step,
+            target_miss_rate=args.target_miss_rate,
+            capacity_per_device_rps=args.capacity_per_device_rps,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    with ExperimentHarness(
+        HarnessConfig(osds_episodes=args.episodes, seed=args.seed, workers=args.workers)
+    ) as harness:
+        run_window = harness.autoscale_window_runner(
+            args.scenario,
+            window_s=args.window_s,
+            num_windows=args.windows,
+            methods=methods,
+            model_name=model_name,
+            traffic=traffic_list,
+            deadline_ms=deadlines,
+            queue_capacity=None,
+            policy=policy,
+            weight=weights,
+            engine=args.engine,
+            slots=args.slots or 1,
+        )
+        report = FleetAutoscaler(run_window, config).run(
+            args.windows, initial_devices=lo
+        )
+    print(format_autoscale_report(report, title="autoscaled serving"))
+    if args.report_json:
+        _write_report_json(args.report_json, report.to_dict())
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.runtime.batch import BatchPlanEvaluator
     from repro.runtime.shard import ShardedPlanEvaluator
@@ -330,6 +482,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         deadlines = _broadcast(args.deadline_ms, len(parsed), 1000.0, "--deadline-ms")
         capacities = _broadcast(args.queue_capacity, len(parsed), None, "--queue-capacity")
         weights = _broadcast(args.weight, len(parsed), 1.0, "--weight")
+        slot_counts = [int(s) for s in _broadcast(args.slots, len(parsed), 1, "--slots")]
         if any(w <= 0 for w in weights):
             raise ValueError(f"--weight values must be > 0, got {weights}")
     except ValueError as exc:
@@ -338,17 +491,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     policy = None
     if args.contention:
         try:
-            policy = ClusterPolicy(discipline=args.discipline, max_inflight=args.max_inflight)
+            policy = ClusterPolicy(
+                discipline=args.discipline,
+                max_inflight=args.max_inflight,
+                admission=args.admission,
+                on_predicted_miss=args.on_predicted_miss,
+                window_ms=args.window_ms,
+            )
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2
-    elif args.discipline != "fifo" or args.max_inflight is not None or args.weight:
+    elif (
+        args.discipline != "fifo"
+        or args.max_inflight is not None
+        or args.weight
+        or args.admission != "none"
+        or args.window_ms is not None
+    ):
         print(
-            "--discipline/--max-inflight/--weight model shared-fleet "
-            "contention; pass --contention to enable it",
+            "--discipline/--max-inflight/--weight/--admission/--window-ms model "
+            "shared-fleet contention; pass --contention to enable it",
             file=sys.stderr,
         )
         return 2
+    if args.plan_capacity or args.autoscale:
+        if args.plan_capacity and args.autoscale:
+            print("--plan-capacity and --autoscale are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        if policy is None:
+            print(
+                "--plan-capacity/--autoscale size fleets against contended "
+                "serving; pass --contention (typically with "
+                "--admission predictive)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.plan_capacity:
+            return _cmd_serve_plan_capacity(
+                args, parsed, traffics, deadlines, weights, policy
+            )
+        return _cmd_serve_autoscale(
+            args, parsed, traffics, deadlines, weights, policy
+        )
     if args.figure:
         return _cmd_serve_figure(args, parsed, deadlines, weights, policy)
     scenario = _scenario_from_args(args.scenario, args.bandwidth)
@@ -398,6 +583,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     slo=SLO(deadline_ms=deadlines[i]),
                     queue_capacity=capacities[i],
                     weight=weights[i],
+                    slots=slot_counts[i],
                 )
             )
         if args.mode == "parity":
@@ -561,6 +747,65 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--weight", action="append", type=float, default=None,
                          help="repeatable per-tenant WFQ fair-share weight "
                               "(with --contention --discipline wfq); default 1")
+    p_serve.add_argument("--slots", action="append", type=int, default=None,
+                         help="repeatable per-tenant service-slot count "
+                              "(within-tenant concurrency); default 1, the "
+                              "paper's one-image-in-flight protocol")
+    p_serve.add_argument("--admission", choices=["none", "predictive"],
+                         default="none",
+                         help="admission control under --contention: "
+                              "'predictive' asks the contention evaluator for "
+                              "each request's completion at release time and "
+                              "intercepts predicted SLO misses before they "
+                              "occupy the fleet")
+    p_serve.add_argument("--on-predicted-miss", choices=["reject", "requeue"],
+                         default="reject",
+                         help="what --admission predictive does with an "
+                              "intercepted request: deny it (counted per "
+                              "tenant) or defer it to the fleet's next "
+                              "lane-free event and re-predict")
+    p_serve.add_argument("--window-ms", type=float, default=None,
+                         help="attach a windowed fleet-load time series "
+                              "(busy/wait/inflight per device per window of "
+                              "this width) to the contended run's report")
+    p_serve.add_argument("--plan-capacity", action="store_true",
+                         help="binary-search the minimum fleet size (within "
+                              "--fleet-range) whose run meets "
+                              "--target-miss-rate, instead of one serving run; "
+                              "needs a gen: --scenario and --contention")
+    p_serve.add_argument("--autoscale", action="store_true",
+                         help="serve --windows windows of --window-s seconds, "
+                              "resizing the fleet between windows from "
+                              "measured utilisation; needs a gen: --scenario "
+                              "and --contention")
+    p_serve.add_argument("--fleet-range", default="1:8", metavar="MIN:MAX",
+                         help="fleet-size bounds for --plan-capacity / "
+                              "--autoscale (default 1:8)")
+    p_serve.add_argument("--target-miss-rate", type=float, default=0.0,
+                         help="highest acceptable effective miss rate "
+                              "(denials count as misses) for --plan-capacity "
+                              "and the autoscaler's grow trigger; default 0")
+    p_serve.add_argument("--windows", type=int, default=6,
+                         help="number of autoscaler windows (default 6)")
+    p_serve.add_argument("--window-s", type=float, default=5.0,
+                         help="autoscaler window length in simulated seconds "
+                              "(default 5)")
+    p_serve.add_argument("--scale-low", type=float, default=0.3,
+                         help="autoscaler shrink threshold: mean compute "
+                              "utilisation below this shrinks the fleet by "
+                              "--scale-step (default 0.3)")
+    p_serve.add_argument("--scale-high", type=float, default=0.8,
+                         help="autoscaler grow threshold: mean compute "
+                              "utilisation above this grows the fleet by "
+                              "--scale-step (default 0.8)")
+    p_serve.add_argument("--scale-step", type=int, default=1,
+                         help="devices added/removed per autoscaler decision "
+                              "(default 1)")
+    p_serve.add_argument("--capacity-per-device-rps", type=float, default=None,
+                         help="calibrated per-device capacity (req/s), e.g. a "
+                              "serving_load_curve knee divided by its fleet "
+                              "size; the autoscaler then jumps straight to "
+                              "ceil(arrival rate / capacity) devices")
     p_serve.add_argument("--report-json", default=None, metavar="PATH",
                          help="write the serving report (or the --figure curve) "
                               "as JSON to PATH")

@@ -447,6 +447,29 @@ def serving_load_curve(
     return out
 
 
+def load_curve_knee(
+    curve: Dict[str, dict], target_miss_rate: float = 0.0
+) -> Optional[float]:
+    """The knee of a :func:`serving_load_curve`: the saturation point.
+
+    Returns the highest *total* offered load (``offered_rps_total``) whose
+    pooled deadline-miss rate stayed within ``target_miss_rate`` — the last
+    point before the hockey stick turns up — or ``None`` when every swept
+    point already misses the target.  Dividing the knee by the probe fleet's
+    device count calibrates the autoscaler's per-device capacity
+    (:meth:`repro.serving.control.AutoscalerConfig.from_knee`).
+    """
+    if not 0.0 <= target_miss_rate <= 1.0:
+        raise ValueError(f"target_miss_rate must be in [0, 1], got {target_miss_rate}")
+    best: Optional[float] = None
+    for row in curve.values():
+        if row["deadline_miss_rate"] <= target_miss_rate:
+            total = float(row["offered_rps_total"])
+            if best is None or total > best:
+                best = total
+    return best
+
+
 __all__ = [
     "EXTRA_MODELS",
     "figure4",
@@ -461,5 +484,6 @@ __all__ = [
     "figure13",
     "figure14",
     "figure15",
+    "load_curve_knee",
     "serving_load_curve",
 ]

@@ -12,8 +12,9 @@ Fig. 15).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
 
 from repro.baselines import BASELINE_REGISTRY
 from repro.core.distredge import DistrEdge, DistrEdgeConfig
@@ -21,7 +22,12 @@ from repro.core.osds import OSDSConfig
 from repro.devices.profiler import LatencyProfiler
 from repro.devices.profiles import TabularProfile
 from repro.devices.specs import DeviceInstance
-from repro.experiments.scenarios import Scenario
+from repro.experiments.scenarios import (
+    GENERATOR_PREFIX,
+    Scenario,
+    override_generator_spec,
+    resolve_scenario,
+)
 from repro.network.topology import NetworkModel
 from repro.nn import model_zoo
 from repro.nn.graph import ModelSpec
@@ -34,7 +40,8 @@ from repro.runtime.streaming import StreamingSimulator
 from repro.serving.dispatch import ClusterPolicy
 from repro.serving.simulator import ServingReport, ServingSimulator
 from repro.serving.tenants import SLO, TenantSpec
-from repro.serving.traffic import ArrivalProcess, resolve_traffic
+from repro.serving.traffic import ArrivalProcess, TraceArrivals, resolve_traffic
+from repro.utils.cache import LRUCache
 
 #: Canonical method order used in the paper's bar charts.
 ALL_METHODS: Tuple[str, ...] = (
@@ -377,6 +384,8 @@ class ExperimentHarness:
         policy: Optional[ClusterPolicy] = None,
         weight: Union[float, Sequence[float]] = 1.0,
         engine: str = "object",
+        slots: Union[int, Sequence[int]] = 1,
+        schedule_memo: Optional[LRUCache] = None,
     ) -> ServingReport:
         """Serve one tenant per method on a shared fleet and report SLOs.
 
@@ -392,6 +401,10 @@ class ExperimentHarness:
         engine of :mod:`repro.serving.engine` (bit-identical results).
         Plans are cached per (method, scenario, model) within the harness,
         so load sweeps re-plan each tenant once, not once per point.
+        ``slots`` sets within-tenant concurrency (broadcast like ``weight``)
+        — pipelined requests are what let throughput scale with fleet size
+        under contention; ``schedule_memo`` forwards an external contended-
+        schedule memo so repeated runs (capacity probes) start warm.
         """
         methods = list(methods)
         if isinstance(traffic, (str, ArrivalProcess)):
@@ -406,14 +419,20 @@ class ExperimentHarness:
             weights = [float(weight)] * len(methods)
         else:
             weights = [float(w) for w in weight]
+        if isinstance(slots, int):
+            slot_counts = [slots] * len(methods)
+        else:
+            slot_counts = [int(s) for s in slots]
         if (
             len(traffics) != len(methods)
             or len(deadlines) != len(methods)
             or len(weights) != len(methods)
+            or len(slot_counts) != len(methods)
         ):
             raise ValueError(
-                f"traffic/deadline_ms/weight must broadcast to {len(methods)} methods, "
-                f"got {len(traffics)}/{len(deadlines)}/{len(weights)}"
+                f"traffic/deadline_ms/weight/slots must broadcast to "
+                f"{len(methods)} methods, got {len(traffics)}/{len(deadlines)}"
+                f"/{len(weights)}/{len(slot_counts)}"
             )
         model = self.model(model_name)
         devices, network = scenario.build(seed=self.config.seed)
@@ -434,11 +453,154 @@ class ExperimentHarness:
                     slo=SLO(deadline_ms=deadlines[i]),
                     queue_capacity=queue_capacity,
                     weight=weights[i],
+                    slots=slot_counts[i],
                 )
             )
         return ServingSimulator(evaluator).run(
-            tenants, duration_s=duration_s, mode=mode, policy=policy, engine=engine
+            tenants,
+            duration_s=duration_s,
+            mode=mode,
+            policy=policy,
+            engine=engine,
+            schedule_memo=schedule_memo,
         )
+
+    # ------------------------------------------------------------------ #
+    def capacity_probe_runner(
+        self,
+        gen_spec: str,
+        methods: Sequence[str] = ("coedge", "offload"),
+        model_name: str = "vgg16",
+        traffic: Union[str, ArrivalProcess, Sequence[Union[str, ArrivalProcess]]] = (
+            "traffic:poisson,rate=2"
+        ),
+        deadline_ms: Union[float, Sequence[float]] = 1000.0,
+        queue_capacity: Optional[int] = None,
+        duration_s: float = 30.0,
+        policy: Optional[ClusterPolicy] = None,
+        weight: Union[float, Sequence[float]] = 1.0,
+        engine: str = "object",
+        slots: Union[int, Sequence[int]] = 1,
+        share_schedule_memo: bool = True,
+    ) -> Callable[[int], ServingReport]:
+        """Build a ``probe(n)`` callable for :class:`~repro.serving.control.CapacityPlanner`.
+
+        ``gen_spec`` must be a seeded ``gen:`` scenario spec; each probe
+        rewrites its ``n=`` option (via
+        :func:`~repro.experiments.scenarios.override_generator_spec`) and
+        serves the same tenants/traffic on the resized fleet.  With
+        ``share_schedule_memo`` a per-fleet-size schedule memo persists
+        across probes, so re-probing a size the planner has already visited
+        replays warm contention schedules instead of re-walking them — plan
+        caches are shared too, via the harness-wide ``_plan_cache``.
+        """
+        if not gen_spec.startswith(GENERATOR_PREFIX):
+            raise ValueError(
+                f"capacity planning needs a seeded {GENERATOR_PREFIX!r} scenario spec, "
+                f"got {gen_spec!r}"
+            )
+        memos: Dict[int, LRUCache] = {}
+
+        def probe(num_devices: int) -> ServingReport:
+            scenario = resolve_scenario(
+                override_generator_spec(gen_spec, n=num_devices)
+            )
+            memo: Optional[LRUCache] = None
+            if share_schedule_memo and policy is not None:
+                memo = memos.get(num_devices)
+                if memo is None:
+                    memo = LRUCache(policy.memo_size)
+                    memos[num_devices] = memo
+            return self.serve_scenario(
+                scenario,
+                methods=methods,
+                model_name=model_name,
+                traffic=traffic,
+                deadline_ms=deadline_ms,
+                queue_capacity=queue_capacity,
+                duration_s=duration_s,
+                mode="batched",
+                policy=policy,
+                weight=weight,
+                engine=engine,
+                slots=slots,
+                schedule_memo=memo,
+            )
+
+        return probe
+
+    def autoscale_window_runner(
+        self,
+        gen_spec: str,
+        window_s: float,
+        num_windows: int,
+        methods: Sequence[str] = ("coedge", "offload"),
+        model_name: str = "vgg16",
+        traffic: Union[str, ArrivalProcess, Sequence[Union[str, ArrivalProcess]]] = (
+            "traffic:poisson,rate=2"
+        ),
+        deadline_ms: Union[float, Sequence[float]] = 1000.0,
+        queue_capacity: Optional[int] = None,
+        policy: Optional[ClusterPolicy] = None,
+        weight: Union[float, Sequence[float]] = 1.0,
+        engine: str = "object",
+        slots: Union[int, Sequence[int]] = 1,
+    ) -> Callable[[int, int], ServingReport]:
+        """Build a ``run_window(n, w)`` callable for :class:`~repro.serving.control.FleetAutoscaler`.
+
+        The full-horizon arrival times (``num_windows * window_s`` seconds)
+        are generated once per tenant up front, then each window ``w`` serves
+        the slice ``[w * window_s, (w + 1) * window_s)`` — rebased to the
+        window origin as a trace replay — on the fleet resized to ``n``
+        devices.  Resizing between windows therefore never changes *which*
+        requests arrive, only which fleet absorbs them.
+        """
+        if not gen_spec.startswith(GENERATOR_PREFIX):
+            raise ValueError(
+                f"autoscaling needs a seeded {GENERATOR_PREFIX!r} scenario spec, "
+                f"got {gen_spec!r}"
+            )
+        if window_s <= 0 or num_windows <= 0:
+            raise ValueError("window_s and num_windows must be positive")
+        methods = list(methods)
+        if isinstance(traffic, (str, ArrivalProcess)):
+            traffics = [traffic] * len(methods)
+        else:
+            traffics = list(traffic)
+        horizon_s = window_s * num_windows
+        all_arrivals = [
+            np.asarray(resolve_traffic(t).arrival_times(horizon_s, 0.0), dtype=float)
+            for t in traffics
+        ]
+
+        def run_window(num_devices: int, window: int) -> ServingReport:
+            if not 0 <= window < num_windows:
+                raise ValueError(f"window must be in [0, {num_windows}), got {window}")
+            scenario = resolve_scenario(
+                override_generator_spec(gen_spec, n=num_devices)
+            )
+            t0 = window * window_s
+            t1 = t0 + window_s
+            window_traffics: List[ArrivalProcess] = []
+            for times in all_arrivals:
+                local = times[(times >= t0) & (times < t1)] - t0
+                window_traffics.append(TraceArrivals(tuple(float(t) for t in local)))
+            return self.serve_scenario(
+                scenario,
+                methods=methods,
+                model_name=model_name,
+                traffic=window_traffics,
+                deadline_ms=deadline_ms,
+                queue_capacity=queue_capacity,
+                duration_s=window_s,
+                mode="batched",
+                policy=policy,
+                weight=weight,
+                engine=engine,
+                slots=slots,
+            )
+
+        return run_window
 
     # ------------------------------------------------------------------ #
     @staticmethod

@@ -54,7 +54,7 @@ def format_serving_table(report, title: str = "") -> str:
     package imports; one row per tenant plus an aggregate footer.
     """
     header = [
-        "tenant", "arrivals", "done", "rejected", "rps",
+        "tenant", "arrivals", "done", "rejected", "denied", "rps",
         "p50_ms", "p95_ms", "p99_ms", "miss%", "replans",
     ]
     rows = []
@@ -64,6 +64,7 @@ def format_serving_table(report, title: str = "") -> str:
             str(t.num_arrivals),
             str(t.num_completed),
             str(t.num_rejected),
+            str(getattr(t, "num_denied", 0)),
             f"{t.throughput_rps(report.start_s):.2f}",
             f"{t.p50_response_ms:.1f}",
             f"{t.p95_response_ms:.1f}",
@@ -76,6 +77,7 @@ def format_serving_table(report, title: str = "") -> str:
         str(report.total_arrivals),
         str(report.total_completed),
         str(report.total_rejected),
+        str(getattr(report, "total_denied", 0)),
         f"{report.throughput_rps:.2f}",
         f"{report.response_percentile_ms(50):.1f}",
         f"{report.response_percentile_ms(95):.1f}",
@@ -126,6 +128,75 @@ def format_fleet_table(report, title: str = "") -> str:
     return table + "\n" + footer
 
 
+def format_capacity_plan(plan, title: str = "") -> str:
+    """Format a :class:`~repro.serving.control.CapacityPlan` probe log.
+
+    One row per probed fleet size (in probe order) plus a verdict footer;
+    duck-typed so this module stays free of package imports.
+    """
+    header = ["probe", "devices", "completed", "denied", "rps", "eff_miss%", "feasible"]
+    rows = []
+    for i, probe in enumerate(plan.probes):
+        rows.append([
+            str(i),
+            str(probe.num_devices),
+            str(probe.completed),
+            str(probe.denied),
+            f"{probe.throughput_rps:.2f}",
+            f"{100.0 * probe.miss_rate:.2f}",
+            "yes" if probe.feasible else "no",
+        ])
+    table = _render_table(header, rows, title)
+    if plan.min_feasible_devices is None:
+        verdict = (
+            f"no feasible fleet size in [{plan.config.min_devices}, "
+            f"{plan.config.max_devices}] for target miss rate "
+            f"{100.0 * plan.config.target_miss_rate:.2f}%"
+        )
+    else:
+        verdict = (
+            f"minimum fleet: {plan.min_feasible_devices} devices for target miss "
+            f"rate {100.0 * plan.config.target_miss_rate:.2f}% "
+            f"({plan.num_probe_runs} probes, budget {plan.config.max_probes}, "
+            f"{plan.strategy})"
+        )
+    return table + "\n" + verdict
+
+
+def format_autoscale_report(report, title: str = "") -> str:
+    """Format a :class:`~repro.serving.control.AutoscaleReport` as a table.
+
+    One row per window with fleet size, utilisation and the scaling action
+    taken at the window boundary; duck-typed like the other formatters.
+    """
+    header = [
+        "window", "devices", "util%", "arrivals", "completed", "denied",
+        "miss%", "decision", "next",
+    ]
+    rows = []
+    for w in report.windows:
+        rows.append([
+            str(w.index),
+            str(w.num_devices),
+            f"{100.0 * w.utilization:.1f}",
+            str(w.arrivals),
+            str(w.completed),
+            str(w.denied),
+            f"{100.0 * w.miss_rate:.2f}",
+            w.decision,
+            str(w.next_devices),
+        ])
+    table = _render_table(header, rows, title)
+    trajectory = report.device_trajectory
+    footer = (
+        f"windows: {len(report.windows)}  "
+        f"devices: {min(trajectory) if trajectory else 0}"
+        f"..{max(trajectory) if trajectory else 0}  "
+        f"final: {report.final_devices}"
+    )
+    return table + "\n" + footer
+
+
 def speedup_summary(results: Mapping[str, Mapping[str, float]]) -> Dict[str, float]:
     """Per-scenario DistrEdge speedup over the best baseline."""
     out: Dict[str, float] = {}
@@ -143,5 +214,7 @@ __all__ = [
     "format_series",
     "format_serving_table",
     "format_fleet_table",
+    "format_capacity_plan",
+    "format_autoscale_report",
     "speedup_summary",
 ]

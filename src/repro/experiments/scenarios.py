@@ -451,6 +451,33 @@ def parse_generator_spec(spec: str) -> Scenario:
     )
 
 
+def override_generator_spec(spec: str, **overrides) -> str:
+    """Rebuild a ``gen:`` spec string with some options replaced.
+
+    The capacity planner and autoscaler probe *fleet sizes*: each probe
+    re-derives the candidate scenario from the operator's spec with ``n``
+    overridden (``override_generator_spec("gen:seed=7,bw=100", n=12)`` →
+    ``"gen:n=12,seed=7,bw=100"``), keeping every other knob — seed, types,
+    bandwidth, trace — exactly as given, so probes differ only in size.
+    """
+    if not spec.startswith(GENERATOR_PREFIX):
+        raise ValueError(f"generator spec must start with {GENERATOR_PREFIX!r}, got {spec!r}")
+    body = spec[len(GENERATOR_PREFIX):]
+    options: Dict[str, str] = {}
+    for item in filter(None, (part.strip() for part in body.split(","))):
+        if "=" not in item:
+            raise ValueError(f"malformed generator option {item!r}; expected key=value")
+        key, value = item.split("=", 1)
+        options[key.strip()] = value.strip()
+    for key, value in overrides.items():
+        options[str(key)] = str(value)
+    canonical = ("n", "seed", "bw", "types", "trace")
+    ordered = [k for k in canonical if k in options]
+    # Unknown keys are kept so parse_generator_spec still rejects them.
+    ordered += [k for k in options if k not in canonical]
+    return GENERATOR_PREFIX + ",".join(f"{k}={options[k]}" for k in ordered)
+
+
 def resolve_scenario(name: str) -> Scenario:
     """Resolve a scenario reference: a ``gen:`` spec or a catalogue name."""
     if name.startswith(GENERATOR_PREFIX):
@@ -472,6 +499,7 @@ __all__ = [
     "TYPE_POOLS",
     "GENERATOR_PREFIX",
     "generate_scenario",
+    "override_generator_spec",
     "parse_generator_spec",
     "resolve_scenario",
 ]

@@ -33,6 +33,15 @@ own ``process_volume``/``finalize`` code, driven over lanes pre-seeded with
 the residuals (plus wait-time recording that never changes a scheduled
 float).  With all residuals zero the walk *is* the uncontended evaluation,
 so an idle fleet reproduces the paper's one-image-in-flight numbers exactly.
+
+Prediction vs. commitment.  :meth:`ContentionAwareEvaluator.predict`
+computes a request's contended outcome *without* touching the shared state;
+:meth:`~ContentionAwareEvaluator.commit` applies a predicted outcome, and
+:meth:`~ContentionAwareEvaluator.evaluate` is exactly the two in sequence.
+The split is what the predictive control plane (:mod:`repro.serving.control`)
+builds on: deny-at-admission consults ``predict`` and only commits admitted
+requests.  See ``docs/architecture.md`` for how this module sits between the
+serving loops and the planner core, and which parity contracts bind it.
 """
 
 from __future__ import annotations
@@ -129,13 +138,155 @@ class ContendedOutcome:
 
 
 @dataclass(eq=False)
+class FleetLoadSeries:
+    """Windowed time series of fleet load (the :class:`FleetLoadReport` totals
+    resolved over fixed ``window_ms`` buckets of absolute simulated time).
+
+    ``*_busy_ms`` / ``*_wait_ms`` are ``(windows, devices)`` matrices; a
+    request's lane busy time is attributed to the windows its occupancy
+    interval overlaps (proportionally), its queueing delay to the windows
+    following its release, so every column family sums — over windows — to
+    the corresponding run total exactly (up to float summation order).
+    ``inflight_ms`` is per-window total in-flight request time (latency mass)
+    and ``released`` counts request releases per window.
+    """
+
+    window_ms: float
+    compute_busy_ms: np.ndarray
+    send_busy_ms: np.ndarray
+    recv_busy_ms: np.ndarray
+    compute_wait_ms: np.ndarray
+    send_wait_ms: np.ndarray
+    recv_wait_ms: np.ndarray
+    inflight_ms: np.ndarray
+    released: np.ndarray
+
+    @property
+    def num_windows(self) -> int:
+        return int(self.released.shape[0])
+
+    def utilization(self, role: str) -> np.ndarray:
+        """Per-window per-device busy fraction of one lane role."""
+        if role not in LANE_ROLES:
+            raise ValueError(f"role must be one of {LANE_ROLES}, got {role!r}")
+        busy = getattr(self, f"{role}_busy_ms")
+        if self.window_ms <= 0:
+            return np.zeros_like(busy)
+        return busy / self.window_ms
+
+    def mean_utilization(self, role: str = "compute") -> np.ndarray:
+        """Per-window busy fraction of one role, averaged across devices."""
+        util = self.utilization(role)
+        return util.mean(axis=1) if util.size else np.zeros(0)
+
+    def to_dict(self) -> Dict:
+        return {
+            "window_ms": float(self.window_ms),
+            "num_windows": self.num_windows,
+            "compute_busy_ms": [[float(v) for v in row] for row in self.compute_busy_ms],
+            "send_busy_ms": [[float(v) for v in row] for row in self.send_busy_ms],
+            "recv_busy_ms": [[float(v) for v in row] for row in self.recv_busy_ms],
+            "compute_wait_ms": [[float(v) for v in row] for row in self.compute_wait_ms],
+            "send_wait_ms": [[float(v) for v in row] for row in self.send_wait_ms],
+            "recv_wait_ms": [[float(v) for v in row] for row in self.recv_wait_ms],
+            "inflight_ms": [float(v) for v in self.inflight_ms],
+            "released": [int(v) for v in self.released],
+        }
+
+
+class _WindowAccumulator:
+    """Grow-on-demand window buckets behind :class:`FleetLoadSeries`.
+
+    Intervals are attributed by exact overlap with each ``window_ms`` bucket;
+    the buffers double on growth so commits stay amortised O(overlapping
+    windows).  Accumulation is pure bookkeeping — it never feeds back into
+    any scheduled float, so enabling the series cannot perturb parity.
+    """
+
+    BUSY_WAIT_FIELDS = tuple(
+        f"{role}_{kind}" for role in LANE_ROLES for kind in ("busy", "wait")
+    )
+
+    def __init__(self, num_devices: int, window_ms: float) -> None:
+        if window_ms <= 0:
+            raise ValueError(f"window_ms must be > 0, got {window_ms}")
+        self.num_devices = int(num_devices)
+        self.window_ms = float(window_ms)
+        self._mats: Dict[str, np.ndarray] = {
+            field: np.zeros((0, num_devices)) for field in self.BUSY_WAIT_FIELDS
+        }
+        self._inflight = np.zeros(0)
+        self._released = np.zeros(0, dtype=np.int64)
+        self._used = 0
+
+    def _ensure(self, windows: int) -> None:
+        self._used = max(self._used, windows)
+        current = self._inflight.shape[0]
+        if windows <= current:
+            return
+        grow = max(windows, 2 * current, 4)
+        for field, mat in self._mats.items():
+            new = np.zeros((grow, self.num_devices))
+            new[:current] = mat
+            self._mats[field] = new
+        new_inflight = np.zeros(grow)
+        new_inflight[:current] = self._inflight
+        self._inflight = new_inflight
+        new_released = np.zeros(grow, dtype=np.int64)
+        new_released[:current] = self._released
+        self._released = new_released
+
+    def _overlaps(self, t0_ms: float, t1_ms: float):
+        """Yield ``(window index, overlap ms)`` covering ``[t0, t1)``."""
+        if t1_ms <= t0_ms:
+            return
+        w = self.window_ms
+        first = int(t0_ms // w)
+        last = max(first + 1, int(-(-t1_ms // w)))  # ceil
+        self._ensure(last)
+        for idx in range(first, last):
+            overlap = min(t1_ms, (idx + 1) * w) - max(t0_ms, idx * w)
+            if overlap > 0:
+                yield idx, overlap
+
+    def add_lane(self, field: str, device: int, t0_ms: float, t1_ms: float) -> None:
+        mat = self._mats[field]
+        for idx, overlap in self._overlaps(t0_ms, t1_ms):
+            mat = self._mats[field]  # _ensure may have reallocated
+            mat[idx, device] += overlap
+
+    def add_request(self, release_ms: float, latency_ms: float) -> None:
+        for idx, overlap in self._overlaps(release_ms, release_ms + latency_ms):
+            self._inflight[idx] += overlap
+        idx = int(release_ms // self.window_ms)
+        self._ensure(idx + 1)
+        self._released[idx] += 1
+
+    def series(self) -> FleetLoadSeries:
+        n = self._used
+        return FleetLoadSeries(
+            window_ms=self.window_ms,
+            compute_busy_ms=self._mats["compute_busy"][:n].copy(),
+            send_busy_ms=self._mats["send_busy"][:n].copy(),
+            recv_busy_ms=self._mats["recv_busy"][:n].copy(),
+            compute_wait_ms=self._mats["compute_wait"][:n].copy(),
+            send_wait_ms=self._mats["send_wait"][:n].copy(),
+            recv_wait_ms=self._mats["recv_wait"][:n].copy(),
+            inflight_ms=self._inflight[:n].copy(),
+            released=self._released[:n].copy(),
+        )
+
+
+@dataclass(eq=False)
 class FleetLoadReport:
     """Cumulative per-device lane load of one contended serving run.
 
     Arrays are ``(devices,)``-shaped, one entry per provider; ``*_busy_ms``
     is total lane occupancy, ``*_wait_ms`` total queueing delay recorded on
     the lane, ``*_jobs`` the number of jobs it served.  ``utilization`` of a
-    lane is its busy time over the run makespan.
+    lane is its busy time over the run makespan.  ``series`` is the optional
+    :class:`FleetLoadSeries` (present when the fleet was created with a
+    ``window_ms``).
     """
 
     device_ids: List[str]
@@ -152,6 +303,7 @@ class FleetLoadReport:
     requests: int
     contended_requests: int
     gate_wait_ms: float
+    series: Optional[FleetLoadSeries] = None
 
     def utilization(self, role: str) -> np.ndarray:
         """Per-device busy fraction of one lane role over the makespan."""
@@ -193,6 +345,7 @@ class FleetLoadReport:
             "contended_share": float(self.contended_share),
             "gate_wait_ms": float(self.gate_wait_ms),
             "total_wait_ms": float(self.total_wait_ms),
+            "series": self.series.to_dict() if self.series is not None else None,
         }
 
 
@@ -208,10 +361,16 @@ class SharedFleetState:
     run's :class:`FleetLoadReport`.
     """
 
-    def __init__(self, num_devices: int) -> None:
+    def __init__(self, num_devices: int, window_ms: Optional[float] = None) -> None:
         if num_devices < 1:
             raise ValueError(f"num_devices must be >= 1, got {num_devices}")
         self.num_devices = int(num_devices)
+        self.window_ms = float(window_ms) if window_ms is not None else None
+        self._windows = (
+            _WindowAccumulator(self.num_devices, self.window_ms)
+            if self.window_ms is not None
+            else None
+        )
         self.lane_keys = fleet_lane_keys(num_devices)
         self.lanes = LaneSet()
         # Column mirror of the lanes' busy-until times, in lane_keys order.
@@ -236,6 +395,17 @@ class SharedFleetState:
     def busy_until_ms(self) -> float:
         """Latest lane busy-until across the fleet (0 when never used)."""
         return float(self._free_ms.max())
+
+    def next_free_event_ms(self, release_ms: float) -> Optional[float]:
+        """Earliest lane busy-until strictly after ``release_ms``.
+
+        The natural re-queue target for a request whose predicted completion
+        misses its deadline: the fleet's state cannot change before some lane
+        frees up.  ``None`` means no lane is busy past ``release_ms`` — the
+        fleet is idle, so waiting cannot improve the prediction.
+        """
+        later = self._free_ms[self._free_ms > release_ms]
+        return float(later.min()) if later.size else None
 
     def admission_floor(self, release_ms: float, max_inflight: Optional[int]) -> float:
         """Earliest time a request released at ``release_ms`` may be admitted.
@@ -280,12 +450,28 @@ class SharedFleetState:
                 lane.busy_ms += busy
                 lane.jobs += jobs
                 self._free_ms[index] = lane.free_at
+                if self._windows is not None and busy > 0:
+                    # Busy mass is attributed to the trailing interval
+                    # [end - busy, end]: within-request gaps on a lane are
+                    # compacted against its final busy-until, so windowed
+                    # placement is approximate but the series sums back to
+                    # the lane's busy total by construction.
+                    end_ms = release_ms + rel_end
+                    self._windows.add_lane(
+                        f"{key[1]}_busy", key[0], end_ms - busy, end_ms
+                    )
             if wait:
                 self.wait_ms[key] = self.wait_ms.get(key, 0.0) + wait
+                if self._windows is not None:
+                    self._windows.add_lane(
+                        f"{key[1]}_wait", key[0], release_ms, release_ms + wait
+                    )
         self.requests += 1
         if outcome.contended:
             self.contended_requests += 1
         self.gate_wait_ms += outcome.gate_wait_ms
+        if self._windows is not None:
+            self._windows.add_request(release_ms, outcome.latency_ms)
         insort(self._completions, release_ms + outcome.latency_ms)
 
     # ------------------------------------------------------------------ #
@@ -321,6 +507,7 @@ class SharedFleetState:
             requests=self.requests,
             contended_requests=self.contended_requests,
             gate_wait_ms=self.gate_wait_ms,
+            series=self._windows.series() if self._windows is not None else None,
         )
 
 
@@ -362,6 +549,12 @@ class ContentionAwareEvaluator:
         the exact floats of the original walk, so memoization is
         behaviour-preserving; the serving reference loop disables it to
         stay the semantics oracle.
+    memo:
+        An externally-owned :class:`~repro.utils.cache.LRUCache` to use
+        instead of a private one (implies ``memoize``).  The capacity
+        planner shares one memo across probe runs at the same fleet size so
+        repeat probes refine over the already-memoized contended walk
+        instead of re-evaluating from scratch.
     """
 
     def __init__(
@@ -371,6 +564,7 @@ class ContentionAwareEvaluator:
         max_inflight: Optional[int] = None,
         memoize: bool = True,
         cache_size: int = 4096,
+        memo: Optional[LRUCache] = None,
     ) -> None:
         base = _scalar_base(evaluator)
         if max_inflight is not None and max_inflight < 1:
@@ -390,7 +584,10 @@ class ContentionAwareEvaluator:
             compute_oracle=base.oracle,
             input_bytes_per_element=base.input_bytes_per_element,
         )
-        self._memo: Optional[LRUCache] = LRUCache(cache_size) if memoize else None
+        if memo is not None:
+            self._memo: Optional[LRUCache] = memo
+        else:
+            self._memo = LRUCache(cache_size) if memoize else None
         self._model_tokens: Dict[int, int] = {}
         self._model_refs: Dict[int, ModelSpec] = {}
         # Plan signatures cached by object identity (plans are immutable;
@@ -485,15 +682,17 @@ class ContentionAwareEvaluator:
         )
 
     # ------------------------------------------------------------------ #
-    def evaluate(
+    def predict(
         self, plan: DistributionPlan, release_ms: float, t_seconds: float = 0.0
     ) -> ContendedOutcome:
-        """Schedule one request against the fleet and commit its lane usage.
+        """Predict one request's contended outcome *without* committing it.
 
-        Returns the request's :class:`ContendedOutcome`; its ``latency_ms``
-        is the contended makespan (relative to ``release_ms``).  Requests
-        must be evaluated in the dispatcher's canonical order — the shared
-        state makes results order-dependent by design.
+        The prediction is exact, not estimated: it is the very schedule
+        :meth:`evaluate` would commit, computed against the fleet's current
+        residuals (memo hit or fresh scalar walk).  Predictive admission
+        (:mod:`repro.serving.control`) decides on this outcome and only
+        :meth:`commit`\\ s it when the request is admitted, so a denied
+        request leaves the shared state untouched.
         """
         if plan.num_devices != self.fleet.num_devices:
             raise ValueError(
@@ -509,6 +708,24 @@ class ContentionAwareEvaluator:
             _, outcome = self._schedule(plan, t_seconds, residuals, gate_rel)
             if self._memo is not None:
                 self._memo.put(key, outcome)
+        return outcome
+
+    def commit(self, outcome: ContendedOutcome, release_ms: float) -> None:
+        """Apply a predicted outcome's lane usage to the shared fleet."""
+        self.fleet.commit(release_ms, outcome)
+
+    def evaluate(
+        self, plan: DistributionPlan, release_ms: float, t_seconds: float = 0.0
+    ) -> ContendedOutcome:
+        """Schedule one request against the fleet and commit its lane usage.
+
+        Exactly :meth:`predict` followed by :meth:`commit`.  Returns the
+        request's :class:`ContendedOutcome`; its ``latency_ms`` is the
+        contended makespan (relative to ``release_ms``).  Requests must be
+        evaluated in the dispatcher's canonical order — the shared state
+        makes results order-dependent by design.
+        """
+        outcome = self.predict(plan, release_ms, t_seconds)
         self.fleet.commit(release_ms, outcome)
         return outcome
 
@@ -539,6 +756,7 @@ __all__ = [
     "fleet_lane_keys",
     "ContendedOutcome",
     "FleetLoadReport",
+    "FleetLoadSeries",
     "SharedFleetState",
     "ContentionAwareEvaluator",
 ]

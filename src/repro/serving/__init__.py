@@ -24,12 +24,34 @@ cluster.  This package adds the traffic-facing layer the ROADMAP's
   (``engine="array"``): per-tenant NumPy request columns driven by a
   vectorised time-wheel with slot pools and epoch speculation, bit-exact
   against the reference loop via the same parity contract.
+* :mod:`repro.serving.control` — the predictive control plane: deny-at-
+  admission (``ClusterPolicy(admission="predictive")``), the between-windows
+  fleet autoscaler and the binary-search capacity planner, all built on the
+  contention evaluator's exact completion predictions.
 
 The paper's :class:`~repro.runtime.streaming.StreamingSimulator` is the
-single-tenant closed-loop special case of this engine.
+single-tenant closed-loop special case of this engine.  The subsystem map —
+which layer feeds which, and the parity contract binding each fast path to
+its reference loop — is drawn in ``docs/architecture.md``.
 """
 
-from repro.serving.dispatch import DISCIPLINES, ClusterPolicy, FleetDispatcher
+from repro.serving.control import (
+    AutoscaleReport,
+    AutoscalerConfig,
+    CapacityPlan,
+    CapacityPlanConfig,
+    CapacityPlanner,
+    CapacityProbe,
+    FleetAutoscaler,
+    effective_miss_rate,
+)
+from repro.serving.dispatch import (
+    ADMISSION_MODES,
+    DISCIPLINES,
+    PREDICTED_MISS_ACTIONS,
+    ClusterPolicy,
+    FleetDispatcher,
+)
 from repro.serving.engine import ArrayServingEngine, vectorizable
 from repro.serving.simulator import (
     ENGINES,
@@ -53,11 +75,21 @@ from repro.serving.traffic import (
 )
 
 __all__ = [
+    "ADMISSION_MODES",
     "DISCIPLINES",
     "ENGINES",
     "MODES",
+    "PREDICTED_MISS_ACTIONS",
     "ClusterPolicy",
     "FleetDispatcher",
+    "AutoscaleReport",
+    "AutoscalerConfig",
+    "CapacityPlan",
+    "CapacityPlanConfig",
+    "CapacityPlanner",
+    "CapacityProbe",
+    "FleetAutoscaler",
+    "effective_miss_rate",
     "ArrayServingEngine",
     "vectorizable",
     "ServingSimulator",

@@ -33,9 +33,12 @@ overlap is an independent-serving construct; under contention the fleet,
 not the tenant, is the concurrency bottleneck being modelled).
 
 :class:`ClusterPolicy` bundles the discipline with the cluster-wide
-``max_inflight`` admission cap; passing a policy to
-:meth:`~repro.serving.simulator.ServingSimulator.run` is what switches the
-serving loop from independent per-tenant slots to shared-fleet contention.
+``max_inflight`` admission cap and the predictive-admission mode; passing a
+policy to :meth:`~repro.serving.simulator.ServingSimulator.run` is what
+switches the serving loop from independent per-tenant slots to shared-fleet
+contention.  See ``docs/architecture.md`` for where dispatch sits in the
+subsystem map and ``docs/operations.md`` for choosing a discipline and
+admission mode.
 """
 
 from __future__ import annotations
@@ -47,6 +50,12 @@ from repro.serving.tenants import Dispatch, TenantSpec
 
 #: Cross-tenant scheduling disciplines understood by the dispatcher.
 DISCIPLINES: Tuple[str, ...] = ("fifo", "deadline", "wfq")
+
+#: Admission modes: admit everything, or consult the contended prediction.
+ADMISSION_MODES: Tuple[str, ...] = ("none", "predictive")
+
+#: What to do with a request whose prediction misses its SLO deadline.
+PREDICTED_MISS_ACTIONS: Tuple[str, ...] = ("reject", "requeue")
 
 
 @dataclass(frozen=True)
@@ -65,11 +74,31 @@ class ClusterPolicy:
         tenants' own service slots.
     memo_size:
         LRU capacity of the batched loop's contended-schedule memo.
+    admission:
+        ``"none"`` admits every dispatched request; ``"predictive"`` asks
+        the contention evaluator for the predicted completion at release
+        time and intercepts requests whose prediction already misses the
+        tenant's SLO deadline (tenants without an SLO are never
+        intercepted).
+    on_predicted_miss:
+        What predictive admission does with an intercepted request:
+        ``"reject"`` denies it outright (counted per tenant in
+        ``num_denied``); ``"requeue"`` defers its release to the fleet's
+        next lane-free event and re-predicts — a request that can never
+        meet its deadline (even on an idle fleet) is denied.
+    window_ms:
+        Bucket width of the :class:`~repro.runtime.contention.FleetLoadSeries`
+        attached to the run's fleet report.  ``None`` (default) records run
+        totals only — the series costs per-commit bookkeeping, so it is
+        opt-in.
     """
 
     discipline: str = "fifo"
     max_inflight: Optional[int] = None
     memo_size: int = 4096
+    admission: str = "none"
+    on_predicted_miss: str = "reject"
+    window_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.discipline not in DISCIPLINES:
@@ -82,6 +111,17 @@ class ClusterPolicy:
             )
         if self.memo_size < 1:
             raise ValueError(f"memo_size must be >= 1, got {self.memo_size}")
+        if self.admission not in ADMISSION_MODES:
+            raise ValueError(
+                f"admission must be one of {ADMISSION_MODES}, got {self.admission!r}"
+            )
+        if self.on_predicted_miss not in PREDICTED_MISS_ACTIONS:
+            raise ValueError(
+                f"on_predicted_miss must be one of {PREDICTED_MISS_ACTIONS}, "
+                f"got {self.on_predicted_miss!r}"
+            )
+        if self.window_ms is not None and self.window_ms <= 0:
+            raise ValueError(f"window_ms must be > 0 (or None), got {self.window_ms}")
 
 
 class FleetDispatcher:
@@ -146,4 +186,10 @@ class FleetDispatcher:
             self._vtime[index] += latency_ms / self._specs[index].weight
 
 
-__all__ = ["DISCIPLINES", "ClusterPolicy", "FleetDispatcher"]
+__all__ = [
+    "ADMISSION_MODES",
+    "DISCIPLINES",
+    "PREDICTED_MISS_ACTIONS",
+    "ClusterPolicy",
+    "FleetDispatcher",
+]

@@ -52,7 +52,10 @@ simulator routes contended array runs through the contended loop over the
 vectorised :class:`~repro.runtime.contention.SharedFleetState` residuals.
 
 ``run_with_parity(..., engine="array")`` asserts bit-identity of all of
-this against the naive per-request reference loop.
+this against the naive per-request reference loop.  Where this engine sits
+relative to the simulator's object loops, the contention layer and the
+control plane — and the parity contract binding every fast path to its
+reference loop — is drawn in ``docs/architecture.md``.
 """
 
 from __future__ import annotations

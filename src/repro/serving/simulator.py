@@ -47,6 +47,13 @@ two-loop discipline applies there: the reference mode re-walks every request
 scalar-ly, the batched mode groups equal ``(network state, lane occupancy)``
 signatures through a contended-schedule memo, and :func:`run_with_parity`
 asserts the two bit-identical — fleet breakdown included.
+
+With ``policy.admission="predictive"`` the contended loop consults the
+evaluator's *prediction* before committing each request and denies (or
+re-queues) those whose predicted completion already misses the SLO deadline
+— deny-at-admission, the entry point of the predictive control plane
+(:mod:`repro.serving.control`).  The subsystem map and the full set of
+parity contracts live in ``docs/architecture.md``.
 """
 
 from __future__ import annotations
@@ -57,10 +64,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.runtime.batch import network_state_signature, plan_signature
-from repro.runtime.contention import ContentionAwareEvaluator, FleetLoadReport
+from repro.runtime.contention import (
+    ContentionAwareEvaluator,
+    FleetLoadReport,
+    SharedFleetState,
+)
 from repro.runtime.evaluator import PlanEvaluator
 from repro.serving.dispatch import ClusterPolicy, FleetDispatcher
 from repro.serving.tenants import TenantReport, TenantRuntime, TenantSpec
+from repro.utils.cache import LRUCache
 
 #: Event-loop modes.
 MODES = ("batched", "reference")
@@ -97,6 +109,11 @@ class ServingReport:
     #: Requests committed by epoch speculation without their own evaluation
     #: (array engine only; informational, not part of the parity contract).
     speculated: int = 0
+    #: Admission mode the run used (``"none"`` or ``"predictive"``) and what
+    #: predictive admission did with predicted misses (``"reject"`` /
+    #: ``"requeue"``; empty for non-predictive runs).
+    admission: str = "none"
+    on_predicted_miss: str = ""
 
     def tenant(self, name: str) -> TenantReport:
         for report in self.tenants:
@@ -115,6 +132,11 @@ class ServingReport:
     @property
     def total_rejected(self) -> int:
         return sum(t.num_rejected for t in self.tenants)
+
+    @property
+    def total_denied(self) -> int:
+        """Requests dropped by predictive admission across all tenants."""
+        return sum(t.num_denied for t in self.tenants)
 
     @property
     def makespan_s(self) -> float:
@@ -169,9 +191,12 @@ class ServingReport:
             "contention": bool(self.contention),
             "discipline": self.discipline,
             "max_inflight": self.max_inflight,
+            "admission": self.admission,
+            "on_predicted_miss": self.on_predicted_miss,
             "total_arrivals": int(self.total_arrivals),
             "total_completed": int(self.total_completed),
             "total_rejected": int(self.total_rejected),
+            "total_denied": int(self.total_denied),
             "makespan_s": float(self.makespan_s),
             "throughput_rps": float(self.throughput_rps),
             "p50_response_ms": float(self.response_percentile_ms(50)),
@@ -186,6 +211,7 @@ class ServingReport:
                     "num_arrivals": int(t.num_arrivals),
                     "num_completed": int(t.num_completed),
                     "num_rejected": int(t.num_rejected),
+                    "num_denied": int(t.num_denied),
                     "throughput_rps": float(t.throughput_rps(self.start_s)),
                     "mean_latency_ms": float(t.mean_latency_ms),
                     "mean_response_ms": float(t.mean_response_ms),
@@ -284,6 +310,7 @@ class ServingSimulator:
         mode: str = "batched",
         policy: Optional[ClusterPolicy] = None,
         engine: str = "object",
+        schedule_memo: Optional[LRUCache] = None,
     ) -> ServingReport:
         """Simulate the tenants' traffic and return the serving report.
 
@@ -306,8 +333,18 @@ class ServingSimulator:
         array passes and epoch speculation.  Contended runs keep the
         canonical sequential dispatcher order (the contended loop already
         batches via its schedule memo and the vectorised lane residuals).
+
+        ``schedule_memo`` shares an externally-owned contended-schedule LRU
+        across runs (capacity-planner probe reuse); it requires a contended
+        batched run — the reference loop must stay memo-free to remain the
+        oracle.
         """
         self._check(tenants, duration_s, mode, policy, engine)
+        if schedule_memo is not None and (policy is None or mode != "batched"):
+            raise ValueError(
+                "schedule_memo requires a contended batched run "
+                f"(got policy={policy!r}, mode={mode!r})"
+            )
         if engine == "array" and policy is None:
             from repro.serving.engine import ArrayServingEngine  # deferred: circular
 
@@ -316,7 +353,9 @@ class ServingSimulator:
             )
         runtimes = [TenantRuntime(spec, start_s, duration_s) for spec in tenants]
         if policy is not None:
-            return self._run_contended(runtimes, duration_s, start_s, mode, policy, engine)
+            return self._run_contended(
+                runtimes, duration_s, start_s, mode, policy, engine, schedule_memo
+            )
         return self._run_independent(runtimes, duration_s, start_s, mode)
 
     def _run_independent(
@@ -404,6 +443,7 @@ class ServingSimulator:
         mode: str,
         policy: ClusterPolicy,
         engine: str = "object",
+        schedule_memo: Optional[LRUCache] = None,
     ) -> ServingReport:
         """The shared-fleet loops: requests queue on each other's lanes.
 
@@ -420,14 +460,26 @@ class ServingSimulator:
         vectorised lane residuals inside
         :class:`~repro.runtime.contention.SharedFleetState` — and the value
         is only recorded on the report.
+
+        Predictive admission (``policy.admission="predictive"``) splits each
+        step into predict → decide → commit: the evaluator's prediction *is*
+        the schedule that would be committed, so a denied request costs no
+        fleet state and an admitted one records exactly its predicted
+        response.  Both modes run the identical decision code on identical
+        floats (a memo hit replays the fresh walk's floats), preserving
+        bit-parity.
         """
         engine_label = engine
+        fleet = SharedFleetState(len(self.evaluator.devices), window_ms=policy.window_ms)
         engine = ContentionAwareEvaluator(
             self.evaluator,
+            fleet=fleet,
             max_inflight=policy.max_inflight,
             memoize=(mode == "batched"),
             cache_size=policy.memo_size,
+            memo=schedule_memo,
         )
+        predictive = policy.admission == "predictive"
         dispatcher = FleetDispatcher(policy.discipline, [rt.spec for rt in runtimes])
         pending: Dict[int, object] = {}
         for index, runtime in enumerate(runtimes):
@@ -444,11 +496,35 @@ class ServingSimulator:
                 pending, horizon_s=engine.fleet.busy_until_ms() / 1000.0
             )
             dispatch = pending.pop(index)
-            outcome = engine.evaluate(
-                dispatch.plan,
-                release_ms=dispatch.start_s * 1000.0,
-                t_seconds=dispatch.start_s,
+            release_ms = dispatch.start_s * 1000.0
+            outcome = engine.predict(
+                dispatch.plan, release_ms=release_ms, t_seconds=dispatch.start_s
             )
+            slo = runtimes[index].spec.slo
+            if predictive and slo is not None:
+                # The exact response-time arithmetic TenantRuntime.commit
+                # would record — the prediction and the commit agree bit for
+                # bit, so an admitted request never surprises its own gate.
+                completion_s = dispatch.start_s + outcome.latency_ms / 1000.0
+                predicted_response_ms = (completion_s - dispatch.arrival_s) * 1000.0
+                if predicted_response_ms > slo.deadline_ms:
+                    if policy.on_predicted_miss == "requeue":
+                        next_event_ms = engine.fleet.next_free_event_ms(release_ms)
+                        new_start_s = (
+                            next_event_ms / 1000.0 if next_event_ms is not None else None
+                        )
+                        if new_start_s is not None and new_start_s > dispatch.start_s:
+                            pending[index] = runtimes[index].defer_pending(new_start_s)
+                            continue
+                        # No later lane-free event: the fleet is (effectively)
+                        # idle and the deadline is unmeetable — deny.
+                    runtimes[index].deny_pending()
+                    if not runtimes[index].done:
+                        dispatch = runtimes[index].prepare()
+                        if dispatch is not None:
+                            pending[index] = dispatch
+                    continue
+            engine.commit(outcome, release_ms)
             runtimes[index].commit(outcome.latency_ms)
             dispatcher.account(index, outcome.latency_ms)
             if not runtimes[index].done:
@@ -458,7 +534,7 @@ class ServingSimulator:
         reports = [runtime.report() for runtime in runtimes]
         ends = [t.makespan_s for t in reports if t.num_completed]
         makespan_ms = (max(ends) - start_s) * 1000.0 if ends else 0.0
-        fleet = engine.fleet.load_report(
+        fleet_report = engine.fleet.load_report(
             makespan_ms, device_ids=[d.device_id for d in engine.devices]
         )
         return ServingReport(
@@ -472,8 +548,10 @@ class ServingSimulator:
             discipline=policy.discipline,
             max_inflight=policy.max_inflight,
             cache_hits=engine.memo_hits,
-            fleet=fleet,
+            fleet=fleet_report,
             engine=engine_label,
+            admission=policy.admission,
+            on_predicted_miss=(policy.on_predicted_miss if predictive else ""),
         )
 
 
@@ -511,6 +589,8 @@ def _compare_tenant(a: TenantReport, b: TenantReport, errors: List[str]) -> None
         ("num_arrivals", a.num_arrivals, b.num_arrivals),
         ("num_rejected", a.num_rejected, b.num_rejected),
         ("rejected_times_s", a.rejected_times_s, b.rejected_times_s),
+        ("num_denied", a.num_denied, b.num_denied),
+        ("denied_times_s", a.denied_times_s, b.denied_times_s),
         ("replan_times_s", a.replan_times_s, b.replan_times_s),
         ("final_method", a.final_method, b.final_method),
         ("busy_until_s", a.busy_until_s, b.busy_until_s),
@@ -543,6 +623,23 @@ def _compare_fleet(
         left, right = getattr(a, name), getattr(b, name)
         if left != right:
             errors.append(f"fleet {name} differs ({left!r} != {right!r})")
+    if (a.series is None) != (b.series is None):
+        errors.append("one fleet report has a windowed series, the other does not")
+    elif a.series is not None:
+        if a.series.window_ms != b.series.window_ms:
+            errors.append(
+                f"fleet series window_ms differs "
+                f"({a.series.window_ms!r} != {b.series.window_ms!r})"
+            )
+        series_fields = [
+            f"{role}_{kind}_ms"
+            for role in ("compute", "send", "recv")
+            for kind in ("busy", "wait")
+        ] + ["inflight_ms", "released"]
+        for name in series_fields:
+            left, right = getattr(a.series, name), getattr(b.series, name)
+            if left.shape != right.shape or not np.array_equal(left, right):
+                errors.append(f"fleet series {name} differs")
 
 
 def assert_reports_equal(batched: ServingReport, reference: ServingReport) -> None:
@@ -552,7 +649,7 @@ def assert_reports_equal(batched: ServingReport, reference: ServingReport) -> No
     names_b = [t.name for t in reference.tenants]
     if names_a != names_b:
         raise ParityMismatch([f"tenant sets differ: {names_a} != {names_b}"])
-    for label in ("contention", "discipline", "max_inflight"):
+    for label in ("contention", "discipline", "max_inflight", "admission", "on_predicted_miss"):
         if getattr(batched, label) != getattr(reference, label):
             errors.append(
                 f"{label} differs ({getattr(batched, label)!r} != "

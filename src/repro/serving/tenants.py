@@ -24,13 +24,19 @@ request order — the reordering-safe commit the array serving engine
 compute/network lanes is modelled only when a
 :class:`~repro.serving.dispatch.ClusterPolicy` switches the serving loop to
 shared-fleet contention (:mod:`repro.runtime.contention`).
+
+Predictive admission (:mod:`repro.serving.control`) adds two transitions to
+the chain: a pending dispatch may be *denied* (:meth:`TenantRuntime.deny_pending`
+— dropped unserved, counted in ``num_denied``) or *deferred*
+(:meth:`TenantRuntime.defer_pending` — re-released later).  See
+``docs/architecture.md`` for the subsystem map.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -208,6 +214,12 @@ class TenantReport:
     queue_depth_series: np.ndarray  # (events, 2): time_s, depth after the event
     final_method: str
     busy_until_s: float
+    # Predictive-admission denials (deny-at-admission, repro.serving.control):
+    # requests dropped at release time because their predicted completion
+    # already missed the SLO deadline.  Distinct from queue rejections
+    # (num_rejected), which happen at *arrival* on a full queue.
+    num_denied: int = 0
+    denied_times_s: List[float] = field(default_factory=list)
 
     @property
     def num_completed(self) -> int:
@@ -329,6 +341,7 @@ class TenantRuntime:
         # Outcome accumulators.
         self.arrivals_seen = 0
         self.rejected_times: List[float] = []
+        self.denied_times: List[float] = []
         self.replan_times: List[float] = []
         self.latencies_ms: List[float] = []
         self.responses_ms: List[float] = []
@@ -458,6 +471,62 @@ class TenantRuntime:
             self.depth_events.append((dispatch.start_s, len(self._queue)))
             heapq.heapreplace(self._slot_free_s, completion)
 
+    def deny_pending(self) -> None:
+        """Drop the pending dispatch: predictive admission denied it.
+
+        The request leaves the system unserved at its release instant —
+        no service slot is consumed and no latency recorded; the denial is
+        counted in ``denied_times``.  A closed-loop tenant's chain advances
+        (the denial consumes one of its ``max_requests``, so a permanently
+        infeasible deadline cannot spin the loop); an open-loop tenant's
+        queue pops as if the request had been dispatched.
+        """
+        dispatch = self._pending
+        if dispatch is None:
+            raise RuntimeError(f"tenant {self.spec.name!r}: deny_pending() without prepare()")
+        self._pending = None
+        self.denied_times.append(dispatch.start_s)
+        if self.spec.closed_loop:
+            self.arrivals_seen += 1
+            self._served += 1
+            heapq.heapreplace(
+                self._slot_free_s, dispatch.start_s + self.spec.gap_ms / 1000.0
+            )
+            if (
+                self.spec.max_duration_s is not None
+                and self._free_s - self.start_s >= self.spec.max_duration_s
+            ):
+                self.done = True
+        else:
+            self._queue.popleft()
+            self.depth_events.append((dispatch.start_s, len(self._queue)))
+
+    def defer_pending(self, new_start_s: float) -> Dispatch:
+        """Re-queue the pending dispatch to a later release time.
+
+        Predictive admission's ``"requeue"`` action: the request stays
+        pending but is released at ``new_start_s`` (strictly later), when
+        the fleet's state has changed and the prediction may clear the
+        deadline.  Open-loop arrivals up to the new release are admitted —
+        exactly what :meth:`prepare` would have done at that start.  The
+        adaptation hook is *not* re-invoked (the request was already
+        planned).
+        """
+        dispatch = self._pending
+        if dispatch is None:
+            raise RuntimeError(f"tenant {self.spec.name!r}: defer_pending() without prepare()")
+        if new_start_s <= dispatch.start_s:
+            raise ValueError(
+                f"tenant {self.spec.name!r}: defer_pending needs a strictly later "
+                f"start, got {new_start_s} <= {dispatch.start_s}"
+            )
+        if not self.spec.closed_loop:
+            self._admit_until(new_start_s)
+        self._pending = Dispatch(
+            arrival_s=dispatch.arrival_s, start_s=new_start_s, plan=dispatch.plan
+        )
+        return self._pending
+
     # ------------------------------------------------------------------ #
     def cached_latency(self, key: Tuple) -> Optional[float]:
         """Latency of an earlier identical (plan, network-state) dispatch.
@@ -502,6 +571,8 @@ class TenantRuntime:
             queue_depth_series=depth,
             final_method=self.current_plan.method,
             busy_until_s=self.busy_until_s,
+            num_denied=len(self.denied_times),
+            denied_times_s=list(self.denied_times),
         )
 
 

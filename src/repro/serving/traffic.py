@@ -23,6 +23,8 @@ Determinism contract: :meth:`ArrivalProcess.arrival_times` is a pure function
 of ``(spec fields, duration_s, start_s)`` — every call rebuilds its generator
 from the stored seed, so the batched and the reference serving loops (and any
 worker process) observe the *identical* arrival sequence.
+
+Where this sits in the stack is drawn in ``docs/architecture.md``.
 """
 
 from __future__ import annotations

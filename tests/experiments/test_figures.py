@@ -85,3 +85,38 @@ class TestReporting:
     def test_speedup_summary(self):
         out = speedup_summary({"s": {"aofl": 5.0, "offload": 8.0, "distredge": 12.0}})
         assert out["s"] == pytest.approx(1.5)
+
+
+class TestLoadCurveKnee:
+    def _curve(self):
+        return {
+            "1.0rps": {"offered_rps_total": 2.0, "deadline_miss_rate": 0.0},
+            "2.0rps": {"offered_rps_total": 4.0, "deadline_miss_rate": 0.01},
+            "4.0rps": {"offered_rps_total": 8.0, "deadline_miss_rate": 0.4},
+        }
+
+    def test_knee_is_last_point_within_target(self):
+        assert figures.load_curve_knee(self._curve()) == pytest.approx(2.0)
+        assert figures.load_curve_knee(self._curve(), 0.05) == pytest.approx(4.0)
+        assert figures.load_curve_knee(self._curve(), 0.5) == pytest.approx(8.0)
+
+    def test_every_point_missing_returns_none(self):
+        curve = {"a": {"offered_rps_total": 2.0, "deadline_miss_rate": 0.9}}
+        assert figures.load_curve_knee(curve) is None
+        assert figures.load_curve_knee({}) is None
+
+    def test_target_validated(self):
+        with pytest.raises(ValueError):
+            figures.load_curve_knee(self._curve(), -0.1)
+        with pytest.raises(ValueError):
+            figures.load_curve_knee(self._curve(), 1.1)
+
+    def test_knee_feeds_autoscaler_calibration(self):
+        from repro.serving.control import AutoscalerConfig
+
+        knee = figures.load_curve_knee(self._curve(), 0.05)
+        cfg = AutoscalerConfig.from_knee(
+            knee_rps=knee, knee_devices=2,
+            min_devices=1, max_devices=8, window_s=5.0,
+        )
+        assert cfg.capacity_per_device_rps == pytest.approx(2.0)

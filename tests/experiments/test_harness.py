@@ -177,3 +177,87 @@ class TestHarness:
     def test_all_methods_constant(self):
         assert "distredge" in ALL_METHODS and "offload" in ALL_METHODS
         assert len(ALL_METHODS) == 8
+
+
+class TestControlPlaneRunners:
+    """The harness-side callables the capacity planner / autoscaler consume."""
+
+    GEN = "gen:n=2,seed=3,types=nano,bw=70"
+
+    def _policy(self):
+        from repro.serving import ClusterPolicy
+
+        return ClusterPolicy(admission="predictive", on_predicted_miss="reject")
+
+    def _probe_kwargs(self):
+        return dict(
+            methods=("coedge",),
+            model_name="small_vgg",
+            traffic="traffic:poisson,rate=150,seed=11",
+            deadline_ms=40.0,
+            duration_s=2.0,
+            policy=self._policy(),
+            slots=4,
+        )
+
+    def test_probe_runner_resizes_fleet(self, harness):
+        probe = harness.capacity_probe_runner(self.GEN, **self._probe_kwargs())
+        small = probe(1)
+        large = probe(3)
+        assert small.fleet.compute_busy_ms.size == 1
+        assert large.fleet.compute_busy_ms.size == 3
+        assert small.admission == "predictive"
+
+    def test_probe_runner_memo_warm_repeat_is_bit_identical(self, harness):
+        from repro.serving import assert_reports_equal
+
+        probe = harness.capacity_probe_runner(self.GEN, **self._probe_kwargs())
+        cold = probe(2)
+        warm = probe(2)  # replays the shared schedule memo
+        assert_reports_equal(cold, warm)
+
+    def test_probe_runner_requires_generator_spec(self, harness):
+        with pytest.raises(ValueError, match="gen:"):
+            harness.capacity_probe_runner("DB", **self._probe_kwargs())
+
+    def test_window_runner_slices_one_arrival_stream(self, harness):
+        """Windows partition the horizon's arrivals exactly once."""
+        from repro.serving import ClusterPolicy
+
+        runner = harness.autoscale_window_runner(
+            self.GEN,
+            window_s=1.0,
+            num_windows=3,
+            methods=("coedge",),
+            model_name="small_vgg",
+            traffic="traffic:poisson,rate=60,seed=5",
+            deadline_ms=1000.0,
+            policy=ClusterPolicy(),
+            slots=4,
+        )
+        from repro.serving import resolve_traffic
+        from repro.serving.traffic import PoissonArrivals
+
+        horizon = PoissonArrivals(rate_rps=60.0, seed=5).arrival_times(3.0, 0.0)
+        reports = [runner(2, w) for w in range(3)]
+        assert sum(r.total_arrivals for r in reports) == len(horizon)
+        # Fleet size changes between windows without touching the stream.
+        resized = runner(1, 1)
+        assert resized.fleet.compute_busy_ms.size == 1
+        assert resized.total_arrivals == reports[1].total_arrivals
+
+    def test_window_runner_rejects_bad_window(self, harness):
+        runner = harness.autoscale_window_runner(
+            self.GEN,
+            window_s=1.0,
+            num_windows=2,
+            methods=("coedge",),
+            model_name="small_vgg",
+            traffic="traffic:poisson,rate=10,seed=5",
+        )
+        with pytest.raises(ValueError, match="window"):
+            runner(2, 5)
+        with pytest.raises(ValueError):
+            harness.autoscale_window_runner(
+                self.GEN, window_s=0.0, num_windows=2,
+            )

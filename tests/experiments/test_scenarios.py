@@ -10,6 +10,7 @@ from repro.experiments.scenarios import (
     ScenarioCatalog,
     ScenarioRegistry,
     generate_scenario,
+    override_generator_spec,
     parse_generator_spec,
     resolve_scenario,
 )
@@ -234,3 +235,31 @@ class TestScenarioRegistry:
         snapshot = registry.as_dict()
         snapshot.clear()
         assert len(registry) == 1
+
+
+class TestOverrideGeneratorSpec:
+    def test_overrides_fleet_size(self):
+        spec = override_generator_spec("gen:n=2,seed=3,types=nano,bw=70", n=5)
+        assert parse_generator_spec(spec).num_devices == 5
+        # Every other option survives the rewrite.
+        base = parse_generator_spec("gen:n=5,seed=3,types=nano,bw=70")
+        assert parse_generator_spec(spec).device_specs == base.device_specs
+
+    def test_adds_missing_option(self):
+        spec = override_generator_spec("gen:n=4", seed=9)
+        assert "seed=9" in spec
+        assert parse_generator_spec(spec).num_devices == 4
+
+    def test_canonical_key_order_is_stable(self):
+        a = override_generator_spec("gen:bw=70,n=2,seed=3", n=6)
+        b = override_generator_spec("gen:seed=3,bw=70,n=2", n=6)
+        assert a == b
+
+    def test_unknown_keys_still_rejected_downstream(self):
+        spec = override_generator_spec("gen:n=2,bogus=1", n=3)
+        with pytest.raises(ValueError):
+            parse_generator_spec(spec)
+
+    def test_requires_generator_prefix(self):
+        with pytest.raises(ValueError):
+            override_generator_spec("DB", n=3)

@@ -1,0 +1,266 @@
+"""Unit semantics of the capacity planner and the fleet autoscaler.
+
+These tests drive :mod:`repro.serving.control` through fake probe/window
+runners (the module's only dependency on the serving stack is the report
+shape), so they pin the search/decision logic itself: binary == exhaustive
+under monotone feasibility, probe budgets, memoization, scaling triggers
+and the knee calibration.  End-to-end runs through the harness are covered
+by the control-plane benchmark gate.
+"""
+
+from __future__ import annotations
+
+import math
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.serving.control import (
+    AutoscalerConfig,
+    CapacityPlanConfig,
+    CapacityPlanner,
+    FleetAutoscaler,
+    effective_miss_rate,
+)
+
+
+def fake_report(
+    missed=0,
+    denied=0,
+    completed=100,
+    arrivals=None,
+    busy_ms=None,
+    rps=10.0,
+    with_slo=True,
+):
+    """The minimal report surface the control plane reads."""
+    tenant = SimpleNamespace(
+        slo=SimpleNamespace(deadline_ms=100.0) if with_slo else None,
+        deadline_missed=np.zeros(completed, dtype=bool),
+        num_denied=denied,
+        num_completed=completed,
+    )
+    tenant.deadline_missed[:missed] = True
+    fleet = None
+    if busy_ms is not None:
+        fleet = SimpleNamespace(compute_busy_ms=np.asarray(busy_ms, dtype=float))
+    return SimpleNamespace(
+        tenants=[tenant],
+        total_arrivals=arrivals if arrivals is not None else completed + denied,
+        total_completed=completed,
+        total_denied=denied,
+        throughput_rps=rps,
+        fleet=fleet,
+    )
+
+
+# --------------------------------------------------------------------- #
+# effective miss rate
+# --------------------------------------------------------------------- #
+
+
+def test_effective_miss_rate_counts_denials_as_misses():
+    assert effective_miss_rate(fake_report(missed=0, denied=0)) == 0.0
+    assert effective_miss_rate(fake_report(missed=10, denied=0)) == pytest.approx(0.1)
+    # 100 completed + 25 denied offered; 10 missed + 25 denied "bad".
+    assert effective_miss_rate(fake_report(missed=10, denied=25)) == pytest.approx(
+        35 / 125
+    )
+
+
+def test_effective_miss_rate_ignores_slo_free_tenants():
+    report = fake_report(missed=50, denied=50, with_slo=False)
+    assert effective_miss_rate(report) == 0.0
+
+
+# --------------------------------------------------------------------- #
+# capacity planner
+# --------------------------------------------------------------------- #
+
+
+def _monotone_runner(threshold, log):
+    """Feasible (zero miss) at and above ``threshold`` devices."""
+
+    def run(n):
+        log.append(n)
+        shortfall = max(0, threshold - n)
+        return fake_report(missed=10 * shortfall, completed=100)
+
+    return run
+
+
+@pytest.mark.parametrize("threshold", [1, 3, 5, 8])
+def test_binary_search_matches_exhaustive(threshold):
+    log_a, log_b = [], []
+    cfg = CapacityPlanConfig(min_devices=1, max_devices=8, target_miss_rate=0.0)
+    binary = CapacityPlanner(_monotone_runner(threshold, log_a), cfg).plan()
+    exhaustive = CapacityPlanner(_monotone_runner(threshold, log_b), cfg).exhaustive()
+    assert binary.min_feasible_devices == threshold
+    assert exhaustive.min_feasible_devices == threshold
+    assert binary.strategy == "binary"
+    assert exhaustive.strategy == "exhaustive"
+
+
+def test_binary_search_respects_probe_budget():
+    for span_max in (1, 2, 5, 8, 31, 32, 100):
+        cfg = CapacityPlanConfig(min_devices=1, max_devices=span_max)
+        for threshold in (1, max(1, span_max // 2), span_max):
+            log = []
+            planner = CapacityPlanner(_monotone_runner(threshold, log), cfg)
+            plan = planner.plan()
+            assert plan.min_feasible_devices == threshold
+            assert planner.probe_runs <= cfg.max_probes, (
+                f"span {cfg.span}: {planner.probe_runs} runs > "
+                f"budget {cfg.max_probes}"
+            )
+
+
+def test_infeasible_range_returns_none():
+    log = []
+    cfg = CapacityPlanConfig(min_devices=1, max_devices=4, target_miss_rate=0.0)
+    planner = CapacityPlanner(_monotone_runner(10, log), cfg)
+    plan = planner.plan()
+    assert plan.min_feasible_devices is None
+    # One probe at the top of the range settles it.
+    assert log == [4]
+
+
+def test_probe_memoization_spans_strategies():
+    log = []
+    cfg = CapacityPlanConfig(min_devices=1, max_devices=8)
+    planner = CapacityPlanner(_monotone_runner(3, log), cfg)
+    planner.plan()
+    runs_after_plan = planner.probe_runs
+    planner.exhaustive()
+    planner.plan()
+    # Exhaustive only added sizes the binary search skipped; the second
+    # plan() re-ran nothing.
+    assert planner.probe_runs == len(set(log))
+    assert runs_after_plan <= planner.probe_runs <= cfg.span
+
+
+def test_probe_outside_range_rejected():
+    cfg = CapacityPlanConfig(min_devices=2, max_devices=4)
+    planner = CapacityPlanner(_monotone_runner(2, []), cfg)
+    with pytest.raises(ValueError):
+        planner.probe(1)
+    with pytest.raises(ValueError):
+        planner.probe(5)
+
+
+def test_plan_config_validation():
+    with pytest.raises(ValueError):
+        CapacityPlanConfig(min_devices=0, max_devices=4)
+    with pytest.raises(ValueError):
+        CapacityPlanConfig(min_devices=5, max_devices=4)
+    with pytest.raises(ValueError):
+        CapacityPlanConfig(min_devices=1, max_devices=4, target_miss_rate=1.5)
+    cfg = CapacityPlanConfig(min_devices=3, max_devices=3)
+    assert cfg.span == 1 and cfg.max_probes == 1
+
+
+def test_plan_to_dict_round_trips_probe_log():
+    cfg = CapacityPlanConfig(min_devices=1, max_devices=8)
+    plan = CapacityPlanner(_monotone_runner(3, []), cfg).plan()
+    payload = plan.to_dict()
+    assert payload["min_feasible_devices"] == 3
+    assert payload["strategy"] == "binary"
+    assert payload["num_probe_runs"] == len(payload["probes"])
+    assert {p["num_devices"] for p in payload["probes"]} >= {3, 8}
+
+
+# --------------------------------------------------------------------- #
+# autoscaler
+# --------------------------------------------------------------------- #
+
+
+def _cfg(**kwargs):
+    defaults = dict(
+        min_devices=1,
+        max_devices=8,
+        window_s=10.0,
+        low_utilization=0.3,
+        high_utilization=0.8,
+    )
+    defaults.update(kwargs)
+    return AutoscalerConfig(**defaults)
+
+
+def _util_report(utilization, n, arrivals=100, missed=0, denied=0):
+    busy = [utilization * 10.0 * 1000.0] * n  # window_s = 10
+    return fake_report(
+        missed=missed, denied=denied, arrivals=arrivals, busy_ms=busy
+    )
+
+
+def test_autoscaler_grow_shrink_hold():
+    scaler = FleetAutoscaler(lambda n, w: None, _cfg())
+    assert scaler.decide(_util_report(0.9, 4), 4) == ("grow", 5)
+    assert scaler.decide(_util_report(0.1, 4), 4) == ("shrink", 3)
+    assert scaler.decide(_util_report(0.5, 4), 4) == ("hold", 4)
+    # Miss pressure grows even inside the utilisation band.
+    assert scaler.decide(_util_report(0.5, 4, missed=10), 4) == ("grow", 5)
+    # Denials count as misses for the grow trigger too.
+    assert scaler.decide(_util_report(0.5, 4, denied=10), 4) == ("grow", 5)
+
+
+def test_autoscaler_clamps_to_range():
+    scaler = FleetAutoscaler(lambda n, w: None, _cfg(min_devices=2, max_devices=4))
+    assert scaler.decide(_util_report(0.9, 4), 4) == ("hold", 4)
+    assert scaler.decide(_util_report(0.1, 2), 2) == ("hold", 2)
+
+
+def test_autoscaler_capacity_hint_jumps():
+    cfg = _cfg(capacity_per_device_rps=5.0)
+    scaler = FleetAutoscaler(lambda n, w: None, cfg)
+    # 100 arrivals / 10 s = 10 rps -> ceil(10 / 5) = 2 devices.
+    assert scaler.decide(_util_report(0.9, 8, arrivals=100), 8) == ("shrink", 2)
+    assert scaler.decide(_util_report(0.1, 1, arrivals=350), 1) == ("grow", 7)
+    assert scaler.decide(_util_report(0.5, 2, arrivals=100), 2) == ("hold", 2)
+
+
+def test_from_knee_calibration():
+    cfg = AutoscalerConfig.from_knee(
+        knee_rps=20.0, knee_devices=4, min_devices=1, max_devices=8, window_s=10.0
+    )
+    assert cfg.capacity_per_device_rps == pytest.approx(5.0)
+    with pytest.raises(ValueError):
+        AutoscalerConfig.from_knee(
+            knee_rps=0.0, knee_devices=4, min_devices=1, max_devices=8, window_s=10.0
+        )
+    with pytest.raises(ValueError):
+        AutoscalerConfig.from_knee(
+            knee_rps=20.0, knee_devices=0, min_devices=1, max_devices=8, window_s=10.0
+        )
+
+
+def test_autoscaler_run_trajectory():
+    utilizations = [0.95, 0.95, 0.5, 0.1, 0.1]
+
+    def run_window(n, w):
+        return _util_report(utilizations[w], n)
+
+    report = FleetAutoscaler(run_window, _cfg()).run(5, initial_devices=2)
+    assert report.device_trajectory == [2, 3, 4, 4, 3]
+    assert [w.decision for w in report.windows] == [
+        "grow", "grow", "hold", "shrink", "shrink",
+    ]
+    assert report.final_devices == 2
+    assert [w.start_s for w in report.windows] == [0.0, 10.0, 20.0, 30.0, 40.0]
+    payload = report.to_dict()
+    assert payload["device_trajectory"] == [2, 3, 4, 4, 3]
+    assert len(payload["windows"]) == 5
+
+
+def test_autoscaler_config_validation():
+    with pytest.raises(ValueError):
+        _cfg(window_s=0.0)
+    with pytest.raises(ValueError):
+        _cfg(low_utilization=0.9, high_utilization=0.5)
+    with pytest.raises(ValueError):
+        _cfg(step=0)
+    with pytest.raises(ValueError):
+        _cfg(capacity_per_device_rps=-1.0)
+    with pytest.raises(ValueError):
+        FleetAutoscaler(lambda n, w: None, _cfg()).run(0)

@@ -1,0 +1,125 @@
+"""Golden-file pin of the ``--report-json`` serving-report schema.
+
+``docs/benchmarks.md`` documents the JSON written by
+``repro serve --report-json``; downstream tooling (trend dashboards, the
+bench gates) parses it by key path.  This test flattens a fully-featured
+contended report — predictive admission, window series, fleet breakdown —
+into ``key.path: type`` pairs and compares them against the committed
+golden file, so any schema change is a deliberate two-file diff (code +
+golden + docs), never an accident.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python tests/serving/test_report_schema.py --regenerate
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devices.specs import make_cluster
+from repro.network.topology import NetworkModel
+from repro.nn import model_zoo
+from repro.runtime.batch import BatchPlanEvaluator
+from repro.runtime.plan import DistributionPlan
+from repro.serving import (
+    SLO,
+    ClusterPolicy,
+    PoissonArrivals,
+    ServingSimulator,
+    TenantSpec,
+)
+
+GOLDEN = Path(__file__).resolve().parents[1] / "data" / "serving_report_schema.json"
+
+
+def _flatten_types(value, prefix=""):
+    """``{key.path: type-name}`` with list elements collapsed to ``[]``.
+
+    Lists contribute their first element's schema (every tenant row and
+    window shares a shape); an empty list pins only its own presence.
+    """
+    out = {}
+    if isinstance(value, dict):
+        for key, sub in sorted(value.items()):
+            out.update(_flatten_types(sub, f"{prefix}.{key}" if prefix else key))
+    elif isinstance(value, list):
+        out[prefix] = "list"
+        if value:
+            out.update(_flatten_types(value[0], f"{prefix}[]"))
+    else:
+        type_name = type(value).__name__
+        # Ints are valid floats in JSON; pin the numeric kind loosely so a
+        # 0-valued float field serialised as 0 does not flap the schema.
+        out[prefix] = {"int": "number", "float": "number", "bool": "bool",
+                       "str": "str", "NoneType": "null"}.get(type_name, type_name)
+    return out
+
+
+def build_report_payload():
+    """One contended run exercising every optional report field."""
+    model = model_zoo.small_vgg(64)
+    devices = make_cluster([("nano", 70), ("nano", 70)])
+    network = NetworkModel.constant_from_devices(devices)
+    tenants = [
+        TenantSpec(
+            "tight",
+            DistributionPlan.single_device(model, devices, 0),
+            traffic=PoissonArrivals(200.0, seed=11),
+            slo=SLO(deadline_ms=20.0),
+            weight=2.0,
+        ),
+        TenantSpec(
+            "loose",
+            DistributionPlan.single_device(model, devices, 1),
+            traffic=PoissonArrivals(100.0, seed=12),
+            slo=SLO(deadline_ms=40.0),
+            queue_capacity=8,
+        ),
+    ]
+    policy = ClusterPolicy(
+        discipline="wfq",
+        admission="predictive",
+        on_predicted_miss="requeue",
+        window_ms=500.0,
+        max_inflight=8,
+    )
+    report = ServingSimulator(BatchPlanEvaluator(devices, network)).run(
+        tenants, duration_s=2.0, policy=policy
+    )
+    return report.to_dict()
+
+
+def test_report_json_schema_matches_golden():
+    assert GOLDEN.exists(), (
+        f"golden schema missing at {GOLDEN}; generate it with "
+        f"`PYTHONPATH=src python {__file__} --regenerate`"
+    )
+    expected = json.loads(GOLDEN.read_text())
+    actual = _flatten_types(build_report_payload())
+    assert actual == expected, (
+        "serving report JSON schema drifted from tests/data/"
+        "serving_report_schema.json — if intentional, regenerate the golden "
+        "file AND update the schema table in docs/benchmarks.md"
+    )
+
+
+def test_payload_is_json_serialisable():
+    text = json.dumps(build_report_payload())
+    assert json.loads(text)["admission"] == "predictive"
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(
+            json.dumps(_flatten_types(build_report_payload()), indent=2) + "\n"
+        )
+        print(f"wrote {GOLDEN}")
+    else:
+        print(__doc__)

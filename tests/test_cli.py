@@ -289,3 +289,104 @@ class TestServe:
         ])
         assert code == 0
         assert "offload" in capsys.readouterr().out
+
+
+class TestServeControlPlane:
+    GEN = "gen:n=2,seed=3,types=nano,bw=70"
+    COMMON = [
+        "serve", "--scenario", GEN, "--tenant", "coedge",
+        "--model", "small_vgg",
+        "--traffic", "traffic:poisson,rate=150,seed=11",
+        "--deadline-ms", "40", "--duration", "2",
+        "--contention", "--admission", "predictive", "--slots", "4",
+    ]
+
+    def test_control_flags_parse(self):
+        args = build_parser().parse_args(self.COMMON + [
+            "--on-predicted-miss", "requeue", "--window-ms", "500",
+            "--plan-capacity", "--fleet-range", "1:4",
+            "--target-miss-rate", "0.05",
+        ])
+        assert args.admission == "predictive"
+        assert args.on_predicted_miss == "requeue"
+        assert args.window_ms == 500.0
+        assert args.plan_capacity and args.fleet_range == "1:4"
+        assert args.target_miss_rate == 0.05
+        assert args.slots == [4]
+
+    def test_admission_requires_contention(self, capsys):
+        code = main([
+            "serve", "--scenario", self.GEN, "--admission", "predictive",
+        ])
+        assert code == 2
+        assert "--contention" in capsys.readouterr().err
+
+    def test_window_ms_requires_contention(self, capsys):
+        code = main(["serve", "--scenario", self.GEN, "--window-ms", "500"])
+        assert code == 2
+        assert "--contention" in capsys.readouterr().err
+
+    def test_plan_capacity_requires_contention(self, capsys):
+        code = main([
+            "serve", "--scenario", self.GEN, "--plan-capacity",
+        ])
+        assert code == 2
+        assert "--contention" in capsys.readouterr().err
+
+    def test_plan_capacity_requires_generator_scenario(self, capsys):
+        code = main([
+            "serve", "--scenario", "DB", "--contention",
+            "--admission", "predictive", "--plan-capacity",
+        ])
+        assert code == 2
+        assert "gen:" in capsys.readouterr().err
+
+    def test_plan_capacity_and_autoscale_exclusive(self, capsys):
+        code = main(self.COMMON + ["--plan-capacity", "--autoscale"])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_bad_fleet_range(self, capsys):
+        code = main(self.COMMON + ["--plan-capacity", "--fleet-range", "4"])
+        assert code == 2
+        assert "MIN:MAX" in capsys.readouterr().err
+
+    def test_serve_predictive_admission_run(self, capsys):
+        code = main(self.COMMON + ["--window-ms", "500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "denied" in out
+
+    def test_serve_predictive_parity(self, capsys):
+        code = main(self.COMMON + [
+            "--mode", "parity", "--on-predicted-miss", "requeue",
+        ])
+        assert code == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_plan_capacity_run_writes_report(self, tmp_path, capsys):
+        report = tmp_path / "capacity.json"
+        code = main(self.COMMON + [
+            "--plan-capacity", "--fleet-range", "1:3",
+            "--target-miss-rate", "0.1",
+            "--report-json", str(report),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "minimum fleet" in out or "no feasible" in out
+        payload = json.loads(report.read_text())
+        assert payload["strategy"] == "binary"
+        assert payload["num_probe_runs"] == len(payload["probes"])
+
+    def test_autoscale_run_writes_report(self, tmp_path, capsys):
+        report = tmp_path / "autoscale.json"
+        code = main(self.COMMON + [
+            "--autoscale", "--fleet-range", "1:3",
+            "--windows", "2", "--window-s", "1",
+            "--report-json", str(report),
+        ])
+        assert code == 0
+        assert "autoscaled serving" in capsys.readouterr().out
+        payload = json.loads(report.read_text())
+        assert len(payload["windows"]) == 2
+        assert payload["device_trajectory"][0] == 1
