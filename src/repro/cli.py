@@ -44,6 +44,8 @@ Examples
     python -m repro.cli serve --scenario DB --figure --figure-rates 0.5,1,2,4
     python -m repro.cli serve --scenario gen:n=32,seed=7 --engine array \
         --mode parity --duration 60
+    python -m repro.cli serve --scenario gen:n=16,seed=7 --duration 30 \
+        --churn churn:crashes=2,seed=7 --retry-max 3 --degrade-min-live 0.5
 """
 
 from __future__ import annotations
@@ -357,6 +359,52 @@ def _control_plane_inputs(args: argparse.Namespace, parsed, traffics):
     return [m for m, _ in parsed], next(iter(models)), traffic_list
 
 
+def _fault_policies_from_args(args: argparse.Namespace):
+    """Resolve ``--churn``/``--retry-*``/``--degrade-min-live`` into policies.
+
+    Returns ``(faults, retry, degradation)`` — all ``None`` without
+    ``--churn`` — or ``None`` after printing the reason to stderr when the
+    combination is invalid (mirroring the ``--contention`` gate: the retry
+    and degradation knobs require ``--churn``).
+    """
+    from repro.runtime.faults import DegradationPolicy, RetryPolicy, parse_churn_spec
+
+    if args.churn is None:
+        if (
+            args.retry_max != 3
+            or args.retry_backoff_ms != 50.0
+            or args.retry_jitter_ms != 10.0
+            or args.retry_timeout_ms is not None
+            or args.degrade_min_live is not None
+        ):
+            print(
+                "--retry-max/--retry-backoff-ms/--retry-jitter-ms/"
+                "--retry-timeout-ms/--degrade-min-live model fleet churn; "
+                "pass --churn to enable them",
+                file=sys.stderr,
+            )
+            return None
+        return (None, None, None)
+    try:
+        faults = parse_churn_spec(args.churn)
+        retry = RetryPolicy(
+            max_attempts=args.retry_max,
+            backoff_ms=args.retry_backoff_ms,
+            jitter_ms=args.retry_jitter_ms,
+            timeout_ms=args.retry_timeout_ms,
+            seed=args.seed,
+        )
+        degradation = (
+            DegradationPolicy(min_live_fraction=args.degrade_min_live)
+            if args.degrade_min_live is not None
+            else None
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return None
+    return (faults, retry, degradation)
+
+
 def _resolve_traffic_or_poisson(spec, rate: float, seed: int):
     """A ``traffic:`` spec, or the default Poisson process when absent."""
     from repro.serving import PoissonArrivals, resolve_traffic
@@ -367,7 +415,8 @@ def _resolve_traffic_or_poisson(spec, rate: float, seed: int):
 
 
 def _cmd_serve_plan_capacity(
-    args: argparse.Namespace, parsed, traffics, deadlines, weights, policy
+    args: argparse.Namespace, parsed, traffics, deadlines, weights, policy,
+    faults, retry, degradation,
 ) -> int:
     """The ``serve --plan-capacity`` path: min fleet size for a miss target."""
     from repro.experiments.reporting import format_capacity_plan
@@ -400,6 +449,9 @@ def _cmd_serve_plan_capacity(
             weight=weights,
             engine=args.engine,
             slots=args.slots or 1,
+            faults=faults,
+            retry=retry,
+            degradation=degradation,
         )
         planner = CapacityPlanner(probe, config)
         plan = planner.plan()
@@ -410,7 +462,8 @@ def _cmd_serve_plan_capacity(
 
 
 def _cmd_serve_autoscale(
-    args: argparse.Namespace, parsed, traffics, deadlines, weights, policy
+    args: argparse.Namespace, parsed, traffics, deadlines, weights, policy,
+    faults, retry, degradation,
 ) -> int:
     """The ``serve --autoscale`` path: windowed fleet resizing."""
     from repro.experiments.reporting import format_autoscale_report
@@ -451,6 +504,9 @@ def _cmd_serve_autoscale(
             weight=weights,
             engine=args.engine,
             slots=args.slots or 1,
+            faults=faults,
+            retry=retry,
+            degradation=degradation,
         )
         report = FleetAutoscaler(run_window, config).run(
             args.windows, initial_devices=lo
@@ -473,7 +529,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         resolve_traffic,
         run_with_parity,
     )
-    from repro.experiments.reporting import format_fleet_table, format_serving_table
+    from repro.experiments.reporting import (
+        format_fault_report,
+        format_fleet_table,
+        format_serving_table,
+    )
+    from repro.runtime.faults import resolve_churn
 
     refs = args.tenants or ["coedge", "offload"]
     try:
@@ -514,6 +575,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    fault_args = _fault_policies_from_args(args)
+    if fault_args is None:
+        return 2
+    faults, retry, degradation = fault_args
     if args.plan_capacity or args.autoscale:
         if args.plan_capacity and args.autoscale:
             print("--plan-capacity and --autoscale are mutually exclusive",
@@ -529,16 +594,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 2
         if args.plan_capacity:
             return _cmd_serve_plan_capacity(
-                args, parsed, traffics, deadlines, weights, policy
+                args, parsed, traffics, deadlines, weights, policy,
+                faults, retry, degradation,
             )
         return _cmd_serve_autoscale(
-            args, parsed, traffics, deadlines, weights, policy
+            args, parsed, traffics, deadlines, weights, policy,
+            faults, retry, degradation,
         )
     if args.figure:
+        if faults is not None:
+            print(
+                "--figure sweeps offered load on an immortal fleet; use "
+                "repro.experiments.figures.degradation_curve for the "
+                "crash-count sweep",
+                file=sys.stderr,
+            )
+            return 2
         return _cmd_serve_figure(args, parsed, deadlines, weights, policy)
     scenario = _scenario_from_args(args.scenario, args.bandwidth)
     if scenario is None:
         return 2
+    if faults is not None:
+        # Resolve against the fleet up front so a bad device id in the spec
+        # fails with exit code 2 instead of a traceback mid-run.
+        try:
+            faults = resolve_churn(faults, scenario.num_devices)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
 
     sharded = None
     if args.workers >= 2:
@@ -595,6 +678,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 duration_s=args.duration,
                 policy=policy,
                 engine=args.engine,
+                faults=faults,
+                retry=retry,
+                degradation=degradation,
             )
             print(
                 f"parity: {args.engine} engine batched loop is bit-identical "
@@ -615,10 +701,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 mode=args.mode,
                 policy=policy,
                 engine=args.engine,
+                faults=faults,
+                retry=retry,
+                degradation=degradation,
             )
         print(format_serving_table(report))
         if report.fleet is not None:
             print(format_fleet_table(report, title="fleet lane load"))
+        if report.faults is not None:
+            print(format_fault_report(report, title="fleet churn"))
         if report.slo_violations:
             print(f"SLO violations: {', '.join(report.slo_violations)}")
         if args.report_json:
@@ -764,6 +855,30 @@ def build_parser() -> argparse.ArgumentParser:
                               "intercepted request: deny it (counted per "
                               "tenant) or defer it to the fleet's next "
                               "lane-free event and re-predict")
+    p_serve.add_argument("--churn", default=None, metavar="SPEC",
+                         help="inject seeded fleet churn from a churn: spec, "
+                              "e.g. churn:events=crash:0@500;join:0@2000 or "
+                              "churn:crashes=2,seed=7; crashes kill in-flight "
+                              "requests, which retry on a strategy replanned "
+                              "around the surviving devices")
+    p_serve.add_argument("--retry-max", type=int, default=3,
+                         help="retry attempts per request under --churn before "
+                              "it is abandoned (default 3)")
+    p_serve.add_argument("--retry-backoff-ms", type=float, default=50.0,
+                         help="base exponential-backoff delay between retry "
+                              "attempts under --churn (default 50)")
+    p_serve.add_argument("--retry-jitter-ms", type=float, default=10.0,
+                         help="seeded uniform jitter added to each backoff "
+                              "delay under --churn (default 10)")
+    p_serve.add_argument("--retry-timeout-ms", type=float, default=None,
+                         help="per-request wall-clock budget across all retry "
+                              "attempts under --churn; default unbounded")
+    p_serve.add_argument("--degrade-min-live", type=float, default=None,
+                         help="graceful degradation under --churn: while the "
+                              "live fleet fraction is below this threshold, "
+                              "shed arrivals of the lowest-weight tenants "
+                              "(deterministically) instead of queueing them; "
+                              "default: no shedding")
     p_serve.add_argument("--window-ms", type=float, default=None,
                          help="attach a windowed fleet-load time series "
                               "(busy/wait/inflight per device per window of "

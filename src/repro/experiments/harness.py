@@ -33,6 +33,12 @@ from repro.nn import model_zoo
 from repro.nn.graph import ModelSpec
 from repro.runtime.batch import BatchPlanEvaluator
 from repro.runtime.evaluator import EvaluationResult
+from repro.runtime.faults import (
+    ChurnSpec,
+    DegradationPolicy,
+    FaultTrace,
+    RetryPolicy,
+)
 from repro.runtime.oracles import profiles_by_device
 from repro.runtime.plan import DistributionPlan
 from repro.runtime.shard import ShardedPlanEvaluator
@@ -386,6 +392,9 @@ class ExperimentHarness:
         engine: str = "object",
         slots: Union[int, Sequence[int]] = 1,
         schedule_memo: Optional[LRUCache] = None,
+        faults: Optional[Union[str, FaultTrace, ChurnSpec]] = None,
+        retry: Optional[RetryPolicy] = None,
+        degradation: Optional[DegradationPolicy] = None,
     ) -> ServingReport:
         """Serve one tenant per method on a shared fleet and report SLOs.
 
@@ -405,6 +414,10 @@ class ExperimentHarness:
         — pipelined requests are what let throughput scale with fleet size
         under contention; ``schedule_memo`` forwards an external contended-
         schedule memo so repeated runs (capacity probes) start warm.
+        ``faults`` injects a churn trace (``churn:`` spec string,
+        :class:`~repro.runtime.faults.ChurnSpec`, or resolved
+        :class:`~repro.runtime.faults.FaultTrace`); ``retry`` and
+        ``degradation`` set the recovery policies that ride along with it.
         """
         methods = list(methods)
         if isinstance(traffic, (str, ArrivalProcess)):
@@ -463,6 +476,9 @@ class ExperimentHarness:
             policy=policy,
             engine=engine,
             schedule_memo=schedule_memo,
+            faults=faults,
+            retry=retry,
+            degradation=degradation,
         )
 
     # ------------------------------------------------------------------ #
@@ -482,6 +498,9 @@ class ExperimentHarness:
         engine: str = "object",
         slots: Union[int, Sequence[int]] = 1,
         share_schedule_memo: bool = True,
+        faults: Optional[Union[str, ChurnSpec]] = None,
+        retry: Optional[RetryPolicy] = None,
+        degradation: Optional[DegradationPolicy] = None,
     ) -> Callable[[int], ServingReport]:
         """Build a ``probe(n)`` callable for :class:`~repro.serving.control.CapacityPlanner`.
 
@@ -493,7 +512,18 @@ class ExperimentHarness:
         across probes, so re-probing a size the planner has already visited
         replays warm contention schedules instead of re-walking them — plan
         caches are shared too, via the harness-wide ``_plan_cache``.
+
+        ``faults`` accepts a ``churn:`` spec string or :class:`ChurnSpec`
+        (NOT a pre-resolved :class:`FaultTrace`): the trace is re-resolved
+        against each probed fleet size, so the planner sizes the fleet for
+        the *post-churn* capacity the probe actually observed.
         """
+        if isinstance(faults, FaultTrace):
+            raise TypeError(
+                "capacity probes resize the fleet per probe; pass a churn: spec "
+                "string or ChurnSpec so the trace re-resolves at each size, not "
+                "a pre-resolved FaultTrace"
+            )
         if not gen_spec.startswith(GENERATOR_PREFIX):
             raise ValueError(
                 f"capacity planning needs a seeded {GENERATOR_PREFIX!r} scenario spec, "
@@ -525,6 +555,9 @@ class ExperimentHarness:
                 engine=engine,
                 slots=slots,
                 schedule_memo=memo,
+                faults=faults,
+                retry=retry,
+                degradation=degradation,
             )
 
         return probe
@@ -545,6 +578,9 @@ class ExperimentHarness:
         weight: Union[float, Sequence[float]] = 1.0,
         engine: str = "object",
         slots: Union[int, Sequence[int]] = 1,
+        faults: Optional[Union[str, ChurnSpec]] = None,
+        retry: Optional[RetryPolicy] = None,
+        degradation: Optional[DegradationPolicy] = None,
     ) -> Callable[[int, int], ServingReport]:
         """Build a ``run_window(n, w)`` callable for :class:`~repro.serving.control.FleetAutoscaler`.
 
@@ -554,7 +590,19 @@ class ExperimentHarness:
         window origin as a trace replay — on the fleet resized to ``n``
         devices.  Resizing between windows therefore never changes *which*
         requests arrive, only which fleet absorbs them.
+
+        ``faults`` (a ``churn:`` spec string or :class:`ChurnSpec`, re-resolved
+        per fleet size like :meth:`capacity_probe_runner`) injects the same
+        window-relative churn trace into every window, so the autoscaler's
+        decisions step from the *surviving* capacity each window reports
+        (``report.faults.live_at_end``) rather than the nominal fleet size.
         """
+        if isinstance(faults, FaultTrace):
+            raise TypeError(
+                "autoscaling resizes the fleet per window; pass a churn: spec "
+                "string or ChurnSpec so the trace re-resolves at each size, not "
+                "a pre-resolved FaultTrace"
+            )
         if not gen_spec.startswith(GENERATOR_PREFIX):
             raise ValueError(
                 f"autoscaling needs a seeded {GENERATOR_PREFIX!r} scenario spec, "
@@ -598,6 +646,9 @@ class ExperimentHarness:
                 weight=weight,
                 engine=engine,
                 slots=slots,
+                faults=faults,
+                retry=retry,
+                degradation=degradation,
             )
 
         return run_window

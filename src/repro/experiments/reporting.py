@@ -128,6 +128,39 @@ def format_fleet_table(report, title: str = "") -> str:
     return table + "\n" + footer
 
 
+def format_fault_report(report, title: str = "") -> str:
+    """Format a churning run's fault outcome as a table.
+
+    Duck-typed on ``report.faults``
+    (:class:`~repro.runtime.faults.FaultReport`); one row per tenant with
+    its shed/abandoned/retried counts plus a fleet-level footer carrying
+    the event tally, surviving capacity and retry latency overhead.
+    """
+    faults = getattr(report, "faults", None)
+    if faults is None:
+        return "(no fault report; run with a churn trace)"
+    header = ["tenant", "shed", "abandoned", "retried", "lost_att", "retry_add_ms"]
+    rows = []
+    for t in report.tenants:
+        rows.append([
+            t.name,
+            str(t.num_shed),
+            str(t.num_abandoned),
+            str(t.num_retried),
+            str(t.num_lost_attempts),
+            f"{t.retry_added_ms:.1f}",
+        ])
+    table = _render_table(header, rows, title)
+    degraded = sum(hi - lo for lo, hi in faults.degraded_windows_s)
+    footer = (
+        f"events: {faults.num_crashes} crashes, {faults.num_leaves} leaves, "
+        f"{faults.num_joins} joins  live at end: {faults.live_at_end}  "
+        f"degraded: {degraded:.1f} s  "
+        f"retry latency added: {faults.retry_latency_added_ms:.1f} ms"
+    )
+    return table + "\n" + footer
+
+
 def format_capacity_plan(plan, title: str = "") -> str:
     """Format a :class:`~repro.serving.control.CapacityPlan` probe log.
 
@@ -214,6 +247,7 @@ __all__ = [
     "format_series",
     "format_serving_table",
     "format_fleet_table",
+    "format_fault_report",
     "format_capacity_plan",
     "format_autoscale_report",
     "speedup_summary",

@@ -73,6 +73,29 @@ class Scenario:
             trace_kind=self.trace_kind,
         )
 
+    def surviving(self, live: "Sequence[int]", suffix: str = "survivors") -> "Scenario":
+        """Post-churn fleet: only the providers whose indices are in ``live``.
+
+        Pairs with :meth:`repro.runtime.faults.FaultTrace.live_indices` so
+        capacity planning and re-planning can run against the fleet a churn
+        trace actually leaves, rather than the nominal one it started with.
+        """
+        keep = sorted({int(i) for i in live})
+        if not keep:
+            raise ValueError("a surviving scenario needs at least one live device")
+        bad = [i for i in keep if not 0 <= i < len(self.device_specs)]
+        if bad:
+            raise ValueError(
+                f"live indices out of range for {self.num_devices} devices: {bad}"
+            )
+        specs = tuple(self.device_specs[i] for i in keep)
+        return Scenario(
+            name=f"{self.name}-{suffix}",
+            device_specs=specs,
+            description=f"{self.description} ({len(keep)}/{self.num_devices} survivors)",
+            trace_kind=self.trace_kind,
+        )
+
     @classmethod
     def adhoc(
         cls,

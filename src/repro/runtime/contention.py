@@ -137,6 +137,32 @@ class ContendedOutcome:
     contended: bool
 
 
+def truncated_outcome(outcome: ContendedOutcome, cut_rel_ms: float) -> ContendedOutcome:
+    """Clamp a predicted schedule at a mid-flight failure instant.
+
+    A device crash at ``release + cut_rel_ms`` kills the request there: every
+    lane occupancy, busy and wait interval is cut at the crash and the
+    request's latency becomes the time it held the fleet before dying.  The
+    clamp is pure arithmetic on the outcome vectors — identical in every
+    serving loop — and the truncated outcome commits through the unmodified
+    :meth:`SharedFleetState.commit` (the completion it registers at the crash
+    instant is what frees the admission gate and the WFQ accounting).  Lanes
+    the request never used (``lane_jobs == 0``) are ignored by ``commit``, so
+    clamping their carried-through residuals is harmless.
+    """
+    if cut_rel_ms < 0:
+        raise ValueError(f"cut_rel_ms must be >= 0, got {cut_rel_ms}")
+    return ContendedOutcome(
+        latency_ms=cut_rel_ms,
+        lane_end_rel=tuple(min(e, cut_rel_ms) for e in outcome.lane_end_rel),
+        lane_busy_ms=tuple(min(b, cut_rel_ms) for b in outcome.lane_busy_ms),
+        lane_wait_ms=tuple(min(w, cut_rel_ms) for w in outcome.lane_wait_ms),
+        lane_jobs=outcome.lane_jobs,
+        gate_wait_ms=min(outcome.gate_wait_ms, cut_rel_ms),
+        contended=outcome.contended,
+    )
+
+
 @dataclass(eq=False)
 class FleetLoadSeries:
     """Windowed time series of fleet load (the :class:`FleetLoadReport` totals
@@ -446,7 +472,10 @@ class SharedFleetState:
         ):
             if jobs:
                 lane = self.lanes.lane(*key)
-                lane.free_at = release_ms + rel_end
+                # max(): a full schedule always ends at/after the lane's prior
+                # free time, but a crash-truncated outcome may be cut before
+                # it — occupancy committed by earlier requests must stand.
+                lane.free_at = max(lane.free_at, release_ms + rel_end)
                 lane.busy_ms += busy
                 lane.jobs += jobs
                 self._free_ms[index] = lane.free_at
@@ -755,6 +784,7 @@ __all__ = [
     "LANE_ROLES",
     "fleet_lane_keys",
     "ContendedOutcome",
+    "truncated_outcome",
     "FleetLoadReport",
     "FleetLoadSeries",
     "SharedFleetState",

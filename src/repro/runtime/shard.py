@@ -52,6 +52,7 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -284,6 +285,11 @@ class ShardedPlanEvaluator:
             cache_size=cache_size,
         )
         self._executor: Optional[ProcessPoolExecutor] = None
+        #: Worker-pool breakages survived (a worker process died mid-batch —
+        #: e.g. the machine reclaiming cores on a fleet shrink).  Each one is
+        #: recovered by retiring the broken pool and serving the batch on the
+        #: in-process engine, which is bit-identical by construction.
+        self.pool_failures = 0
         # Validated models are kept by strong reference so their ids cannot
         # be recycled by a different (unvalidated) model after collection.
         self._validated_models: Dict[int, ModelSpec] = {}
@@ -435,26 +441,37 @@ class ShardedPlanEvaluator:
         if len(shards) < 2:
             return self.local.evaluate_plans(plans, t_seconds)
         executor = self._ensure_executor()
-        futures = {
-            executor.submit(
-                _evaluate_shard,
-                plan_batch_to_payload([plans[i] for i in shard]),
-                t_seconds,
-            ): shard
-            for shard in shards
-        }
-        # Streaming merge: decode each shard's payloads the moment its
-        # future completes (as_completed), so parent-side deserialisation
-        # overlaps the compute of workers still running instead of waiting
-        # behind a submission-order barrier.  Input order is preserved by
-        # index placement, so the merged list is unaffected by completion
-        # order.
-        results: List[Optional[EvaluationResult]] = [None] * len(plans)
-        for future in as_completed(futures):
-            shard = futures[future]
-            for i, payload in zip(shard, future.result()):
-                results[i] = evaluation_from_payload(payload)
-        return results  # type: ignore[return-value]
+        try:
+            futures = {
+                executor.submit(
+                    _evaluate_shard,
+                    plan_batch_to_payload([plans[i] for i in shard]),
+                    t_seconds,
+                ): shard
+                for shard in shards
+            }
+            # Streaming merge: decode each shard's payloads the moment its
+            # future completes (as_completed), so parent-side deserialisation
+            # overlaps the compute of workers still running instead of waiting
+            # behind a submission-order barrier.  Input order is preserved by
+            # index placement, so the merged list is unaffected by completion
+            # order.
+            results: List[Optional[EvaluationResult]] = [None] * len(plans)
+            for future in as_completed(futures):
+                shard = futures[future]
+                for i, payload in zip(shard, future.result()):
+                    results[i] = evaluation_from_payload(payload)
+            return results  # type: ignore[return-value]
+        except BrokenProcessPool:
+            # A worker died mid-batch (machine churn, OOM kill, fleet
+            # shrink reclaiming cores).  The pool is unusable from here on:
+            # retire it and serve the whole batch on the in-process engine —
+            # bit-identical output by the sharding contract, so callers
+            # never observe the failure.  The next batch lazily starts a
+            # fresh pool.
+            self.pool_failures += 1
+            self.close()
+            return self.local.evaluate_plans(plans, t_seconds)
 
 
 __all__ = ["OracleSpec", "ShardedPlanEvaluator", "build_oracle"]

@@ -28,6 +28,11 @@ cluster.  This package adds the traffic-facing layer the ROADMAP's
   admission (``ClusterPolicy(admission="predictive")``), the between-windows
   fleet autoscaler and the binary-search capacity planner, all built on the
   contention evaluator's exact completion predictions.
+* :mod:`repro.runtime.faults` (consumed here) — seeded fleet churn behind
+  the ``churn:`` spec grammar: device crash/leave/join timelines, crash
+  detection mid-inference, per-tenant retry with exponential backoff and
+  deterministic load shedding under capacity loss, all inside the same
+  bit-exact parity contract (``run_with_parity(..., faults=...)``).
 
 The paper's :class:`~repro.runtime.streaming.StreamingSimulator` is the
 single-tenant closed-loop special case of this engine.  The subsystem map —
@@ -51,6 +56,16 @@ from repro.serving.dispatch import (
     PREDICTED_MISS_ACTIONS,
     ClusterPolicy,
     FleetDispatcher,
+)
+from repro.runtime.faults import (
+    CHURN_PREFIX,
+    ChurnSpec,
+    DegradationPolicy,
+    FaultReport,
+    FaultTrace,
+    RetryPolicy,
+    parse_churn_spec,
+    resolve_churn,
 )
 from repro.serving.engine import ArrayServingEngine, vectorizable
 from repro.serving.simulator import (
@@ -90,6 +105,14 @@ __all__ = [
     "CapacityProbe",
     "FleetAutoscaler",
     "effective_miss_rate",
+    "CHURN_PREFIX",
+    "ChurnSpec",
+    "DegradationPolicy",
+    "FaultReport",
+    "FaultTrace",
+    "RetryPolicy",
+    "parse_churn_spec",
+    "resolve_churn",
     "ArrayServingEngine",
     "vectorizable",
     "ServingSimulator",

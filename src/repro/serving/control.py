@@ -57,18 +57,22 @@ def effective_miss_rate(report: ServingReport) -> float:
     Predictive admission converts would-be deadline misses into denials, so
     judging a fleet by ``deadline_miss_rate`` alone (misses among completed
     requests) would let a tiny fleet look perfect by denying almost
-    everything.  Here a denial counts exactly like a miss: the fraction is
-    ``(missed + denied) / (completed + denied)`` over tenants that declare an
-    SLO — identical to ``deadline_miss_rate`` when nothing was denied.
+    everything.  Fleet churn (:mod:`repro.runtime.faults`) adds two more
+    ways to lose a request without a recorded miss: a crash can *abandon*
+    it after the retry budget, and a degradation window can *shed* it at
+    arrival.  All three count exactly like a miss: the fraction is
+    ``(missed + denied + abandoned + shed) / (completed + denied +
+    abandoned + shed)`` over tenants that declare an SLO — identical to
+    ``deadline_miss_rate`` when nothing was denied, abandoned or shed.
     """
-    missed = denied = completed = 0
+    missed = lost = completed = 0
     for tenant in report.tenants:
         if tenant.slo is not None:
             missed += int(tenant.deadline_missed.sum())
-            denied += tenant.num_denied
+            lost += tenant.num_denied + tenant.num_abandoned + tenant.num_shed
             completed += tenant.num_completed
-    total = completed + denied
-    return (missed + denied) / total if total else 0.0
+    total = completed + lost
+    return (missed + lost) / total if total else 0.0
 
 
 # ---------------------------------------------------------------------- #
@@ -410,8 +414,17 @@ class FleetAutoscaler:
         return max(self.config.min_devices, min(self.config.max_devices, n))
 
     def decide(self, report: ServingReport, num_devices: int) -> Tuple[str, int]:
-        """Next window's fleet size from this window's measurements."""
+        """Next window's fleet size from this window's measurements.
+
+        A window served under fleet churn reports its surviving fleet
+        (``report.faults.live_at_end``); the decision then steps from that
+        *post-churn* size, so replacing crashed devices registers as growth
+        and a shrink never assumes capacity the crash already took.
+        """
         cfg = self.config
+        observed = num_devices
+        if report.faults is not None:
+            observed = min(observed, int(report.faults.live_at_end))
         utilization = self._utilization(report)
         miss = effective_miss_rate(report)
         if cfg.capacity_per_device_rps is not None:
@@ -421,18 +434,18 @@ class FleetAutoscaler:
                 if arrival_rps > 0
                 else cfg.min_devices
             )
-            if desired > num_devices:
+            if desired > observed:
                 return "grow", desired
-            if desired < num_devices:
+            if desired < observed:
                 return "shrink", desired
-            return "hold", num_devices
+            return "hold", observed
         if utilization > cfg.high_utilization or miss > cfg.target_miss_rate:
-            grown = self._clamp(num_devices + cfg.step)
-            return ("grow", grown) if grown != num_devices else ("hold", num_devices)
+            grown = self._clamp(observed + cfg.step)
+            return ("grow", grown) if grown != observed else ("hold", observed)
         if utilization < cfg.low_utilization and miss <= cfg.target_miss_rate:
-            shrunk = self._clamp(num_devices - cfg.step)
-            return ("shrink", shrunk) if shrunk != num_devices else ("hold", num_devices)
-        return "hold", num_devices
+            shrunk = self._clamp(observed - cfg.step)
+            return ("shrink", shrunk) if shrunk != observed else ("hold", observed)
+        return "hold", observed
 
     # ------------------------------------------------------------------ #
     def run(

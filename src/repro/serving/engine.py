@@ -46,6 +46,15 @@ decision against the live queue depth) — fall back to their scalar
 signature groups and evaluation batches, so mixed workloads stay correct
 and only the tenants that need the slow path pay for it.
 
+Fleet churn (:mod:`repro.runtime.faults`) rides the same machinery: the
+fault-aware loop bounds every speculation window at the next membership
+event — a request commits speculatively only when its whole service span
+fits strictly inside the current liveness segment — and a head request
+crossing that barrier is rolled back and resolved through the shared scalar
+retry-chain walk (:func:`~repro.runtime.faults.resolve_faulted_request`),
+so mid-inference crashes, retries and abandonments land bit-identically to
+the reference loop's verdicts.
+
 Shared-fleet contention (a :class:`~repro.serving.dispatch.ClusterPolicy`)
 keeps its canonical sequential dispatch order by construction — the
 simulator routes contended array runs through the contended loop over the
@@ -70,6 +79,7 @@ from repro.runtime.batch import (
     network_state_signatures,
     plan_signature,
 )
+from repro.runtime.faults import FaultContext, resolve_faulted_request
 from repro.serving.tenants import TenantReport, TenantRuntime, TenantSpec
 from repro.utils.cache import LRUCache
 
@@ -105,14 +115,30 @@ class _VectorTenant:
     in vectorised array passes by :meth:`report`.
     """
 
-    def __init__(self, spec: TenantSpec, start_s: float, duration_s: Optional[float]) -> None:
+    def __init__(
+        self,
+        spec: TenantSpec,
+        start_s: float,
+        duration_s: Optional[float],
+        shed_intervals: Optional[List[Tuple[float, float]]] = None,
+    ) -> None:
         self.spec = spec
         self.start_s = float(start_s)
+        self.shed_times: List[float] = []
         if spec.closed_loop:
             self.arrivals = np.empty(0)
             self.capacity = int(spec.max_requests)
         else:
             self.arrivals = spec.traffic.arrival_times(duration_s, start_s)
+            if shed_intervals:
+                # Same up-front filter as TenantRuntime: shedding is decided
+                # at arrival time from (trace, weights) alone, so shed
+                # arrivals never enter the columns.
+                keep = np.ones(self.arrivals.size, dtype=bool)
+                for lo, hi in shed_intervals:
+                    keep &= ~((self.arrivals >= lo) & (self.arrivals < hi))
+                self.shed_times = [float(t) for t in self.arrivals[~keep]]
+                self.arrivals = self.arrivals[keep]
             n = int(self.arrivals.size)
             self.capacity = n if spec.max_requests is None else min(n, spec.max_requests)
         # Python-float view for the tight scan (same bits, faster item access).
@@ -128,7 +154,16 @@ class _VectorTenant:
         self.window = MIN_SPECULATION
         #: Per-tenant latency memo: network-state signature -> latency_ms
         #: (the plan is fixed on this path, so the signature is the key).
+        #: Under churn the key widens to ``(id(effective_plan), signature)``
+        #: — failover plans are cached per live set by the PlanDegrader, so
+        #: the identity is stable.
         self.memo = LRUCache(256)
+        # Fault-resolution outcomes (churn runs only; empty otherwise).
+        self.abandoned_rows: List[int] = []
+        self.abandoned_times: List[float] = []
+        self.num_lost_attempts = 0
+        self.num_retried = 0
+        self.retry_added_ms = 0.0
 
     # ------------------------------------------------------------------ #
     @property
@@ -251,6 +286,112 @@ class _VectorTenant:
         return count
 
     # ------------------------------------------------------------------ #
+    def advance_faulted(
+        self,
+        latency_ms: float,
+        signature: Tuple[float, ...],
+        static: bool,
+        network,
+        max_window: int,
+        trace,
+    ) -> int:
+        """:meth:`advance` on a churning fleet; returns how many landed.
+
+        The speculation window gains a second verifier: a request may only
+        commit speculatively when it *starts* strictly before the next
+        membership event and *completes* at or before it (a crash exactly at
+        the completion tick does not kill — the open-interval rule of
+        :meth:`FaultTrace.first_crash_touching`).  Inside such a window the
+        live set, the effective plan and the crash verdict ("none") are
+        constant, so the scalar retry-chain walk would resolve every request
+        to exactly this latency — the window commit is the resolver, batched.
+        Returns 0 when the head request itself crosses the barrier; the
+        engine then resolves it through :func:`resolve_faulted_request` and
+        commits it via :meth:`commit_resolved_head`.
+        """
+        remaining = self.capacity - self.committed
+        i0 = self.committed
+        t_next = self.peek_start()
+        barrier_ms = trace.next_event_after(t_next * 1000.0)
+        window = remaining if static else min(self.window, remaining)
+        snapshot = (self.committed, list(self.slots), self.truncated)
+        count = self._scan(window, latency_ms)
+        starts = self.starts[i0:i0 + count]
+        if static:
+            ok = count
+        else:
+            rows = network_state_signatures(network, starts)
+            mismatch = (rows != np.asarray(signature)).any(axis=1)
+            ok = int(np.argmax(mismatch)) if bool(mismatch.any()) else count
+            if ok == 0:  # pragma: no cover - peek/scan compute the same start
+                raise RuntimeError(
+                    f"tenant {self.spec.name!r}: speculation verifier rejected the "
+                    "evaluated head request — signature sampling drifted"
+                )
+        if barrier_ms is not None:
+            # Same float ops as the resolver: start_ms = start_s * 1000,
+            # end_ms = start_ms + latency — so the boundary comparisons
+            # agree bit for bit with the scalar crash test.
+            starts_ms = starts * 1000.0
+            fault_ok = int(np.searchsorted(starts_ms, barrier_ms, side="left"))
+            fault_ok = min(
+                fault_ok,
+                int(np.searchsorted(starts_ms + latency_ms, barrier_ms, side="right")),
+            )
+            ok = min(ok, fault_ok)
+        if ok < count:
+            self.committed, self.slots, self.truncated = snapshot
+            if ok:
+                self._scan(ok, latency_ms)
+            self.window = max(MIN_SPECULATION, self.window // 2)
+        elif not static:
+            self.window = min(max_window, self.window * 2)
+        count = self.committed - i0
+        self.lats[i0:i0 + count] = latency_ms
+        return count
+
+    def commit_resolved_head(self, resolved) -> None:
+        """Commit the head request's scalar fault resolution into the columns.
+
+        Mirrors :meth:`TenantRuntime.commit_resolved` float for float: a
+        completed retry chain commits like a normal request at its total
+        latency (first release to final completion), while an abandoned one
+        holds its service slot until the crash instant and leaves no
+        completed record — the row is flagged and filtered from the
+        completion columns at report time.
+        """
+        self.num_lost_attempts += resolved.lost_attempts
+        j = self.committed
+        if resolved.status == "completed":
+            self._scan(1, resolved.latency_ms)
+            self.lats[j] = resolved.latency_ms
+            if resolved.retried:
+                self.num_retried += 1
+                self.retry_added_ms += resolved.retry_added_ms
+            return
+        spec = self.spec
+        abandon_s = resolved.abandon_s
+        if spec.closed_loop:
+            s = self.slots[0]
+            heapq.heapreplace(self.slots, abandon_s + spec.gap_ms / 1000.0)
+            if (
+                spec.max_duration_s is not None
+                and self.slots[0] - self.start_s >= spec.max_duration_s
+            ):
+                self.truncated = True
+        else:
+            arrival = self._a[j]
+            free = self.slots[0]
+            s = arrival if arrival > free else free
+            heapq.heapreplace(self.slots, abandon_s)
+        self.starts[j] = s
+        self.comps[j] = abandon_s
+        self.lats[j] = 0.0
+        self.committed = j + 1
+        self.abandoned_rows.append(j)
+        self.abandoned_times.append(float(abandon_s))
+
+    # ------------------------------------------------------------------ #
     def _depth_series(self, k: int, admitted: int) -> np.ndarray:
         """Reconstruct the queue-depth event series in one array pass.
 
@@ -278,9 +419,21 @@ class _VectorTenant:
     def report(self) -> TenantReport:
         spec = self.spec
         k = self.committed
-        starts = self.starts[:k]
-        comps = self.comps[:k]
-        lats = self.lats[:k]
+        starts_all = self.starts[:k]
+        # Abandoned rows consumed an arrival, a slot and a dispatch — they
+        # stay in the depth/admission accounting below — but leave no
+        # completed record, exactly like TenantRuntime.abandon_pending.
+        if self.abandoned_rows:
+            mask = np.ones(k, dtype=bool)
+            mask[self.abandoned_rows] = False
+            starts = starts_all[mask]
+            comps = self.comps[:k][mask]
+            lats = self.lats[:k][mask]
+        else:
+            mask = None
+            starts = starts_all
+            comps = self.comps[:k]
+            lats = self.lats[:k]
         if spec.closed_loop:
             arrivals = starts  # closed-loop requests are issued at dispatch
             num_arrivals = k
@@ -289,14 +442,16 @@ class _VectorTenant:
             admitted = 0
         else:
             n = int(self.arrivals.size)
-            arrivals = self.arrivals[:k]
-            num_arrivals = n
+            arrivals = self.arrivals[:k] if mask is None else self.arrivals[:k][mask]
+            num_arrivals = n + len(self.shed_times)
             # Admitted during serving: arrivals at/before the last dispatch
             # (ties admit first).  Everything past the request cap was
             # rejected — queued requests in the cap drain, the unexamined
             # tail of the stream at its own arrival times.
             admitted = (
-                int(np.searchsorted(self.arrivals, starts[k - 1], side="right")) if k else 0
+                int(np.searchsorted(self.arrivals, starts_all[k - 1], side="right"))
+                if k
+                else 0
             )
             rejected = self.arrivals[k:].tolist()
             depth = self._depth_series(k, admitted)
@@ -304,7 +459,7 @@ class _VectorTenant:
         if spec.slo is not None:
             missed = response > spec.slo.deadline_ms
         else:
-            missed = np.zeros(k, dtype=bool)
+            missed = np.zeros(starts.size, dtype=bool)
         return TenantReport(
             name=spec.name,
             slo=spec.slo,
@@ -321,6 +476,13 @@ class _VectorTenant:
             queue_depth_series=depth,
             final_method=spec.plan.method,
             busy_until_s=max(self.slots),
+            num_shed=len(self.shed_times),
+            shed_times_s=list(self.shed_times),
+            num_abandoned=len(self.abandoned_rows),
+            abandoned_times_s=list(self.abandoned_times),
+            num_lost_attempts=self.num_lost_attempts,
+            num_retried=self.num_retried,
+            retry_added_ms=self.retry_added_ms,
         )
 
 
@@ -349,13 +511,20 @@ class ArrayServingEngine:
         duration_s: Optional[float] = None,
         start_s: float = 0.0,
         mode: str = "batched",
+        fault_ctx: Optional[FaultContext] = None,
     ):
         """Run the array time-wheel; returns a ``ServingReport``.
 
         ``mode`` is recorded in the report for symmetry with the object
         loops; the engine itself has a single (batched) execution strategy.
+        ``fault_ctx`` (built by the simulator) switches on fleet churn: the
+        run moves to the fault-aware epoch loop, whose speculation windows
+        are additionally bounded by the fault trace's membership events.
         """
         from repro.serving.simulator import ServingReport  # circular at module load
+
+        if fault_ctx is not None:
+            return self._run_faulted(tenants, duration_s, start_s, mode, fault_ctx)
 
         network = self.evaluator.network
         static = network.is_static
@@ -459,6 +628,198 @@ class ArrayServingEngine:
                     latency, signature, static, network, self.speculation
                 )
                 speculated += landed - 1
+
+        reports = [
+            vector.report() if vector is not None else runtime.report()
+            for vector, runtime in zip(vectors, runtimes)
+        ]
+        return ServingReport(
+            tenants=reports,
+            start_s=start_s,
+            duration_s=duration_s,
+            mode=mode,
+            epochs=epochs,
+            evaluator_kind=type(self.evaluator).__name__,
+            cache_hits=cache_hits,
+            engine="array",
+            speculated=speculated,
+        )
+
+    def _run_faulted(
+        self,
+        tenants: Sequence[TenantSpec],
+        duration_s: Optional[float],
+        start_s: float,
+        mode: str,
+        ctx: FaultContext,
+    ):
+        """The epoch time-wheel on a churning fleet.
+
+        Three additions keep the column fast path under the churn parity
+        contract:
+
+        * every epoch resolves each tenant's *effective* plan from the live
+          set at its next start — the same :class:`PlanDegrader` decision
+          (and the same cached plan object) the scalar loops use;
+        * speculation windows stop at the next membership event
+          (:meth:`_VectorTenant.advance_faulted`), so no speculated commit
+          can ever interact with churn;
+        * a head request crossing the barrier is rolled back and resolved
+          through the shared scalar retry-chain walk
+          (:func:`~repro.runtime.faults.resolve_faulted_request`) with this
+          engine's memoized latency oracle, then committed row by row —
+          including abandoned rows, which hold their slot until the crash.
+
+        Non-vectorizable tenants run their scalar :class:`TenantRuntime`
+        chain through the very same resolver per dispatch, exactly as the
+        simulator's batched faulted loop does.
+        """
+        from repro.serving.simulator import ServingReport  # circular at module load
+
+        network = self.evaluator.network
+        static = network.is_static
+        static_sig = network_state_signature(network, start_s) if static else None
+        trace, retry, degrader = ctx.trace, ctx.retry, ctx.degrader
+
+        vectors: List[Optional[_VectorTenant]] = []
+        runtimes: List[Optional[TenantRuntime]] = []
+        for i, spec in enumerate(tenants):
+            shed = list(ctx.shed_intervals[i]) if ctx.shed_intervals[i] else None
+            if vectorizable(spec):
+                vectors.append(
+                    _VectorTenant(spec, start_s, duration_s, shed_intervals=shed)
+                )
+                runtimes.append(None)
+            else:
+                vectors.append(None)
+                runtimes.append(
+                    TenantRuntime(spec, start_s, duration_s, shed_intervals=shed)
+                )
+
+        epochs = 0
+        cache_hits = 0
+        speculated = 0
+        plan_sigs: Dict[int, Tuple] = {}
+        plan_refs: Dict[int, object] = {}
+
+        def sig_of(plan) -> Tuple:
+            sig = plan_sigs.get(id(plan))
+            if sig is None:
+                sig = plan_signature(plan)
+                plan_sigs[id(plan)] = sig
+                plan_refs[id(plan)] = plan
+            return sig
+
+        def sig_at(t_s: float) -> Tuple[float, ...]:
+            return static_sig if static else network_state_signature(network, t_s)
+
+        def vector_oracle(vector: _VectorTenant):
+            # The retry-chain walk's latency oracle for a column tenant:
+            # the per-tenant memo keyed (effective plan, network state),
+            # falling through to a singleton batch evaluation — the same
+            # floats the simulator's batched faulted loop feeds the walk.
+            def latency_of(plan, t_s: float) -> float:
+                nonlocal cache_hits
+                key = (id(plan), sig_at(t_s))
+                hit = vector.memo.get(key)
+                if hit is not None:
+                    cache_hits += 1
+                    return hit
+                latency = self.evaluator.evaluate_plans([plan], t_seconds=t_s)[0].end_to_end_ms
+                vector.memo.put(key, latency)
+                return latency
+
+            return latency_of
+
+        def runtime_oracle(runtime: TenantRuntime):
+            def latency_of(plan, t_s: float) -> float:
+                nonlocal cache_hits
+                key = (
+                    id(plan.model),
+                    sig_of(plan),
+                    network_state_signature(network, t_s),
+                )
+                cached = runtime.cached_latency(key)
+                if cached is not None:
+                    cache_hits += 1
+                    return cached
+                latency = self.evaluator.evaluate_plans([plan], t_seconds=t_s)[0].end_to_end_ms
+                runtime.cache_latency(key, plan.model, latency)
+                return latency
+
+            return latency_of
+
+        while True:
+            groups: Dict[Tuple[float, ...], List[Tuple]] = {}
+            ready: List[Tuple] = []
+            dispatched = False
+            for index, (vector, runtime) in enumerate(zip(vectors, runtimes)):
+                if vector is not None:
+                    if vector.done:
+                        continue
+                    dispatched = True
+                    t_next = vector.peek_start()
+                    eff = degrader.effective_plan(
+                        vector.spec.plan, trace.live_indices(t_next * 1000.0)
+                    )
+                    signature = sig_at(t_next)
+                    latency = vector.memo.get((id(eff), signature))
+                    if latency is None:
+                        groups.setdefault(signature, []).append(
+                            (vector, t_next, eff, index)
+                        )
+                    else:
+                        cache_hits += 1
+                        ready.append((vector, signature, latency, index))
+                    continue
+                if runtime.done:
+                    continue
+                dispatch = runtime.prepare()
+                if dispatch is None:
+                    continue
+                dispatched = True
+                resolved = resolve_faulted_request(
+                    dispatch.start_s,
+                    dispatch.plan,
+                    runtime_oracle(runtime),
+                    trace,
+                    retry,
+                    degrader,
+                    index,
+                    runtime.pending_ordinal,
+                )
+                runtime.commit_resolved(resolved)
+            if not dispatched:
+                break
+            epochs += 1
+            for signature, members in groups.items():
+                results = self.evaluator.evaluate_plans(
+                    [eff for _, _, eff, _ in members], t_seconds=members[0][1]
+                )
+                for (vector, t_next, eff, index), result in zip(members, results):
+                    latency = result.end_to_end_ms
+                    vector.memo.put((id(eff), signature), latency)
+                    ready.append((vector, signature, latency, index))
+            for vector, signature, latency, index in ready:
+                landed = vector.advance_faulted(
+                    latency, signature, static, network, self.speculation, trace
+                )
+                if landed:
+                    speculated += landed - 1
+                    continue
+                # The head request crosses the next membership event: walk
+                # its retry chain scalar and commit the single resolution.
+                resolved = resolve_faulted_request(
+                    vector.peek_start(),
+                    vector.spec.plan,
+                    vector_oracle(vector),
+                    trace,
+                    retry,
+                    degrader,
+                    index,
+                    vector.committed,
+                )
+                vector.commit_resolved_head(resolved)
 
         reports = [
             vector.report() if vector is not None else runtime.report()

@@ -59,7 +59,7 @@ parity contracts live in ``docs/architecture.md``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -68,8 +68,21 @@ from repro.runtime.contention import (
     ContentionAwareEvaluator,
     FleetLoadReport,
     SharedFleetState,
+    truncated_outcome,
 )
 from repro.runtime.evaluator import PlanEvaluator
+from repro.runtime.faults import (
+    ChurnSpec,
+    DegradationPolicy,
+    FaultContext,
+    FaultReport,
+    FaultTrace,
+    RetryPolicy,
+    build_fault_context,
+    build_fault_report,
+    plan_devices,
+    resolve_faulted_request,
+)
 from repro.serving.dispatch import ClusterPolicy, FleetDispatcher
 from repro.serving.tenants import TenantReport, TenantRuntime, TenantSpec
 from repro.utils.cache import LRUCache
@@ -114,6 +127,8 @@ class ServingReport:
     #: ``"requeue"``; empty for non-predictive runs).
     admission: str = "none"
     on_predicted_miss: str = ""
+    #: Churn outcome summary (set when a fault trace drove the run).
+    faults: Optional[FaultReport] = None
 
     def tenant(self, name: str) -> TenantReport:
         for report in self.tenants:
@@ -137,6 +152,16 @@ class ServingReport:
     def total_denied(self) -> int:
         """Requests dropped by predictive admission across all tenants."""
         return sum(t.num_denied for t in self.tenants)
+
+    @property
+    def total_shed(self) -> int:
+        """Arrivals shed by the degradation policy across all tenants."""
+        return sum(t.num_shed for t in self.tenants)
+
+    @property
+    def total_abandoned(self) -> int:
+        """Requests abandoned after exhausting their retry budget."""
+        return sum(t.num_abandoned for t in self.tenants)
 
     @property
     def makespan_s(self) -> float:
@@ -197,6 +222,8 @@ class ServingReport:
             "total_completed": int(self.total_completed),
             "total_rejected": int(self.total_rejected),
             "total_denied": int(self.total_denied),
+            "total_shed": int(self.total_shed),
+            "total_abandoned": int(self.total_abandoned),
             "makespan_s": float(self.makespan_s),
             "throughput_rps": float(self.throughput_rps),
             "p50_response_ms": float(self.response_percentile_ms(50)),
@@ -223,12 +250,19 @@ class ServingReport:
                     "num_replans": len(t.replan_times_s),
                     "max_queue_depth": int(t.max_queue_depth),
                     "final_method": t.final_method,
+                    "num_shed": int(t.num_shed),
+                    "num_abandoned": int(t.num_abandoned),
+                    "num_lost_attempts": int(t.num_lost_attempts),
+                    "num_retried": int(t.num_retried),
+                    "retry_added_ms": float(t.retry_added_ms),
                 }
                 for t in self.tenants
             ],
         }
         if self.fleet is not None:
             out["fleet"] = self.fleet.to_dict()
+        if self.faults is not None:
+            out["faults"] = self.faults.to_dict()
         return out
 
 
@@ -311,6 +345,9 @@ class ServingSimulator:
         policy: Optional[ClusterPolicy] = None,
         engine: str = "object",
         schedule_memo: Optional[LRUCache] = None,
+        faults: Union[str, ChurnSpec, FaultTrace, None] = None,
+        retry: Optional[RetryPolicy] = None,
+        degradation: Optional[DegradationPolicy] = None,
     ) -> ServingReport:
         """Simulate the tenants' traffic and return the serving report.
 
@@ -337,7 +374,19 @@ class ServingSimulator:
         ``schedule_memo`` shares an externally-owned contended-schedule LRU
         across runs (capacity-planner probe reuse); it requires a contended
         batched run — the reference loop must stay memo-free to remain the
-        oracle.
+        oracle.  (Sound under churn too: fault decisions happen *outside*
+        the memoized walk, whose key already captures every walk input.)
+
+        ``faults`` switches on fleet churn: a ``churn:`` spec string,
+        :class:`~repro.runtime.faults.ChurnSpec` or
+        :class:`~repro.runtime.faults.FaultTrace` scheduling device
+        join/leave/crash events.  Requests whose plan touches a crashed
+        device mid-flight are failed at detection and routed through
+        ``retry`` (default :class:`~repro.runtime.faults.RetryPolicy`);
+        ``degradation`` sheds lowest-weight tenants' arrivals while the live
+        fleet fraction is below its threshold.  All decisions are pure
+        functions shared by every loop, so churn lives under the same
+        bit-exact parity contract as everything else.
         """
         self._check(tenants, duration_s, mode, policy, engine)
         if schedule_memo is not None and (policy is None or mode != "batched"):
@@ -345,18 +394,53 @@ class ServingSimulator:
                 "schedule_memo requires a contended batched run "
                 f"(got policy={policy!r}, mode={mode!r})"
             )
+        fault_ctx = build_fault_context(
+            faults,
+            retry,
+            degradation,
+            len(self.evaluator.devices),
+            [spec.weight for spec in tenants],
+            start_s,
+            duration_s,
+        )
         if engine == "array" and policy is None:
             from repro.serving.engine import ArrayServingEngine  # deferred: circular
 
-            return ArrayServingEngine(self.evaluator).run(
-                tenants, duration_s=duration_s, start_s=start_s, mode=mode
+            report = ArrayServingEngine(self.evaluator).run(
+                tenants,
+                duration_s=duration_s,
+                start_s=start_s,
+                mode=mode,
+                fault_ctx=fault_ctx,
             )
-        runtimes = [TenantRuntime(spec, start_s, duration_s) for spec in tenants]
+            if fault_ctx is not None:
+                report.faults = build_fault_report(fault_ctx, report.tenants)
+            return report
+        runtimes = [
+            TenantRuntime(
+                spec,
+                start_s,
+                duration_s,
+                shed_intervals=(
+                    list(fault_ctx.shed_intervals[i]) if fault_ctx is not None else None
+                ),
+            )
+            for i, spec in enumerate(tenants)
+        ]
         if policy is not None:
-            return self._run_contended(
-                runtimes, duration_s, start_s, mode, policy, engine, schedule_memo
+            report = self._run_contended(
+                runtimes, duration_s, start_s, mode, policy, engine, schedule_memo,
+                fault_ctx,
             )
-        return self._run_independent(runtimes, duration_s, start_s, mode)
+        elif fault_ctx is not None:
+            report = self._run_independent_faulted(
+                runtimes, duration_s, start_s, mode, fault_ctx
+            )
+        else:
+            report = self._run_independent(runtimes, duration_s, start_s, mode)
+        if fault_ctx is not None:
+            report.faults = build_fault_report(fault_ctx, report.tenants)
+        return report
 
     def _run_independent(
         self,
@@ -435,6 +519,95 @@ class ServingSimulator:
             cache_hits=cache_hits,
         )
 
+    def _run_independent_faulted(
+        self,
+        runtimes: List[TenantRuntime],
+        duration_s: Optional[float],
+        start_s: float,
+        mode: str,
+        fault_ctx: FaultContext,
+    ) -> ServingReport:
+        """Contention-free serving on a churning fleet.
+
+        Each dispatch is resolved through the shared pure retry-chain walk
+        (:func:`~repro.runtime.faults.resolve_faulted_request`) and committed
+        once with its final outcome.  The only floats entering the decisions
+        come from the mode's latency oracle — the scalar evaluator here, the
+        (bit-exact) batch engine plus per-tenant cache in batched mode — so
+        both modes resolve every request identically.  Retry attempts are
+        evaluated under the network state at their own release instant,
+        exactly as the reference loop would re-dispatch them.
+        """
+        epochs = 0
+        cache_hits = 0
+        network = self.evaluator.network
+        plan_sigs: Dict[int, Tuple] = {}
+        plan_refs: Dict[int, object] = {}
+
+        def sig_of(plan) -> Tuple:
+            sig = plan_sigs.get(id(plan))
+            if sig is None:
+                sig = plan_signature(plan)
+                plan_sigs[id(plan)] = sig
+                plan_refs[id(plan)] = plan
+            return sig
+
+        def reference_latency(plan, t_s: float) -> float:
+            return self.evaluator.evaluate(plan, t_seconds=t_s).end_to_end_ms
+
+        def batched_latency_for(runtime: TenantRuntime):
+            def latency_of(plan, t_s: float) -> float:
+                nonlocal cache_hits
+                signature = network_state_signature(network, t_s)
+                key = (id(plan.model), sig_of(plan), signature)
+                cached = runtime.cached_latency(key)
+                if cached is not None:
+                    cache_hits += 1
+                    return cached
+                result = self.evaluator.evaluate_plans([plan], t_seconds=t_s)[0]
+                runtime.cache_latency(key, plan.model, result.end_to_end_ms)
+                return result.end_to_end_ms
+
+            return latency_of
+
+        while True:
+            dispatches: List[Tuple[int, TenantRuntime, object]] = []
+            for tenant_index, runtime in enumerate(runtimes):
+                if runtime.done:
+                    continue
+                dispatch = runtime.prepare()
+                if dispatch is not None:
+                    dispatches.append((tenant_index, runtime, dispatch))
+            if not dispatches:
+                break
+            epochs += 1
+            for tenant_index, runtime, dispatch in dispatches:
+                latency_of = (
+                    reference_latency
+                    if mode == "reference"
+                    else batched_latency_for(runtime)
+                )
+                resolved = resolve_faulted_request(
+                    dispatch.start_s,
+                    dispatch.plan,
+                    latency_of,
+                    fault_ctx.trace,
+                    fault_ctx.retry,
+                    fault_ctx.degrader,
+                    tenant_index,
+                    runtime.pending_ordinal,
+                )
+                runtime.commit_resolved(resolved)
+        return ServingReport(
+            tenants=[runtime.report() for runtime in runtimes],
+            start_s=start_s,
+            duration_s=duration_s,
+            mode=mode,
+            epochs=epochs,
+            evaluator_kind=type(self.evaluator).__name__,
+            cache_hits=cache_hits,
+        )
+
     def _run_contended(
         self,
         runtimes: List[TenantRuntime],
@@ -444,6 +617,7 @@ class ServingSimulator:
         policy: ClusterPolicy,
         engine: str = "object",
         schedule_memo: Optional[LRUCache] = None,
+        fault_ctx: Optional[FaultContext] = None,
     ) -> ServingReport:
         """The shared-fleet loops: requests queue on each other's lanes.
 
@@ -468,6 +642,17 @@ class ServingSimulator:
         response.  Both modes run the identical decision code on identical
         floats (a memo hit replays the fresh walk's floats), preserving
         bit-parity.
+
+        Fleet churn (``fault_ctx``) adds a replan → predict → crash-check
+        step: every selection replans around the instant's dead devices
+        (:meth:`~repro.runtime.faults.PlanDegrader.effective_plan`), and a
+        predicted schedule crossing a crash of a touched device is committed
+        *truncated at the crash* (the partial lane occupancy and the gate
+        slot it held until dying are real), then retried after backoff
+        through the normal pending queue or abandoned when the budget is
+        spent.  Predictions are crash-unaware by design — the admission gate
+        models what the controller can know at release time — and every
+        churn decision is the same pure function in both modes.
         """
         engine_label = engine
         fleet = SharedFleetState(len(self.evaluator.devices), window_ms=policy.window_ms)
@@ -497,8 +682,15 @@ class ServingSimulator:
             )
             dispatch = pending.pop(index)
             release_ms = dispatch.start_s * 1000.0
+            plan = dispatch.plan
+            if fault_ctx is not None:
+                # Replan around devices dead at this release (graceful leaves
+                # and crashes alike); restored automatically once they rejoin.
+                plan = fault_ctx.degrader.effective_plan(
+                    plan, fault_ctx.trace.live_indices(release_ms)
+                )
             outcome = engine.predict(
-                dispatch.plan, release_ms=release_ms, t_seconds=dispatch.start_s
+                plan, release_ms=release_ms, t_seconds=dispatch.start_s
             )
             slo = runtimes[index].spec.slo
             if predictive and slo is not None:
@@ -523,6 +715,39 @@ class ServingSimulator:
                         dispatch = runtimes[index].prepare()
                         if dispatch is not None:
                             pending[index] = dispatch
+                    continue
+            if fault_ctx is not None:
+                crash = fault_ctx.trace.first_crash_touching(
+                    plan_devices(plan), release_ms, release_ms + outcome.latency_ms
+                )
+                if crash is not None:
+                    # Failed at detection: the request held lanes and the
+                    # admission gate until the crash — commit the truncated
+                    # schedule, then retry through the normal pending queue
+                    # (re-predicted and re-admitted at its new release) or
+                    # abandon once the budget is spent.
+                    runtime = runtimes[index]
+                    cut = truncated_outcome(outcome, crash.t_ms - release_ms)
+                    engine.commit(cut, release_ms)
+                    dispatcher.account(index, cut.latency_ms)
+                    attempt = runtime.pending_attempt
+                    delay_ms = fault_ctx.retry.delay_ms(
+                        attempt, index, runtime.pending_ordinal
+                    )
+                    new_start_ms = crash.t_ms + delay_ms
+                    timed_out = (
+                        fault_ctx.retry.timeout_ms is not None
+                        and new_start_ms - runtime.pending_first_start_s * 1000.0
+                        > fault_ctx.retry.timeout_ms
+                    )
+                    if attempt >= fault_ctx.retry.max_attempts or timed_out:
+                        runtime.abandon_pending(crash.t_ms / 1000.0, lost=1)
+                        if not runtime.done:
+                            dispatch = runtime.prepare()
+                            if dispatch is not None:
+                                pending[index] = dispatch
+                    else:
+                        pending[index] = runtime.retry_pending(new_start_ms / 1000.0)
                     continue
             engine.commit(outcome, release_ms)
             runtimes[index].commit(outcome.latency_ms)
@@ -594,6 +819,13 @@ def _compare_tenant(a: TenantReport, b: TenantReport, errors: List[str]) -> None
         ("replan_times_s", a.replan_times_s, b.replan_times_s),
         ("final_method", a.final_method, b.final_method),
         ("busy_until_s", a.busy_until_s, b.busy_until_s),
+        ("num_shed", a.num_shed, b.num_shed),
+        ("shed_times_s", a.shed_times_s, b.shed_times_s),
+        ("num_abandoned", a.num_abandoned, b.num_abandoned),
+        ("abandoned_times_s", a.abandoned_times_s, b.abandoned_times_s),
+        ("num_lost_attempts", a.num_lost_attempts, b.num_lost_attempts),
+        ("num_retried", a.num_retried, b.num_retried),
+        ("retry_added_ms", a.retry_added_ms, b.retry_added_ms),
     ]:
         if left != right:
             errors.append(f"tenant {a.name!r}: {label} differs ({left!r} != {right!r})")
@@ -655,6 +887,10 @@ def assert_reports_equal(batched: ServingReport, reference: ServingReport) -> No
                 f"{label} differs ({getattr(batched, label)!r} != "
                 f"{getattr(reference, label)!r})"
             )
+    if batched.faults != reference.faults:
+        errors.append(
+            f"fault reports differ ({batched.faults!r} != {reference.faults!r})"
+        )
     for a, b in zip(batched.tenants, reference.tenants):
         _compare_tenant(a, b, errors)
     _compare_fleet(batched.fleet, reference.fleet, errors)
@@ -670,6 +906,9 @@ def run_with_parity(
     start_s: float = 0.0,
     policy: Optional[ClusterPolicy] = None,
     engine: str = "object",
+    faults: Union[str, ChurnSpec, FaultTrace, None] = None,
+    retry: Optional[RetryPolicy] = None,
+    degradation: Optional[DegradationPolicy] = None,
 ) -> ServingReport:
     """Run the batched and the reference loops and assert bit-identity.
 
@@ -681,7 +920,10 @@ def run_with_parity(
     walk).  ``engine="array"`` runs the *batched* side through the
     vectorised column time-wheel, making this the array engine's bit-exact
     correctness contract against the scalar reference loop (the reference
-    side always runs on the object engine — it is the oracle).  Returns the
+    side always runs on the object engine — it is the oracle).
+    ``faults``/``retry``/``degradation`` drive both loops over the same
+    churning fleet — the churn parity contract: identical crash detections,
+    retries, abandonments, shed arrivals and ``FaultReport``.  Returns the
     batched report.
     """
     for spec in tenants:
@@ -691,7 +933,14 @@ def run_with_parity(
                 "supply the hook as hook_factory so each run gets a fresh controller"
             )
     reference = ServingSimulator(reference_evaluator).run(
-        tenants, duration_s=duration_s, start_s=start_s, mode="reference", policy=policy
+        tenants,
+        duration_s=duration_s,
+        start_s=start_s,
+        mode="reference",
+        policy=policy,
+        faults=faults,
+        retry=retry,
+        degradation=degradation,
     )
     batched = ServingSimulator(batched_evaluator).run(
         tenants,
@@ -700,6 +949,9 @@ def run_with_parity(
         mode="batched",
         policy=policy,
         engine=engine,
+        faults=faults,
+        retry=retry,
+        degradation=degradation,
     )
     assert_reports_equal(batched, reference)
     return batched

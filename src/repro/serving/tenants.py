@@ -28,8 +28,15 @@ shared-fleet contention (:mod:`repro.runtime.contention`).
 Predictive admission (:mod:`repro.serving.control`) adds two transitions to
 the chain: a pending dispatch may be *denied* (:meth:`TenantRuntime.deny_pending`
 — dropped unserved, counted in ``num_denied``) or *deferred*
-(:meth:`TenantRuntime.defer_pending` — re-released later).  See
-``docs/architecture.md`` for the subsystem map.
+(:meth:`TenantRuntime.defer_pending` — re-released later).  Fleet churn
+(:mod:`repro.runtime.faults`) adds three more: a pending dispatch killed by a
+mid-inference crash may be *retried* (:meth:`TenantRuntime.retry_pending` —
+re-released after backoff, the lost attempt counted) or *abandoned*
+(:meth:`TenantRuntime.abandon_pending` — dropped at the crash, the slot held
+until then), and a :class:`~repro.runtime.faults.DegradationPolicy` may
+*shed* open-loop arrivals at construction time (counted in ``num_shed``,
+never entering the queue).  See ``docs/architecture.md`` for the subsystem
+map.
 """
 
 from __future__ import annotations
@@ -220,6 +227,17 @@ class TenantReport:
     # (num_rejected), which happen at *arrival* on a full queue.
     num_denied: int = 0
     denied_times_s: List[float] = field(default_factory=list)
+    # Fleet-churn outcomes (repro.runtime.faults): arrivals shed by the
+    # degradation policy, requests abandoned after exhausting their retry
+    # budget, crashed (lost) attempts, and the extra pre-service delay retried
+    # requests accumulated before their successful attempt started.
+    num_shed: int = 0
+    shed_times_s: List[float] = field(default_factory=list)
+    num_abandoned: int = 0
+    abandoned_times_s: List[float] = field(default_factory=list)
+    num_lost_attempts: int = 0
+    num_retried: int = 0
+    retry_added_ms: float = 0.0
 
     @property
     def num_completed(self) -> int:
@@ -227,7 +245,7 @@ class TenantReport:
 
     @property
     def num_admitted(self) -> int:
-        return self.num_arrivals - self.num_rejected
+        return self.num_arrivals - self.num_rejected - self.num_shed
 
     @property
     def makespan_s(self) -> float:
@@ -306,6 +324,7 @@ class TenantRuntime:
         spec: TenantSpec,
         start_s: float,
         duration_s: Optional[float],
+        shed_intervals: Optional[List[Tuple[float, float]]] = None,
     ) -> None:
         self.spec = spec
         self.start_s = float(start_s)
@@ -319,6 +338,7 @@ class TenantRuntime:
         # single service-slot clock of earlier revisions.
         self._slot_free_s: List[float] = [self.start_s] * spec.slots
 
+        self.shed_times: List[float] = []
         if spec.closed_loop:
             self._arrivals = np.empty(0)
         else:
@@ -327,8 +347,24 @@ class TenantRuntime:
                     f"tenant {spec.name!r} is open-loop; the simulator needs duration_s"
                 )
             self._arrivals = spec.traffic.arrival_times(duration_s, start_s)
+            if shed_intervals:
+                # Degradation shedding is decided at arrival time from the
+                # (trace, weights) alone — a pure function every loop shares —
+                # so shed arrivals are filtered out of the stream up front and
+                # never enter the queue.
+                keep = np.ones(self._arrivals.size, dtype=bool)
+                for lo, hi in shed_intervals:
+                    keep &= ~((self._arrivals >= lo) & (self._arrivals < hi))
+                self.shed_times = [float(t) for t in self._arrivals[~keep]]
+                self._arrivals = self._arrivals[keep]
         self._next_arrival = 0
         self._queue: Deque[float] = deque()
+
+        # Fault/retry chain state for the pending dispatch.
+        self._prepared = 0
+        self._pending_ordinal = 0
+        self._pending_attempt = 1
+        self._pending_first_start_s = 0.0
 
         # Per-tenant plan-evaluation cache (batched loop only): latency by
         # (model, plan structure, network-state signature).  Controller
@@ -342,6 +378,10 @@ class TenantRuntime:
         self.arrivals_seen = 0
         self.rejected_times: List[float] = []
         self.denied_times: List[float] = []
+        self.abandoned_times: List[float] = []
+        self.num_lost_attempts = 0
+        self.num_retried = 0
+        self.retry_added_ms = 0.0
         self.replan_times: List[float] = []
         self.latencies_ms: List[float] = []
         self.responses_ms: List[float] = []
@@ -437,6 +477,10 @@ class TenantRuntime:
                 self.current_plan = replacement
                 self.replan_times.append(start)
         self._pending = Dispatch(arrival_s=arrival, start_s=start, plan=self.current_plan)
+        self._pending_ordinal = self._prepared
+        self._prepared += 1
+        self._pending_attempt = 1
+        self._pending_first_start_s = start
         return self._pending
 
     def commit(self, latency_ms: float) -> None:
@@ -445,6 +489,11 @@ class TenantRuntime:
         if dispatch is None:
             raise RuntimeError(f"tenant {self.spec.name!r}: commit() without prepare()")
         self._pending = None
+        if self._pending_attempt > 1:
+            # The request completed on a retry attempt: the delay between its
+            # first release and this attempt's release is retry-added latency.
+            self.num_retried += 1
+            self.retry_added_ms += (dispatch.start_s - self._pending_first_start_s) * 1000.0
         completion = dispatch.start_s + latency_ms / 1000.0
         response_ms = (completion - dispatch.arrival_s) * 1000.0
         self.req_arrival_s.append(dispatch.arrival_s)
@@ -528,6 +577,99 @@ class TenantRuntime:
         return self._pending
 
     # ------------------------------------------------------------------ #
+    # fleet-churn transitions (repro.runtime.faults)
+    # ------------------------------------------------------------------ #
+    @property
+    def pending_attempt(self) -> int:
+        """Attempt number (1-based) of the pending dispatch's current try."""
+        return self._pending_attempt
+
+    @property
+    def pending_ordinal(self) -> int:
+        """Per-tenant dispatch ordinal of the pending request (retry-jitter
+        counter: identical across loops because the prepare sequence is)."""
+        return self._pending_ordinal
+
+    @property
+    def pending_first_start_s(self) -> float:
+        """Release time of the pending request's *first* attempt."""
+        return self._pending_first_start_s
+
+    def retry_pending(self, new_start_s: float) -> Dispatch:
+        """Re-release the pending dispatch after a mid-inference crash.
+
+        The crashed attempt is counted as lost; the request stays pending
+        and re-enters dispatch at ``new_start_s`` (crash instant plus the
+        retry policy's backoff, strictly later than the failed release).
+        Like :meth:`defer_pending`, open-loop arrivals up to the new release
+        are admitted and the adaptation hook is not re-invoked — replanning
+        around the dead device happens at the serving loop's next selection.
+        """
+        dispatch = self._pending
+        if dispatch is None:
+            raise RuntimeError(f"tenant {self.spec.name!r}: retry_pending() without prepare()")
+        if new_start_s <= dispatch.start_s:
+            raise ValueError(
+                f"tenant {self.spec.name!r}: retry_pending needs a strictly later "
+                f"start, got {new_start_s} <= {dispatch.start_s}"
+            )
+        self.num_lost_attempts += 1
+        self._pending_attempt += 1
+        if not self.spec.closed_loop:
+            self._admit_until(new_start_s)
+        self._pending = Dispatch(
+            arrival_s=dispatch.arrival_s, start_s=new_start_s, plan=dispatch.plan
+        )
+        return self._pending
+
+    def abandon_pending(self, abandon_s: float, lost: int = 0) -> None:
+        """Drop the pending dispatch at a crash: its retry budget is spent.
+
+        Unlike a denial the request *did* occupy its service slot — from its
+        release until the crash at ``abandon_s`` — so the slot is advanced to
+        the abandon instant (plus think time for closed-loop chains).
+        ``lost`` extra crashed attempts are added to the lost-attempt count.
+        """
+        dispatch = self._pending
+        if dispatch is None:
+            raise RuntimeError(f"tenant {self.spec.name!r}: abandon_pending() without prepare()")
+        if abandon_s < dispatch.start_s:
+            raise ValueError(
+                f"tenant {self.spec.name!r}: abandon_pending needs abandon_s >= the "
+                f"release, got {abandon_s} < {dispatch.start_s}"
+            )
+        self._pending = None
+        self.abandoned_times.append(abandon_s)
+        self.num_lost_attempts += int(lost)
+        self._served += 1
+        if self.spec.closed_loop:
+            self.arrivals_seen += 1
+            heapq.heapreplace(
+                self._slot_free_s, abandon_s + self.spec.gap_ms / 1000.0
+            )
+            if (
+                self.spec.max_duration_s is not None
+                and self._free_s - self.start_s >= self.spec.max_duration_s
+            ):
+                self.done = True
+        else:
+            self._queue.popleft()
+            self.depth_events.append((dispatch.start_s, len(self._queue)))
+            heapq.heapreplace(self._slot_free_s, abandon_s)
+
+    def commit_resolved(self, resolved) -> None:
+        """Commit a :class:`~repro.runtime.faults.ResolvedRequest` — the
+        uncontended loops' one-commit-per-request fault resolution."""
+        self.num_lost_attempts += resolved.lost_attempts
+        if resolved.status == "abandoned":
+            self.abandon_pending(resolved.abandon_s)
+            return
+        if resolved.retried:
+            self.num_retried += 1
+            self.retry_added_ms += resolved.retry_added_ms
+        self.commit(resolved.latency_ms)
+
+    # ------------------------------------------------------------------ #
     def cached_latency(self, key: Tuple) -> Optional[float]:
         """Latency of an earlier identical (plan, network-state) dispatch.
 
@@ -564,7 +706,7 @@ class TenantRuntime:
             latency_ms=np.asarray(self.latencies_ms),
             response_ms=np.asarray(self.responses_ms),
             deadline_missed=np.asarray(self.missed, dtype=bool),
-            num_arrivals=self.arrivals_seen,
+            num_arrivals=self.arrivals_seen + len(self.shed_times),
             num_rejected=len(self.rejected_times),
             rejected_times_s=list(self.rejected_times),
             replan_times_s=list(self.replan_times),
@@ -573,6 +715,13 @@ class TenantRuntime:
             busy_until_s=self.busy_until_s,
             num_denied=len(self.denied_times),
             denied_times_s=list(self.denied_times),
+            num_shed=len(self.shed_times),
+            shed_times_s=list(self.shed_times),
+            num_abandoned=len(self.abandoned_times),
+            abandoned_times_s=list(self.abandoned_times),
+            num_lost_attempts=self.num_lost_attempts,
+            num_retried=self.num_retried,
+            retry_added_ms=self.retry_added_ms,
         )
 
 

@@ -261,3 +261,33 @@ class TestWarmPoolPlanners:
             local = run(sharded.local)
         assert pooled.best_latency_ms == local.best_latency_ms
         assert np.array_equal(pooled.episode_latencies_ms, local.episode_latencies_ms)
+
+
+class TestPoolFailureRecovery:
+    """A worker death mid-batch (fleet churn) must never surface to callers."""
+
+    def test_broken_pool_falls_back_to_local_then_restarts(self, model, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        scenario = generate_scenario(6, seed=9)
+        with ShardedPlanEvaluator(scenario, num_workers=2, min_shard_size=1) as sharded:
+            plans = varied_plans(model, sharded.devices, 8, seed=11)
+            reference = BatchPlanEvaluator(
+                sharded.devices, sharded.network
+            ).evaluate_plans(plans)
+
+            class _DeadExecutor:
+                def submit(self, *args, **kwargs):
+                    raise BrokenProcessPool("worker died mid-batch")
+
+            real_ensure = sharded._ensure_executor
+            monkeypatch.setattr(sharded, "_ensure_executor", lambda: _DeadExecutor())
+            results = sharded.evaluate_plans(plans)
+            assert sharded.pool_failures == 1
+            assert_bit_identical(reference, results)
+
+            # The next batch lazily starts a fresh pool and matches again.
+            monkeypatch.setattr(sharded, "_ensure_executor", real_ensure)
+            results2 = sharded.evaluate_plans(plans)
+            assert sharded.pool_failures == 1
+            assert_bit_identical(reference, results2)

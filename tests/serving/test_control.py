@@ -28,6 +28,8 @@ from repro.serving.control import (
 def fake_report(
     missed=0,
     denied=0,
+    abandoned=0,
+    shed=0,
     completed=100,
     arrivals=None,
     busy_ms=None,
@@ -39,6 +41,8 @@ def fake_report(
         slo=SimpleNamespace(deadline_ms=100.0) if with_slo else None,
         deadline_missed=np.zeros(completed, dtype=bool),
         num_denied=denied,
+        num_abandoned=abandoned,
+        num_shed=shed,
         num_completed=completed,
     )
     tenant.deadline_missed[:missed] = True
@@ -52,6 +56,7 @@ def fake_report(
         total_denied=denied,
         throughput_rps=rps,
         fleet=fleet,
+        faults=None,
     )
 
 
@@ -67,6 +72,14 @@ def test_effective_miss_rate_counts_denials_as_misses():
     assert effective_miss_rate(fake_report(missed=10, denied=25)) == pytest.approx(
         35 / 125
     )
+
+
+def test_effective_miss_rate_counts_abandons_and_sheds_as_misses():
+    # Churn losses count exactly like denials: 100 completed + 5 abandoned +
+    # 20 shed offered; 10 missed + 25 churn-lost "bad".
+    assert effective_miss_rate(
+        fake_report(missed=10, abandoned=5, shed=20)
+    ) == pytest.approx(35 / 125)
 
 
 def test_effective_miss_rate_ignores_slo_free_tenants():
