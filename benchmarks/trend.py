@@ -74,9 +74,11 @@ def compare(
         fresh_v, base_v = fresh_keys[key], base_keys[key]
         floor = base_v * (1.0 - max_regression)
         if fresh_v < floor:
+            drop = (base_v - fresh_v) / base_v if base_v else 0.0
             regressions.append(
-                f"{key}: {fresh_v:.2f} vs committed {base_v:.2f} "
-                f"(> {max_regression:.0%} drop; floor {floor:.2f})"
+                f"{key}: live {fresh_v:.2f} vs committed {base_v:.2f} — "
+                f"{drop:.1%} drop exceeds the {max_regression:.0%} budget "
+                f"(floor {floor:.2f})"
             )
         else:
             notes.append(f"{key}: {fresh_v:.2f} vs committed {base_v:.2f} OK")
@@ -123,7 +125,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     enforced = bool(fresh.get("last_run_enforced"))
     for regression in regressions:
         prefix = "trend REGRESSION" if enforced else "trend warning (gate skipped)"
-        print(f"{prefix}: {regression}", file=sys.stderr)
+        print(f"{prefix} in {args.fresh}: {regression}", file=sys.stderr)
     if not enforced:
         # The gate did not run on this machine, so the fresh numbers carry
         # no enforcement weight; surface the drop but do not fail CI on it.

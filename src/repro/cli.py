@@ -123,6 +123,9 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     devices, network = scenario.build(seed=args.seed)
     if scenario.name != "adhoc":
         print(f"scenario: {scenario.name} ({scenario.num_devices} providers)")
+    from repro.obs import NULL_PROFILER, Profiler
+
+    profiler = Profiler() if args.profile else NULL_PROFILER
     if args.method == "distredge":
         planner = DistrEdge(
             DistrEdgeConfig(
@@ -137,16 +140,21 @@ def _cmd_plan(args: argparse.Namespace) -> int:
                 seed=args.seed,
             )
         )
-        plan = planner.plan(model, devices, network)
+        with profiler.section("plan.search"):
+            plan = planner.plan(model, devices, network)
     else:
-        plan = BASELINE_REGISTRY[args.method]().plan(model, devices, network)
+        with profiler.section("plan.search"):
+            plan = BASELINE_REGISTRY[args.method]().plan(model, devices, network)
     print(plan.describe())
     if args.workers > 1:
         # Sharding pays off on plan *batches*; a single plan is always
         # evaluated in-process (see `compare --workers` for the batch path).
         print(f"note: --workers {args.workers} has no effect on a single-plan evaluation")
-    result = PlanEvaluator(devices, network).evaluate(plan)
+    with profiler.section("plan.evaluate"):
+        result = PlanEvaluator(devices, network).evaluate(plan)
     print(f"predicted latency: {result.end_to_end_ms:.1f} ms ({result.ips:.2f} IPS)")
+    if profiler.enabled:
+        print(profiler.format_table())
     if args.output:
         path = save_plan(plan, args.output)
         print(f"plan written to {path}")
@@ -208,9 +216,12 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.obs import NULL_PROFILER, Profiler
+
     scenario = _scenario_from_args(args.scenario, args.bandwidth)
     if scenario is None:
         return 2
+    profiler = Profiler() if args.profile else NULL_PROFILER
     with ExperimentHarness(
         HarnessConfig(
             osds_episodes=args.episodes,
@@ -221,12 +232,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             osds_policy_refresh=args.policy_refresh,
         )
     ) as harness:
-        results = harness.compare(scenario, methods=ALL_METHODS, model_name=args.model)
+        with profiler.section("compare.run"):
+            results = harness.compare(scenario, methods=ALL_METHODS, model_name=args.model)
         print(
             format_ips_table({scenario.name: harness.ips_table(results)}, methods=list(ALL_METHODS))
         )
         print(f"DistrEdge speedup over best baseline: "
               f"{harness.speedup_over_best_baseline(results):.2f}x")
+    if profiler.enabled:
+        print(profiler.format_table())
     return 0
 
 
@@ -256,10 +270,28 @@ def _broadcast(values, count: int, default, flag: str) -> List:
     return list(values)
 
 
-def _write_report_json(path: str, payload) -> None:
+def _provenance(args: argparse.Namespace) -> dict:
+    """Reproducibility stamp attached to every ``--report-json`` payload.
+
+    Records what produced the file: the repro version, the exact invocation
+    argv, and the resolved scenario spec — enough to re-run the experiment
+    without the shell history that generated it.
+    """
+    from repro.version import __version__
+
+    return {
+        "repro_version": __version__,
+        "argv": list(getattr(args, "_argv", sys.argv[1:])),
+        "scenario": getattr(args, "scenario", None),
+    }
+
+
+def _write_report_json(path: str, payload, provenance=None) -> None:
     import json
     from pathlib import Path
 
+    if provenance is not None and isinstance(payload, dict):
+        payload = {**payload, "provenance": provenance}
     Path(path).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"report written to {path}")
 
@@ -307,7 +339,7 @@ def _cmd_serve_figure(args: argparse.Namespace, parsed, deadlines, weights, poli
         )
     print(format_series(curve, title="deadline-miss rate vs offered load"))
     if args.report_json:
-        _write_report_json(args.report_json, curve)
+        _write_report_json(args.report_json, curve, provenance=_provenance(args))
     return 0
 
 
@@ -453,11 +485,19 @@ def _cmd_serve_plan_capacity(
             retry=retry,
             degradation=degradation,
         )
-        planner = CapacityPlanner(probe, config)
+        tracer = None
+        if args.trace_json:
+            from repro.obs import Tracer
+
+            tracer = Tracer()
+        planner = CapacityPlanner(probe, config, tracer=tracer)
         plan = planner.plan()
     print(format_capacity_plan(plan, title="capacity plan"))
+    if tracer is not None:
+        tracer.write_chrome(args.trace_json)
+        print(f"trace written to {args.trace_json}")
     if args.report_json:
-        _write_report_json(args.report_json, plan.to_dict())
+        _write_report_json(args.report_json, plan.to_dict(), provenance=_provenance(args))
     return 0
 
 
@@ -508,12 +548,20 @@ def _cmd_serve_autoscale(
             retry=retry,
             degradation=degradation,
         )
-        report = FleetAutoscaler(run_window, config).run(
+        tracer = None
+        if args.trace_json:
+            from repro.obs import Tracer
+
+            tracer = Tracer()
+        report = FleetAutoscaler(run_window, config, tracer=tracer).run(
             args.windows, initial_devices=lo
         )
     print(format_autoscale_report(report, title="autoscaled serving"))
+    if tracer is not None:
+        tracer.write_chrome(args.trace_json)
+        print(f"trace written to {args.trace_json}")
     if args.report_json:
-        _write_report_json(args.report_json, report.to_dict())
+        _write_report_json(args.report_json, report.to_dict(), provenance=_provenance(args))
     return 0
 
 
@@ -584,6 +632,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print("--plan-capacity and --autoscale are mutually exclusive",
                   file=sys.stderr)
             return 2
+        if args.metrics_json or args.profile:
+            print(
+                "--metrics-json/--profile instrument a single serving run; "
+                "--plan-capacity/--autoscale run many (use --trace-json for "
+                "the control-plane timeline)",
+                file=sys.stderr,
+            )
+            return 2
         if policy is None:
             print(
                 "--plan-capacity/--autoscale size fleets against contended "
@@ -602,6 +658,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             faults, retry, degradation,
         )
     if args.figure:
+        if args.trace_json or args.metrics_json or args.profile:
+            print(
+                "--trace-json/--metrics-json/--profile instrument a single "
+                "serving run; --figure sweeps many (drop --figure or the "
+                "observability flags)",
+                file=sys.stderr,
+            )
+            return 2
         if faults is not None:
             print(
                 "--figure sweeps offered load on an immortal fleet; use "
@@ -632,6 +696,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         devices, network = scenario.build(seed=args.seed)
         evaluator = BatchPlanEvaluator(devices, network)
     print(f"scenario: {scenario.name} ({scenario.num_devices} providers)")
+    tracer = metrics = profiler = None
+    if args.trace_json or args.metrics_json or args.profile:
+        from repro.obs import MetricsRegistry, Profiler, Tracer, record_serving_report
+
+        if args.trace_json:
+            tracer = Tracer()
+        if args.metrics_json:
+            metrics = MetricsRegistry()
+        if args.profile:
+            profiler = Profiler()
+            evaluator.profiler = profiler
     try:
         tenants = []
         methods_only = [m for m, _ in parsed]
@@ -681,11 +756,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 faults=faults,
                 retry=retry,
                 degradation=degradation,
+                tracer=tracer,
             )
             print(
                 f"parity: {args.engine} engine batched loop is bit-identical "
                 "to the reference loop"
             )
+            if metrics is not None:
+                # run_with_parity returns the committed report; derive the
+                # registry from it exactly as ServingSimulator.run would.
+                record_serving_report(metrics, report)
         else:
             if args.engine == "array" and args.mode == "reference":
                 print(
@@ -695,7 +775,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
                 return 2
-            report = ServingSimulator(evaluator).run(
+            simulator = ServingSimulator(evaluator)
+            if profiler is not None:
+                simulator.profiler = profiler
+            report = simulator.run(
                 tenants,
                 duration_s=args.duration,
                 mode=args.mode,
@@ -704,6 +787,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 faults=faults,
                 retry=retry,
                 degradation=degradation,
+                tracer=tracer,
+                metrics=metrics,
             )
         print(format_serving_table(report))
         if report.fleet is not None:
@@ -712,8 +797,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(format_fault_report(report, title="fleet churn"))
         if report.slo_violations:
             print(f"SLO violations: {', '.join(report.slo_violations)}")
+        if tracer is not None:
+            tracer.write_chrome(args.trace_json)
+            print(f"trace written to {args.trace_json}")
+        if metrics is not None:
+            import json
+            from pathlib import Path
+
+            Path(args.metrics_json).write_text(
+                json.dumps(metrics.snapshot(), indent=2) + "\n"
+            )
+            print(f"metrics written to {args.metrics_json}")
+        if profiler is not None:
+            print(profiler.format_table())
         if args.report_json:
-            _write_report_json(args.report_json, report.to_dict())
+            _write_report_json(args.report_json, report.to_dict(), provenance=_provenance(args))
     finally:
         if sharded is not None:
             sharded.close()
@@ -756,6 +854,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for sharded batch evaluation "
                              "(no effect on a single plan; see compare)")
     p_plan.add_argument("--output", default=None, help="write the plan to this JSON file")
+    p_plan.add_argument("--profile", action="store_true",
+                        help="print a wall-clock profile of the planning search "
+                             "and final evaluation (host time only)")
     p_plan.set_defaults(func=_cmd_plan)
 
     p_eval = sub.add_parser("evaluate", help="evaluate a saved plan")
@@ -923,7 +1024,25 @@ def build_parser() -> argparse.ArgumentParser:
                               "ceil(arrival rate / capacity) devices")
     p_serve.add_argument("--report-json", default=None, metavar="PATH",
                          help="write the serving report (or the --figure curve) "
-                              "as JSON to PATH")
+                              "as JSON to PATH, stamped with a provenance "
+                              "block (repro version, argv, scenario)")
+    p_serve.add_argument("--trace-json", default=None, metavar="PATH",
+                         help="write a Chrome trace-event JSON timeline of the "
+                              "run to PATH (open in Perfetto / "
+                              "chrome://tracing); simulated-clock, "
+                              "deterministic, identical across engines and "
+                              "modes; with --plan-capacity/--autoscale, the "
+                              "control-plane probe/window timeline instead")
+    p_serve.add_argument("--metrics-json", default=None, metavar="PATH",
+                         help="write the run's metrics registry snapshot "
+                              "(counters, gauges, latency histograms) as JSON "
+                              "to PATH; see docs/observability.md for the "
+                              "catalogue")
+    p_serve.add_argument("--profile", action="store_true",
+                         help="print a wall-clock profile of where the run's "
+                              "host time went (evaluator sweeps, shard "
+                              "dispatch/merge, cache hit rates); wall-clock "
+                              "only — never affects simulated results")
     p_serve.add_argument("--figure", action="store_true",
                          help="sweep Poisson offered load over --figure-rates and "
                               "print the deadline-miss-vs-load curve instead of "
@@ -951,6 +1070,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--seed", type=int, default=0)
     p_cmp.add_argument("--workers", type=int, default=1,
                        help="worker processes for sharded plan evaluation")
+    p_cmp.add_argument("--profile", action="store_true",
+                       help="print a wall-clock profile of the comparison run "
+                            "(host time only)")
     p_cmp.set_defaults(func=_cmd_compare)
     return parser
 
@@ -958,6 +1080,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Kept on the namespace so --report-json can stamp the exact invocation
+    # into its provenance block (see _provenance).
+    args._argv = list(argv) if argv is not None else sys.argv[1:]
     return args.func(args)
 
 

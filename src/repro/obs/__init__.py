@@ -1,0 +1,54 @@
+"""Deterministic observability for the planner and serving stack.
+
+Three independent parts, all opt-in and all zero-cost when off:
+
+* :mod:`repro.obs.trace` — structured span/event records for the full
+  request lifecycle (arrive → admit/deny/requeue → queue → dispatch →
+  per-lane compute/send/recv segments → complete/retry/shed), the fault
+  timeline (crash/leave/join) and the control plane (capacity probes,
+  autoscale windows).  Events are timestamped on the **simulated** clock
+  and canonically ordered, so a run's trace is a pure function of its
+  committed schedule — which puts tracing *inside* the parity contract:
+  reference, batched and array loops emit byte-identical traces
+  (``run_with_parity`` asserts it).  Exportable as Chrome trace-event JSON
+  (Perfetto-loadable; one track per device lane, one per tenant).
+* :mod:`repro.obs.metrics` — a registry of counters / gauges /
+  fixed-bucket histograms with deterministic snapshots and Prometheus
+  text exposition export.
+* :mod:`repro.obs.profile` — wall-clock section timers and hit counters
+  around the hot paths (``evaluate_plans``, the ``(batch, devices)``
+  sweep, shard dispatch/merge, array-engine epochs and speculation
+  rollbacks, memo and cache hit/miss).  Profiling measures *this
+  machine's* wall time and is explicitly **excluded** from parity.
+
+The span taxonomy, metrics catalogue and Perfetto how-to live in
+``docs/observability.md``.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    MetricsRegistry,
+    record_serving_report,
+)
+from repro.obs.profile import NULL_PROFILER, NullProfiler, Profiler
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    trace_serving_report,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "MetricsRegistry",
+    "record_serving_report",
+    "NULL_PROFILER",
+    "NullProfiler",
+    "Profiler",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "trace_serving_report",
+]

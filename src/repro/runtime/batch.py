@@ -41,12 +41,14 @@ them as immutable.
 from __future__ import annotations
 
 from dataclasses import replace
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.devices.specs import DeviceInstance
 from repro.network.topology import NetworkModel
+from repro.obs.profile import NULL_PROFILER
 from repro.nn.graph import LayerVolume, ModelSpec
 from repro.nn.layers import LayerSpec
 from repro.runtime.evaluator import EvaluationResult, PlanEvaluator, VolumeTiming
@@ -148,6 +150,7 @@ class BatchPlanEvaluator(PlanEvaluator):
             memoize_compute=memoize_compute,
         )
         self._plan_cache = LRUCache(cache_size)
+        self.profiler = NULL_PROFILER
         # Model identity tokens: keyed by object id, with a strong reference
         # kept so ids cannot be recycled while the cache may still hold
         # entries derived from them.
@@ -226,6 +229,21 @@ class BatchPlanEvaluator(PlanEvaluator):
         Results come back in input order.  Cached results are reused and new
         results are cached.
         """
+        prof = self.profiler
+        if not prof.enabled:
+            return self._evaluate_plans_impl(plans, t_seconds)
+        hits_before = self._plan_cache.hits
+        start = perf_counter()
+        try:
+            return self._evaluate_plans_impl(plans, t_seconds)
+        finally:
+            prof.add("batch.evaluate_plans", perf_counter() - start)
+            prof.count("batch.plans", len(plans))
+            prof.count("batch.plan_cache_hits", self._plan_cache.hits - hits_before)
+
+    def _evaluate_plans_impl(
+        self, plans: Sequence[DistributionPlan], t_seconds: float = 0.0
+    ) -> List[EvaluationResult]:
         n = len(self.devices)
         for plan in plans:
             if plan.num_devices != n:
@@ -293,6 +311,8 @@ class BatchPlanEvaluator(PlanEvaluator):
             # takes the scalar path (bit-identical by the parity guarantee)
             # and still populates the shared per-part compute memo.
             return [PlanEvaluator.evaluate(self, plans[0], t_seconds)]
+        prof = self.profiler
+        sweep_start = perf_counter() if prof.enabled else 0.0
         model = plans[0].model
         volumes = plans[0].volumes
         batch = len(plans)
@@ -308,7 +328,11 @@ class BatchPlanEvaluator(PlanEvaluator):
             if model.head_layers
             else None
         )
-        return scheduler.finalize(heads, [plan.method for plan in plans])
+        out = scheduler.finalize(heads, [plan.method for plan in plans])
+        if prof.enabled:
+            prof.add("batch.group_sweep", perf_counter() - sweep_start)
+            prof.count("batch.group_plans", len(plans))
+        return out
 
     @property
     def supports_vectorized_stepping(self) -> bool:

@@ -48,11 +48,13 @@ from __future__ import annotations
 
 from bisect import bisect_right, insort
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.network.topology import REQUESTER
+from repro.obs.profile import NULL_PROFILER
 from repro.nn.graph import ModelSpec
 from repro.runtime.batch import network_state_signature, plan_signature
 from repro.runtime.evaluator import EvaluationResult, PlanEvaluator
@@ -625,6 +627,7 @@ class ContentionAwareEvaluator:
         self._plan_sigs: Dict[int, Tuple] = {}
         self._plan_refs: Dict[int, DistributionPlan] = {}
         self.evaluations = 0
+        self.profiler = NULL_PROFILER
 
     # ------------------------------------------------------------------ #
     @property
@@ -733,10 +736,19 @@ class ContentionAwareEvaluator:
         if self._memo is not None:
             key = self._dispatch_key(plan, t_seconds, residuals, gate_rel)
             outcome = self._memo.get(key)
+        prof = self.profiler
         if outcome is None:
-            _, outcome = self._schedule(plan, t_seconds, residuals, gate_rel)
+            if prof.enabled:
+                walk_start = perf_counter()
+                _, outcome = self._schedule(plan, t_seconds, residuals, gate_rel)
+                prof.add("contention.schedule_walk", perf_counter() - walk_start)
+                prof.count("contention.memo_miss")
+            else:
+                _, outcome = self._schedule(plan, t_seconds, residuals, gate_rel)
             if self._memo is not None:
                 self._memo.put(key, outcome)
+        elif prof.enabled:
+            prof.count("contention.memo_hit")
         return outcome
 
     def commit(self, outcome: ContendedOutcome, release_ms: float) -> None:

@@ -827,6 +827,48 @@ def build_fault_report(ctx: FaultContext, tenant_reports: Sequence) -> FaultRepo
     )
 
 
+def emit_resolution(tracer, tenant_name: str, release_s: float, resolved) -> None:
+    """Emit one request's retry-chain resolution as a trace instant.
+
+    Shared by every serving loop so the emitted bytes are identical by
+    construction.  Only *eventful* resolutions emit (a retry happened or an
+    attempt was lost); first-attempt completions stay silent — their
+    lifecycle is derived from the committed report.  The event sets match
+    across loops because the array engine window-commits only requests whose
+    span contains no membership event, so every eventful request reaches the
+    scalar resolver in all modes.
+    """
+    if not tracer.enabled:
+        return
+    if resolved.attempts <= 1 and not resolved.lost_attempts:
+        return
+    tracer.instant(
+        release_s * 1000.0,
+        f"tenant:{tenant_name}",
+        "fault",
+        "retry_chain",
+        attempts=resolved.attempts,
+        lost_attempts=resolved.lost_attempts,
+        retry_added_ms=resolved.retry_added_ms,
+        status=resolved.status,
+    )
+
+
+def emit_fault_timeline(tracer, trace: FaultTrace) -> None:
+    """Emit the membership timeline as trace instants on the ``fleet`` track.
+
+    Pure function of the :class:`FaultTrace` (itself a pure function of the
+    churn spec), so the emitted events are identical no matter which serving
+    loop ran the scenario.
+    """
+    if not tracer.enabled:
+        return
+    for event in trace.events:
+        tracer.instant(
+            event.t_ms, "fleet", "fault", event.kind, device=event.device
+        )
+
+
 __all__ = [
     "CHURN_PREFIX",
     "CHURN_KINDS",
@@ -846,4 +888,6 @@ __all__ = [
     "build_fault_context",
     "FaultReport",
     "build_fault_report",
+    "emit_fault_timeline",
+    "emit_resolution",
 ]

@@ -53,6 +53,7 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
+from time import perf_counter
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -294,6 +295,16 @@ class ShardedPlanEvaluator:
         # be recycled by a different (unvalidated) model after collection.
         self._validated_models: Dict[int, ModelSpec] = {}
 
+    @property
+    def profiler(self):
+        """Wall-clock profiler, shared with the in-process engine so one
+        attachment covers both the pooled and local paths."""
+        return self.local.profiler
+
+    @profiler.setter
+    def profiler(self, value) -> None:
+        self.local.profiler = value
+
     # ------------------------------------------------------------------ #
     # pool lifecycle
     # ------------------------------------------------------------------ #
@@ -441,7 +452,9 @@ class ShardedPlanEvaluator:
         if len(shards) < 2:
             return self.local.evaluate_plans(plans, t_seconds)
         executor = self._ensure_executor()
+        prof = self.local.profiler
         try:
+            dispatch_start = perf_counter() if prof.enabled else 0.0
             futures = {
                 executor.submit(
                     _evaluate_shard,
@@ -450,17 +463,26 @@ class ShardedPlanEvaluator:
                 ): shard
                 for shard in shards
             }
+            if prof.enabled:
+                prof.add("shard.dispatch", perf_counter() - dispatch_start)
+                prof.count("shard.batches")
+                prof.count("shard.shards", len(shards))
             # Streaming merge: decode each shard's payloads the moment its
             # future completes (as_completed), so parent-side deserialisation
             # overlaps the compute of workers still running instead of waiting
             # behind a submission-order barrier.  Input order is preserved by
             # index placement, so the merged list is unaffected by completion
             # order.
+            merge_start = perf_counter() if prof.enabled else 0.0
             results: List[Optional[EvaluationResult]] = [None] * len(plans)
             for future in as_completed(futures):
                 shard = futures[future]
                 for i, payload in zip(shard, future.result()):
                     results[i] = evaluation_from_payload(payload)
+            if prof.enabled:
+                # Includes worker wait: the time from last submit to the
+                # final decoded payload.
+                prof.add("shard.merge", perf_counter() - merge_start)
             return results  # type: ignore[return-value]
         except BrokenProcessPool:
             # A worker died mid-batch (machine churn, OOM kill, fleet
@@ -470,6 +492,8 @@ class ShardedPlanEvaluator:
             # never observe the failure.  The next batch lazily starts a
             # fresh pool.
             self.pool_failures += 1
+            if prof.enabled:
+                prof.count("shard.pool_failures")
             self.close()
             return self.local.evaluate_plans(plans, t_seconds)
 

@@ -75,6 +75,7 @@ from repro.serving.simulator import (
     ServingReport,
     ServingSimulator,
     assert_reports_equal,
+    assert_traces_equal,
     run_with_parity,
 )
 from repro.serving.tenants import SLO, AdaptationHook, TenantReport, TenantSpec
@@ -119,6 +120,7 @@ __all__ = [
     "ServingReport",
     "ParityMismatch",
     "assert_reports_equal",
+    "assert_traces_equal",
     "run_with_parity",
     "SLO",
     "TenantSpec",

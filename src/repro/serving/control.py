@@ -42,6 +42,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.serving.simulator import ServingReport
 
 #: Builds/serves one probe: fleet size -> the run's report.
@@ -183,9 +184,15 @@ class CapacityPlanner:
     assumption's oracle.
     """
 
-    def __init__(self, probe_runner: ProbeRunner, config: CapacityPlanConfig) -> None:
+    def __init__(
+        self,
+        probe_runner: ProbeRunner,
+        config: CapacityPlanConfig,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.probe_runner = probe_runner
         self.config = config
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self._memo: Dict[int, CapacityProbe] = {}
         self.probe_runs = 0
 
@@ -210,6 +217,19 @@ class CapacityPlanner:
             throughput_rps=report.throughput_rps,
         )
         self._memo[num_devices] = probe
+        if self.tracer.enabled:
+            # ts = probe ordinal: every probe replays the same horizon, so
+            # the probe sequence — not simulated time — is the timeline.
+            self.tracer.instant(
+                float(self.probe_runs),
+                "control:capacity-planner",
+                "control",
+                "capacity_probe",
+                num_devices=num_devices,
+                miss_rate=miss,
+                feasible=probe.feasible,
+                throughput_rps=probe.throughput_rps,
+            )
         self.probe_runs += 1
         return probe
 
@@ -397,9 +417,15 @@ class FleetAutoscaler:
     window's effective miss rate, and decides the next window's fleet size.
     """
 
-    def __init__(self, window_runner: WindowRunner, config: AutoscalerConfig) -> None:
+    def __init__(
+        self,
+        window_runner: WindowRunner,
+        config: AutoscalerConfig,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.window_runner = window_runner
         self.config = config
+        self.tracer = NULL_TRACER if tracer is None else tracer
 
     # ------------------------------------------------------------------ #
     def _utilization(self, report: ServingReport) -> float:
@@ -461,20 +487,32 @@ class FleetAutoscaler:
         for w in range(num_windows):
             report = self.window_runner(n, w)
             decision, next_n = self.decide(report, n)
-            result.windows.append(
-                AutoscaleWindow(
-                    index=w,
-                    start_s=w * self.config.window_s,
-                    num_devices=n,
-                    arrivals=report.total_arrivals,
-                    completed=report.total_completed,
-                    denied=report.total_denied,
-                    miss_rate=effective_miss_rate(report),
-                    utilization=self._utilization(report),
-                    decision=decision,
-                    next_devices=next_n,
-                )
+            window = AutoscaleWindow(
+                index=w,
+                start_s=w * self.config.window_s,
+                num_devices=n,
+                arrivals=report.total_arrivals,
+                completed=report.total_completed,
+                denied=report.total_denied,
+                miss_rate=effective_miss_rate(report),
+                utilization=self._utilization(report),
+                decision=decision,
+                next_devices=next_n,
             )
+            result.windows.append(window)
+            if self.tracer.enabled:
+                self.tracer.span(
+                    window.start_s * 1000.0,
+                    self.config.window_s * 1000.0,
+                    "control:autoscaler",
+                    "control",
+                    "autoscale_window",
+                    num_devices=window.num_devices,
+                    decision=window.decision,
+                    next_devices=window.next_devices,
+                    miss_rate=window.miss_rate,
+                    utilization=window.utilization,
+                )
             n = next_n
         return result
 

@@ -70,16 +70,23 @@ reference loop — is drawn in ``docs/architecture.md``.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.profile import NULL_PROFILER
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.runtime.batch import (
     network_state_signature,
     network_state_signatures,
     plan_signature,
 )
-from repro.runtime.faults import FaultContext, resolve_faulted_request
+from repro.runtime.faults import (
+    FaultContext,
+    emit_resolution,
+    resolve_faulted_request,
+)
 from repro.serving.tenants import TenantReport, TenantRuntime, TenantSpec
 from repro.utils.cache import LRUCache
 
@@ -164,6 +171,9 @@ class _VectorTenant:
         self.num_lost_attempts = 0
         self.num_retried = 0
         self.retry_added_ms = 0.0
+        #: Mis-speculated windows rolled back (profiling only; the count
+        #: never feeds the schedule).
+        self.rollbacks = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -279,6 +289,7 @@ class _VectorTenant:
             self.committed, self.slots, self.truncated = snapshot
             self._scan(ok, latency_ms)
             self.window = max(MIN_SPECULATION, self.window // 2)
+            self.rollbacks += 1
         else:
             self.window = min(max_window, self.window * 2)
         count = self.committed - i0
@@ -344,6 +355,7 @@ class _VectorTenant:
             if ok:
                 self._scan(ok, latency_ms)
             self.window = max(MIN_SPECULATION, self.window // 2)
+            self.rollbacks += 1
         elif not static:
             self.window = min(max_window, self.window * 2)
         count = self.committed - i0
@@ -504,6 +516,7 @@ class ArrayServingEngine:
             )
         self.evaluator = evaluator
         self.speculation = int(speculation)
+        self.profiler = NULL_PROFILER
 
     def run(
         self,
@@ -512,6 +525,7 @@ class ArrayServingEngine:
         start_s: float = 0.0,
         mode: str = "batched",
         fault_ctx: Optional[FaultContext] = None,
+        tracer: Optional[Tracer] = None,
     ):
         """Run the array time-wheel; returns a ``ServingReport``.
 
@@ -523,9 +537,14 @@ class ArrayServingEngine:
         """
         from repro.serving.simulator import ServingReport  # circular at module load
 
+        tracer = NULL_TRACER if tracer is None else tracer
         if fault_ctx is not None:
-            return self._run_faulted(tenants, duration_s, start_s, mode, fault_ctx)
+            return self._run_faulted(
+                tenants, duration_s, start_s, mode, fault_ctx, tracer
+            )
 
+        prof = self.profiler
+        run_start = perf_counter() if prof.enabled else 0.0
         network = self.evaluator.network
         static = network.is_static
         static_sig = network_state_signature(network, start_s) if static else None
@@ -633,6 +652,15 @@ class ArrayServingEngine:
             vector.report() if vector is not None else runtime.report()
             for vector, runtime in zip(vectors, runtimes)
         ]
+        if prof.enabled:
+            prof.add("engine.run", perf_counter() - run_start)
+            prof.count("engine.epochs", epochs)
+            prof.count("engine.cache_hits", cache_hits)
+            prof.count("engine.speculated", speculated)
+            prof.count(
+                "engine.rollbacks",
+                sum(v.rollbacks for v in vectors if v is not None),
+            )
         return ServingReport(
             tenants=reports,
             start_s=start_s,
@@ -652,6 +680,7 @@ class ArrayServingEngine:
         start_s: float,
         mode: str,
         ctx: FaultContext,
+        tracer: Tracer = NULL_TRACER,
     ):
         """The epoch time-wheel on a churning fleet.
 
@@ -676,6 +705,8 @@ class ArrayServingEngine:
         """
         from repro.serving.simulator import ServingReport  # circular at module load
 
+        prof = self.profiler
+        run_start = perf_counter() if prof.enabled else 0.0
         network = self.evaluator.network
         static = network.is_static
         static_sig = network_state_signature(network, start_s) if static else None
@@ -788,6 +819,7 @@ class ArrayServingEngine:
                     index,
                     runtime.pending_ordinal,
                 )
+                emit_resolution(tracer, runtime.spec.name, dispatch.start_s, resolved)
                 runtime.commit_resolved(resolved)
             if not dispatched:
                 break
@@ -809,8 +841,9 @@ class ArrayServingEngine:
                     continue
                 # The head request crosses the next membership event: walk
                 # its retry chain scalar and commit the single resolution.
+                release_s = vector.peek_start()
                 resolved = resolve_faulted_request(
-                    vector.peek_start(),
+                    release_s,
                     vector.spec.plan,
                     vector_oracle(vector),
                     trace,
@@ -819,12 +852,22 @@ class ArrayServingEngine:
                     index,
                     vector.committed,
                 )
+                emit_resolution(tracer, vector.spec.name, release_s, resolved)
                 vector.commit_resolved_head(resolved)
 
         reports = [
             vector.report() if vector is not None else runtime.report()
             for vector, runtime in zip(vectors, runtimes)
         ]
+        if prof.enabled:
+            prof.add("engine.run_faulted", perf_counter() - run_start)
+            prof.count("engine.epochs", epochs)
+            prof.count("engine.cache_hits", cache_hits)
+            prof.count("engine.speculated", speculated)
+            prof.count(
+                "engine.rollbacks",
+                sum(v.rollbacks for v in vectors if v is not None),
+            )
         return ServingReport(
             tenants=reports,
             start_s=start_s,

@@ -63,8 +63,12 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry, record_serving_report
+from repro.obs.profile import NULL_PROFILER
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.runtime.batch import network_state_signature, plan_signature
 from repro.runtime.contention import (
+    ContendedOutcome,
     ContentionAwareEvaluator,
     FleetLoadReport,
     SharedFleetState,
@@ -80,6 +84,8 @@ from repro.runtime.faults import (
     RetryPolicy,
     build_fault_context,
     build_fault_report,
+    emit_fault_timeline,
+    emit_resolution,
     plan_devices,
     resolve_faulted_request,
 )
@@ -266,6 +272,54 @@ class ServingReport:
         return out
 
 
+def _emit_contended_commit(
+    tracer: Tracer,
+    lane_keys,
+    device_ids: List[str],
+    tenant_name: str,
+    release_ms: float,
+    outcome: ContendedOutcome,
+    truncated: bool = False,
+) -> None:
+    """Emit one committed contended schedule: a dispatch instant plus one
+    busy span per lane the request occupied.
+
+    Both modes run this at the very commit sites of the shared contended
+    loop on the same ``ContendedOutcome`` floats (a memo hit replays the
+    fresh walk's floats bit for bit), so the emitted events inherit the
+    parity contract.  Lane spans are placed at ``release + end_rel - busy``
+    — the contiguous busy window the outcome's lane accounting records.
+    """
+    track = f"tenant:{tenant_name}"
+    args = {
+        "gate_wait_ms": outcome.gate_wait_ms,
+        "latency_ms": outcome.latency_ms,
+        "contended": outcome.contended,
+    }
+    if truncated:
+        args["truncated"] = True
+    tracer.instant(release_ms, track, "request", "dispatch", **args)
+    for (device, role), end_rel, busy, wait, jobs in zip(
+        lane_keys,
+        outcome.lane_end_rel,
+        outcome.lane_busy_ms,
+        outcome.lane_wait_ms,
+        outcome.lane_jobs,
+    ):
+        if not jobs or busy <= 0.0:
+            continue
+        tracer.span(
+            release_ms + end_rel - busy,
+            busy,
+            f"lane:{device_ids[device]}:{role}",
+            "lane",
+            role,
+            tenant=tenant_name,
+            wait_ms=wait,
+            jobs=jobs,
+        )
+
+
 class ServingSimulator:
     """Serves tenant request streams through a plan evaluator.
 
@@ -281,6 +335,9 @@ class ServingSimulator:
 
     def __init__(self, evaluator: PlanEvaluator) -> None:
         self.evaluator = evaluator
+        #: Wall-clock profiler (see :mod:`repro.obs.profile`); attach a live
+        #: one for ``--profile``.  Never touches simulated values.
+        self.profiler = NULL_PROFILER
 
     # ------------------------------------------------------------------ #
     def _check(
@@ -348,6 +405,8 @@ class ServingSimulator:
         faults: Union[str, ChurnSpec, FaultTrace, None] = None,
         retry: Optional[RetryPolicy] = None,
         degradation: Optional[DegradationPolicy] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> ServingReport:
         """Simulate the tenants' traffic and return the serving report.
 
@@ -387,6 +446,15 @@ class ServingSimulator:
         fleet fraction is below its threshold.  All decisions are pure
         functions shared by every loop, so churn lives under the same
         bit-exact parity contract as everything else.
+
+        ``tracer`` collects the run's deterministic trace (see
+        :mod:`repro.obs.trace`): the request lifecycle is derived from the
+        committed report, while facts the report drops (contended lane
+        spans, requeues, retry chains, the fault timeline) are emitted live
+        from code paths shared by every mode — so the trace itself is under
+        the parity contract.  ``metrics`` is populated from the committed
+        report via :func:`repro.obs.metrics.record_serving_report`.  Both
+        default to off and cost nothing when off.
         """
         self._check(tenants, duration_s, mode, policy, engine)
         if schedule_memo is not None and (policy is None or mode != "batched"):
@@ -403,43 +471,52 @@ class ServingSimulator:
             start_s,
             duration_s,
         )
+        tracer = NULL_TRACER if tracer is None else tracer
         if engine == "array" and policy is None:
             from repro.serving.engine import ArrayServingEngine  # deferred: circular
 
-            report = ArrayServingEngine(self.evaluator).run(
+            array_engine = ArrayServingEngine(self.evaluator)
+            array_engine.profiler = self.profiler
+            report = array_engine.run(
                 tenants,
                 duration_s=duration_s,
                 start_s=start_s,
                 mode=mode,
                 fault_ctx=fault_ctx,
-            )
-            if fault_ctx is not None:
-                report.faults = build_fault_report(fault_ctx, report.tenants)
-            return report
-        runtimes = [
-            TenantRuntime(
-                spec,
-                start_s,
-                duration_s,
-                shed_intervals=(
-                    list(fault_ctx.shed_intervals[i]) if fault_ctx is not None else None
-                ),
-            )
-            for i, spec in enumerate(tenants)
-        ]
-        if policy is not None:
-            report = self._run_contended(
-                runtimes, duration_s, start_s, mode, policy, engine, schedule_memo,
-                fault_ctx,
-            )
-        elif fault_ctx is not None:
-            report = self._run_independent_faulted(
-                runtimes, duration_s, start_s, mode, fault_ctx
+                tracer=tracer,
             )
         else:
-            report = self._run_independent(runtimes, duration_s, start_s, mode)
+            runtimes = [
+                TenantRuntime(
+                    spec,
+                    start_s,
+                    duration_s,
+                    shed_intervals=(
+                        list(fault_ctx.shed_intervals[i]) if fault_ctx is not None else None
+                    ),
+                )
+                for i, spec in enumerate(tenants)
+            ]
+            if policy is not None:
+                report = self._run_contended(
+                    runtimes, duration_s, start_s, mode, policy, engine,
+                    schedule_memo, fault_ctx, tracer,
+                )
+            elif fault_ctx is not None:
+                report = self._run_independent_faulted(
+                    runtimes, duration_s, start_s, mode, fault_ctx, tracer
+                )
+            else:
+                report = self._run_independent(runtimes, duration_s, start_s, mode)
         if fault_ctx is not None:
             report.faults = build_fault_report(fault_ctx, report.tenants)
+        if tracer.enabled:
+            # O(1): lifecycle events derive lazily on first trace read.
+            tracer.defer_report(report)
+            if fault_ctx is not None:
+                emit_fault_timeline(tracer, fault_ctx.trace)
+        if metrics is not None:
+            record_serving_report(metrics, report)
         return report
 
     def _run_independent(
@@ -509,6 +586,9 @@ class ServingSimulator:
                 for (runtime, dispatch, key), result in zip(members, results):
                     runtime.cache_latency(key, dispatch.plan.model, result.end_to_end_ms)
                     runtime.commit(result.end_to_end_ms)
+        if self.profiler.enabled:
+            self.profiler.count("serving.epochs", epochs)
+            self.profiler.count("serving.tenant_cache_hits", cache_hits)
         return ServingReport(
             tenants=[runtime.report() for runtime in runtimes],
             start_s=start_s,
@@ -526,6 +606,7 @@ class ServingSimulator:
         start_s: float,
         mode: str,
         fault_ctx: FaultContext,
+        tracer: Tracer = NULL_TRACER,
     ) -> ServingReport:
         """Contention-free serving on a churning fleet.
 
@@ -597,7 +678,11 @@ class ServingSimulator:
                     tenant_index,
                     runtime.pending_ordinal,
                 )
+                emit_resolution(tracer, runtime.spec.name, dispatch.start_s, resolved)
                 runtime.commit_resolved(resolved)
+        if self.profiler.enabled:
+            self.profiler.count("serving.epochs", epochs)
+            self.profiler.count("serving.tenant_cache_hits", cache_hits)
         return ServingReport(
             tenants=[runtime.report() for runtime in runtimes],
             start_s=start_s,
@@ -618,6 +703,7 @@ class ServingSimulator:
         engine: str = "object",
         schedule_memo: Optional[LRUCache] = None,
         fault_ctx: Optional[FaultContext] = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> ServingReport:
         """The shared-fleet loops: requests queue on each other's lanes.
 
@@ -664,6 +750,11 @@ class ServingSimulator:
             cache_size=policy.memo_size,
             memo=schedule_memo,
         )
+        engine.profiler = self.profiler
+        # Trace emission context: both modes commit identical outcomes at
+        # these very sites, so live lane/dispatch events stay under parity.
+        lane_keys = engine.fleet.lane_keys
+        device_ids = [d.device_id for d in engine.devices]
         predictive = policy.admission == "predictive"
         dispatcher = FleetDispatcher(policy.discipline, [rt.spec for rt in runtimes])
         pending: Dict[int, object] = {}
@@ -707,6 +798,15 @@ class ServingSimulator:
                         )
                         if new_start_s is not None and new_start_s > dispatch.start_s:
                             pending[index] = runtimes[index].defer_pending(new_start_s)
+                            if tracer.enabled:
+                                tracer.instant(
+                                    release_ms,
+                                    f"tenant:{runtimes[index].spec.name}",
+                                    "admission",
+                                    "requeue",
+                                    new_start_ms=new_start_s * 1000.0,
+                                    predicted_response_ms=predicted_response_ms,
+                                )
                             continue
                         # No later lane-free event: the fleet is (effectively)
                         # idle and the deadline is unmeetable — deny.
@@ -730,6 +830,11 @@ class ServingSimulator:
                     cut = truncated_outcome(outcome, crash.t_ms - release_ms)
                     engine.commit(cut, release_ms)
                     dispatcher.account(index, cut.latency_ms)
+                    if tracer.enabled:
+                        _emit_contended_commit(
+                            tracer, lane_keys, device_ids, runtime.spec.name,
+                            release_ms, cut, truncated=True,
+                        )
                     attempt = runtime.pending_attempt
                     delay_ms = fault_ctx.retry.delay_ms(
                         attempt, index, runtime.pending_ordinal
@@ -748,8 +853,22 @@ class ServingSimulator:
                                 pending[index] = dispatch
                     else:
                         pending[index] = runtime.retry_pending(new_start_ms / 1000.0)
+                        if tracer.enabled:
+                            tracer.instant(
+                                crash.t_ms,
+                                f"tenant:{runtime.spec.name}",
+                                "fault",
+                                "retry",
+                                attempt=attempt,
+                                delay_ms=delay_ms,
+                            )
                     continue
             engine.commit(outcome, release_ms)
+            if tracer.enabled:
+                _emit_contended_commit(
+                    tracer, lane_keys, device_ids, runtimes[index].spec.name,
+                    release_ms, outcome,
+                )
             runtimes[index].commit(outcome.latency_ms)
             dispatcher.account(index, outcome.latency_ms)
             if not runtimes[index].done:
@@ -898,6 +1017,32 @@ def assert_reports_equal(batched: ServingReport, reference: ServingReport) -> No
         raise ParityMismatch(errors)
 
 
+def assert_traces_equal(batched: Tracer, reference: Tracer) -> None:
+    """Byte-exact comparison of two trace streams (raises :class:`ParityMismatch`).
+
+    Compares the canonical line serialisations (:meth:`Tracer.lines`):
+    emission order is already factored out by the canonical sort, so a
+    mismatch means a genuinely different event or a float that differs in
+    at least one bit.
+    """
+    a = batched.lines()
+    b = reference.lines()
+    if a == b:
+        return
+    errors: List[str] = []
+    if len(a) != len(b):
+        errors.append(f"trace sizes differ: {len(a)} events != {len(b)} events")
+    for i, (left, right) in enumerate(zip(a, b)):
+        if left != right:
+            errors.append(f"trace event {i} differs:\n  batched:   {left}\n  reference: {right}")
+            if len(errors) >= 6:
+                errors.append("... (further diffs suppressed)")
+                break
+    if not errors:  # pragma: no cover - length check above catches this
+        errors.append("trace streams differ")
+    raise ParityMismatch(errors)
+
+
 def run_with_parity(
     batched_evaluator: PlanEvaluator,
     reference_evaluator: PlanEvaluator,
@@ -909,6 +1054,8 @@ def run_with_parity(
     faults: Union[str, ChurnSpec, FaultTrace, None] = None,
     retry: Optional[RetryPolicy] = None,
     degradation: Optional[DegradationPolicy] = None,
+    compare_traces: bool = True,
+    tracer: Optional[Tracer] = None,
 ) -> ServingReport:
     """Run the batched and the reference loops and assert bit-identity.
 
@@ -925,6 +1072,12 @@ def run_with_parity(
     churning fleet — the churn parity contract: identical crash detections,
     retries, abandonments, shed arrivals and ``FaultReport``.  Returns the
     batched report.
+
+    ``compare_traces`` extends the contract to observability: both runs
+    collect a full deterministic trace and the two streams are asserted
+    byte-identical (:func:`assert_traces_equal`).  Pass ``tracer`` to keep
+    the batched side's trace (e.g. for ``--trace-json`` in parity mode); it
+    must be empty.  Set ``compare_traces=False`` to skip trace collection.
     """
     for spec in tenants:
         if spec.adaptation_hook is not None:
@@ -932,6 +1085,13 @@ def run_with_parity(
                 f"tenant {spec.name!r}: parity runs execute the workload twice; "
                 "supply the hook as hook_factory so each run gets a fresh controller"
             )
+    reference_tracer: Optional[Tracer] = None
+    batched_tracer: Optional[Tracer] = tracer
+    if compare_traces:
+        reference_tracer = Tracer()
+        batched_tracer = Tracer() if tracer is None else tracer
+        if batched_tracer.events:
+            raise ValueError("run_with_parity needs an empty tracer")
     reference = ServingSimulator(reference_evaluator).run(
         tenants,
         duration_s=duration_s,
@@ -941,6 +1101,7 @@ def run_with_parity(
         faults=faults,
         retry=retry,
         degradation=degradation,
+        tracer=reference_tracer,
     )
     batched = ServingSimulator(batched_evaluator).run(
         tenants,
@@ -952,8 +1113,11 @@ def run_with_parity(
         faults=faults,
         retry=retry,
         degradation=degradation,
+        tracer=batched_tracer,
     )
     assert_reports_equal(batched, reference)
+    if compare_traces:
+        assert_traces_equal(batched_tracer, reference_tracer)
     return batched
 
 
@@ -962,6 +1126,7 @@ __all__ = [
     "ServingReport",
     "ParityMismatch",
     "assert_reports_equal",
+    "assert_traces_equal",
     "run_with_parity",
     "MODES",
     "ENGINES",

@@ -1,0 +1,65 @@
+"""Profiler unit tests: sections, counters, the null fast path."""
+
+from __future__ import annotations
+
+from repro.obs import NULL_PROFILER, NullProfiler, Profiler
+
+
+class TestProfiler:
+    def test_section_accumulates_calls_and_time(self):
+        profiler = Profiler()
+        for _ in range(3):
+            with profiler.section("work"):
+                pass
+        snap = profiler.snapshot()
+        assert snap["sections"]["work"]["calls"] == 3
+        assert snap["sections"]["work"]["total_s"] >= 0.0
+
+    def test_add_merges_premeasured_time(self):
+        profiler = Profiler()
+        profiler.add("walk", 0.5)
+        profiler.add("walk", 0.25, calls=2)
+        assert profiler.snapshot()["sections"]["walk"] == {
+            "calls": 3,
+            "total_s": 0.75,
+        }
+
+    def test_counters_accumulate(self):
+        profiler = Profiler()
+        profiler.count("hits")
+        profiler.count("hits", 4)
+        assert profiler.snapshot()["counters"] == {"hits": 5}
+
+    def test_section_survives_exceptions(self):
+        profiler = Profiler()
+        try:
+            with profiler.section("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert profiler.snapshot()["sections"]["boom"]["calls"] == 1
+
+    def test_format_table_mentions_everything(self):
+        profiler = Profiler()
+        profiler.add("walk", 0.5)
+        profiler.count("hits", 2)
+        table = profiler.format_table()
+        assert "walk" in table and "hits" in table
+        assert "excluded from parity" in table
+
+    def test_format_table_empty(self):
+        assert "no instrumented work" in Profiler().format_table()
+
+
+class TestNullProfiler:
+    def test_every_hook_is_a_noop(self):
+        with NULL_PROFILER.section("x"):
+            pass
+        NULL_PROFILER.add("x", 1.0)
+        NULL_PROFILER.count("x")
+        assert NULL_PROFILER.snapshot() == {"sections": {}, "counters": {}}
+        assert not NULL_PROFILER.enabled
+
+    def test_is_a_profiler(self):
+        assert isinstance(NULL_PROFILER, Profiler)
+        assert isinstance(NULL_PROFILER, NullProfiler)

@@ -1,0 +1,149 @@
+"""Golden-file pin of the ``--trace-json`` span taxonomy and Chrome shape.
+
+``docs/observability.md`` documents the trace taxonomy — which
+``(track family, kind, name, arg keys)`` combinations a serving run can
+emit — and downstream tooling keys on those names when slicing a Perfetto
+session.  This test runs one fully-featured scenario (contention,
+predictive admission with requeue, fleet churn with retries) through a
+:class:`Tracer` and pins the observed taxonomy plus the structural shape
+of the Chrome export against a committed golden file, so any change to
+the emitted events is a deliberate two-file diff (code + golden + docs),
+never an accident.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python tests/serving/test_trace_schema.py --regenerate
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.devices.specs import make_cluster
+from repro.network.topology import NetworkModel
+from repro.nn import model_zoo
+from repro.obs import Tracer
+from repro.runtime.batch import BatchPlanEvaluator
+from repro.runtime.faults import RetryPolicy
+from repro.runtime.plan import DistributionPlan
+from repro.serving import (
+    SLO,
+    ClusterPolicy,
+    PoissonArrivals,
+    ServingSimulator,
+    TenantSpec,
+)
+
+GOLDEN = Path(__file__).resolve().parents[1] / "data" / "serving_trace_schema.json"
+
+
+def build_trace() -> Tracer:
+    """One contended, churned, predictively-admitted run's trace."""
+    model = model_zoo.small_vgg(64)
+    devices = make_cluster([("nano", 70), ("nano", 70), ("tx2", 70)])
+    network = NetworkModel.constant_from_devices(devices)
+    tenants = [
+        TenantSpec(
+            "alpha",
+            DistributionPlan.single_device(model, devices, 0),
+            traffic=PoissonArrivals(150.0, seed=3),
+            slo=SLO(deadline_ms=25.0),
+            weight=2.0,
+        ),
+        TenantSpec(
+            "beta",
+            DistributionPlan.single_device(model, devices, 1),
+            traffic=PoissonArrivals(100.0, seed=4),
+            slo=SLO(deadline_ms=40.0),
+            queue_capacity=8,
+        ),
+    ]
+    policy = ClusterPolicy(
+        discipline="wfq",
+        admission="predictive",
+        on_predicted_miss="requeue",
+        max_inflight=4,
+    )
+    tracer = Tracer()
+    ServingSimulator(BatchPlanEvaluator(devices, network)).run(
+        tenants,
+        duration_s=2.0,
+        policy=policy,
+        faults="churn:events=crash:0@200;join:0@900",
+        retry=RetryPolicy(max_attempts=3, backoff_ms=20.0, jitter_ms=5.0, seed=7),
+        tracer=tracer,
+    )
+    return tracer
+
+
+def _track_family(track: str) -> str:
+    """Collapse instance names so the taxonomy pins shapes, not ids."""
+    if track.startswith("tenant:"):
+        return "tenant"
+    if track.startswith("lane:"):
+        return f"lane(role={track.rsplit(':', 1)[1]})"
+    return track
+
+
+def trace_schema(tracer: Tracer) -> dict:
+    taxonomy = sorted(
+        {
+            (
+                _track_family(event.track),
+                event.kind,
+                event.name,
+                ",".join(key for key, _ in event.args),
+                "span" if event.dur_ms > 0.0 else "instant",
+            )
+            for event in tracer.events
+        }
+    )
+    chrome = tracer.to_chrome()
+    return {
+        "taxonomy": [list(entry) for entry in taxonomy],
+        "chrome_top_level": sorted(chrome),
+        "chrome_phases": sorted({r["ph"] for r in chrome["traceEvents"]}),
+        "chrome_record_keys": sorted(
+            {key for record in chrome["traceEvents"] for key in record}
+        ),
+    }
+
+
+def test_trace_schema_matches_golden():
+    assert GOLDEN.exists(), (
+        f"golden trace schema missing at {GOLDEN}; generate it with "
+        f"`PYTHONPATH=src python {__file__} --regenerate`"
+    )
+    expected = json.loads(GOLDEN.read_text())
+    actual = trace_schema(build_trace())
+    assert actual == expected, (
+        "trace taxonomy drifted from tests/data/serving_trace_schema.json — "
+        "if intentional, regenerate the golden file AND update the span "
+        "taxonomy table in docs/observability.md"
+    )
+
+
+def test_scenario_exercises_every_event_source():
+    """The pinned run must actually cover the taxonomy's families."""
+    kinds = {(event.kind, event.name) for event in build_trace().events}
+    assert ("request", "serve") in kinds
+    assert ("request", "dispatch") in kinds
+    assert ("fault", "crash") in kinds
+    assert any(kind == "lane" for kind, _ in kinds)
+
+
+def test_chrome_export_is_valid_json():
+    chrome = build_trace().to_chrome()
+    assert json.loads(json.dumps(chrome))["displayTimeUnit"] == "ms"
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(json.dumps(trace_schema(build_trace()), indent=2) + "\n")
+        print(f"wrote {GOLDEN}")
+    else:
+        print(__doc__)

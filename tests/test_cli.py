@@ -390,3 +390,92 @@ class TestServeControlPlane:
         payload = json.loads(report.read_text())
         assert len(payload["windows"]) == 2
         assert payload["device_trajectory"][0] == 1
+
+
+class TestServeObservability:
+    GEN = "gen:n=2,seed=3,types=nano,bw=70"
+    COMMON = [
+        "serve", "--scenario", GEN, "--tenant", "coedge",
+        "--model", "small_vgg",
+        "--traffic", "traffic:poisson,rate=150,seed=11",
+        "--deadline-ms", "40", "--duration", "2",
+    ]
+
+    def test_trace_json_is_chrome_loadable(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        code = main(self.COMMON + ["--trace-json", str(trace)])
+        assert code == 0
+        assert "trace written" in capsys.readouterr().out
+        payload = json.loads(trace.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        phases = {record["ph"] for record in payload["traceEvents"]}
+        assert {"M", "i"} <= phases
+        names = {record["name"] for record in payload["traceEvents"]}
+        assert "serve" in names and "arrive" in names
+
+    def test_metrics_json_snapshot(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        code = main(self.COMMON + ["--metrics-json", str(metrics)])
+        assert code == 0
+        assert "metrics written" in capsys.readouterr().out
+        payload = json.loads(metrics.read_text())
+        assert payload["repro_requests_arrived_total"]["type"] == "counter"
+        assert "repro_latency_ms" in payload
+
+    def test_profile_prints_wall_clock_table(self, capsys):
+        code = main(self.COMMON + ["--profile"])
+        assert code == 0
+        assert "excluded from parity" in capsys.readouterr().out
+
+    def test_parity_mode_carries_the_tracer(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        code = main(self.COMMON + [
+            "--mode", "parity", "--trace-json", str(trace),
+        ])
+        assert code == 0
+        assert "bit-identical" in capsys.readouterr().out
+        assert json.loads(trace.read_text())["traceEvents"]
+
+    def test_report_json_carries_provenance(self, tmp_path):
+        report = tmp_path / "report.json"
+        code = main(self.COMMON + ["--report-json", str(report)])
+        assert code == 0
+        provenance = json.loads(report.read_text())["provenance"]
+        assert provenance["scenario"] == self.GEN
+        assert provenance["argv"][0] == "serve"
+        assert provenance["repro_version"]
+
+    def test_figure_rejects_observability_flags(self, capsys):
+        code = main(self.COMMON + ["--figure", "--profile"])
+        assert code == 2
+        assert "single serving run" in capsys.readouterr().err
+
+    def test_control_plane_rejects_metrics_and_profile(self, capsys):
+        code = main(self.COMMON + [
+            "--contention", "--admission", "predictive",
+            "--plan-capacity", "--metrics-json", "x.json",
+        ])
+        assert code == 2
+        assert "--trace-json" in capsys.readouterr().err
+
+    def test_plan_capacity_writes_control_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        code = main(self.COMMON + [
+            "--contention", "--admission", "predictive", "--slots", "4",
+            "--plan-capacity", "--fleet-range", "1:3",
+            "--target-miss-rate", "0.1", "--trace-json", str(trace),
+        ])
+        assert code == 0
+        assert "trace written" in capsys.readouterr().out
+        names = {r["name"] for r in json.loads(trace.read_text())["traceEvents"]}
+        assert "capacity_probe" in names
+
+    def test_plan_profile_flag(self, capsys):
+        code = main([
+            "plan", "--model", "small_vgg",
+            "--devices", "nano:70", "nano:70",
+            "--method", "coedge", "--profile",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan.search" in out and "plan.evaluate" in out
