@@ -1,6 +1,6 @@
 """Command-line interface for the DistrEdge reproduction.
 
-Four subcommands cover the common workflows without writing Python:
+Five subcommands cover the common workflows without writing Python:
 
 ``plan``
     Run a distribution method (DistrEdge or any baseline) on a named model
@@ -18,6 +18,11 @@ Four subcommands cover the common workflows without writing Python:
     fleet under ``traffic:`` arrival processes with per-tenant SLOs, served
     through the epoch-batched event loop of
     :class:`~repro.serving.simulator.ServingSimulator`.
+``analyze``
+    Attribute every request's critical-path latency to queue / gate /
+    per-lane compute / send / recv / stall segments — from an exported
+    ``--trace-json`` file or an inline serving run — and rank the fleet's
+    bottleneck lanes (see :mod:`repro.obs.analysis`).
 
 Clusters are given either as ad-hoc ``--devices`` specs or as ``--scenario``
 references — a catalogue name (``DB``, ``LA``...) or a procedural-generator
@@ -46,6 +51,11 @@ Examples
         --mode parity --duration 60
     python -m repro.cli serve --scenario gen:n=16,seed=7 --duration 30 \
         --churn churn:crashes=2,seed=7 --retry-max 3 --degrade-min-live 0.5
+    python -m repro.cli serve --scenario DB --contention --alerts \
+        --alert-fast-s 5 --alert-slow-s 30 --duration 60
+    python -m repro.cli analyze --scenario DB --contention --max-inflight 2 \
+        --duration 10 --figure
+    python -m repro.cli analyze --trace-json serve_trace.json --top 5
 """
 
 from __future__ import annotations
@@ -446,6 +456,94 @@ def _resolve_traffic_or_poisson(spec, rate: float, seed: int):
     )
 
 
+def _policy_from_args(args: argparse.Namespace):
+    """Resolve ``--contention`` and its knobs into a cluster policy.
+
+    Returns ``(True, policy_or_None)`` — ``None`` without ``--contention`` —
+    or ``(False, None)`` after printing the reason to stderr (the contention
+    knobs require ``--contention``, mirroring the ``--churn`` gate).  Shared
+    by ``serve`` and ``analyze`` so the same flags resolve identically.
+    """
+    from repro.serving import ClusterPolicy
+
+    if args.contention:
+        try:
+            return True, ClusterPolicy(
+                discipline=args.discipline,
+                max_inflight=args.max_inflight,
+                admission=args.admission,
+                on_predicted_miss=args.on_predicted_miss,
+                window_ms=args.window_ms,
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return False, None
+    if (
+        args.discipline != "fifo"
+        or args.max_inflight is not None
+        or args.weight
+        or args.admission != "none"
+        or args.window_ms is not None
+    ):
+        print(
+            "--discipline/--max-inflight/--weight/--admission/--window-ms model "
+            "shared-fleet contention; pass --contention to enable it",
+            file=sys.stderr,
+        )
+        return False, None
+    return True, None
+
+
+def _build_tenants(
+    args: argparse.Namespace, parsed, devices, network,
+    traffics, deadlines, capacities, weights, slot_counts,
+):
+    """Plan each ``--tenant`` method on the fleet and wrap it in a TenantSpec.
+
+    Returns the tenant list, or ``None`` after printing a bad ``--traffic``
+    spec to stderr.  Shared by ``serve`` and ``analyze``.
+    """
+    from repro.serving import SLO, PoissonArrivals, TenantSpec, resolve_traffic
+
+    tenants = []
+    methods_only = [m for m, _ in parsed]
+    for i, (method, model_name) in enumerate(parsed):
+        model = model_zoo.get(model_name)
+        if method == "distredge":
+            planner = DistrEdge(
+                DistrEdgeConfig(
+                    osds=OSDSConfig(max_episodes=args.episodes, seed=args.seed),
+                    seed=args.seed,
+                )
+            )
+            plan = planner.plan(model, devices, network)
+        else:
+            plan = BASELINE_REGISTRY[method]().plan(model, devices, network)
+        try:
+            traffic = (
+                resolve_traffic(traffics[i])
+                if traffics[i] is not None
+                else PoissonArrivals(rate_rps=args.rate, seed=args.seed + i)
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return None
+        # Suffix only on duplicate methods (same rule as
+        # ExperimentHarness.serve_scenario, so reports correlate).
+        tenants.append(
+            TenantSpec(
+                name=method if methods_only.count(method) == 1 else f"{method}-{i}",
+                plan=plan,
+                traffic=traffic,
+                slo=SLO(deadline_ms=deadlines[i]),
+                queue_capacity=capacities[i],
+                weight=weights[i],
+                slots=slot_counts[i],
+            )
+        )
+    return tenants
+
+
 def _cmd_serve_plan_capacity(
     args: argparse.Namespace, parsed, traffics, deadlines, weights, policy,
     faults, retry, degradation,
@@ -494,7 +592,7 @@ def _cmd_serve_plan_capacity(
         plan = planner.plan()
     print(format_capacity_plan(plan, title="capacity plan"))
     if tracer is not None:
-        tracer.write_chrome(args.trace_json)
+        tracer.write_chrome(args.trace_json, provenance=_provenance(args))
         print(f"trace written to {args.trace_json}")
     if args.report_json:
         _write_report_json(args.report_json, plan.to_dict(), provenance=_provenance(args))
@@ -524,6 +622,9 @@ def _cmd_serve_autoscale(
             step=args.scale_step,
             target_miss_rate=args.target_miss_rate,
             capacity_per_device_rps=args.capacity_per_device_rps,
+            trigger=args.scale_trigger.replace("-", "_"),
+            burn_threshold=args.burn_threshold,
+            burn_windows=args.burn_windows,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -558,7 +659,7 @@ def _cmd_serve_autoscale(
         )
     print(format_autoscale_report(report, title="autoscaled serving"))
     if tracer is not None:
-        tracer.write_chrome(args.trace_json)
+        tracer.write_chrome(args.trace_json, provenance=_provenance(args))
         print(f"trace written to {args.trace_json}")
     if args.report_json:
         _write_report_json(args.report_json, report.to_dict(), provenance=_provenance(args))
@@ -568,15 +669,7 @@ def _cmd_serve_autoscale(
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.runtime.batch import BatchPlanEvaluator
     from repro.runtime.shard import ShardedPlanEvaluator
-    from repro.serving import (
-        SLO,
-        ClusterPolicy,
-        PoissonArrivals,
-        ServingSimulator,
-        TenantSpec,
-        resolve_traffic,
-        run_with_parity,
-    )
+    from repro.serving import ServingSimulator, run_with_parity
     from repro.experiments.reporting import (
         format_fault_report,
         format_fleet_table,
@@ -597,46 +690,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    policy = None
-    if args.contention:
-        try:
-            policy = ClusterPolicy(
-                discipline=args.discipline,
-                max_inflight=args.max_inflight,
-                admission=args.admission,
-                on_predicted_miss=args.on_predicted_miss,
-                window_ms=args.window_ms,
-            )
-        except ValueError as exc:
-            print(str(exc), file=sys.stderr)
-            return 2
-    elif (
-        args.discipline != "fifo"
-        or args.max_inflight is not None
-        or args.weight
-        or args.admission != "none"
-        or args.window_ms is not None
-    ):
-        print(
-            "--discipline/--max-inflight/--weight/--admission/--window-ms model "
-            "shared-fleet contention; pass --contention to enable it",
-            file=sys.stderr,
-        )
+    ok, policy = _policy_from_args(args)
+    if not ok:
         return 2
     fault_args = _fault_policies_from_args(args)
     if fault_args is None:
         return 2
     faults, retry, degradation = fault_args
+    alert_monitor = None
+    if args.alerts or args.alerts_json:
+        from repro.obs.slo import BurnRateRule, SLOMonitor
+
+        try:
+            rule = BurnRateRule(
+                "burn", args.alert_fast_s, args.alert_slow_s, args.alert_burn
+            )
+            alert_monitor = SLOMonitor(rules=(rule,), default_target=args.alert_target)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    elif (
+        args.alert_fast_s != 5.0
+        or args.alert_slow_s != 30.0
+        or args.alert_burn != 1.0
+        or args.alert_target != 0.05
+    ):
+        print(
+            "--alert-fast-s/--alert-slow-s/--alert-burn/--alert-target tune "
+            "SLO burn-rate alerting; pass --alerts or --alerts-json to "
+            "enable it",
+            file=sys.stderr,
+        )
+        return 2
     if args.plan_capacity or args.autoscale:
         if args.plan_capacity and args.autoscale:
             print("--plan-capacity and --autoscale are mutually exclusive",
                   file=sys.stderr)
             return 2
-        if args.metrics_json or args.profile:
+        if args.metrics_json or args.profile or alert_monitor is not None:
             print(
-                "--metrics-json/--profile instrument a single serving run; "
-                "--plan-capacity/--autoscale run many (use --trace-json for "
-                "the control-plane timeline)",
+                "--metrics-json/--profile/--alerts instrument a single "
+                "serving run; --plan-capacity/--autoscale run many (use "
+                "--trace-json for the control-plane timeline)",
                 file=sys.stderr,
             )
             return 2
@@ -658,11 +753,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             faults, retry, degradation,
         )
     if args.figure:
-        if args.trace_json or args.metrics_json or args.profile:
+        if args.trace_json or args.metrics_json or args.profile or alert_monitor is not None:
             print(
-                "--trace-json/--metrics-json/--profile instrument a single "
-                "serving run; --figure sweeps many (drop --figure or the "
-                "observability flags)",
+                "--trace-json/--metrics-json/--profile/--alerts instrument a "
+                "single serving run; --figure sweeps many (drop --figure or "
+                "the observability flags)",
                 file=sys.stderr,
             )
             return 2
@@ -708,42 +803,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             profiler = Profiler()
             evaluator.profiler = profiler
     try:
-        tenants = []
-        methods_only = [m for m, _ in parsed]
-        for i, (method, model_name) in enumerate(parsed):
-            model = model_zoo.get(model_name)
-            if method == "distredge":
-                planner = DistrEdge(
-                    DistrEdgeConfig(
-                        osds=OSDSConfig(max_episodes=args.episodes, seed=args.seed),
-                        seed=args.seed,
-                    )
-                )
-                plan = planner.plan(model, devices, network)
-            else:
-                plan = BASELINE_REGISTRY[method]().plan(model, devices, network)
-            try:
-                traffic = (
-                    resolve_traffic(traffics[i])
-                    if traffics[i] is not None
-                    else PoissonArrivals(rate_rps=args.rate, seed=args.seed + i)
-                )
-            except ValueError as exc:
-                print(str(exc), file=sys.stderr)
-                return 2
-            # Suffix only on duplicate methods (same rule as
-            # ExperimentHarness.serve_scenario, so reports correlate).
-            tenants.append(
-                TenantSpec(
-                    name=method if methods_only.count(method) == 1 else f"{method}-{i}",
-                    plan=plan,
-                    traffic=traffic,
-                    slo=SLO(deadline_ms=deadlines[i]),
-                    queue_capacity=capacities[i],
-                    weight=weights[i],
-                    slots=slot_counts[i],
-                )
-            )
+        tenants = _build_tenants(
+            args, parsed, devices, network,
+            traffics, deadlines, capacities, weights, slot_counts,
+        )
+        if tenants is None:
+            return 2
         if args.mode == "parity":
             reference = PlanEvaluator(devices, network)
             report = run_with_parity(
@@ -797,15 +862,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(format_fault_report(report, title="fleet churn"))
         if report.slo_violations:
             print(f"SLO violations: {', '.join(report.slo_violations)}")
+        if alert_monitor is not None:
+            from repro.experiments.reporting import format_alert_timeline
+
+            # Evaluate before the trace is written so the alert instants
+            # land on the control:slo track of --trace-json.
+            timeline = alert_monitor.evaluate(report, tracer=tracer)
+            if args.alerts:
+                print(format_alert_timeline(timeline, title="SLO burn-rate alerts"))
+            if args.alerts_json:
+                _write_report_json(
+                    args.alerts_json, timeline.to_dict(), provenance=_provenance(args)
+                )
         if tracer is not None:
-            tracer.write_chrome(args.trace_json)
+            tracer.write_chrome(args.trace_json, provenance=_provenance(args))
             print(f"trace written to {args.trace_json}")
         if metrics is not None:
             import json
             from pathlib import Path
 
+            snapshot = {**metrics.snapshot(), "provenance": _provenance(args)}
             Path(args.metrics_json).write_text(
-                json.dumps(metrics.snapshot(), indent=2) + "\n"
+                json.dumps(snapshot, indent=2) + "\n"
             )
             print(f"metrics written to {args.metrics_json}")
         if profiler is not None:
@@ -815,6 +893,113 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if sharded is not None:
             sharded.close()
+    return 0
+
+
+def _analyze_inline_run(args: argparse.Namespace):
+    """Run one traced batched serving run for ``repro analyze``.
+
+    Returns the :class:`~repro.obs.analysis.AnalysisReport`, or an ``int``
+    exit code after printing a CLI error to stderr.
+    """
+    from repro.obs import Tracer
+    from repro.obs.analysis import analyze_serving
+    from repro.runtime.batch import BatchPlanEvaluator
+    from repro.runtime.faults import RetryPolicy, parse_churn_spec, resolve_churn
+    from repro.serving import ServingSimulator
+
+    refs = args.tenants or ["coedge", "offload"]
+    try:
+        parsed = [_parse_tenant_ref(ref, args.model) for ref in refs]
+        traffics = _broadcast(args.traffic, len(parsed), None, "--traffic")
+        deadlines = _broadcast(args.deadline_ms, len(parsed), 1000.0, "--deadline-ms")
+        weights = _broadcast(args.weight, len(parsed), 1.0, "--weight")
+        if any(w <= 0 for w in weights):
+            raise ValueError(f"--weight values must be > 0, got {weights}")
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    ok, policy = _policy_from_args(args)
+    if not ok:
+        return 2
+    scenario = _scenario_from_args(args.scenario, args.bandwidth)
+    if scenario is None:
+        return 2
+    faults = retry = None
+    if args.churn is not None:
+        try:
+            faults = resolve_churn(parse_churn_spec(args.churn), scenario.num_devices)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        retry = RetryPolicy(seed=args.seed)
+    devices, network = scenario.build(seed=args.seed)
+    print(f"scenario: {scenario.name} ({scenario.num_devices} providers)")
+    tenants = _build_tenants(
+        args, parsed, devices, network,
+        traffics, deadlines, [None] * len(parsed), weights, [1] * len(parsed),
+    )
+    if tenants is None:
+        return 2
+    tracer = Tracer()
+    report = ServingSimulator(BatchPlanEvaluator(devices, network)).run(
+        tenants,
+        duration_s=args.duration,
+        policy=policy,
+        engine=args.engine,
+        faults=faults,
+        retry=retry,
+        tracer=tracer,
+    )
+    return analyze_serving(report, tracer)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import (
+        format_attribution_table,
+        format_bottleneck_table,
+        format_breakdown_chart,
+    )
+    from repro.obs.analysis import AnalysisError, analyze_chrome
+
+    if args.trace_json is not None:
+        import json
+        from pathlib import Path
+
+        try:
+            data = json.loads(Path(args.trace_json).read_text())
+        except OSError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"{args.trace_json} is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        try:
+            analysis = analyze_chrome(data)
+        except (AnalysisError, ValueError) as exc:
+            print(
+                f"{args.trace_json} is not an analyzable serving trace: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        result = _analyze_inline_run(args)
+        if isinstance(result, int):
+            return result
+        analysis = result
+    print(format_attribution_table(analysis, title="critical-path attribution"))
+    print(format_bottleneck_table(analysis, title="fleet bottleneck ranking", top=args.top))
+    if args.figure:
+        print(format_breakdown_chart(analysis, title="latency breakdown"))
+    if args.report_json:
+        _write_report_json(args.report_json, analysis.to_dict(), provenance=_provenance(args))
+    if not analysis.exact:
+        print(
+            "attribution is INEXACT: segments do not telescope to the "
+            "measured latency (a bug, or a hand-edited trace file)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -1017,6 +1202,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--scale-step", type=int, default=1,
                          help="devices added/removed per autoscaler decision "
                               "(default 1)")
+    p_serve.add_argument("--scale-trigger", choices=["utilization", "burn-rate"],
+                         default="utilization",
+                         help="autoscaler decision signal: windowed compute "
+                              "utilisation (default) or the SRE-style SLO "
+                              "burn rate (window miss fraction over the "
+                              "--target-miss-rate budget, which must be > 0; "
+                              "see --burn-threshold/--burn-windows)")
+    p_serve.add_argument("--burn-threshold", type=float, default=1.0,
+                         help="burn-rate autoscaler grow trigger: both the "
+                              "window burn and its trailing mean must reach "
+                              "this multiple of the miss budget (default 1); "
+                              "shrink needs both below half of it")
+    p_serve.add_argument("--burn-windows", type=int, default=4,
+                         help="trailing windows averaged into the slow burn "
+                              "signal for --scale-trigger burn-rate "
+                              "(default 4)")
     p_serve.add_argument("--capacity-per-device-rps", type=float, default=None,
                          help="calibrated per-device capacity (req/s), e.g. a "
                               "serving_load_curve knee divided by its fleet "
@@ -1029,15 +1230,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--trace-json", default=None, metavar="PATH",
                          help="write a Chrome trace-event JSON timeline of the "
                               "run to PATH (open in Perfetto / "
-                              "chrome://tracing); simulated-clock, "
-                              "deterministic, identical across engines and "
-                              "modes; with --plan-capacity/--autoscale, the "
-                              "control-plane probe/window timeline instead")
+                              "chrome://tracing, or feed to repro analyze); "
+                              "simulated-clock, deterministic, identical "
+                              "across engines and modes, stamped with the "
+                              "same provenance block as --report-json; with "
+                              "--plan-capacity/--autoscale, the control-plane "
+                              "probe/window timeline instead")
     p_serve.add_argument("--metrics-json", default=None, metavar="PATH",
                          help="write the run's metrics registry snapshot "
                               "(counters, gauges, latency histograms) as JSON "
-                              "to PATH; see docs/observability.md for the "
-                              "catalogue")
+                              "to PATH, stamped with the same provenance "
+                              "block as --report-json; see "
+                              "docs/observability.md for the catalogue")
+    p_serve.add_argument("--alerts", action="store_true",
+                         help="evaluate deterministic SLO burn-rate alerting "
+                              "over the run on the simulated clock and print "
+                              "the alert timeline (a fast/slow window pair "
+                              "must both exceed --alert-burn to fire; see "
+                              "docs/observability.md)")
+    p_serve.add_argument("--alerts-json", default=None, metavar="PATH",
+                         help="write the alert timeline as JSON to PATH "
+                              "(implies alert evaluation), stamped with the "
+                              "same provenance block as --report-json")
+    p_serve.add_argument("--alert-fast-s", type=float, default=5.0,
+                         help="fast burn window for --alerts in simulated "
+                              "seconds (default 5)")
+    p_serve.add_argument("--alert-slow-s", type=float, default=30.0,
+                         help="slow burn window for --alerts in simulated "
+                              "seconds (default 30)")
+    p_serve.add_argument("--alert-burn", type=float, default=1.0,
+                         help="burn-rate threshold both windows must reach to "
+                              "fire, as a multiple of the SLO miss budget "
+                              "(default 1)")
+    p_serve.add_argument("--alert-target", type=float, default=0.05,
+                         help="fallback SLO miss-rate budget for tenants "
+                              "whose SLO does not set target_miss_rate "
+                              "(default 0.05)")
     p_serve.add_argument("--profile", action="store_true",
                          help="print a wall-clock profile of where the run's "
                               "host time went (evaluator sweeps, shard "
@@ -1050,6 +1278,82 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--figure-rates", default="0.5,1,2,4,8",
                          help="comma-separated per-tenant req/s rates for --figure")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="attribute per-request critical-path latency from a serving trace",
+    )
+    p_an.add_argument("--trace-json", default=None, metavar="PATH",
+                      help="analyze an exported serve --trace-json file "
+                           "(Chrome trace-event JSON) instead of running "
+                           "inline; the event stream round-trips bit-exactly, "
+                           "so the attribution matches the original run")
+    p_an.add_argument("--report-json", default=None, metavar="PATH",
+                      help="write the analysis report as JSON to PATH, "
+                           "stamped with a provenance block (repro version, "
+                           "argv, scenario)")
+    p_an.add_argument("--figure", action="store_true",
+                      help="print a stacked per-tenant latency-breakdown "
+                           "chart (queue/gate/compute/send/recv/stall)")
+    p_an.add_argument("--top", type=int, default=None, metavar="N",
+                      help="show only the N hottest lanes in the bottleneck "
+                           "ranking (default: all)")
+    # Inline-run flags spell exactly like `repro serve`, so a serve
+    # invocation becomes an analysis by swapping the subcommand.
+    p_an.add_argument("--scenario", default="DB",
+                      help="catalogue name or gen: spec for an inline run "
+                           "(same resolution as serve); ignored with "
+                           "--trace-json")
+    p_an.add_argument("--bandwidth", type=float, default=None,
+                      help="re-shape every link of a catalogue --scenario (Mbps)")
+    p_an.add_argument("--tenant", action="append", dest="tenants",
+                      metavar="METHOD[@MODEL]",
+                      help="repeatable tenant spec as in serve; default: "
+                           "coedge + offload")
+    p_an.add_argument("--model", default="vgg16", choices=model_zoo.list_models(),
+                      help="default model for --tenant entries without @MODEL")
+    p_an.add_argument("--traffic", action="append", default=None,
+                      help="repeatable traffic: spec as in serve; default: "
+                           "Poisson at --rate with per-tenant seeds")
+    p_an.add_argument("--rate", type=float, default=2.0,
+                      help="default Poisson arrival rate (req/s)")
+    p_an.add_argument("--deadline-ms", action="append", type=float, default=None,
+                      help="repeatable per-tenant SLO deadline (ms); default 1000")
+    p_an.add_argument("--duration", type=float, default=30.0,
+                      help="open-loop arrival horizon (simulated seconds)")
+    p_an.add_argument("--seed", type=int, default=0)
+    p_an.add_argument("--episodes", type=int, default=50,
+                      help="OSDS episodes for distredge tenants")
+    p_an.add_argument("--engine", choices=["object", "array"], default="object",
+                      help="execution engine for the inline run (the "
+                           "attribution is engine-invariant)")
+    p_an.add_argument("--contention", action="store_true",
+                      help="model shared-fleet lane contention, as in serve "
+                           "(lane attribution needs it to show waiting)")
+    p_an.add_argument("--discipline", choices=["fifo", "deadline", "wfq"],
+                      default="fifo",
+                      help="cross-tenant dispatch order under --contention")
+    p_an.add_argument("--max-inflight", type=int, default=None,
+                      help="cluster-wide in-flight cap under --contention "
+                           "(gate wait shows up as the 'gate' segment)")
+    p_an.add_argument("--weight", action="append", type=float, default=None,
+                      help="repeatable per-tenant WFQ weight (with "
+                           "--contention --discipline wfq); default 1")
+    p_an.add_argument("--admission", choices=["none", "predictive"],
+                      default="none",
+                      help="admission control under --contention, as in serve")
+    p_an.add_argument("--on-predicted-miss", choices=["reject", "requeue"],
+                      default="reject",
+                      help="predictive-admission action, as in serve")
+    p_an.add_argument("--window-ms", type=float, default=None,
+                      help="attach a windowed fleet-load series to the inline "
+                           "run's report, as in serve")
+    p_an.add_argument("--churn", default=None, metavar="SPEC",
+                      help="inject seeded fleet churn (churn: spec, as in "
+                           "serve) into the inline run; retries use the "
+                           "default policy, and their backoff shows up in "
+                           "the per-tenant backoff_ms column")
+    p_an.set_defaults(func=_cmd_analyze)
 
     p_cmp = sub.add_parser("compare", help="compare all methods on a paper scenario")
     p_cmp.add_argument("--scenario", default="DB",

@@ -554,6 +554,33 @@ def load_curve_knee(
     return best
 
 
+def latency_breakdown_figure(analysis) -> Dict[str, dict]:
+    """Stacked latency-breakdown series from a critical-path analysis.
+
+    One series per tenant: milliseconds by breakdown bucket (admission
+    queueing, gate wait, per-role lane service, stalls, uncontended
+    service) plus the totals — the data behind the stacked bars that
+    ``repro analyze --figure`` renders, in the same ``{name: {k: v}}``
+    shape every other figure uses (plot or tabulate as needed).
+    """
+    series: Dict[str, dict] = {}
+    for tenant in analysis.tenants:
+        series[tenant.name] = {
+            "requests": tenant.requests,
+            "queue_ms": float(tenant.queue_ms),
+            "gate_ms": float(tenant.by_label["gate"]),
+            "compute_ms": float(tenant.by_label["compute"]),
+            "send_ms": float(tenant.by_label["send"]),
+            "recv_ms": float(tenant.by_label["recv"]),
+            "stall_ms": float(tenant.by_label["stall"]),
+            "service_ms": float(tenant.by_label["service"]),
+            "latency_ms": float(tenant.latency_ms),
+            "response_ms": float(tenant.response_ms),
+            "dominant": tenant.dominant,
+        }
+    return series
+
+
 __all__ = [
     "EXTRA_MODELS",
     "figure4",
@@ -569,6 +596,7 @@ __all__ = [
     "figure14",
     "figure15",
     "degradation_curve",
+    "latency_breakdown_figure",
     "load_curve_knee",
     "serving_load_curve",
 ]

@@ -202,13 +202,17 @@ def format_autoscale_report(report, title: str = "") -> str:
     One row per window with fleet size, utilisation and the scaling action
     taken at the window boundary; duck-typed like the other formatters.
     """
+    burn = getattr(report.config, "trigger", "utilization") == "burn_rate"
     header = [
         "window", "devices", "util%", "arrivals", "completed", "denied",
-        "miss%", "decision", "next",
+        "miss%",
     ]
+    if burn:
+        header += ["fast_burn", "slow_burn"]
+    header += ["decision", "next"]
     rows = []
     for w in report.windows:
-        rows.append([
+        row = [
             str(w.index),
             str(w.num_devices),
             f"{100.0 * w.utilization:.1f}",
@@ -216,9 +220,14 @@ def format_autoscale_report(report, title: str = "") -> str:
             str(w.completed),
             str(w.denied),
             f"{100.0 * w.miss_rate:.2f}",
-            w.decision,
-            str(w.next_devices),
-        ])
+        ]
+        if burn:
+            row += [
+                f"{getattr(w, 'fast_burn', 0.0):.2f}",
+                f"{getattr(w, 'slow_burn', 0.0):.2f}",
+            ]
+        row += [w.decision, str(w.next_devices)]
+        rows.append(row)
     table = _render_table(header, rows, title)
     trajectory = report.device_trajectory
     footer = (
@@ -226,6 +235,171 @@ def format_autoscale_report(report, title: str = "") -> str:
         f"devices: {min(trajectory) if trajectory else 0}"
         f"..{max(trajectory) if trajectory else 0}  "
         f"final: {report.final_devices}"
+    )
+    return table + "\n" + footer
+
+
+def format_attribution_table(analysis, title: str = "") -> str:
+    """Format an :class:`~repro.obs.analysis.AnalysisReport` per tenant.
+
+    One row per tenant with its milliseconds by breakdown bucket (queueing,
+    gate wait, per-role lane service, stalls, uncontended service) plus the
+    dominant bucket; footer totals and the exactness verdict.  Duck-typed
+    like the other formatters.
+    """
+    header = [
+        "tenant", "reqs", "queue_ms", "gate_ms", "compute_ms", "send_ms",
+        "recv_ms", "stall_ms", "service_ms", "wait_ms", "backoff_ms", "dominant",
+    ]
+    rows = []
+    for t in analysis.tenants:
+        rows.append([
+            t.name,
+            str(t.requests),
+            f"{t.queue_ms:.1f}",
+            f"{t.by_label['gate']:.1f}",
+            f"{t.by_label['compute']:.1f}",
+            f"{t.by_label['send']:.1f}",
+            f"{t.by_label['recv']:.1f}",
+            f"{t.by_label['stall']:.1f}",
+            f"{t.by_label['service']:.1f}",
+            f"{t.lane_wait_ms:.1f}",
+            f"{t.retry_backoff_ms:.1f}",
+            t.dominant,
+        ])
+    table = _render_table(header, rows, title)
+    footer = (
+        f"requests: {analysis.num_requests} "
+        f"({analysis.contended_requests} contended, "
+        f"{analysis.truncated_attempts} truncated attempts)  "
+        f"latency: {analysis.total('latency_ms'):.1f} ms  "
+        f"attribution: "
+        f"{'exact (tilings close bit-for-bit)' if analysis.exact else 'INEXACT'}"
+    )
+    return table + "\n" + footer
+
+
+def format_bottleneck_table(analysis, title: str = "", top: int | None = None) -> str:
+    """Format the fleet bottleneck ranking: lanes by critical-path ms.
+
+    ``critical_ms`` is time the lane spent on some request's final
+    (committed) attempt; ``share`` its fraction of all lane-attributed
+    critical-path time.  ``busy_ms``/``wait_ms``/``jobs`` are raw occupancy
+    including lost (truncated) attempts.
+    """
+    lanes = analysis.lanes if top is None else analysis.lanes[: max(top, 0)]
+    if not lanes:
+        return "(no lane activity; run with a ClusterPolicy to see lanes)"
+    header = [
+        "rank", "lane", "device", "role", "critical_ms", "share%",
+        "busy_ms", "wait_ms", "jobs",
+    ]
+    rows = []
+    for rank, lane in enumerate(lanes, start=1):
+        rows.append([
+            str(rank),
+            lane.lane,
+            lane.device,
+            lane.role,
+            f"{lane.critical_ms:.1f}",
+            f"{100.0 * lane.share:.1f}",
+            f"{lane.busy_ms:.1f}",
+            f"{lane.wait_ms:.1f}",
+            str(lane.jobs),
+        ])
+    table = _render_table(header, rows, title)
+    shown = len(lanes)
+    footer = f"bottleneck: {analysis.bottleneck}"
+    if shown < len(analysis.lanes):
+        footer += f"  (showing top {shown} of {len(analysis.lanes)} lanes)"
+    return table + "\n" + footer
+
+
+#: Stacked-bar glyph per breakdown bucket (legend printed under the chart).
+_BREAKDOWN_GLYPHS = (
+    ("queue", "q"), ("gate", "g"), ("compute", "C"), ("send", "S"),
+    ("recv", "R"), ("stall", "."), ("service", "s"),
+)
+
+
+def format_breakdown_chart(analysis, width: int = 48, title: str = "") -> str:
+    """Render the per-tenant latency breakdown as stacked text bars.
+
+    Each tenant's bar spans its total response milliseconds (queue wait
+    plus latency) scaled to the widest tenant; one glyph per bucket,
+    largest-remainder rounding so a bar's glyph count is deterministic.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    tenants = [t for t in analysis.tenants if t.requests]
+    if not tenants:
+        return "(no completed requests to chart)"
+
+    def buckets(t) -> list:
+        values = [("queue", t.queue_ms)]
+        values += [(label, t.by_label[label]) for label, _ in _BREAKDOWN_GLYPHS[1:]]
+        return values
+
+    glyphs = dict(_BREAKDOWN_GLYPHS)
+    scale = max(t.queue_ms + t.latency_ms for t in tenants)
+    name_w = max(len(t.name) for t in tenants)
+    lines = [title] if title else []
+    for t in tenants:
+        total = t.queue_ms + t.latency_ms
+        bar_cells = int(round(width * total / scale)) if scale > 0 else 0
+        values = buckets(t)
+        bar = ""
+        if bar_cells > 0 and total > 0:
+            # Largest-remainder apportionment of the bar's cells.
+            quotas = [(label, bar_cells * value / total) for label, value in values]
+            counts = {label: int(q) for label, q in quotas}
+            leftover = bar_cells - sum(counts.values())
+            by_remainder = sorted(
+                quotas, key=lambda lq: (-(lq[1] - int(lq[1])), lq[0])
+            )
+            for label, _ in by_remainder[:leftover]:
+                counts[label] += 1
+            bar = "".join(glyphs[label] * counts[label] for label, _ in values)
+        lines.append(f"{t.name.ljust(name_w)} |{bar.ljust(width)}| {total:.1f} ms")
+    legend = "  ".join(f"{glyph}={label}" for label, glyph in _BREAKDOWN_GLYPHS)
+    lines.append(f"legend: {legend}  (bars scaled to the widest tenant)")
+    return "\n".join(lines)
+
+
+def format_alert_timeline(timeline, title: str = "") -> str:
+    """Format an :class:`~repro.obs.slo.AlertTimeline` as a table.
+
+    One row per alert transition (chronological); footer with the rule
+    set, still-firing alerts and the per-tenant budget summary.
+    """
+    header = ["t_s", "scope", "rule", "severity", "state", "fast_burn", "slow_burn"]
+    rows = []
+    for e in timeline.events:
+        rows.append([
+            f"{e.t_s:.2f}",
+            e.scope,
+            e.rule,
+            e.severity,
+            e.state,
+            f"{e.fast_burn:.2f}",
+            f"{e.slow_burn:.2f}",
+        ])
+    if rows:
+        table = _render_table(header, rows, title)
+    else:
+        table = (title + "\n" if title else "") + "(no alerts fired)"
+    rules = ", ".join(
+        f"{r.name}({r.fast_window_s:g}s/{r.slow_window_s:g}s x{r.threshold:g}, "
+        f"{r.severity})"
+        for r in timeline.rules
+    )
+    still = timeline.firing_at_end
+    footer = (
+        f"rules: {rules}  tick: {timeline.tick_s:g}s  "
+        f"horizon: [{timeline.start_s:g}, {timeline.end_s:g}] s  "
+        f"transitions: {len(timeline.events)}  "
+        f"firing at end: "
+        f"{', '.join(f'{s}/{r}' for s, r in still) if still else 'none'}"
     )
     return table + "\n" + footer
 
@@ -250,5 +424,9 @@ __all__ = [
     "format_fault_report",
     "format_capacity_plan",
     "format_autoscale_report",
+    "format_attribution_table",
+    "format_bottleneck_table",
+    "format_breakdown_chart",
+    "format_alert_timeline",
     "speedup_summary",
 ]

@@ -1,6 +1,7 @@
 """Deterministic observability for the planner and serving stack.
 
-Three independent parts, all opt-in and all zero-cost when off:
+Capture (trace/metrics/profile) plus interpretation (analysis/slo), all
+opt-in and all zero-cost when off:
 
 * :mod:`repro.obs.trace` — structured span/event records for the full
   request lifecycle (arrive → admit/deny/requeue → queue → dispatch →
@@ -15,6 +16,14 @@ Three independent parts, all opt-in and all zero-cost when off:
 * :mod:`repro.obs.metrics` — a registry of counters / gauges /
   fixed-bucket histograms with deterministic snapshots and Prometheus
   text exposition export.
+* :mod:`repro.obs.analysis` — critical-path latency attribution: tiles
+  every request's latency into gate / per-lane compute / send / recv /
+  stall segments that telescope to the measured latency bit-exactly, with
+  per-tenant rollups and a fleet bottleneck ranking (``repro analyze``).
+* :mod:`repro.obs.slo` — deterministic SRE-style fast/slow burn-rate
+  alerting over the committed report and windowed fleet load, emitting a
+  canonical alert timeline that is part of the parity contract and feeds
+  the autoscaler (``trigger="burn_rate"``) and degradation planning.
 * :mod:`repro.obs.profile` — wall-clock section timers and hit counters
   around the hot paths (``evaluate_plans``, the ``(batch, devices)``
   sweep, shard dispatch/merge, array-engine epochs and speculation
@@ -25,30 +34,62 @@ The span taxonomy, metrics catalogue and Perfetto how-to live in
 ``docs/observability.md``.
 """
 
+from repro.obs.analysis import (
+    AnalysisError,
+    AnalysisReport,
+    RequestAttribution,
+    analyze_chrome,
+    analyze_events,
+    analyze_serving,
+    analyze_trace,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS_MS,
     MetricsRegistry,
     record_serving_report,
 )
 from repro.obs.profile import NULL_PROFILER, NullProfiler, Profiler
+from repro.obs.slo import (
+    DEFAULT_BURN_RULES,
+    AlertEvent,
+    AlertTimeline,
+    BurnRateRule,
+    SLOMonitor,
+    shed_restore_plan,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
     TraceEvent,
     Tracer,
+    events_from_chrome,
     trace_serving_report,
 )
 
 __all__ = [
+    "AnalysisError",
+    "AnalysisReport",
+    "RequestAttribution",
+    "analyze_chrome",
+    "analyze_events",
+    "analyze_serving",
+    "analyze_trace",
     "DEFAULT_LATENCY_BUCKETS_MS",
     "MetricsRegistry",
     "record_serving_report",
     "NULL_PROFILER",
     "NullProfiler",
     "Profiler",
+    "DEFAULT_BURN_RULES",
+    "AlertEvent",
+    "AlertTimeline",
+    "BurnRateRule",
+    "SLOMonitor",
+    "shed_restore_plan",
     "NULL_TRACER",
     "NullTracer",
     "TraceEvent",
     "Tracer",
+    "events_from_chrome",
     "trace_serving_report",
 ]

@@ -1,0 +1,710 @@
+"""Critical-path latency attribution over the deterministic serving trace.
+
+A :class:`Tracer` (see :mod:`repro.obs.trace`) records *what happened*;
+this module answers *where the time went*.  :func:`analyze_events`
+consumes the canonical event stream of one serving run — the derived
+request lifecycle plus the live-emitted contended lane spans, dispatch
+instants, requeues and retry chains — and decomposes every completed
+request's service latency into an exact tiling of contiguous segments:
+
+* ``gate`` — the ``max_inflight`` admission-gate wait recorded on the
+  request's ``dispatch`` instant;
+* ``compute`` / ``send`` / ``recv`` — slivers covered by one of the
+  request's own provider-lane busy spans (ties broken compute > send >
+  recv, then by lane name);
+* ``stall`` — slivers covered by none of its lane spans: requester-side
+  transfers, intra-request dependency gaps and residual queueing behind
+  other requests' occupancy;
+* ``service`` — the whole latency of an uncontended request (independent
+  runs emit no lane detail; the request saw an idle fleet).
+
+**Exactness is structural, not numerical.**  The tiling's breakpoints
+always include ``0.0`` and the committed ``latency_ms`` and consecutive
+segments share their boundary float, so the segment durations sum to the
+measured latency *by telescoping* — no rounding can creep in, and
+:meth:`RequestAttribution.check_exact` asserts the chain bit for bit
+(``repr`` equality).  Admission queueing (``queue_ms``, arrival → service
+start) is reported alongside the latency tiling; response time is queue
+wait plus latency.
+
+Because the analysis is a pure function of the canonical trace — and the
+trace is byte-identical across the reference, batched and array loops
+(``run_with_parity`` asserts it) — the attribution inherits the parity
+contract for free: :meth:`AnalysisReport.lines` compares equal across
+engines exactly when every derived float is the same bits.
+:func:`analyze_chrome` re-imports an exported ``--trace-json`` file, so
+``repro analyze`` works offline on a trace artifact.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
+
+from repro.obs.trace import TraceEvent, Tracer, events_from_chrome
+
+#: Sliver-coverage tie break: a compute span outranks a send span
+#: outranks a recv span covering the same instant.
+ROLE_PRIORITY = {"compute": 0, "send": 1, "recv": 2}
+
+#: Latency-tiling segment labels, in rollup order.
+SEGMENT_LABELS = ("gate", "compute", "send", "recv", "stall", "service")
+
+
+class AnalysisError(ValueError):
+    """A trace that cannot be attributed (malformed or mismatched)."""
+
+
+class Segment(NamedTuple):
+    """One contiguous sliver of a request's latency tiling.
+
+    ``start_ms`` / ``end_ms`` are latency-relative (``0`` = service
+    start); ``lane`` names the covering lane track for compute/send/recv
+    segments and is empty otherwise.
+    """
+
+    label: str
+    lane: str
+    start_ms: float
+    end_ms: float
+
+    @property
+    def dur_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+def _lane_parts(track: str) -> Tuple[str, str]:
+    """``lane:<device>:<role>`` -> ``(device, role)``."""
+    body, _, role = track.rpartition(":")
+    return body[len("lane:"):], role
+
+
+def _lane_rank(track: str) -> Tuple[int, str]:
+    _, role = _lane_parts(track)
+    return (ROLE_PRIORITY.get(role, len(ROLE_PRIORITY)), track)
+
+
+class RequestAttribution:
+    """One completed request's exact latency breakdown."""
+
+    __slots__ = (
+        "tenant", "index", "start_ms", "latency_ms", "queue_ms",
+        "contended", "gate_wait_ms", "lane_wait_ms", "segments", "_by_label",
+    )
+
+    def __init__(
+        self,
+        tenant: str,
+        index: int,
+        start_ms: float,
+        latency_ms: float,
+        queue_ms: float,
+        contended: bool,
+        gate_wait_ms: float,
+        lane_wait_ms: float,
+        segments: List[Segment],
+    ) -> None:
+        self.tenant = tenant
+        self.index = index
+        self.start_ms = start_ms
+        self.latency_ms = latency_ms
+        self.queue_ms = queue_ms
+        self.contended = contended
+        self.gate_wait_ms = gate_wait_ms
+        self.lane_wait_ms = lane_wait_ms
+        self.segments = segments
+        self._by_label: Optional[Dict[str, float]] = None
+
+    @property
+    def by_label(self) -> Dict[str, float]:
+        """Per-label duration sums, computed lazily from the tiling."""
+        cached = self._by_label
+        if cached is None:
+            cached = {}
+            for seg in self.segments:
+                cached[seg.label] = cached.get(seg.label, 0.0) + (
+                    seg.end_ms - seg.start_ms
+                )
+            self._by_label = cached
+        return cached
+
+    @property
+    def attributed_ms(self) -> float:
+        """Telescoped segment total — the last breakpoint of the tiling."""
+        return self.segments[-1].end_ms if self.segments else 0.0
+
+    def check_exact(self) -> None:
+        """Assert the tiling is a bit-exact account of ``latency_ms``.
+
+        The chain must start at ``0.0``, every boundary must be *the same
+        float* on both sides (``repr`` equality, i.e. equal bits) and the
+        last breakpoint must be the committed latency itself — which makes
+        the telescoped sum of segment durations exactly the measured
+        latency, with no rounding anywhere.
+        """
+        if not self.segments:
+            raise AssertionError(
+                f"{self.tenant}[{self.index}]: empty tiling for "
+                f"latency {self.latency_ms!r}"
+            )
+        if repr(self.segments[0].start_ms) != repr(0.0):
+            raise AssertionError(
+                f"{self.tenant}[{self.index}]: tiling starts at "
+                f"{self.segments[0].start_ms!r}, not 0.0"
+            )
+        for prev, seg in zip(self.segments, self.segments[1:]):
+            if repr(prev.end_ms) != repr(seg.start_ms):
+                raise AssertionError(
+                    f"{self.tenant}[{self.index}]: gap between {prev!r} "
+                    f"and {seg!r}"
+                )
+        if repr(self.segments[-1].end_ms) != repr(self.latency_ms):
+            raise AssertionError(
+                f"{self.tenant}[{self.index}]: tiling ends at "
+                f"{self.segments[-1].end_ms!r}, latency is {self.latency_ms!r}"
+            )
+
+    @property
+    def exact(self) -> bool:
+        try:
+            self.check_exact()
+        except AssertionError:
+            return False
+        return True
+
+    def to_line(self) -> str:
+        """Canonical byte serialisation (floats via ``repr``)."""
+        parts = [
+            self.tenant,
+            str(self.index),
+            repr(float(self.start_ms)),
+            repr(float(self.latency_ms)),
+            repr(float(self.queue_ms)),
+            repr(float(self.lane_wait_ms)),
+            "contended" if self.contended else "idle",
+        ]
+        for seg in self.segments:
+            lane = seg.lane or "-"
+            parts.append(f"{seg.label}@{lane}:{seg.start_ms!r}:{seg.end_ms!r}")
+        return " ".join(parts)
+
+
+class TenantAttribution:
+    """Per-tenant rollup of the request breakdowns plus trace-only facts."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.requests = 0
+        self.contended_requests = 0
+        self.queue_ms = 0.0
+        self.latency_ms = 0.0
+        self.response_ms = 0.0
+        self.lane_wait_ms = 0.0
+        self.by_label: Dict[str, float] = {label: 0.0 for label in SEGMENT_LABELS}
+        self.misses = 0
+        self.rejects = 0
+        self.denies = 0
+        self.requeues = 0
+        self.sheds = 0
+        self.abandons = 0
+        self.replans = 0
+        self.retries = 0
+        self.retry_backoff_ms = 0.0
+        self.lost_attempts = 0
+        self.lost_attempt_ms = 0.0
+
+    @property
+    def dominant(self) -> str:
+        """The breakdown bucket holding the most milliseconds (queue included)."""
+        candidates = [("queue", self.queue_ms)] + [
+            (label, self.by_label[label]) for label in SEGMENT_LABELS
+        ]
+        # max() keeps the first of equal keys; candidate order is fixed.
+        return max(candidates, key=lambda kv: kv[1])[0]
+
+    def to_dict(self) -> Dict:
+        out: Dict = {
+            "name": self.name,
+            "requests": int(self.requests),
+            "contended_requests": int(self.contended_requests),
+            "queue_ms": float(self.queue_ms),
+            "latency_ms": float(self.latency_ms),
+            "response_ms": float(self.response_ms),
+            "lane_wait_ms": float(self.lane_wait_ms),
+            "misses": int(self.misses),
+            "rejects": int(self.rejects),
+            "denies": int(self.denies),
+            "requeues": int(self.requeues),
+            "sheds": int(self.sheds),
+            "abandons": int(self.abandons),
+            "replans": int(self.replans),
+            "retries": int(self.retries),
+            "retry_backoff_ms": float(self.retry_backoff_ms),
+            "lost_attempts": int(self.lost_attempts),
+            "lost_attempt_ms": float(self.lost_attempt_ms),
+            "dominant": self.dominant,
+        }
+        for label in SEGMENT_LABELS:
+            out[f"{label}_ms"] = float(self.by_label[label])
+        return out
+
+    def to_line(self) -> str:
+        cells = [f"tenant {self.name}", str(self.requests)]
+        cells += [repr(float(self.by_label[label])) for label in SEGMENT_LABELS]
+        cells += [
+            repr(float(self.queue_ms)),
+            repr(float(self.latency_ms)),
+            repr(float(self.response_ms)),
+            repr(float(self.lane_wait_ms)),
+            repr(float(self.retry_backoff_ms)),
+            repr(float(self.lost_attempt_ms)),
+        ]
+        return " ".join(cells)
+
+
+class LaneAttribution:
+    """Per-lane rollup: raw occupancy plus critical-path milliseconds."""
+
+    def __init__(self, lane: str) -> None:
+        self.lane = lane
+        self.device, self.role = _lane_parts(lane)
+        self.critical_ms = 0.0
+        self.busy_ms = 0.0
+        self.wait_ms = 0.0
+        self.jobs = 0
+        self.spans = 0
+        self.share = 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "lane": self.lane,
+            "device": self.device,
+            "role": self.role,
+            "critical_ms": float(self.critical_ms),
+            "share": float(self.share),
+            "busy_ms": float(self.busy_ms),
+            "wait_ms": float(self.wait_ms),
+            "jobs": int(self.jobs),
+            "spans": int(self.spans),
+        }
+
+    def to_line(self) -> str:
+        return " ".join([
+            f"lane {self.lane}",
+            repr(float(self.critical_ms)),
+            repr(float(self.busy_ms)),
+            repr(float(self.wait_ms)),
+            str(self.jobs),
+            str(self.spans),
+        ])
+
+
+class AnalysisReport:
+    """The full attribution: per-request tilings, rollups, bottleneck ranking."""
+
+    def __init__(
+        self,
+        requests: List[RequestAttribution],
+        tenants: List[TenantAttribution],
+        lanes: List[LaneAttribution],
+        truncated_attempts: int,
+    ) -> None:
+        self.requests = requests
+        self.tenants = tenants
+        #: Ranked most critical-path milliseconds first — the fleet-level
+        #: bottleneck ordering (ties by lane name).
+        self.lanes = lanes
+        self.truncated_attempts = truncated_attempts
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def contended_requests(self) -> int:
+        return sum(1 for r in self.requests if r.contended)
+
+    @property
+    def exact(self) -> bool:
+        """Every request's tiling closes bit-exactly at its latency."""
+        return all(r.exact for r in self.requests)
+
+    def check_exact(self) -> None:
+        for request in self.requests:
+            request.check_exact()
+
+    @property
+    def bottleneck(self) -> str:
+        """The lane holding the most critical-path milliseconds ('' if none)."""
+        return self.lanes[0].lane if self.lanes else ""
+
+    def tenant(self, name: str) -> TenantAttribution:
+        for tenant in self.tenants:
+            if tenant.name == name:
+                return tenant
+        raise KeyError(
+            f"no tenant {name!r}; tenants: {[t.name for t in self.tenants]}"
+        )
+
+    def total(self, field: str) -> float:
+        """Sum a :class:`TenantAttribution` field over every tenant."""
+        total = 0.0
+        for tenant in self.tenants:
+            total += (
+                tenant.by_label[field]
+                if field in SEGMENT_LABELS
+                else getattr(tenant, field)
+            )
+        return total
+
+    def lines(self) -> List[str]:
+        """Canonical byte serialisation of the whole attribution.
+
+        Two analyses compare equal exactly when every request tiling,
+        tenant rollup and lane rollup is the same bits — the form the
+        parity contract (``run_with_parity(compare_analysis=True)``)
+        asserts across the reference, batched and array loops.
+        """
+        out = [request.to_line() for request in self.requests]
+        out += [tenant.to_line() for tenant in self.tenants]
+        out += [lane.to_line() for lane in self.lanes]
+        out.append(f"truncated_attempts {self.truncated_attempts}")
+        return out
+
+    def to_dict(self) -> Dict:
+        """Machine-readable dump (the shape ``repro analyze --report-json``
+        writes; pinned by ``tests/data/analysis_report_schema.json``)."""
+        totals: Dict = {
+            f"{label}_ms": float(self.total(label)) for label in SEGMENT_LABELS
+        }
+        totals.update(
+            {
+                "queue_ms": float(self.total("queue_ms")),
+                "latency_ms": float(self.total("latency_ms")),
+                "response_ms": float(self.total("response_ms")),
+                "lane_wait_ms": float(self.total("lane_wait_ms")),
+                "retry_backoff_ms": float(self.total("retry_backoff_ms")),
+                "lost_attempt_ms": float(self.total("lost_attempt_ms")),
+            }
+        )
+        return {
+            "requests": int(self.num_requests),
+            "contended_requests": int(self.contended_requests),
+            "truncated_attempts": int(self.truncated_attempts),
+            "exact": bool(self.exact),
+            "bottleneck": self.bottleneck,
+            "totals": totals,
+            "tenants": [tenant.to_dict() for tenant in self.tenants],
+            "lanes": [lane.to_dict() for lane in self.lanes],
+        }
+
+
+# ---------------------------------------------------------------------- #
+# the analysis pass
+# ---------------------------------------------------------------------- #
+
+
+def _tile_request(
+    latency_ms: float,
+    gate_ms: float,
+    spans: List[Tuple[float, float, str]],
+) -> List[Segment]:
+    """Tile ``[0, latency_ms]`` from the gate wait and the request's own
+    latency-relative lane intervals (``(start, end, lane_track)``)."""
+    length = latency_ms
+    gate = min(max(gate_ms, 0.0), length)
+    intervals: List[Tuple[float, float, str]] = []
+    points = {0.0, gate, length}
+    for start, end, lane in spans:
+        # Clamp defensively: a re-imported Chrome trace's timestamps went
+        # through the microsecond conversion and may wobble by an ulp.
+        start = min(max(start, 0.0), length)
+        end = min(max(end, start), length)
+        if end > start:
+            intervals.append((start, end, lane))
+            points.add(start)
+            points.add(end)
+    breakpoints = sorted(points)
+    segments: List[Segment] = []
+    for a, b in zip(breakpoints, breakpoints[1:]):
+        if b <= gate:
+            label, lane = "gate", ""
+        else:
+            covering = [t for (x, y, t) in intervals if x <= a and y >= b]
+            if covering:
+                lane = min(covering, key=_lane_rank)
+                label = _lane_parts(lane)[1]
+            else:
+                label, lane = "stall", ""
+        if segments and segments[-1].label == label and segments[-1].lane == lane:
+            segments[-1] = segments[-1]._replace(end_ms=b)
+        else:
+            segments.append(Segment(label, lane, a, b))
+    if not segments:
+        # Zero-length latency: one empty segment keeps the chain closed.
+        segments.append(Segment("service", "", 0.0, length))
+    return segments
+
+
+class _TenantEvents:
+    """One tenant's events, bucketed by what the analysis needs."""
+
+    __slots__ = (
+        "serve", "queue", "dispatches", "final_by_release", "spans", "rollup",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.serve: List[Tuple[float, float]] = []  # (start_ms, latency_ms)
+        self.queue: List[float] = []  # queue wait per request, arrival order
+        self.dispatches: List[Tuple[float, float, bool]] = []  # (release, lat, truncated)
+        self.final_by_release: Dict[float, Tuple[float, bool]] = {}  # (gate, contended)
+        self.spans: List[Tuple[float, str, float, tuple]] = []  # (ts, track, dur, args)
+        self.rollup = TenantAttribution(name)
+
+
+def analyze_events(events: Iterable[TraceEvent]) -> AnalysisReport:
+    """Attribute one serving run's canonical event stream.
+
+    ``events`` must be a full run's trace in canonical order — pass a
+    :class:`Tracer` to :func:`analyze_trace` or a Chrome export to
+    :func:`analyze_chrome` rather than calling this directly.
+    """
+    tenants: Dict[str, _TenantEvents] = {}
+    tenants_get = tenants.get
+
+    # The stream is large (four lifecycle events per request plus lane
+    # spans) and this loop dominates `repro analyze`, so it unpacks the
+    # TraceEvent tuple directly and scans the args pair-tuple in place
+    # instead of building a dict per event.
+    for ts_ms, track, kind, name, dur_ms, raw_args in events:
+        if kind == "lane":
+            tenant_name = ""
+            for key, value in raw_args:
+                if key == "tenant":
+                    tenant_name = str(value)
+                    break
+            entry = tenants_get(tenant_name)
+            if entry is None:
+                entry = tenants[tenant_name] = _TenantEvents(tenant_name)
+            entry.spans.append((ts_ms, track, dur_ms, raw_args))
+            continue
+        if not track.startswith("tenant:"):
+            continue
+        tenant_name = track[7:]  # len("tenant:")
+        entry = tenants_get(tenant_name)
+        if entry is None:
+            entry = tenants[tenant_name] = _TenantEvents(tenant_name)
+        if kind == "request":
+            if name == "serve":
+                latency = dur_ms
+                for key, value in raw_args:
+                    if key == "latency_ms":
+                        latency = float(value)
+                        break
+                entry.serve.append((ts_ms, latency))
+            elif name == "queue":
+                entry.queue.append(dur_ms)
+            elif name == "dispatch":
+                latency = 0.0
+                truncated = False
+                gate_wait = 0.0
+                contended = False
+                for key, value in raw_args:
+                    if key == "latency_ms":
+                        latency = float(value)
+                    elif key == "truncated":
+                        truncated = bool(value)
+                    elif key == "gate_wait_ms":
+                        gate_wait = float(value)
+                    elif key == "contended":
+                        contended = bool(value)
+                entry.dispatches.append((ts_ms, latency, truncated))
+                if truncated:
+                    entry.rollup.lost_attempt_ms += latency
+                else:
+                    entry.final_by_release[ts_ms] = (gate_wait, contended)
+            elif name == "complete":
+                rollup = entry.rollup
+                for key, value in raw_args:
+                    if key == "response_ms":
+                        rollup.response_ms += float(value)
+                    elif key == "deadline_missed" and value:
+                        rollup.misses += 1
+        elif kind == "admission":
+            if name == "reject":
+                entry.rollup.rejects += 1
+            elif name == "deny":
+                entry.rollup.denies += 1
+            elif name == "requeue":
+                entry.rollup.requeues += 1
+        elif kind == "fault":
+            if name == "shed":
+                entry.rollup.sheds += 1
+            elif name == "abandon":
+                entry.rollup.abandons += 1
+            elif name == "retry":
+                args = dict(raw_args)
+                entry.rollup.retries += 1
+                entry.rollup.retry_backoff_ms += float(args.get("delay_ms", 0.0))
+                entry.rollup.lost_attempts += 1
+            elif name == "retry_chain":
+                args = dict(raw_args)
+                entry.rollup.retries += max(int(args.get("attempts", 1)) - 1, 0)
+                entry.rollup.retry_backoff_ms += float(args.get("retry_added_ms", 0.0))
+                entry.rollup.lost_attempts += int(args.get("lost_attempts", 0))
+        elif kind == "control" and name == "replan":
+            entry.rollup.replans += 1
+
+    requests: List[RequestAttribution] = []
+    rollups: List[TenantAttribution] = []
+    lanes: Dict[str, LaneAttribution] = {}
+    truncated_attempts = 0
+
+    for name in sorted(tenants):
+        entry = tenants[name]
+        rollup = entry.rollup
+        if len(entry.queue) != len(entry.serve):
+            raise AnalysisError(
+                f"tenant {name!r}: {len(entry.queue)} queue spans for "
+                f"{len(entry.serve)} serve spans — not a full run trace"
+            )
+        # Bucket each lane span onto the dispatch whose release precedes it
+        # (per-tenant releases are strictly ordered by the sequential
+        # contended dispatcher, and a request's lanes never start before
+        # its release).
+        entry.dispatches.sort()
+        releases = [release for release, _, _ in entry.dispatches]
+        spans_by_release: Dict[float, List[Tuple[float, float, str]]] = {}
+        wait_by_release: Dict[float, float] = {}
+        for span_ts, span_track, span_dur, span_args in entry.spans:
+            lane = lanes.get(span_track)
+            if lane is None:
+                lane = lanes[span_track] = LaneAttribution(span_track)
+            wait_ms = 0.0
+            jobs = 0
+            for key, value in span_args:
+                if key == "wait_ms":
+                    wait_ms = float(value)
+                elif key == "jobs":
+                    jobs = int(value)
+            lane.busy_ms += span_dur
+            lane.wait_ms += wait_ms
+            lane.jobs += jobs
+            lane.spans += 1
+            rollup.lane_wait_ms += wait_ms
+            if not releases:
+                continue
+            slot = bisect_right(releases, span_ts) - 1
+            if slot < 0:
+                slot = 0
+            release, _, truncated = entry.dispatches[slot]
+            if truncated:
+                continue  # lost work: occupancy counted, never critical path
+            spans_by_release.setdefault(release, []).append(
+                (span_ts - release, span_ts - release + span_dur, span_track)
+            )
+            wait_by_release[release] = wait_by_release.get(release, 0.0) + wait_ms
+        truncated_here = sum(1 for _, _, t in entry.dispatches if t)
+        truncated_attempts += truncated_here
+        rollup.lost_attempts += truncated_here
+
+        for index, ((start_ms, latency_ms), queue_ms) in enumerate(
+            zip(entry.serve, entry.queue)
+        ):
+            final = entry.final_by_release.get(start_ms)
+            if final is None:
+                segments = [Segment("service", "", 0.0, latency_ms)]
+                contended = False
+                gate_wait = 0.0
+                lane_wait = 0.0
+            else:
+                gate_wait, contended = final
+                segments = _tile_request(
+                    latency_ms, gate_wait, spans_by_release.get(start_ms, [])
+                )
+                lane_wait = wait_by_release.get(start_ms, 0.0)
+            requests.append(RequestAttribution(
+                name, index, start_ms, latency_ms, queue_ms,
+                contended, gate_wait, lane_wait, segments,
+            ))
+            rollup.requests += 1
+            rollup.contended_requests += 1 if contended else 0
+            rollup.queue_ms += queue_ms
+            rollup.latency_ms += latency_ms
+            rollup_by_label = rollup.by_label
+            for seg in segments:
+                dur = seg.end_ms - seg.start_ms
+                rollup_by_label[seg.label] += dur
+                if seg.lane:
+                    lanes[seg.lane].critical_ms += dur
+        rollups.append(rollup)
+
+    ranked = sorted(lanes.values(), key=lambda l: (-l.critical_ms, l.lane))
+    total_critical = 0.0
+    for lane in ranked:
+        total_critical += lane.critical_ms
+    if total_critical > 0.0:
+        for lane in ranked:
+            lane.share = lane.critical_ms / total_critical
+    return AnalysisReport(requests, rollups, ranked, truncated_attempts)
+
+
+def analyze_trace(tracer: Tracer) -> AnalysisReport:
+    """Attribute a live :class:`Tracer`'s run (canonical event order)."""
+    return analyze_events(tracer.sorted_events())
+
+
+def analyze_chrome(data: Dict) -> AnalysisReport:
+    """Attribute an exported Chrome trace (``repro serve --trace-json``).
+
+    Timestamps come back through the microsecond conversion (may differ
+    from the live trace by an ulp; the tiling clamps), while the exactness
+    anchors — ``latency_ms`` / ``gate_wait_ms`` event args — round-trip
+    bit-exactly through JSON, so :meth:`RequestAttribution.check_exact`
+    holds for re-imported traces too.
+    """
+    return analyze_events(events_from_chrome(data))
+
+
+def analyze_serving(report, tracer: Optional[Tracer] = None) -> AnalysisReport:
+    """Attribute a committed ``ServingReport``, cross-checking the trace.
+
+    With ``tracer=None`` a fresh tracer derives the lifecycle from the
+    report — queue + service attribution only (live-only facts like lane
+    spans are gone).  With the run's own tracer the full breakdown is
+    available, and the committed report must agree with the trace on the
+    request count per tenant (a cheap integrity check on the pairing).
+    """
+    if tracer is None:
+        tracer = Tracer()
+        tracer.defer_report(report)
+    analysis = analyze_events(tracer.sorted_events())
+    for tenant in report.tenants:
+        if tenant.num_completed == 0 and all(
+            t.name != tenant.name for t in analysis.tenants
+        ):
+            continue
+        attributed = analysis.tenant(tenant.name).requests
+        if attributed != tenant.num_completed:
+            raise AnalysisError(
+                f"tenant {tenant.name!r}: report committed "
+                f"{tenant.num_completed} requests but the trace attributes "
+                f"{attributed} — trace and report are from different runs"
+            )
+    return analysis
+
+
+__all__ = [
+    "ROLE_PRIORITY",
+    "SEGMENT_LABELS",
+    "AnalysisError",
+    "AnalysisReport",
+    "LaneAttribution",
+    "RequestAttribution",
+    "Segment",
+    "TenantAttribution",
+    "analyze_chrome",
+    "analyze_events",
+    "analyze_serving",
+    "analyze_trace",
+]

@@ -155,6 +155,50 @@ class Histogram:
             total += value
         self.series[key] = (counts, total, n + len(values))
 
+    def _order_statistic(self, counts: List[int], rank: int) -> float:
+        """The ``rank``-th (0-based) observation, reconstructed from buckets.
+
+        Every observation is represented by its bucket's upper bound;
+        ``+Inf`` observations clamp to the last finite bound (the estimator
+        cannot see past its widest bucket).
+        """
+        cumulative = 0
+        for i, count in enumerate(counts):
+            cumulative += count
+            if rank < cumulative:
+                return self.buckets[min(i, len(self.buckets) - 1)]
+        return self.buckets[-1]
+
+    def quantile(self, q: float, **labels: str) -> float:
+        """Deterministic quantile estimate from the fixed buckets.
+
+        Observations are reconstructed at their bucket upper bounds and the
+        estimate linearly interpolates between the two bracketing order
+        statistics, mirroring numpy's ``linear`` method exactly:
+        ``h = (n - 1) * q / 100`` and the same two-sided lerp numpy uses.
+        When every observation sits exactly on a bucket bound the estimate
+        equals ``numpy.percentile`` bit for bit (unit-tested); otherwise it
+        is biased toward the bucket upper bound, like any fixed-bucket
+        estimator.  ``q`` is in percent (95 for p95).
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"quantile must be in [0, 100], got {q}")
+        key = _label_key(self.label_names, labels)
+        entry = self.series.get(key)
+        if entry is None:
+            raise KeyError(f"no series {labels!r} in histogram {self.name!r}")
+        counts, _, n = entry
+        h = (n - 1) * (q / 100.0)
+        lo = int(h)
+        t = h - lo
+        lower = self._order_statistic(counts, lo)
+        if t == 0.0:
+            return lower
+        upper = self._order_statistic(counts, lo + 1)
+        if t >= 0.5:  # numpy's two-sided lerp, for bit-exact agreement
+            return upper - (upper - lower) * (1.0 - t)
+        return lower + (upper - lower) * t
+
 
 class MetricsRegistry:
     """A named collection of metric families with deterministic export."""
@@ -196,6 +240,18 @@ class MetricsRegistry:
         return self._register(
             Histogram(_check_name(name), help_text, tuple(label_names), buckets)
         )
+
+    def quantile(self, name: str, q: float, **labels: str) -> float:
+        """Quantile estimate from a registered histogram family.
+
+        Convenience over :meth:`Histogram.quantile` so alert rules can ask
+        for ``registry.quantile("repro_response_ms", 99, tenant=...)``
+        without re-deriving percentiles from raw latencies.
+        """
+        family = self._families.get(name)
+        if family is None or family.kind != "histogram":
+            raise KeyError(f"no histogram family {name!r} registered")
+        return family.quantile(q, **labels)
 
     # ------------------------------------------------------------------ #
     def snapshot(self) -> Dict:

@@ -178,13 +178,17 @@ class Tracer:
             layout[track] = (pid, tid)
         return layout
 
-    def to_chrome(self) -> Dict:
+    def to_chrome(self, provenance: Dict = None) -> Dict:
         """The trace as a Chrome trace-event JSON object (Perfetto-loadable).
 
         Spans become complete (``ph="X"``) events, instants thread-scoped
         instant (``ph="i"``) events; timestamps are microseconds as the
         format requires.  Metadata events name one process per track family
         (tenants / device lanes / control) and one thread per track.
+        ``provenance`` (the same ``{repro_version, argv, scenario}`` block
+        the CLI stamps on ``--report-json``) lands as a top-level key —
+        Perfetto ignores keys it does not know, and
+        :func:`events_from_chrome` skips it on re-import.
         """
         layout = self._track_layout()
         trace_events: List[Dict] = []
@@ -228,13 +232,18 @@ class Tracer:
                 record["ph"] = "i"
                 record["s"] = "t"
             trace_events.append(record)
-        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+        chrome: Dict = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+        if provenance is not None:
+            chrome["provenance"] = provenance
+        return chrome
 
-    def write_chrome(self, path: str) -> None:
+    def write_chrome(self, path: str, provenance: Dict = None) -> None:
         """Write :meth:`to_chrome` as JSON to ``path``."""
         from pathlib import Path
 
-        Path(path).write_text(json.dumps(self.to_chrome(), indent=2) + "\n")
+        Path(path).write_text(
+            json.dumps(self.to_chrome(provenance=provenance), indent=2) + "\n"
+        )
 
 
 class NullTracer(Tracer):
@@ -357,10 +366,58 @@ def _derive_report(events: List[TraceEvent], report) -> None:
             )
 
 
+# ---------------------------------------------------------------------- #
+# Chrome trace-event import
+# ---------------------------------------------------------------------- #
+
+
+def events_from_chrome(data: Dict) -> List[TraceEvent]:
+    """Rebuild :class:`TraceEvent` records from a Chrome export.
+
+    The inverse of :meth:`Tracer.to_chrome`, for offline analysis of a
+    ``--trace-json`` artifact (``repro analyze --trace-json``).  Track
+    names come from the ``thread_name`` metadata; span/instant timestamps
+    go back through the microsecond division, so ``ts``/``dur`` may differ
+    from the live trace by an ulp — but event **args** (where the parity
+    anchors like ``latency_ms`` live) round-trip bit-exactly, since JSON
+    serialises floats shortest-repr.  The returned list is canonically
+    sorted.  A top-level ``provenance`` block, if present, is ignored.
+    """
+    threads: Dict[Tuple[int, int], str] = {}
+    records = data.get("traceEvents")
+    if not isinstance(records, list):
+        raise ValueError("not a Chrome trace: missing 'traceEvents' list")
+    for record in records:
+        if record.get("ph") == "M" and record.get("name") == "thread_name":
+            threads[(record["pid"], record["tid"])] = record["args"]["name"]
+    events: List[TraceEvent] = []
+    for record in records:
+        ph = record.get("ph")
+        if ph not in ("X", "i"):
+            continue
+        key = (record.get("pid"), record.get("tid"))
+        track = threads.get(key)
+        if track is None:
+            raise ValueError(f"trace event on unnamed thread {key}: {record}")
+        args = tuple(sorted((record.get("args") or {}).items()))
+        events.append(
+            TraceEvent(
+                ts_ms=record["ts"] / 1000.0,
+                track=track,
+                kind=record.get("cat", ""),
+                name=record["name"],
+                dur_ms=record.get("dur", 0.0) / 1000.0 if ph == "X" else 0.0,
+                args=args,
+            )
+        )
+    return sorted(events)
+
+
 __all__ = [
     "TraceEvent",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "events_from_chrome",
     "trace_serving_report",
 ]

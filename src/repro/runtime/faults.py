@@ -498,6 +498,16 @@ class DegradationPolicy:
                 f"min_live_fraction must be in (0, 1], got {self.min_live_fraction}"
             )
 
+    def shed_order(self, weights: Sequence[float]) -> Tuple[int, ...]:
+        """Deterministic shed preference: lowest weight first, ties by index.
+
+        The single source of truth for "who goes first" — shared by
+        capacity-loss shedding (:meth:`shed_tenants`) and the SLO burn-rate
+        monitor's advisory plan (:func:`repro.obs.slo.shed_restore_plan`),
+        so the two control paths can never disagree on the victim order.
+        """
+        return tuple(sorted(range(len(weights)), key=lambda i: (weights[i], i)))
+
     def shed_tenants(self, weights: Sequence[float], live_fraction: float) -> Tuple[int, ...]:
         """Tenant indices to shed at a given live fraction (possibly empty)."""
         if live_fraction >= self.min_live_fraction or len(weights) <= 1:
@@ -505,7 +515,7 @@ class DegradationPolicy:
         total = float(sum(weights))
         if total <= 0:
             return ()
-        order = sorted(range(len(weights)), key=lambda i: (weights[i], i))
+        order = self.shed_order(weights)
         shed: List[int] = []
         kept = total
         for idx in order[:-1]:  # always keep at least one tenant

@@ -283,6 +283,18 @@ class AutoscalerConfig:
     ``capacity_per_device_rps`` set — typically from a
     ``serving_load_curve`` knee via :meth:`from_knee` — the scaler instead
     jumps straight to ``ceil(window arrival rate / capacity)`` devices.
+
+    ``trigger="burn_rate"`` swaps the utilisation band for the SLO burn
+    signal of :mod:`repro.obs.slo`: each window's effective miss rate is
+    normalised by ``target_miss_rate`` into a burn rate (1.0 = consuming
+    error budget exactly at the allowed rate); the scaler grows when both
+    the window burn (fast) and the trailing-``burn_windows`` mean (slow)
+    reach ``burn_threshold``, and shrinks only when both fall below half
+    the threshold *and* utilisation sits under ``low_utilization`` — the
+    same fast+slow hysteresis the alerting rules use, so paging and
+    scaling react to one signal.  Requires a positive ``target_miss_rate``
+    (a zero budget has no finite burn) and is exclusive with the capacity
+    calibration.
     """
 
     min_devices: int
@@ -293,6 +305,9 @@ class AutoscalerConfig:
     step: int = 1
     target_miss_rate: float = 0.0
     capacity_per_device_rps: Optional[float] = None
+    trigger: str = "utilization"
+    burn_threshold: float = 1.0
+    burn_windows: int = 4
 
     def __post_init__(self) -> None:
         if self.min_devices < 1:
@@ -320,6 +335,27 @@ class AutoscalerConfig:
                 f"capacity_per_device_rps must be > 0 (or None), got "
                 f"{self.capacity_per_device_rps}"
             )
+        if self.trigger not in ("utilization", "burn_rate"):
+            raise ValueError(
+                f"trigger must be 'utilization' or 'burn_rate', got {self.trigger!r}"
+            )
+        if self.burn_threshold <= 0:
+            raise ValueError(
+                f"burn_threshold must be > 0, got {self.burn_threshold}"
+            )
+        if self.burn_windows < 1:
+            raise ValueError(f"burn_windows must be >= 1, got {self.burn_windows}")
+        if self.trigger == "burn_rate":
+            if self.target_miss_rate <= 0.0:
+                raise ValueError(
+                    "trigger='burn_rate' needs a positive target_miss_rate "
+                    "(a zero error budget has no finite burn rate)"
+                )
+            if self.capacity_per_device_rps is not None:
+                raise ValueError(
+                    "trigger='burn_rate' is exclusive with "
+                    "capacity_per_device_rps — pick one scaling signal"
+                )
 
     @classmethod
     def from_knee(
@@ -356,6 +392,8 @@ class AutoscaleWindow:
     utilization: float
     decision: str  # "grow" | "shrink" | "hold"
     next_devices: int
+    fast_burn: float = 0.0  # window burn (miss / target); 0 unless burn_rate
+    slow_burn: float = 0.0  # trailing-window mean burn
 
     def to_dict(self) -> Dict:
         return {
@@ -369,6 +407,8 @@ class AutoscaleWindow:
             "utilization": float(self.utilization),
             "decision": self.decision,
             "next_devices": int(self.next_devices),
+            "fast_burn": float(self.fast_burn),
+            "slow_burn": float(self.slow_burn),
         }
 
 
@@ -399,6 +439,9 @@ class AutoscaleReport:
                 if self.config.capacity_per_device_rps is None
                 else float(self.config.capacity_per_device_rps)
             ),
+            "trigger": self.config.trigger,
+            "burn_threshold": float(self.config.burn_threshold),
+            "burn_windows": int(self.config.burn_windows),
             "final_devices": int(self.final_devices),
             "device_trajectory": [int(n) for n in self.device_trajectory],
             "windows": [w.to_dict() for w in self.windows],
@@ -426,6 +469,10 @@ class FleetAutoscaler:
         self.window_runner = window_runner
         self.config = config
         self.tracer = NULL_TRACER if tracer is None else tracer
+        # Burn-rate trigger state: per-run window burn history (fast burns),
+        # plus the burns behind the most recent decide() for reporting.
+        self._burn_history: List[float] = []
+        self._last_burns: Tuple[float, float] = (0.0, 0.0)
 
     # ------------------------------------------------------------------ #
     def _utilization(self, report: ServingReport) -> float:
@@ -453,6 +500,24 @@ class FleetAutoscaler:
             observed = min(observed, int(report.faults.live_at_end))
         utilization = self._utilization(report)
         miss = effective_miss_rate(report)
+        self._last_burns = (0.0, 0.0)
+        if cfg.trigger == "burn_rate":
+            fast = miss / cfg.target_miss_rate
+            self._burn_history.append(fast)
+            trailing = self._burn_history[-cfg.burn_windows:]
+            slow = sum(trailing) / len(trailing)
+            self._last_burns = (fast, slow)
+            if fast >= cfg.burn_threshold and slow >= cfg.burn_threshold:
+                grown = self._clamp(observed + cfg.step)
+                return ("grow", grown) if grown != observed else ("hold", observed)
+            if (
+                fast < cfg.burn_threshold / 2.0
+                and slow < cfg.burn_threshold / 2.0
+                and utilization < cfg.low_utilization
+            ):
+                shrunk = self._clamp(observed - cfg.step)
+                return ("shrink", shrunk) if shrunk != observed else ("hold", observed)
+            return "hold", observed
         if cfg.capacity_per_device_rps is not None:
             arrival_rps = report.total_arrivals / cfg.window_s
             desired = self._clamp(
@@ -483,10 +548,12 @@ class FleetAutoscaler:
         n = self._clamp(
             initial_devices if initial_devices is not None else self.config.min_devices
         )
+        self._burn_history = []
         result = AutoscaleReport(config=self.config)
         for w in range(num_windows):
             report = self.window_runner(n, w)
             decision, next_n = self.decide(report, n)
+            fast_burn, slow_burn = self._last_burns
             window = AutoscaleWindow(
                 index=w,
                 start_s=w * self.config.window_s,
@@ -498,20 +565,28 @@ class FleetAutoscaler:
                 utilization=self._utilization(report),
                 decision=decision,
                 next_devices=next_n,
+                fast_burn=fast_burn,
+                slow_burn=slow_burn,
             )
             result.windows.append(window)
             if self.tracer.enabled:
+                args = {
+                    "num_devices": window.num_devices,
+                    "decision": window.decision,
+                    "next_devices": window.next_devices,
+                    "miss_rate": window.miss_rate,
+                    "utilization": window.utilization,
+                }
+                if self.config.trigger == "burn_rate":
+                    args["fast_burn"] = window.fast_burn
+                    args["slow_burn"] = window.slow_burn
                 self.tracer.span(
                     window.start_s * 1000.0,
                     self.config.window_s * 1000.0,
                     "control:autoscaler",
                     "control",
                     "autoscale_window",
-                    num_devices=window.num_devices,
-                    decision=window.decision,
-                    next_devices=window.next_devices,
-                    miss_rate=window.miss_rate,
-                    utilization=window.utilization,
+                    **args,
                 )
             n = next_n
         return result

@@ -1055,6 +1055,7 @@ def run_with_parity(
     retry: Optional[RetryPolicy] = None,
     degradation: Optional[DegradationPolicy] = None,
     compare_traces: bool = True,
+    compare_analysis: bool = False,
     tracer: Optional[Tracer] = None,
 ) -> ServingReport:
     """Run the batched and the reference loops and assert bit-identity.
@@ -1078,7 +1079,17 @@ def run_with_parity(
     byte-identical (:func:`assert_traces_equal`).  Pass ``tracer`` to keep
     the batched side's trace (e.g. for ``--trace-json`` in parity mode); it
     must be empty.  Set ``compare_traces=False`` to skip trace collection.
+
+    ``compare_analysis`` extends it once more, to the *interpretation*
+    layer: both traces are run through the critical-path analyzer
+    (:func:`repro.obs.analysis.analyze_serving`) and the SLO burn-rate
+    monitor (:class:`repro.obs.slo.SLOMonitor`), every request's latency
+    tiling is asserted bit-exact against its committed latency, and the
+    attribution output and alert timelines are asserted byte-identical
+    across the two runs.  Requires ``compare_traces``.
     """
+    if compare_analysis and not compare_traces:
+        raise ValueError("compare_analysis needs compare_traces=True")
     for spec in tenants:
         if spec.adaptation_hook is not None:
             raise ValueError(
@@ -1118,6 +1129,37 @@ def run_with_parity(
     assert_reports_equal(batched, reference)
     if compare_traces:
         assert_traces_equal(batched_tracer, reference_tracer)
+    if compare_analysis:
+        # Late imports keep repro.obs optional on the plain serving path.
+        from repro.obs.analysis import analyze_serving
+        from repro.obs.slo import SLOMonitor
+
+        batched_analysis = analyze_serving(batched, batched_tracer)
+        reference_analysis = analyze_serving(reference, reference_tracer)
+        batched_analysis.check_exact()
+        reference_analysis.check_exact()
+        left, right = batched_analysis.lines(), reference_analysis.lines()
+        if left != right:
+            diffs = [
+                f"attribution line {i} differs:\n  batched:   {a}\n  reference: {b}"
+                for i, (a, b) in enumerate(zip(left, right))
+                if a != b
+            ][:6]
+            raise ParityMismatch(
+                [f"attribution differs ({len(left)} vs {len(right)} lines)"] + diffs
+            )
+        monitor = SLOMonitor()
+        alerts_left = monitor.evaluate(batched).lines()
+        alerts_right = monitor.evaluate(reference).lines()
+        if alerts_left != alerts_right:
+            raise ParityMismatch(
+                ["alert timelines differ"]
+                + [
+                    f"  batched:   {a}\n  reference: {b}"
+                    for a, b in zip(alerts_left, alerts_right)
+                    if a != b
+                ][:6]
+            )
     return batched
 
 

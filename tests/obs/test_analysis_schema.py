@@ -1,0 +1,134 @@
+"""Golden-file pin of the ``repro analyze --report-json`` schema.
+
+``docs/observability.md`` documents the JSON written by
+``repro analyze --report-json``; downstream tooling (the bench-analysis
+gate, latency dashboards) parses it by key path.  This test flattens the
+attribution of a fully-featured contended run — wfq + max_inflight gate,
+churn, retries, predictive admission — into ``key.path: type`` pairs and
+compares them against the committed golden file, so any schema change is
+a deliberate two-file diff (code + golden + docs), never an accident.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python tests/obs/test_analysis_schema.py --regenerate
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.devices.specs import make_cluster
+from repro.network.topology import NetworkModel
+from repro.nn import model_zoo
+from repro.obs import Tracer
+from repro.obs.analysis import analyze_serving
+from repro.runtime.batch import BatchPlanEvaluator
+from repro.runtime.faults import RetryPolicy
+from repro.runtime.plan import DistributionPlan
+from repro.serving import (
+    SLO,
+    ClusterPolicy,
+    PoissonArrivals,
+    ServingSimulator,
+    TenantSpec,
+)
+
+GOLDEN = Path(__file__).resolve().parents[1] / "data" / "analysis_report_schema.json"
+
+
+def _flatten_types(value, prefix=""):
+    """``{key.path: type-name}`` with list elements collapsed to ``[]``.
+
+    Same convention as ``tests/serving/test_report_schema.py``: lists
+    contribute their first element's schema, ints and floats both pin as
+    ``number`` so 0-valued floats do not flap the schema.
+    """
+    out = {}
+    if isinstance(value, dict):
+        for key, sub in sorted(value.items()):
+            out.update(_flatten_types(sub, f"{prefix}.{key}" if prefix else key))
+    elif isinstance(value, list):
+        out[prefix] = "list"
+        if value:
+            out.update(_flatten_types(value[0], f"{prefix}[]"))
+    else:
+        type_name = type(value).__name__
+        out[prefix] = {"int": "number", "float": "number", "bool": "bool",
+                       "str": "str", "NoneType": "null"}.get(type_name, type_name)
+    return out
+
+
+def build_analysis_payload():
+    """One contended, churned run populating every attribution field."""
+    model = model_zoo.small_vgg(64)
+    devices = make_cluster([("nano", 70), ("nano", 70), ("tx2", 70), ("nano", 70)])
+    network = NetworkModel.constant_from_devices(devices)
+    tenants = [
+        TenantSpec(
+            "alpha",
+            DistributionPlan.single_device(model, devices, 0),
+            traffic=PoissonArrivals(120.0, seed=3),
+            slo=SLO(deadline_ms=40.0),
+            weight=3.0,
+        ),
+        TenantSpec(
+            "beta",
+            DistributionPlan.single_device(model, devices, 1),
+            traffic=PoissonArrivals(80.0, seed=4),
+            slo=SLO(deadline_ms=60.0),
+        ),
+    ]
+    policy = ClusterPolicy(
+        discipline="wfq",
+        admission="predictive",
+        on_predicted_miss="requeue",
+        max_inflight=4,
+    )
+    tracer = Tracer()
+    report = ServingSimulator(BatchPlanEvaluator(devices, network)).run(
+        tenants,
+        duration_s=2.0,
+        policy=policy,
+        faults="churn:events=crash:0@120;leave:1@400;join:0@900",
+        retry=RetryPolicy(max_attempts=3, backoff_ms=20.0, jitter_ms=5.0, seed=7),
+        tracer=tracer,
+    )
+    analysis = analyze_serving(report, tracer)
+    assert analysis.lanes and analysis.contended_requests > 0, (
+        "schema scenario went uncontended; the golden would under-pin"
+    )
+    return analysis.to_dict()
+
+
+def test_analysis_json_schema_matches_golden():
+    assert GOLDEN.exists(), (
+        f"golden schema missing at {GOLDEN}; generate it with "
+        f"`PYTHONPATH=src python {__file__} --regenerate`"
+    )
+    expected = json.loads(GOLDEN.read_text())
+    actual = _flatten_types(build_analysis_payload())
+    assert actual == expected, (
+        "analysis report JSON schema drifted from tests/data/"
+        "analysis_report_schema.json — if intentional, regenerate the golden "
+        "file AND update the schema notes in docs/observability.md"
+    )
+
+
+def test_payload_is_json_serialisable():
+    payload = build_analysis_payload()
+    assert json.loads(json.dumps(payload)) == payload
+    assert payload["exact"] is True
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(
+            json.dumps(_flatten_types(build_analysis_payload()), indent=2) + "\n"
+        )
+        print(f"wrote {GOLDEN}")
+    else:
+        print(__doc__)

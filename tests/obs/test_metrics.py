@@ -143,3 +143,77 @@ class TestObserveMany:
         hist = MetricsRegistry().histogram("h", label_names=("tenant",), buckets=(5.0,))
         with pytest.raises(ValueError):
             hist.observe_many([1.0], wrong="x")
+
+
+class TestQuantile:
+    """Histogram quantiles are numpy-exact when data sits on bucket bounds.
+
+    The estimator reconstructs each observation at its bucket's upper
+    bound, then interpolates exactly like ``np.percentile`` (linear
+    method).  When every observation *is* a bucket bound the
+    reconstruction is lossless, so the estimate must match numpy bit for
+    bit — both lerp branches included.
+    """
+
+    BUCKETS = (5.0, 10.0, 20.0, 50.0)
+    VALUES = [5.0, 5.0, 10.0, 20.0, 20.0, 20.0, 50.0]
+
+    def _hist(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_q_ms", "", (), buckets=self.BUCKETS)
+        for value in self.VALUES:
+            hist.observe(value)
+        return registry, hist
+
+    @pytest.mark.parametrize("q", [0, 10, 25, 37.5, 50, 62.5, 75, 90, 95, 99, 100])
+    def test_matches_numpy_percentile_exactly(self, q):
+        import numpy as np
+
+        _, hist = self._hist()
+        expected = float(np.percentile(np.asarray(self.VALUES), q))
+        # Bit-exact, not approx: repr equality is the parity-contract form.
+        assert repr(hist.quantile(q)) == repr(expected)
+
+    def test_both_lerp_branches_are_numpy_exact(self):
+        import numpy as np
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (1.0, 2.0, 4.0):
+            hist.observe(value)
+        # n=3: q=30 -> h=0.6 (t >= 0.5 branch), q=20 -> h=0.4 (t < 0.5).
+        for q in (20, 30):
+            assert repr(hist.quantile(q)) == repr(
+                float(np.percentile([1.0, 2.0, 4.0], q))
+            )
+
+    def test_overflow_observations_clamp_to_last_finite_bound(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(5.0, 10.0))
+        hist.observe(999.0)
+        assert hist.quantile(50) == 10.0
+        assert hist.quantile(100) == 10.0
+
+    def test_labelled_series_and_registry_lookup(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_q_ms", "", ("tenant",), buckets=(5.0, 10.0))
+        hist.observe(5.0, tenant="a")
+        hist.observe(10.0, tenant="b")
+        assert registry.quantile("repro_q_ms", 50, tenant="a") == 5.0
+        assert registry.quantile("repro_q_ms", 50, tenant="b") == 10.0
+
+    def test_errors(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_q_ms", "", (), buckets=(5.0,))
+        with pytest.raises(KeyError):
+            hist.quantile(50)  # no observations yet
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(-1)
+        with pytest.raises(ValueError):
+            hist.quantile(101)
+        with pytest.raises(KeyError):
+            registry.quantile("repro_nope_ms", 50)
+        registry.counter("repro_c_total").inc(1)
+        with pytest.raises(KeyError):
+            registry.quantile("repro_c_total", 50)

@@ -1,0 +1,263 @@
+"""SLO burn-rate monitor unit tests: burn math, state machine, shed plan.
+
+The monitor is a pure function of the committed report, so these tests
+drive it through fake reports exposing exactly the surface it reads
+(mirroring ``tests/serving/test_control.py``); end-to-end byte-parity of
+the timeline across engines lives in
+``tests/serving/test_analysis_parity.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.obs.slo import (
+    DEFAULT_BURN_RULES,
+    FLEET_PRESSURE_RULE,
+    AlertEvent,
+    AlertTimeline,
+    BurnRateRule,
+    SLOMonitor,
+    _MissStream,
+    shed_restore_plan,
+)
+from repro.runtime.faults import DegradationPolicy
+
+RULE = BurnRateRule("burn", fast_window_s=1.0, slow_window_s=2.0, threshold=2.0)
+
+
+def fake_report(completions, *, target=0.1, denied=(), abandoned=(), shed=(),
+                fleet=None, name="a", start_s=0.0):
+    """The minimal report surface the monitor (and its metrics pass) reads.
+
+    ``completions`` is a list of ``(t_s, missed)`` pairs.
+    """
+    times = np.asarray([t for t, _ in completions], dtype=float)
+    missed = np.asarray([m for _, m in completions], dtype=bool)
+    n = len(completions)
+    tenant = SimpleNamespace(
+        name=name,
+        slo=SimpleNamespace(deadline_ms=100.0, target_miss_rate=target),
+        completion_s=times,
+        deadline_missed=missed,
+        denied_times_s=np.asarray(denied, dtype=float),
+        abandoned_times_s=np.asarray(abandoned, dtype=float),
+        shed_times_s=np.asarray(shed, dtype=float),
+        num_arrivals=n,
+        num_completed=n,
+        num_rejected=0,
+        num_denied=len(denied),
+        num_shed=len(shed),
+        num_abandoned=len(abandoned),
+        num_retried=0,
+        response_ms=times * 0.0 + 50.0,
+        latency_ms=times * 0.0 + 50.0,
+        max_queue_depth=1,
+    )
+    return SimpleNamespace(
+        start_s=start_s,
+        tenants=[tenant],
+        fleet=fleet,
+        faults=None,
+        epochs=1,
+        cache_hits=0,
+        speculated=0,
+        total_completed=n,
+        throughput_rps=1.0,
+        deadline_miss_rate=float(missed.mean()) if n else 0.0,
+    )
+
+
+def fake_fleet(utilizations, window_ms=1000.0):
+    series = SimpleNamespace(
+        num_windows=len(utilizations),
+        window_ms=window_ms,
+        mean_utilization=lambda role: np.asarray(utilizations, dtype=float),
+    )
+    return SimpleNamespace(series=series, gate_wait_ms=0.0, contended_requests=0)
+
+
+class TestRuleValidation:
+    def test_fast_window_must_not_exceed_slow(self):
+        with pytest.raises(ValueError, match="must not exceed"):
+            BurnRateRule("r", 10.0, 5.0, 1.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(name=""),
+        dict(fast_window_s=0.0),
+        dict(slow_window_s=-1.0),
+        dict(threshold=0.0),
+        dict(severity="email"),
+    ])
+    def test_invalid_fields_rejected(self, kwargs):
+        base = dict(name="r", fast_window_s=1.0, slow_window_s=2.0, threshold=1.0)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            BurnRateRule(**base)
+
+    def test_monitor_rejects_bad_rule_sets(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SLOMonitor(rules=())
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOMonitor(rules=(RULE, RULE))
+        with pytest.raises(ValueError, match="reserved"):
+            SLOMonitor(rules=(BurnRateRule(FLEET_PRESSURE_RULE, 1.0, 2.0, 1.0),))
+        with pytest.raises(ValueError):
+            SLOMonitor(tick_s=0.0)
+        with pytest.raises(ValueError):
+            SLOMonitor(default_target=0.0)
+
+    def test_default_rules_are_the_fast_slow_ladder(self):
+        fast, slow = DEFAULT_BURN_RULES
+        assert fast.severity == "page" and slow.severity == "ticket"
+        assert fast.fast_window_s < slow.fast_window_s
+
+
+class TestBurnMath:
+    def test_burn_is_window_miss_fraction_over_target(self):
+        stream = _MissStream([(0.5, 1), (1.0, 0), (1.5, 1), (2.0, 0)], target=0.1)
+        # Window (1, 2]: 2 samples, 1 bad -> 0.5 / 0.1 = 5.
+        assert stream.burn(2.0, 1.0) == 5.0
+        # Window (0, 2]: 4 samples, 2 bad -> 5 as well.
+        assert stream.burn(2.0, 2.0) == 5.0
+        # Window (2, 3]: empty -> 0.
+        assert stream.burn(3.0, 1.0) == 0.0
+
+    def test_window_is_left_open_right_closed(self):
+        stream = _MissStream([(1.0, 1)], target=0.5)
+        assert stream.burn(1.0, 1.0) == 2.0  # sample at t is included
+        assert stream.burn(2.0, 1.0) == 0.0  # sample exactly at t - w: excluded
+        assert stream.burn(1.9, 1.0) == 2.0  # still inside the trailing window
+
+
+class TestStateMachine:
+    def test_miss_burst_fires_then_resolves(self):
+        # All four completions in (0, 1] missed; clean afterwards.
+        completions = [(0.2, 1), (0.4, 1), (0.6, 1), (0.8, 1),
+                       (2.5, 0), (3.0, 0), (3.5, 0)]
+        timeline = SLOMonitor(rules=(RULE,)).evaluate(fake_report(completions))
+        states = [(e.t_s, e.state) for e in timeline.events]
+        assert states == [(1.0, "firing"), (2.0, "resolved")]
+        firing = timeline.events[0]
+        assert firing.scope == "tenant:a"
+        assert firing.fast_burn == 10.0  # 4/4 missed over target 0.1
+        assert timeline.firing_at_end == []
+
+    def test_slow_window_guards_against_a_blip(self):
+        # One miss among many good completions: fast spikes, slow stays low.
+        completions = [(0.1 * k, 0) for k in range(1, 60)] + [(6.05, 1)]
+        rule = BurnRateRule("burn", 0.2, 6.0, threshold=2.0)
+        timeline = SLOMonitor(rules=(rule,), default_target=0.5).evaluate(
+            fake_report(completions, target=0.5)
+        )
+        assert timeline.events == []
+
+    def test_denials_abandons_and_sheds_burn_budget(self):
+        for kwargs in (dict(denied=[0.5]), dict(abandoned=[0.5]), dict(shed=[0.5])):
+            report = fake_report([(0.4, 0)], target=0.1, **kwargs)
+            timeline = SLOMonitor(rules=(RULE,)).evaluate(report)
+            assert timeline.num_firing == 1, kwargs
+
+    def test_open_alert_closes_at_end_in_firing_intervals(self):
+        completions = [(0.5, 1), (1.5, 1)]
+        timeline = SLOMonitor(rules=(RULE,)).evaluate(fake_report(completions))
+        assert timeline.firing_at_end == [("tenant:a", "burn")]
+        (interval,) = timeline.firing_intervals()
+        assert (interval.start_s, interval.end_s) == (1.0, timeline.end_s)
+
+    def test_fleet_pressure_rule_follows_window_edges(self):
+        fleet = fake_fleet([0.95, 0.95, 0.5], window_ms=1000.0)
+        timeline = SLOMonitor(rules=(RULE,), utilization_threshold=0.9).evaluate(
+            fake_report([(0.5, 0)], fleet=fleet)
+        )
+        fleet_events = [e for e in timeline.events if e.scope == "fleet"]
+        assert [(e.t_s, e.state) for e in fleet_events] == [
+            (1.0, "firing"), (3.0, "resolved")
+        ]
+        assert all(e.rule == FLEET_PRESSURE_RULE for e in fleet_events)
+
+    def test_timeline_is_deterministic_and_serialisable(self):
+        completions = [(0.2, 1), (0.7, 1), (2.5, 0)]
+        monitor = SLOMonitor(rules=(RULE,))
+        a = monitor.evaluate(fake_report(completions))
+        b = monitor.evaluate(fake_report(completions))
+        assert a.lines() == b.lines()
+        payload = a.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["num_events"] == len(a.events)
+
+    def test_transitions_land_on_the_trace(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        SLOMonitor(rules=(RULE,)).evaluate(
+            fake_report([(0.5, 1), (0.8, 1)]), tracer=tracer
+        )
+        alerts = [e for e in tracer.events if e.track == "control:slo"]
+        assert alerts and all(e.kind == "alert" for e in alerts)
+
+    def test_tenant_summary_has_quantiles_and_budget(self):
+        timeline = SLOMonitor(rules=(RULE,)).evaluate(
+            fake_report([(0.5, 1), (1.0, 0)])
+        )
+        summary = timeline.tenant_summary["a"]
+        assert summary["served"] == 2 and summary["bad"] == 1
+        assert summary["target_miss_rate"] == 0.1
+        # Responses all 50 ms -> every quantile estimate is 50 exactly
+        # (observations sit on the default bucket bound).
+        assert summary["p95_ms"] == 50.0 and summary["p99_ms"] == 50.0
+
+
+def _timeline(events, end_s=10.0):
+    return AlertTimeline(
+        rules=(RULE,), tick_s=1.0, start_s=0.0, end_s=end_s,
+        events=events, tenant_summary={},
+    )
+
+
+def _page(t_s, state, scope="tenant:a"):
+    return AlertEvent(t_s, scope, "burn", "page", state, 3.0, 3.0)
+
+
+class TestShedRestorePlan:
+    POLICY = DegradationPolicy(min_live_fraction=0.5)
+
+    def test_victims_follow_the_degradation_shed_order(self):
+        timeline = _timeline([_page(2.0, "firing"), _page(5.0, "resolved")])
+        (window,) = shed_restore_plan(
+            timeline, weights=[3.0, 1.0, 2.0, 4.0], policy=self.POLICY
+        )
+        assert (window.start_s, window.end_s) == (2.0, 5.0)
+        assert window.tenants == (1,)  # lowest weight, same order as churn shed
+
+    def test_overlapping_pages_merge_into_one_window(self):
+        timeline = _timeline([
+            _page(1.0, "firing"), _page(4.0, "resolved"),
+            _page(3.0, "firing", scope="tenant:b"),
+            _page(6.0, "resolved", scope="tenant:b"),
+        ])
+        (window,) = shed_restore_plan(timeline, [1.0, 2.0], self.POLICY)
+        assert (window.start_s, window.end_s) == (1.0, 6.0)
+
+    def test_ticket_severity_never_sheds(self):
+        ticket = AlertEvent(1.0, "tenant:a", "slow", "ticket", "firing", 1.0, 1.0)
+        assert shed_restore_plan(_timeline([ticket]), [1.0, 2.0], self.POLICY) == []
+
+    def test_single_tenant_is_never_shed(self):
+        timeline = _timeline([_page(1.0, "firing")])
+        assert shed_restore_plan(timeline, [1.0], self.POLICY) == []
+
+    def test_shed_fraction_validated(self):
+        with pytest.raises(ValueError):
+            shed_restore_plan(_timeline([]), [1.0, 2.0], self.POLICY, shed_fraction=0.0)
+        with pytest.raises(ValueError):
+            shed_restore_plan(_timeline([]), [1.0, 2.0], self.POLICY, shed_fraction=1.5)
+
+    def test_shed_order_is_stable_on_ties(self):
+        assert DegradationPolicy(min_live_fraction=0.5).shed_order(
+            [2.0, 1.0, 1.0]
+        ) == (1, 2, 0)

@@ -1,0 +1,197 @@
+"""Analysis-level parity: attribution and alert timelines are byte-identical.
+
+One level above trace parity: ``run_with_parity(compare_analysis=True)``
+feeds both loops' traces through the critical-path analyzer and the SLO
+burn-rate monitor, asserts every request's latency tiling telescopes
+bit-exactly to its committed latency, and compares the rendered
+attribution and alert timelines line for line.  These tests drive that
+contract through every parity-suite scenario shape — churn + predictive
+admission, wfq + max_inflight contention, the array engine, and sharded
+worker pools — and then re-run the analyzer on the kept tracer to pin
+non-vacuity (real requests, real lanes, real contention).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.specs import make_cluster
+from repro.experiments.scenarios import generate_scenario
+from repro.network.topology import NetworkModel
+from repro.nn import model_zoo
+from repro.obs import Tracer
+from repro.obs.analysis import analyze_serving
+from repro.obs.slo import SLOMonitor
+from repro.runtime.batch import BatchPlanEvaluator
+from repro.runtime.evaluator import PlanEvaluator
+from repro.runtime.faults import RetryPolicy
+from repro.runtime.plan import DistributionPlan
+from repro.runtime.shard import ShardedPlanEvaluator
+from repro.serving import (
+    SLO,
+    ClusterPolicy,
+    PoissonArrivals,
+    TenantSpec,
+    run_with_parity,
+)
+
+CHURN = "churn:events=crash:0@120;leave:1@400;join:0@900"
+RETRY = RetryPolicy(max_attempts=3, backoff_ms=20.0, jitter_ms=5.0, seed=7)
+POLICY = ClusterPolicy(
+    discipline="wfq",
+    admission="predictive",
+    on_predicted_miss="requeue",
+    max_inflight=4,
+)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    devices = make_cluster([("nano", 70), ("nano", 70), ("tx2", 70), ("nano", 70)])
+    return devices, NetworkModel.constant_from_devices(devices)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return model_zoo.small_vgg(64)
+
+
+def tenants_for(model, devices):
+    return [
+        TenantSpec(
+            "alpha",
+            DistributionPlan.single_device(model, devices, 0),
+            traffic=PoissonArrivals(120.0, seed=3),
+            slo=SLO(deadline_ms=40.0),
+            weight=3.0,
+        ),
+        TenantSpec(
+            "beta",
+            DistributionPlan.single_device(model, devices, 1),
+            traffic=PoissonArrivals(80.0, seed=4),
+            slo=SLO(deadline_ms=60.0),
+            weight=1.0,
+        ),
+    ]
+
+
+def assert_analysis_nonvacuous(report, tracer, *, want_lanes=True):
+    """The parity pass already asserted exactness; pin that it saw real work."""
+    analysis = analyze_serving(report, tracer)
+    analysis.check_exact()
+    assert analysis.num_requests == report.total_completed > 0
+    if want_lanes:
+        assert analysis.lanes, "contended run attributed no lane time"
+        assert analysis.contended_requests > 0
+    return analysis
+
+
+class TestAnalysisParity:
+    def test_churn_plus_predictive_admission(self, model, fleet):
+        devices, network = fleet
+        tracer = Tracer()
+        report = run_with_parity(
+            BatchPlanEvaluator(devices, network),
+            PlanEvaluator(devices, network),
+            tenants_for(model, devices),
+            duration_s=2.0,
+            policy=POLICY,
+            faults=CHURN,
+            retry=RETRY,
+            tracer=tracer,
+            compare_analysis=True,
+        )
+        analysis = assert_analysis_nonvacuous(report, tracer)
+        assert report.faults is not None and report.faults.num_crashes == 1
+        # The fault path is visible in the rollups, not just the report.
+        assert analysis.total("retries") + analysis.total("abandons") > 0
+
+    def test_array_engine_matches_reference_interpretation(self, model, fleet):
+        devices, network = fleet
+        tracer = Tracer()
+        report = run_with_parity(
+            BatchPlanEvaluator(devices, network),
+            PlanEvaluator(devices, network),
+            tenants_for(model, devices),
+            duration_s=2.0,
+            policy=POLICY,
+            engine="array",
+            faults=CHURN,
+            retry=RETRY,
+            tracer=tracer,
+            compare_analysis=True,
+        )
+        assert_analysis_nonvacuous(report, tracer)
+
+    def test_wfq_with_max_inflight_gate(self, model, fleet):
+        devices, network = fleet
+        tracer = Tracer()
+        report = run_with_parity(
+            BatchPlanEvaluator(devices, network),
+            PlanEvaluator(devices, network),
+            tenants_for(model, devices),
+            duration_s=2.0,
+            policy=ClusterPolicy(discipline="wfq", max_inflight=2),
+            tracer=tracer,
+            compare_analysis=True,
+        )
+        analysis = assert_analysis_nonvacuous(report, tracer)
+        # The inflight gate actually throttled someone.
+        assert analysis.total("gate") > 0.0
+
+    def test_sharded_worker_pools(self, model):
+        scenario = generate_scenario(4, seed=11, bandwidth_mbps=200.0, heterogeneity="nano")
+        with ShardedPlanEvaluator(scenario, num_workers=2, min_shard_size=1) as sharded:
+            devices, network = sharded.devices, sharded.network
+            tenants = [
+                TenantSpec(
+                    "s0",
+                    DistributionPlan.single_device(model, devices, 0),
+                    traffic=PoissonArrivals(5.0, seed=1),
+                ),
+                TenantSpec(
+                    "s1",
+                    DistributionPlan.single_device(model, devices, 1),
+                    traffic=PoissonArrivals(5.0, seed=2),
+                ),
+            ]
+            tracer = Tracer()
+            report = run_with_parity(
+                sharded,
+                PlanEvaluator(devices, network),
+                tenants,
+                duration_s=6.0,
+                tracer=tracer,
+                compare_analysis=True,
+            )
+            # Uncontended run: the tiling is a single service segment per
+            # request, still required to telescope exactly.
+            assert_analysis_nonvacuous(report, tracer, want_lanes=False)
+
+    def test_alert_timeline_is_reproducible_from_the_report(self, model, fleet):
+        """The timeline compared inside the parity run is a pure function."""
+        devices, network = fleet
+        report = run_with_parity(
+            BatchPlanEvaluator(devices, network),
+            PlanEvaluator(devices, network),
+            tenants_for(model, devices),
+            duration_s=2.0,
+            policy=POLICY,
+            faults=CHURN,
+            retry=RETRY,
+            compare_analysis=True,
+        )
+        monitor = SLOMonitor()
+        assert monitor.evaluate(report).lines() == monitor.evaluate(report).lines()
+
+    def test_compare_analysis_requires_traces(self, model, fleet):
+        devices, network = fleet
+        with pytest.raises(ValueError, match="compare_traces"):
+            run_with_parity(
+                BatchPlanEvaluator(devices, network),
+                PlanEvaluator(devices, network),
+                tenants_for(model, devices),
+                duration_s=1.0,
+                compare_traces=False,
+                compare_analysis=True,
+            )

@@ -277,3 +277,90 @@ def test_autoscaler_config_validation():
         _cfg(capacity_per_device_rps=-1.0)
     with pytest.raises(ValueError):
         FleetAutoscaler(lambda n, w: None, _cfg()).run(0)
+
+
+# --------------------------------------------------------------------- #
+# burn-rate trigger
+# --------------------------------------------------------------------- #
+
+
+def _burn_cfg(**kwargs):
+    defaults = dict(trigger="burn_rate", target_miss_rate=0.05)
+    defaults.update(kwargs)
+    return _cfg(**defaults)
+
+
+def test_burn_rate_decisions_follow_the_budget_not_the_band():
+    # Each decision on a fresh scaler so the trailing history is empty.
+    # missed=10 of 100 completed -> miss 0.1 -> burn 2.0 over target 0.05.
+    grow = FleetAutoscaler(lambda n, w: None, _burn_cfg())
+    assert grow.decide(_util_report(0.5, 4, missed=10), 4) == ("grow", 5)
+    # Zero burn + idle fleet shrinks.
+    shrink = FleetAutoscaler(lambda n, w: None, _burn_cfg())
+    assert shrink.decide(_util_report(0.1, 4, missed=0), 4) == ("shrink", 3)
+    # Zero burn but the fleet is busy: shrink stays gated on utilisation.
+    hold = FleetAutoscaler(lambda n, w: None, _burn_cfg())
+    assert hold.decide(_util_report(0.5, 4, missed=0), 4) == ("hold", 4)
+    # Half-threshold hysteresis: burn 0.6 is neither grow nor shrink.
+    mid = FleetAutoscaler(lambda n, w: None, _burn_cfg())
+    assert mid.decide(_util_report(0.1, 4, missed=3), 4) == ("hold", 4)
+    # Just under the half threshold (burn 0.4) releases the shrink.
+    low = FleetAutoscaler(lambda n, w: None, _burn_cfg())
+    assert low.decide(_util_report(0.1, 4, missed=2), 4) == ("shrink", 3)
+
+
+def test_burn_rate_slow_window_guards_the_shrink():
+    """One bad window keeps the fleet big for ``burn_windows`` windows."""
+    scaler = FleetAutoscaler(lambda n, w: None, _burn_cfg(burn_windows=4))
+    assert scaler.decide(_util_report(0.1, 4, missed=10), 4) == ("grow", 5)
+    # Fast burn drops to zero immediately, but the trailing mean remembers
+    # the spike: [2,0] -> 1.0, [2,0,0] -> 0.67, [2,0,0,0] -> 0.5, all >= 0.5.
+    for _ in range(3):
+        assert scaler.decide(_util_report(0.1, 5, missed=0), 5) == ("hold", 5)
+    # The spike finally ages out of the trailing window.
+    assert scaler.decide(_util_report(0.1, 5, missed=0), 5) == ("shrink", 4)
+
+
+def test_burn_rate_run_trajectory_is_deterministic():
+    misses = [10, 10, 0, 0, 0]
+    utils = [0.9, 0.9, 0.2, 0.2, 0.2]
+
+    def run_window(n, w):
+        return _util_report(utils[w], n, missed=misses[w])
+
+    scaler = FleetAutoscaler(run_window, _burn_cfg(burn_windows=2))
+    report = scaler.run(5, initial_devices=2)
+    assert report.device_trajectory == [2, 3, 4, 4, 3]
+    assert [w.decision for w in report.windows] == [
+        "grow", "grow", "hold", "shrink", "shrink",
+    ]
+    assert [(w.fast_burn, w.slow_burn) for w in report.windows] == [
+        (2.0, 2.0), (2.0, 2.0), (0.0, 1.0), (0.0, 0.0), (0.0, 0.0),
+    ]
+    # run() resets the burn history, so a second run is bit-identical.
+    assert scaler.run(5, initial_devices=2).to_dict() == report.to_dict()
+
+
+def test_burn_rate_report_serialises_the_trigger():
+    report = FleetAutoscaler(
+        lambda n, w: _util_report(0.5, n, missed=10), _burn_cfg(burn_threshold=1.5)
+    ).run(1, initial_devices=2)
+    payload = report.to_dict()
+    assert payload["trigger"] == "burn_rate"
+    assert payload["burn_threshold"] == 1.5
+    assert payload["burn_windows"] == 4
+    window = payload["windows"][0]
+    assert window["fast_burn"] == 2.0 and window["slow_burn"] == 2.0
+
+
+def test_burn_rate_config_validation():
+    with pytest.raises(ValueError, match="trigger"):
+        _cfg(trigger="latency")
+    with pytest.raises(ValueError, match="target_miss_rate"):
+        _cfg(trigger="burn_rate")
+    with pytest.raises(ValueError, match="exclusive"):
+        _burn_cfg(capacity_per_device_rps=5.0)
+    with pytest.raises(ValueError, match="burn_threshold"):
+        _burn_cfg(burn_threshold=0.0)
+    with pytest.raises(ValueError, match="burn_windows"):
+        _burn_cfg(burn_windows=0)
